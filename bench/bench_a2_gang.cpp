@@ -1,0 +1,104 @@
+// A2 — Ablation: gang scheduling vs independent rank placement for HPC
+// jobs sharing a cluster with churning batch pods. Independent placement
+// strands partially-allocated ranks that idle-wait for stragglers.
+#include <iostream>
+
+#include "cluster/cluster.hpp"
+#include "core/report.hpp"
+#include "orch/scheduler.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+using namespace evolve;
+
+namespace {
+
+struct Outcome {
+  util::TimeNs mean_ready = 0;   // submit -> all ranks running
+  util::TimeNs wasted = 0;       // rank-seconds idle before job start
+  int jobs = 0;
+};
+
+Outcome run_mode(bool gang, std::uint64_t seed) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(8, 0, 0);
+  orch::Orchestrator orch(sim, cluster,
+                          orch::SchedulingPolicy::binpacking(cluster));
+  util::Rng rng(seed);
+
+  // Background churn: batch pods arriving continuously.
+  double clock = 0;
+  for (int i = 0; i < 150; ++i) {
+    clock += rng.exponential(1.0);
+    orch::PodSpec pod;
+    pod.name = "batch";
+    pod.request = cluster::cpu_mem(8000, 16 * util::kGiB);
+    sim.at(util::seconds(clock), [&orch, pod, &rng]() mutable {
+      orch.submit(pod, util::seconds(20));
+    });
+  }
+
+  // Six MPI jobs of 8 ranks x 16 cores arriving through the churn.
+  auto outcome = std::make_shared<Outcome>();
+  auto total_ready = std::make_shared<util::TimeNs>(0);
+  for (int j = 0; j < 6; ++j) {
+    const util::TimeNs arrival = util::seconds(10 + 15 * j);
+    sim.at(arrival, [&, arrival] {
+      auto state = std::make_shared<std::vector<util::TimeNs>>();
+      const int ranks = 8;
+      auto on_start = [&sim, state, ranks, arrival, outcome,
+                       total_ready](orch::PodId, cluster::NodeId) {
+        state->push_back(sim.now());
+        if (static_cast<int>(state->size()) == ranks) {
+          const util::TimeNs ready = sim.now();
+          for (util::TimeNs t : *state) outcome->wasted += ready - t;
+          *total_ready += ready - arrival;
+          ++outcome->jobs;
+        }
+      };
+      std::vector<orch::PodSpec> specs;
+      for (int r = 0; r < ranks; ++r) {
+        orch::PodSpec spec;
+        spec.name = "rank";
+        spec.tenant = "hpc";
+        spec.request = cluster::cpu_mem(16000, 32 * util::kGiB);
+        specs.push_back(std::move(spec));
+      }
+      if (gang) {
+        orch.submit_gang(specs, util::seconds(30), on_start);
+      } else {
+        for (auto& spec : specs) {
+          orch.submit(spec, util::seconds(30) /* plus idle wait below */,
+                      on_start);
+        }
+      }
+    });
+  }
+  sim.run();
+  if (outcome->jobs > 0) outcome->mean_ready = *total_ready / outcome->jobs;
+  return *outcome;
+}
+
+}  // namespace
+
+int main() {
+  core::Table table(
+      "A2: gang vs independent rank placement (8-rank jobs + churn)",
+      {"placement", "jobs fully started", "mean time to all-ranks-ready",
+       "stranded rank-time"});
+  const auto gang = run_mode(true, 7);
+  const auto indep = run_mode(false, 7);
+  table.add_row({"gang (all-or-nothing)", std::to_string(gang.jobs) + "/6",
+                 util::human_time(gang.mean_ready),
+                 util::human_time(gang.wasted)});
+  table.add_row({"independent pods", std::to_string(indep.jobs) + "/6",
+                 util::human_time(indep.mean_ready),
+                 util::human_time(indep.wasted)});
+  table.print();
+  std::cout << "\nShape check: gangs hold ranks back until all fit, so no "
+               "rank-time is\nstranded; independent placement starts ranks "
+               "piecemeal, wasting allocated\ncores while stragglers queue "
+               "behind churn.\n";
+  return 0;
+}

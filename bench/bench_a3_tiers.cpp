@@ -1,0 +1,70 @@
+// A3 — Ablation: cache-capacity sweep. Fraction of the storage node's
+// fast tiers granted to the object store, vs steady-state hit mix and
+// GET latency on a zipfian read workload over a 32 GiB working set.
+#include <iostream>
+
+#include "cluster/cluster.hpp"
+#include "core/report.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulation.hpp"
+#include "storage/object_store.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+using namespace evolve;
+
+int main() {
+  core::Table table(
+      "A3: cache capacity sweep (32 GiB working set, zipf 0.9, steady state)",
+      {"cache grant", "dram cap", "nvme cap", "dram", "nvme", "hdd",
+       "mean GET", "p95 GET"});
+  for (double fraction : {0.05, 0.15, 0.40, 1.00}) {
+    sim::Simulation sim;
+    cluster::Cluster cl;
+    cl.add_node(cluster::make_compute_node("client", 0));
+    auto server = cluster::make_storage_node("server", 0);
+    server.devices[0].capacity = 8 * util::kGiB;   // dram tier
+    server.devices[1].capacity = 24 * util::kGiB;  // nvme tier
+    cl.add_node(server);
+    net::Topology topology(cl);
+    net::Fabric fabric(sim, topology);
+    storage::IoSubsystem io(sim, cl);
+    storage::ObjectStoreConfig config;
+    config.replicas = 1;
+    config.cache_capacity_fraction = fraction;
+    storage::ObjectStore store(sim, cl, fabric, io,
+                               cl.nodes_with_label("role=storage"), config);
+    store.create_bucket("ws");
+    const util::Bytes object = 4 * util::kMiB;
+    const int objects = static_cast<int>(32LL * util::kGiB / object);
+    for (int i = 0; i < objects; ++i) {
+      store.preload({"ws", "o" + std::to_string(i)}, object);
+    }
+    util::Rng rng(4242);
+    auto one_get = [&] {
+      store.get(0, {"ws", "o" + std::to_string(rng.zipf(objects, 0.9))},
+                [](const storage::GetResult&) {});
+      sim.run();
+    };
+    for (int i = 0; i < 3000; ++i) one_get();  // warmup to steady state
+    store.metrics().reset();
+    for (int i = 0; i < 2000; ++i) one_get();
+    const auto& m = store.metrics();
+    const auto& lat = m.histogram("get_latency_us");
+    table.add_row(
+        {util::fixed(fraction * 100, 0) + "%",
+         util::human_bytes(static_cast<util::Bytes>(8 * util::kGiB * fraction)),
+         util::human_bytes(
+             static_cast<util::Bytes>(24 * util::kGiB * fraction)),
+         std::to_string(m.counter("get_tier_dram")),
+         std::to_string(m.counter("get_tier_nvme")),
+         std::to_string(m.counter("get_tier_hdd")),
+         util::human_time(static_cast<util::TimeNs>(lat.mean() * 1000)),
+         util::human_time(lat.p95() * 1000)});
+  }
+  table.print();
+  std::cout << "\nShape check: growing the cache grant first moves reads "
+               "from HDD to NVMe,\nthen concentrates the zipf head in DRAM; "
+               "latency falls in two distinct steps.\n";
+  return 0;
+}

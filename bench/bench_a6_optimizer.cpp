@@ -1,0 +1,77 @@
+// A6 — Ablation: logical-plan optimization (filter pushdown).
+// Job time and compute cost with and without the optimizer, across
+// filter selectivities.
+#include <iostream>
+
+#include "cluster/cluster.hpp"
+#include "core/report.hpp"
+#include "dataflow/engine.hpp"
+#include "dataflow/optimizer.hpp"
+#include "dataflow/stage.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulation.hpp"
+#include "util/strings.hpp"
+
+using namespace evolve;
+
+namespace {
+
+dataflow::LogicalPlan pipeline(double selectivity) {
+  dataflow::LogicalPlan plan;
+  const int src = plan.add_source("in");
+  const int enriched = plan.add_map(src, "enrich", 1.0, 12.0);
+  const int filtered = plan.add_filter(enriched, "predicate", selectivity, 0.2);
+  const int reduced = plan.add_reduce_by_key(filtered, "rollup", 8, 0.1);
+  plan.add_sink(reduced, "out");
+  return plan;
+}
+
+util::TimeNs run_plan(const dataflow::LogicalPlan& plan) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(8, 4, 0);
+  net::Topology topology(cluster);
+  net::Fabric fabric(sim, topology);
+  storage::IoSubsystem io(sim, cluster);
+  storage::ObjectStore store(sim, cluster, fabric, io,
+                             cluster.nodes_with_label("role=storage"));
+  storage::DatasetCatalog catalog(store);
+  catalog.define(storage::DatasetSpec{"in", 32, util::kGiB});
+  catalog.preload("in", /*warm_cache=*/true);
+  dataflow::DataflowConfig config;
+  config.locality_wait = 0;
+  dataflow::DataflowEngine engine(sim, cluster, fabric, io, catalog, config);
+  std::vector<dataflow::ExecutorSpec> execs;
+  for (auto node : cluster.nodes_with_label("role=compute")) {
+    execs.push_back(dataflow::ExecutorSpec{node, 4});
+  }
+  util::TimeNs duration = 0;
+  engine.run(plan, execs,
+             [&](const dataflow::JobStats& s) { duration = s.duration; });
+  sim.run();
+  return duration;
+}
+
+}  // namespace
+
+int main() {
+  core::Table table(
+      "A6: filter pushdown (1 GiB scan, 12 ns/B transform, 8 reducers)",
+      {"filter selectivity", "unoptimized", "optimized", "speedup"});
+  for (double selectivity : {0.8, 0.5, 0.2, 0.05}) {
+    const auto base = run_plan(pipeline(selectivity));
+    dataflow::OptimizerStats stats;
+    const auto optimized = run_plan(
+        dataflow::optimize(pipeline(selectivity), &stats));
+    table.add_row({util::fixed(selectivity, 2), util::human_time(base),
+                   util::human_time(optimized),
+                   util::fixed(static_cast<double>(base) /
+                                   static_cast<double>(optimized),
+                               2) +
+                       "x"});
+  }
+  table.print();
+  std::cout << "\nShape check: the more selective the filter, the more the "
+               "pushed-down\npredicate saves (the transform runs on the "
+               "survivors only); at selectivity\n~1 the rewrite is a no-op.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// F1 — Dataflow strong scaling: analytics job runtime vs executor count,
+// with locality-aware converged placement vs disaggregated placement.
+#include <iostream>
+
+#include "core/platform.hpp"
+#include "core/report.hpp"
+#include "core/session.hpp"
+#include "util/strings.hpp"
+#include "workloads/tabular.hpp"
+
+using namespace evolve;
+
+namespace {
+
+util::TimeNs run_job(bool locality, int executors) {
+  core::PlatformConfig config;
+  config.compute_nodes = 16;
+  config.storage_nodes = 8;
+  config.accel_nodes = 0;
+  config.locality_placement = locality;
+  if (!locality) config.dataflow.locality_wait = 0;
+  sim::Simulation sim;
+  core::Platform platform(sim, config);
+  core::Session session(platform);
+  // Warm dataset: the converged platform keeps hot data in the storage
+  // nodes' fast tiers, so locality pays in cache reads, not HDD queueing.
+  session.create_dataset("events", 64, 4 * util::kGiB, /*warm_cache=*/true);
+  const auto stats = session.run_dataflow(
+      workloads::scan_filter_aggregate("events", "out", 32), executors, 4);
+  return stats.duration;
+}
+
+}  // namespace
+
+int main() {
+  core::Table table(
+      "F1: analytics strong scaling (4 GiB scan/filter/aggregate)",
+      {"executors", "converged (local)", "disaggregated", "speedup vs 1",
+       "local/remote ratio"});
+  util::TimeNs base_local = 0;
+  for (int executors : {1, 2, 4, 8, 16}) {
+    const auto local = run_job(true, executors);
+    const auto remote = run_job(false, executors);
+    if (executors == 1) base_local = local;
+    table.add_row({std::to_string(executors), util::human_time(local),
+                   util::human_time(remote),
+                   util::fixed(static_cast<double>(base_local) /
+                                   static_cast<double>(local),
+                               2) +
+                       "x",
+                   util::fixed(static_cast<double>(remote) /
+                                   static_cast<double>(local),
+                               2) +
+                       "x"});
+  }
+  table.print();
+  std::cout << "\nShape check: runtime falls with executors until the "
+               "storage substrate\nsaturates; locality-aware placement wins "
+               "at every width.\n";
+  return 0;
+}

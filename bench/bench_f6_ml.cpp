@@ -1,0 +1,72 @@
+// F6 — Distributed training: time per epoch vs worker count, CPU vs
+// FPGA-assisted compute, and collective-algorithm choice.
+#include <iostream>
+
+#include "core/platform.hpp"
+#include "core/report.hpp"
+#include "core/session.hpp"
+#include "util/strings.hpp"
+#include "workloads/ml.hpp"
+
+using namespace evolve;
+
+namespace {
+
+util::TimeNs epoch_time(int workers, double accel_speedup,
+                        hpc::CollectiveAlgo algo) {
+  core::PlatformConfig config;
+  config.compute_nodes = 16;
+  config.storage_nodes = 2;
+  config.accel_nodes = 0;
+  sim::Simulation sim;
+  core::Platform platform(sim, config);
+  core::Session session(platform);
+  workloads::SgdModel model;
+  model.parameters_bytes = 128 * util::kMiB;
+  model.epochs = 5;
+  model.epoch_compute = util::seconds(8);
+  const auto stats = session.run_hpc(
+      workloads::sgd_program(model, workers, algo, accel_speedup), workers);
+  return stats.total_time / model.epochs;
+}
+
+}  // namespace
+
+int main() {
+  {
+    core::Table table(
+        "F6a: SGD epoch time vs workers (128 MiB gradients, ring)",
+        {"workers", "cpu", "fpga (8x compute)", "fpga benefit"});
+    for (int workers : {1, 2, 4, 8, 16}) {
+      const auto cpu = epoch_time(workers, 1.0, hpc::CollectiveAlgo::kRing);
+      const auto fpga = epoch_time(workers, 8.0, hpc::CollectiveAlgo::kRing);
+      table.add_row({std::to_string(workers), util::human_time(cpu),
+                     util::human_time(fpga),
+                     util::fixed(static_cast<double>(cpu) /
+                                     static_cast<double>(fpga),
+                                 2) +
+                         "x"});
+    }
+    table.print();
+  }
+  std::cout << "\n";
+  {
+    core::Table table("F6b: epoch time by collective algorithm (8 workers)",
+                      {"algorithm", "cpu epoch", "fpga epoch"});
+    for (auto [name, algo] :
+         {std::pair{"linear", hpc::CollectiveAlgo::kLinear},
+          std::pair{"tree", hpc::CollectiveAlgo::kTree},
+          std::pair{"recursive-doubling",
+                    hpc::CollectiveAlgo::kRecursiveDoubling},
+          std::pair{"ring", hpc::CollectiveAlgo::kRing}}) {
+      table.add_row({name, util::human_time(epoch_time(8, 1.0, algo)),
+                     util::human_time(epoch_time(8, 8.0, algo))});
+    }
+    table.print();
+  }
+  std::cout << "\nShape check: compute shrinks with workers while the "
+               "all-reduce grows,\nso scaling flattens; acceleration makes "
+               "communication dominant sooner\n(larger relative benefit from "
+               "ring at high worker counts).\n";
+  return 0;
+}

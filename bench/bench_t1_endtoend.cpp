@@ -1,0 +1,156 @@
+// T1 — Use-case end-to-end times: converged EVOLVE platform vs siloed
+// baseline, for three pipelines (urban mobility, ML training, analytics
+// chain). Reproduces the paper's headline "convergence pays" table.
+#include <iostream>
+
+#include "core/platform.hpp"
+#include "core/report.hpp"
+#include "core/siloed.hpp"
+#include "util/strings.hpp"
+#include "workloads/genomics.hpp"
+#include "workloads/ml.hpp"
+#include "workloads/mobility.hpp"
+#include "workloads/tabular.hpp"
+
+using namespace evolve;
+
+namespace {
+
+struct UseCase {
+  std::string name;
+  std::function<void(storage::DatasetCatalog&)> stage;
+  std::function<workflow::Workflow()> build;
+};
+
+std::vector<UseCase> use_cases() {
+  std::vector<UseCase> cases;
+
+  // 1. Urban mobility (trace analytics + clustering).
+  cases.push_back(UseCase{
+      "urban-mobility",
+      [](storage::DatasetCatalog& catalog) {
+        workloads::MobilityScenario scenario;
+        scenario.trace_bytes = 2 * util::kGiB;
+        workloads::stage_mobility_inputs(catalog, scenario);
+      },
+      [] {
+        workloads::MobilityScenario scenario;
+        scenario.trace_bytes = 2 * util::kGiB;
+        return workloads::mobility_pipeline(scenario);
+      }});
+
+  // 2. ML training: featurize -> SGD -> accel scoring.
+  cases.push_back(UseCase{
+      "ml-training",
+      [](storage::DatasetCatalog& catalog) {
+        catalog.define(storage::DatasetSpec{"samples", 32, util::kGiB});
+        catalog.preload("samples");
+      },
+      [] {
+        workflow::Workflow wf("ml-training");
+        wf.add(workflow::dataflow_step(
+            "featurize", workloads::featurize("samples", "features"), 4, 4));
+        auto train = workflow::hpc_step(
+            "train",
+            workloads::sgd_program(workloads::SgdModel{.epochs = 8}, 8), 8);
+        train.depends_on = {"featurize"};
+        train.input_datasets = {"features"};
+        wf.add(train);
+        auto score =
+            workflow::accel_step("score", "dnn-infer", util::seconds(10));
+        score.depends_on = {"train"};
+        wf.add(score);
+        return wf;
+      }});
+
+  // 3. Analytics chain: two dependent dataflow jobs + HPC post-process.
+  cases.push_back(UseCase{
+      "analytics-chain",
+      [](storage::DatasetCatalog& catalog) {
+        catalog.define(storage::DatasetSpec{"events", 32, 2 * util::kGiB});
+        catalog.define(storage::DatasetSpec{"catalog", 8, 128 * util::kMiB});
+        catalog.preload("events");
+        catalog.preload("catalog");
+      },
+      [] {
+        workflow::Workflow wf("analytics-chain");
+        wf.add(workflow::dataflow_step(
+            "join", workloads::join_aggregate("events", "catalog", "joined"),
+            6, 4));
+        auto sessions = workflow::dataflow_step(
+            "sessionize", workloads::sessionize("joined", "sessions"), 6, 4);
+        sessions.depends_on = {"join"};
+        wf.add(sessions);
+        hpc::MpiProgram post;
+        post.iterations = 10;
+        post.compute_per_iteration = util::millis(150);
+        post.allreduce_bytes = 4 * util::kMiB;
+        auto hpc_post = workflow::hpc_step("simulate", post, 4);
+        hpc_post.depends_on = {"sessionize"};
+        hpc_post.input_datasets = {"sessions"};
+        wf.add(hpc_post);
+        return wf;
+      }});
+
+  // 4. Genomics: QC -> FPGA pattern match -> HPC assembly.
+  cases.push_back(UseCase{
+      "genomics",
+      [](storage::DatasetCatalog& catalog) {
+        workloads::GenomicsScenario scenario;
+        scenario.reads_bytes = util::kGiB;
+        scenario.read_partitions = 32;
+        workloads::stage_genomics_inputs(catalog, scenario);
+      },
+      [] {
+        workloads::GenomicsScenario scenario;
+        scenario.reads_bytes = util::kGiB;
+        scenario.read_partitions = 32;
+        scenario.qc_executors = 4;
+        scenario.assembly_ranks = 4;
+        return workloads::genomics_pipeline(scenario);
+      }});
+  return cases;
+}
+
+}  // namespace
+
+int main() {
+  core::Table table(
+      "T1: end-to-end use-case time, converged vs siloed (same hardware)",
+      {"use case", "converged", "siloed", "staged", "speedup"});
+
+  for (const UseCase& uc : use_cases()) {
+    util::TimeNs converged = 0, siloed_time = 0;
+    util::Bytes staged = 0;
+    {
+      sim::Simulation sim;
+      core::Platform platform(sim);
+      uc.stage(platform.catalog());
+      platform.run_workflow(uc.build(),
+                            [&](const workflow::WorkflowResult& r) {
+                              converged = r.success ? r.duration : -1;
+                            });
+      sim.run();
+    }
+    {
+      sim::Simulation sim;
+      core::SiloedPlatform silos(sim);
+      uc.stage(silos.bigdata_catalog());
+      silos.run_workflow(uc.build(), [&](const workflow::WorkflowResult& r) {
+        siloed_time = r.success ? r.duration : -1;
+      });
+      sim.run();
+      staged = silos.staged_bytes();
+    }
+    table.add_row({uc.name, util::human_time(converged),
+                   util::human_time(siloed_time), util::human_bytes(staged),
+                   util::fixed(static_cast<double>(siloed_time) /
+                                   static_cast<double>(converged),
+                               2) +
+                       "x"});
+  }
+  table.print();
+  std::cout << "\nShape check: converged < siloed on every use case; the gap"
+               "\ngrows with the volume of cross-silo data staged.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// HPC batch queue: a Slurm-style queue with FCFS vs EASY backfill on a
+// synthetic job stream, showing how backfill recovers stranded nodes.
+//
+// Build & run:  ./build/examples/hpc_batch
+#include <iostream>
+
+#include "core/report.hpp"
+#include "hpc/batch_queue.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+struct QueueRun {
+  double utilization;
+  double mean_wait_s;
+  std::int64_t backfilled;
+  evolve::util::TimeNs makespan;
+};
+
+QueueRun run_policy(evolve::hpc::QueuePolicy policy, std::uint64_t seed) {
+  using namespace evolve;
+  sim::Simulation sim;
+  hpc::BatchQueue queue(sim, /*total_nodes=*/32, policy);
+  util::Rng rng(seed);
+
+  // 60 jobs: a mix of wide/short and narrow/long, bursty arrivals.
+  double clock = 0;
+  for (int i = 0; i < 60; ++i) {
+    clock += rng.exponential(0.08);  // ~12.5s between arrivals
+    hpc::HpcJobSpec spec;
+    spec.name = "job-" + std::to_string(i);
+    if (rng.chance(0.25)) {
+      spec.nodes = static_cast<int>(rng.uniform_int(16, 32));  // wide
+      spec.runtime = util::seconds(rng.uniform(30, 120));
+    } else {
+      spec.nodes = static_cast<int>(rng.uniform_int(1, 6));  // narrow
+      spec.runtime = util::seconds(rng.uniform(60, 600));
+    }
+    // Users overestimate walltime by 1.2-2x.
+    spec.walltime = static_cast<util::TimeNs>(
+        static_cast<double>(spec.runtime) * rng.uniform(1.2, 2.0));
+    sim.at(util::seconds(clock),
+           [&queue, spec] { queue.submit(spec); });
+  }
+  sim.run();
+  return QueueRun{
+      queue.utilization(),
+      queue.metrics().histogram("job_wait_s").mean(),
+      queue.metrics().counter("backfilled_jobs"),
+      sim.now(),
+  };
+}
+
+}  // namespace
+
+int main() {
+  using namespace evolve;
+  core::Table table("Batch queue: FCFS vs EASY backfill (32 nodes, 60 jobs)",
+                    {"policy", "node util", "mean wait", "backfills",
+                     "makespan"});
+  const auto fcfs = run_policy(hpc::QueuePolicy::kFcfs, 42);
+  const auto easy = run_policy(hpc::QueuePolicy::kEasyBackfill, 42);
+  table.add_row({"FCFS", util::fixed(fcfs.utilization * 100, 1) + "%",
+                 util::fixed(fcfs.mean_wait_s, 1) + " s",
+                 std::to_string(fcfs.backfilled),
+                 util::human_time(fcfs.makespan)});
+  table.add_row({"EASY backfill", util::fixed(easy.utilization * 100, 1) + "%",
+                 util::fixed(easy.mean_wait_s, 1) + " s",
+                 std::to_string(easy.backfilled),
+                 util::human_time(easy.makespan)});
+  table.print();
+  std::cout << "\nBackfill recovers nodes stranded behind wide jobs: higher "
+               "utilization,\nshorter queue waits, same FCFS start guarantee "
+               "for the head job.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "accel/device.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace evolve::accel {
+
+AccelDevice::AccelDevice(sim::Simulation& sim, std::string name,
+                         DeviceConfig config)
+    : sim_(sim), name_(std::move(name)), config_(config), busy_(1.0) {
+  if (config_.max_concurrency <= 0) {
+    throw std::invalid_argument("device needs concurrency >= 1");
+  }
+}
+
+void AccelDevice::settle() {
+  const util::TimeNs now = sim_.now();
+  if (now == last_settle_ || tasks_.empty()) {
+    last_settle_ = now;
+    return;
+  }
+  const double share =
+      static_cast<double>(now - last_settle_) / static_cast<double>(tasks_.size());
+  for (auto& [id, task] : tasks_) {
+    task.remaining_work = std::max(0.0, task.remaining_work - share);
+  }
+  last_settle_ = now;
+}
+
+void AccelDevice::reschedule() {
+  if (has_pending_event_) {
+    sim_.cancel(pending_event_);
+    has_pending_event_ = false;
+  }
+  if (tasks_.empty()) return;
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& [id, task] : tasks_) {
+    earliest = std::min(earliest, task.remaining_work);
+  }
+  // Each task drains at rate 1/n, so wall time = remaining * n.
+  const double wall = earliest * static_cast<double>(tasks_.size());
+  pending_event_ = sim_.after(
+      static_cast<util::TimeNs>(std::ceil(wall)), [this] { on_completion(); });
+  has_pending_event_ = true;
+}
+
+void AccelDevice::on_completion() {
+  has_pending_event_ = false;
+  settle();
+  std::vector<std::function<void()>> done;
+  for (auto it = tasks_.begin(); it != tasks_.end();) {
+    if (it->second.remaining_work <= 0.5) {
+      done.push_back(std::move(it->second.on_done));
+      it = tasks_.erase(it);
+      ++completed_;
+      busy_.add(sim_.now(), -1.0 / config_.max_concurrency);
+    } else {
+      ++it;
+    }
+  }
+  reschedule();
+  for (auto& cb : done) cb();
+}
+
+AccelTaskId AccelDevice::execute(const std::string& kernel, util::TimeNs work,
+                                 std::function<void()> on_done) {
+  if (work < 0) throw std::invalid_argument("negative kernel work");
+  if (!has_capacity()) return -1;
+  settle();
+  util::TimeNs total = work;
+  if (kernel != loaded_kernel_) {
+    total += config_.reconfiguration_latency;
+    loaded_kernel_ = kernel;
+    ++reconfigurations_;
+  }
+  const AccelTaskId id = next_id_++;
+  tasks_.emplace(id, Task{static_cast<double>(total), std::move(on_done)});
+  busy_.add(sim_.now(), 1.0 / config_.max_concurrency);
+  reschedule();
+  return id;
+}
+
+double AccelDevice::utilization() const {
+  return busy_.utilization(sim_.now());
+}
+
+}  // namespace evolve::accel

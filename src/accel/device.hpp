@@ -1,0 +1,75 @@
+// FPGA device model: a fair-share processor.
+//
+// A device executes kernel invocations concurrently by splitting its
+// throughput evenly (partial-reconfiguration time-sharing, as in the
+// VINEYARD/EVOLVE accelerator stack). A task with `work` nanoseconds of
+// device time finishes after `work * n` when n tasks share the device
+// throughout. Switching to a different bitstream charges a
+// reconfiguration penalty.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "metrics/timeseries.hpp"
+#include "sim/simulation.hpp"
+#include "util/types.hpp"
+
+namespace evolve::accel {
+
+using AccelTaskId = std::int64_t;
+
+struct DeviceConfig {
+  util::TimeNs reconfiguration_latency = util::millis(40);
+  int max_concurrency = 4;  // virtual-device slots per card
+};
+
+class AccelDevice {
+ public:
+  AccelDevice(sim::Simulation& sim, std::string name,
+              DeviceConfig config = {});
+
+  /// Starts a kernel invocation needing `work` ns of exclusive device
+  /// time. Returns an id, or -1 if the device is at max concurrency.
+  AccelTaskId execute(const std::string& kernel, util::TimeNs work,
+                      std::function<void()> on_done);
+
+  int running() const { return static_cast<int>(tasks_.size()); }
+  bool has_capacity() const {
+    return running() < config_.max_concurrency;
+  }
+  const std::string& name() const { return name_; }
+  const std::string& loaded_kernel() const { return loaded_kernel_; }
+  std::int64_t completed() const { return completed_; }
+  std::int64_t reconfigurations() const { return reconfigurations_; }
+
+  /// Busy fraction since t=0.
+  double utilization() const;
+
+ private:
+  struct Task {
+    double remaining_work = 0;  // ns of device time still owed
+    std::function<void()> on_done;
+  };
+
+  void settle();
+  void reschedule();
+  void on_completion();
+
+  sim::Simulation& sim_;
+  std::string name_;
+  DeviceConfig config_;
+  std::map<AccelTaskId, Task> tasks_;
+  std::string loaded_kernel_;
+  AccelTaskId next_id_ = 1;
+  util::TimeNs last_settle_ = 0;
+  sim::EventId pending_event_ = 0;
+  bool has_pending_event_ = false;
+  std::int64_t completed_ = 0;
+  std::int64_t reconfigurations_ = 0;
+  metrics::UsageTracker busy_;
+};
+
+}  // namespace evolve::accel

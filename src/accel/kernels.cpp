@@ -1,0 +1,44 @@
+#include "accel/kernels.hpp"
+
+#include <stdexcept>
+
+namespace evolve::accel {
+
+void KernelRegistry::register_kernel(KernelProfile profile) {
+  if (profile.name.empty()) throw std::invalid_argument("kernel needs a name");
+  if (profile.speedup <= 0) throw std::invalid_argument("speedup must be > 0");
+  if (profile.invoke_overhead < 0) {
+    throw std::invalid_argument("negative overhead");
+  }
+  profiles_[profile.name] = std::move(profile);
+}
+
+bool KernelRegistry::has(const std::string& name) const {
+  return profiles_.count(name) != 0;
+}
+
+const KernelProfile& KernelRegistry::profile(const std::string& name) const {
+  auto it = profiles_.find(name);
+  if (it == profiles_.end()) {
+    throw std::out_of_range("unknown kernel: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(profiles_.size());
+  for (const auto& [name, profile] : profiles_) out.push_back(name);
+  return out;
+}
+
+KernelRegistry KernelRegistry::standard() {
+  KernelRegistry registry;
+  registry.register_kernel({"pattern-match", 12.0, util::micros(150)});
+  registry.register_kernel({"dnn-infer", 8.0, util::micros(200)});
+  registry.register_kernel({"fft", 6.0, util::micros(100)});
+  registry.register_kernel({"encrypt", 15.0, util::micros(80)});
+  return registry;
+}
+
+}  // namespace evolve::accel

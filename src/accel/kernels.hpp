@@ -1,0 +1,37 @@
+// Accelerator kernel catalog: per-kernel speedup profiles vs CPU.
+//
+// Profiles follow the EVOLVE/VINEYARD accelerated workloads: genomics
+// pattern matching, DNN inference, FFT, and encryption offload.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace evolve::accel {
+
+struct KernelProfile {
+  std::string name;
+  double speedup = 1.0;            // device time = cpu time / speedup
+  util::TimeNs invoke_overhead = 0;  // host->device control + DMA setup
+};
+
+class KernelRegistry {
+ public:
+  /// Registers or replaces a kernel profile.
+  void register_kernel(KernelProfile profile);
+
+  bool has(const std::string& name) const;
+  const KernelProfile& profile(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// The standard EVOLVE kernel set.
+  static KernelRegistry standard();
+
+ private:
+  std::map<std::string, KernelProfile> profiles_;
+};
+
+}  // namespace evolve::accel

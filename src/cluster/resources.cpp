@@ -1,0 +1,71 @@
+#include "cluster/resources.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace evolve::cluster {
+
+Resources& Resources::operator+=(const Resources& other) {
+  cpu_millicores += other.cpu_millicores;
+  memory_bytes += other.memory_bytes;
+  accel_slots += other.accel_slots;
+  return *this;
+}
+
+Resources& Resources::operator-=(const Resources& other) {
+  cpu_millicores -= other.cpu_millicores;
+  memory_bytes -= other.memory_bytes;
+  accel_slots -= other.accel_slots;
+  return *this;
+}
+
+bool Resources::fits(const Resources& request) const {
+  return request.cpu_millicores <= cpu_millicores &&
+         request.memory_bytes <= memory_bytes &&
+         request.accel_slots <= accel_slots;
+}
+
+bool Resources::any_negative() const {
+  return cpu_millicores < 0 || memory_bytes < 0 || accel_slots < 0;
+}
+
+bool Resources::is_zero() const {
+  return cpu_millicores == 0 && memory_bytes == 0 && accel_slots == 0;
+}
+
+double Resources::dominant_share(const Resources& capacity) const {
+  double share = 0.0;
+  auto dim = [&share](std::int64_t req, std::int64_t cap) {
+    if (req <= 0) return;
+    if (cap <= 0) {
+      share = std::max(share, 2.0);  // infeasible marker
+      return;
+    }
+    share = std::max(share,
+                     static_cast<double>(req) / static_cast<double>(cap));
+  };
+  dim(cpu_millicores, capacity.cpu_millicores);
+  dim(memory_bytes, capacity.memory_bytes);
+  dim(accel_slots, capacity.accel_slots);
+  return share;
+}
+
+std::string Resources::to_string() const {
+  std::ostringstream out;
+  out << "cpu=" << cpu_millicores << "m mem=" << util::human_bytes(memory_bytes)
+      << " accel=" << accel_slots;
+  return out.str();
+}
+
+Resources cpu_mem(std::int64_t millicores, util::Bytes memory) {
+  return Resources{millicores, memory, 0};
+}
+
+Resources cpu_mem_accel(std::int64_t millicores, util::Bytes memory,
+                        std::int64_t accel) {
+  return Resources{millicores, memory, accel};
+}
+
+}  // namespace evolve::cluster

@@ -1,0 +1,49 @@
+// Multi-dimensional resource vectors (CPU millicores, memory, accelerator
+// slots) used by the orchestrator and the unified scheduler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace evolve::cluster {
+
+/// A request/capacity vector. All fields are absolute quantities.
+struct Resources {
+  std::int64_t cpu_millicores = 0;
+  util::Bytes memory_bytes = 0;
+  std::int64_t accel_slots = 0;  // FPGA virtual-device slots
+
+  Resources& operator+=(const Resources& other);
+  Resources& operator-=(const Resources& other);
+  friend Resources operator+(Resources a, const Resources& b) {
+    return a += b;
+  }
+  friend Resources operator-(Resources a, const Resources& b) {
+    return a -= b;
+  }
+  bool operator==(const Resources&) const = default;
+
+  /// True if every dimension of `request` fits within this vector.
+  bool fits(const Resources& request) const;
+
+  /// True if any dimension is negative (over-commit bug guard).
+  bool any_negative() const;
+
+  /// True if all dimensions are zero.
+  bool is_zero() const;
+
+  /// Largest fraction request/capacity across dimensions (0 if capacity has
+  /// a zero dimension that is requested -> returns +inf style 2.0 cap).
+  double dominant_share(const Resources& capacity) const;
+
+  std::string to_string() const;
+};
+
+/// Convenience builders.
+Resources cpu_mem(std::int64_t millicores, util::Bytes memory);
+Resources cpu_mem_accel(std::int64_t millicores, util::Bytes memory,
+                        std::int64_t accel);
+
+}  // namespace evolve::cluster

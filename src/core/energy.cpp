@@ -1,0 +1,58 @@
+#include "core/energy.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace evolve::core {
+
+std::string EnergyReport::summary() const {
+  std::ostringstream out;
+  out << util::fixed(total_joules() / 1000.0, 1) << " kJ (idle "
+      << util::fixed(idle_joules / 1000.0, 1) << ", cpu "
+      << util::fixed(cpu_joules / 1000.0, 1) << ", accel "
+      << util::fixed(accel_joules / 1000.0, 1) << ")";
+  return out.str();
+}
+
+EnergyReport estimate_energy(const PowerModel& model, int nodes,
+                             util::TimeNs horizon,
+                             double mean_active_millicores,
+                             int accel_devices,
+                             double mean_accel_utilization) {
+  if (nodes < 0 || accel_devices < 0) {
+    throw std::invalid_argument("negative hardware counts");
+  }
+  if (horizon < 0) throw std::invalid_argument("negative horizon");
+  if (mean_active_millicores < 0 || mean_accel_utilization < 0 ||
+      mean_accel_utilization > 1.0) {
+    throw std::invalid_argument("bad utilization inputs");
+  }
+  const double seconds = util::to_seconds(horizon);
+  EnergyReport report;
+  report.idle_joules = model.node_idle_watts * nodes * seconds;
+  report.cpu_joules =
+      model.per_core_watts * (mean_active_millicores / 1000.0) * seconds;
+  report.accel_joules =
+      (model.fpga_idle_watts +
+       (model.fpga_active_watts - model.fpga_idle_watts) *
+           mean_accel_utilization) *
+      accel_devices * seconds;
+  return report;
+}
+
+double offload_energy_ratio(const PowerModel& model, util::TimeNs cpu_time,
+                            double speedup, int cores_used) {
+  if (speedup <= 0) throw std::invalid_argument("speedup must be > 0");
+  if (cores_used <= 0) throw std::invalid_argument("cores must be > 0");
+  if (cpu_time <= 0) throw std::invalid_argument("cpu_time must be > 0");
+  const double cpu_seconds = util::to_seconds(cpu_time);
+  const double cpu_joules =
+      model.per_core_watts * cores_used * cpu_seconds;
+  const double device_seconds = cpu_seconds / speedup;
+  const double fpga_joules = model.fpga_active_watts * device_seconds;
+  return cpu_joules / fpga_joules;
+}
+
+}  // namespace evolve::core

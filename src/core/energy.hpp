@@ -1,0 +1,49 @@
+// Cluster energy model (the EVOLVE consortium's headline metric):
+// node idle power + active-core power + accelerator power, integrated
+// over an experiment's makespan.
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace evolve::core {
+
+struct PowerModel {
+  double node_idle_watts = 120.0;   // chassis + DRAM + NICs
+  double per_core_watts = 5.5;      // marginal active-core power
+  double fpga_idle_watts = 8.0;     // configured but idle card
+  double fpga_active_watts = 28.0;  // card under load
+};
+
+struct EnergyReport {
+  double idle_joules = 0;
+  double cpu_joules = 0;
+  double accel_joules = 0;
+
+  double total_joules() const {
+    return idle_joules + cpu_joules + accel_joules;
+  }
+  double kwh() const { return total_joules() / 3.6e6; }
+  std::string summary() const;
+};
+
+/// Integrates the model over `horizon`:
+///  - `nodes` chassis at idle power for the whole horizon,
+///  - `mean_active_millicores` (time-weighted mean allocation) at
+///    per-core power,
+///  - `accel_devices` cards at idle power plus `mean_accel_utilization`
+///    of the active-idle delta.
+EnergyReport estimate_energy(const PowerModel& model, int nodes,
+                             util::TimeNs horizon,
+                             double mean_active_millicores,
+                             int accel_devices = 0,
+                             double mean_accel_utilization = 0.0);
+
+/// Joules to execute `cpu_time` of work on CPU cores vs offloaded to an
+/// FPGA with `speedup` (device time = cpu_time / speedup). Returns the
+/// CPU/FPGA energy ratio (the "energy efficiency" factor).
+double offload_energy_ratio(const PowerModel& model, util::TimeNs cpu_time,
+                            double speedup, int cores_used = 1);
+
+}  // namespace evolve::core

@@ -1,0 +1,44 @@
+#include "core/monitor.hpp"
+
+#include <stdexcept>
+
+namespace evolve::core {
+
+ClusterMonitor::ClusterMonitor(sim::Simulation& sim, util::TimeNs interval)
+    : sim_(sim), interval_(interval) {
+  if (interval <= 0) {
+    throw std::invalid_argument("monitor interval must be > 0");
+  }
+}
+
+void ClusterMonitor::add_probe(std::string name,
+                               std::function<double()> read) {
+  if (!read) throw std::invalid_argument("probe needs a reader");
+  probes_.push_back(Probe{std::move(name), std::move(read)});
+}
+
+void ClusterMonitor::sample_now() {
+  const util::TimeNs now = sim_.now();
+  for (const Probe& probe : probes_) {
+    registry_.sample(probe.name, now, probe.read());
+  }
+  ++samples_;
+}
+
+void ClusterMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  struct Tick {
+    ClusterMonitor* self;
+    void operator()() const {
+      if (!self->running_) return;
+      self->sample_now();
+      self->sim_.after(self->interval_, Tick{self});
+    }
+  };
+  sim_.after(interval_, Tick{this});
+}
+
+void ClusterMonitor::stop() { running_ = false; }
+
+}  // namespace evolve::core

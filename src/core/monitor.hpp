@@ -1,0 +1,51 @@
+// Cluster monitoring plane: periodic sampling of platform gauges into
+// time series (the Prometheus/Grafana plane of the EVOLVE testbed).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "metrics/registry.hpp"
+#include "sim/simulation.hpp"
+
+namespace evolve::core {
+
+/// One scrape target: a named gauge read on every sampling tick.
+struct Probe {
+  std::string name;
+  std::function<double()> read;
+};
+
+class ClusterMonitor {
+ public:
+  ClusterMonitor(sim::Simulation& sim, util::TimeNs interval);
+
+  /// Registers a probe; sampled on every tick once started.
+  void add_probe(std::string name, std::function<double()> read);
+
+  /// Starts periodic sampling. stop() is required for the simulation to
+  /// drain at the end of an experiment.
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  /// Sampled series, one per probe name.
+  const metrics::Registry& registry() const { return registry_; }
+  metrics::Registry& registry() { return registry_; }
+
+  /// Takes one sample of every probe immediately.
+  void sample_now();
+
+  std::int64_t samples_taken() const { return samples_; }
+
+ private:
+  sim::Simulation& sim_;
+  util::TimeNs interval_;
+  std::vector<Probe> probes_;
+  metrics::Registry registry_;
+  bool running_ = false;
+  std::int64_t samples_ = 0;
+};
+
+}  // namespace evolve::core

@@ -1,0 +1,207 @@
+#include "core/platform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace evolve::core {
+
+Platform::Platform(sim::Simulation& sim, PlatformConfig config)
+    : sim_(sim),
+      config_(config),
+      cluster_(cluster::make_testbed(config.compute_nodes,
+                                     config.storage_nodes, config.accel_nodes,
+                                     config.racks)) {
+  topology_ = std::make_unique<net::Topology>(cluster_, config_.topology);
+  fabric_ = std::make_unique<net::Fabric>(sim_, *topology_);
+  io_ = std::make_unique<storage::IoSubsystem>(sim_, cluster_);
+  store_ = std::make_unique<storage::ObjectStore>(
+      sim_, cluster_, *fabric_, *io_,
+      cluster_.nodes_with_label("role=storage"), config_.store);
+  catalog_ = std::make_unique<storage::DatasetCatalog>(*store_);
+  orchestrator_ = std::make_unique<orch::Orchestrator>(
+      sim_, cluster_, orch::SchedulingPolicy::spreading(cluster_),
+      config_.orchestrator);
+  dataflow_ = std::make_unique<dataflow::DataflowEngine>(
+      sim_, cluster_, *fabric_, *io_, *catalog_, config_.dataflow);
+  accel_ = std::make_unique<accel::AccelPool>(
+      sim_, cluster_, accel::KernelRegistry::standard(),
+      config_.accel_device);
+  workflow_engine_ = std::make_unique<workflow::WorkflowEngine>(sim_, *this);
+}
+
+void Platform::run_workflow(
+    const workflow::Workflow& wf,
+    std::function<void(const workflow::WorkflowResult&)> cb) {
+  workflow_engine_->run(wf, std::move(cb));
+}
+
+std::vector<cluster::NodeId> Platform::executor_preferences(
+    const dataflow::LogicalPlan& plan) const {
+  if (!config_.locality_placement) return {};
+  std::vector<cluster::NodeId> preferred;
+  for (const dataflow::Operator& op : plan.ops()) {
+    if (op.kind != dataflow::OpKind::kSource) continue;
+    if (!catalog_->defined(op.dataset)) continue;
+    for (const auto& replicas : catalog_->locations(op.dataset)) {
+      for (cluster::NodeId node : replicas) {
+        if (std::find(preferred.begin(), preferred.end(), node) ==
+            preferred.end()) {
+          preferred.push_back(node);
+        }
+      }
+    }
+  }
+  return preferred;
+}
+
+void Platform::run_dataflow(
+    const dataflow::LogicalPlan& plan, int executors, int slots,
+    std::function<void(const dataflow::JobStats&)> cb) {
+  if (executors <= 0 || slots <= 0) {
+    throw std::invalid_argument("dataflow job needs executors and slots");
+  }
+  // Validate up front (synchronously) so failures surface here rather
+  // than inside a later scheduling event: plan structure + materialized
+  // inputs.
+  (void)dataflow::PhysicalPlan::compile(plan);
+  for (const dataflow::Operator& op : plan.ops()) {
+    if (op.kind == dataflow::OpKind::kSource &&
+        (!catalog_->defined(op.dataset) ||
+         !catalog_->materialized(op.dataset))) {
+      throw std::invalid_argument("input dataset not materialized: " +
+                                  op.dataset);
+    }
+  }
+  const auto preferred = executor_preferences(plan);
+
+  struct Acquire {
+    std::vector<orch::PodId> pods;
+    std::vector<dataflow::ExecutorSpec> specs;
+    int remaining;
+  };
+  auto acquire = std::make_shared<Acquire>();
+  acquire->remaining = executors;
+
+  orch::PodSpec pod;
+  pod.name = "dataflow-exec";
+  pod.tenant = "dataflow";
+  pod.request =
+      cluster::cpu_mem(config_.executor_millicores, config_.executor_memory);
+  pod.preferred_nodes = preferred;
+
+  for (int i = 0; i < executors; ++i) {
+    orch::PodSpec spec = pod;
+    spec.name = "dataflow-exec-" + std::to_string(i);
+    const orch::PodId id = orchestrator_->submit(
+        spec, /*duration=*/-1,
+        [this, acquire, slots, plan, cb](orch::PodId, cluster::NodeId node) {
+          acquire->specs.push_back(dataflow::ExecutorSpec{node, slots});
+          if (--acquire->remaining > 0) return;
+          dataflow_->run(plan, acquire->specs,
+                         [this, acquire, cb](const dataflow::JobStats& stats) {
+                           for (orch::PodId pod_id : acquire->pods) {
+                             orchestrator_->finish(pod_id);
+                           }
+                           cb(stats);
+                         });
+        });
+    if (id == orch::kInvalidPod) {
+      for (orch::PodId pod_id : acquire->pods) orchestrator_->cancel(pod_id);
+      throw std::runtime_error("executor pod rejected by quota");
+    }
+    acquire->pods.push_back(id);
+  }
+}
+
+void Platform::run_hpc(const hpc::MpiProgram& program, int ranks,
+                       std::function<void(const hpc::MpiRunStats&)> cb) {
+  if (ranks <= 0) throw std::invalid_argument("hpc job needs ranks");
+
+  struct Gang {
+    std::vector<orch::PodId> pods;
+    std::vector<cluster::NodeId> rank_nodes;
+    std::shared_ptr<hpc::Communicator> comm;
+    int remaining;
+  };
+  auto gang = std::make_shared<Gang>();
+  gang->remaining = ranks;
+  gang->rank_nodes.resize(static_cast<std::size_t>(ranks),
+                          cluster::kInvalidNode);
+
+  std::vector<orch::PodSpec> specs;
+  specs.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    orch::PodSpec spec;
+    spec.name = "mpi-rank-" + std::to_string(r);
+    spec.tenant = "hpc";
+    spec.request =
+        cluster::cpu_mem(config_.rank_millicores, config_.rank_memory);
+    specs.push_back(std::move(spec));
+  }
+
+  // submit_gang reports starts per pod; recover the rank from the pod id.
+  auto on_start = [this, gang, program, cb](orch::PodId id,
+                                            cluster::NodeId node) {
+    const auto it = std::find(gang->pods.begin(), gang->pods.end(), id);
+    const auto rank = static_cast<std::size_t>(it - gang->pods.begin());
+    gang->rank_nodes[rank] = node;
+    if (--gang->remaining > 0) return;
+    gang->comm = std::make_shared<hpc::Communicator>(
+        sim_, *fabric_, gang->rank_nodes, config_.comm);
+    hpc::run_mpi_program(sim_, *gang->comm, program,
+                         [this, gang, cb](const hpc::MpiRunStats& stats) {
+                           for (orch::PodId pod_id : gang->pods) {
+                             orchestrator_->finish(pod_id);
+                           }
+                           cb(stats);
+                         });
+  };
+
+  gang->pods = orchestrator_->submit_gang(specs, /*duration=*/-1, on_start);
+  if (gang->pods.empty()) {
+    throw std::runtime_error("hpc gang rejected by quota");
+  }
+}
+
+void Platform::run_step(const workflow::Step& step,
+                        std::function<void(bool)> on_done) {
+  using workflow::StepKind;
+  try {
+    switch (step.kind) {
+      case StepKind::kContainer: {
+        const orch::PodId id = orchestrator_->submit(
+            step.pod, step.pod_duration, {},
+            [on_done](orch::PodId, orch::PodPhase phase) {
+              on_done(phase == orch::PodPhase::kSucceeded);
+            });
+        if (id == orch::kInvalidPod) on_done(false);
+        return;
+      }
+      case StepKind::kDataflow:
+        run_dataflow(step.plan, step.dataflow_executors, step.dataflow_slots,
+                     [on_done](const dataflow::JobStats&) { on_done(true); });
+        return;
+      case StepKind::kHpc:
+        run_hpc(step.mpi, step.hpc_ranks,
+                [on_done](const hpc::MpiRunStats&) { on_done(true); });
+        return;
+      case StepKind::kAccel:
+        accel_->offload(step.kernel, step.accel_cpu_time,
+                        cluster::kInvalidNode, [on_done] { on_done(true); });
+        return;
+      case StepKind::kCustom:
+        if (!step.custom) throw std::invalid_argument("custom step w/o body");
+        step.custom(on_done);
+        return;
+    }
+    throw std::logic_error("unknown step kind");
+  } catch (const std::exception& e) {
+    EVOLVE_LOG(kWarn, "platform") << "step '" << step.name
+                                  << "' failed: " << e.what();
+    on_done(false);
+  }
+}
+
+}  // namespace evolve::core

@@ -1,0 +1,29 @@
+// Plain-text table rendering for benchmark and example output.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace evolve::core {
+
+/// Fixed-column table printed in the style of the paper's result tables.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column widths fitted to content.
+  void print(std::ostream& out = std::cout) const;
+  std::string to_string() const;
+
+  int rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace evolve::core

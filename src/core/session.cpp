@@ -1,0 +1,78 @@
+#include "core/session.hpp"
+
+#include <stdexcept>
+
+namespace evolve::core {
+
+util::TimeNs Session::now() const { return platform_.sim().now(); }
+
+void Session::create_dataset(const std::string& name, int partitions,
+                             util::Bytes total_bytes, bool warm_cache) {
+  platform_.catalog().define(
+      storage::DatasetSpec{name, partitions, total_bytes});
+  platform_.catalog().preload(name, warm_cache);
+}
+
+util::TimeNs Session::ingest_dataset(const std::string& name, int partitions,
+                                     util::Bytes total_bytes,
+                                     cluster::NodeId client) {
+  platform_.catalog().define(
+      storage::DatasetSpec{name, partitions, total_bytes});
+  const util::TimeNs start = now();
+  bool done = false;
+  platform_.catalog().ingest(client, name, [&done] { done = true; });
+  platform_.sim().run();
+  if (!done) throw std::logic_error("ingest did not complete");
+  return now() - start;
+}
+
+dataflow::JobStats Session::run_dataflow(const dataflow::LogicalPlan& plan,
+                                         int executors, int slots) {
+  dataflow::JobStats stats;
+  bool done = false;
+  platform_.run_dataflow(plan, executors, slots,
+                         [&](const dataflow::JobStats& s) {
+                           stats = s;
+                           done = true;
+                         });
+  platform_.sim().run();
+  if (!done) throw std::logic_error("dataflow job did not complete");
+  return stats;
+}
+
+hpc::MpiRunStats Session::run_hpc(const hpc::MpiProgram& program, int ranks) {
+  hpc::MpiRunStats stats;
+  bool done = false;
+  platform_.run_hpc(program, ranks, [&](const hpc::MpiRunStats& s) {
+    stats = s;
+    done = true;
+  });
+  platform_.sim().run();
+  if (!done) throw std::logic_error("hpc job did not complete");
+  return stats;
+}
+
+workflow::WorkflowResult Session::run_workflow(const workflow::Workflow& wf) {
+  workflow::WorkflowResult result;
+  bool done = false;
+  platform_.run_workflow(wf, [&](const workflow::WorkflowResult& r) {
+    result = r;
+    done = true;
+  });
+  platform_.sim().run();
+  if (!done) throw std::logic_error("workflow did not complete");
+  return result;
+}
+
+util::TimeNs Session::run_accel(const std::string& kernel,
+                                util::TimeNs cpu_time) {
+  const util::TimeNs start = now();
+  bool done = false;
+  platform_.accel().offload(kernel, cpu_time, cluster::kInvalidNode,
+                            [&done] { done = true; });
+  platform_.sim().run();
+  if (!done) throw std::logic_error("accel offload did not complete");
+  return now() - start;
+}
+
+}  // namespace evolve::core

@@ -1,0 +1,49 @@
+// Notebook-style session: synchronous convenience wrappers over the
+// platform (the Zeppelin-notebook front end of the EVOLVE testbed,
+// reduced to a programmatic API).
+//
+// Each call drives the simulation until its operation completes, so
+// examples read top-to-bottom like a notebook.
+#pragma once
+
+#include <string>
+
+#include "core/platform.hpp"
+
+namespace evolve::core {
+
+class Session {
+ public:
+  explicit Session(Platform& platform) : platform_(platform) {}
+
+  /// Defines and stages a dataset instantly (pre-loaded input data).
+  void create_dataset(const std::string& name, int partitions,
+                      util::Bytes total_bytes, bool warm_cache = false);
+
+  /// Ingests a dataset through real PUTs from `client` (takes simulated
+  /// time). Returns the ingest wall time.
+  util::TimeNs ingest_dataset(const std::string& name, int partitions,
+                              util::Bytes total_bytes,
+                              cluster::NodeId client = 0);
+
+  /// Runs a dataflow plan to completion and returns its stats.
+  dataflow::JobStats run_dataflow(const dataflow::LogicalPlan& plan,
+                                  int executors = 4, int slots = 4);
+
+  /// Runs an MPI program to completion and returns its stats.
+  hpc::MpiRunStats run_hpc(const hpc::MpiProgram& program, int ranks);
+
+  /// Runs a workflow to completion.
+  workflow::WorkflowResult run_workflow(const workflow::Workflow& wf);
+
+  /// Offloads CPU work to an accelerator and waits for it.
+  util::TimeNs run_accel(const std::string& kernel, util::TimeNs cpu_time);
+
+  Platform& platform() { return platform_; }
+  util::TimeNs now() const;
+
+ private:
+  Platform& platform_;
+};
+
+}  // namespace evolve::core

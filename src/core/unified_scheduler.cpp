@@ -1,0 +1,139 @@
+#include "core/unified_scheduler.hpp"
+
+#include <memory>
+
+#include "metrics/histogram.hpp"
+
+namespace evolve::core {
+
+namespace {
+
+struct TraceState {
+  int jobs_remaining = 0;
+  int pods_failed = 0;
+  util::TimeNs last_finish = 0;
+};
+
+/// Submits one job to `orchestrator` at its arrival time.
+void submit_job(sim::Simulation& sim, orch::Orchestrator& orchestrator,
+                const MixedJob& job, std::shared_ptr<TraceState> state) {
+  sim.at(job.arrival, [&sim, &orchestrator, job, state] {
+    auto pods_left = std::make_shared<int>(job.pods);
+    auto pod_done = [&sim, state, pods_left](orch::PodId,
+                                             orch::PodPhase phase) {
+      if (phase == orch::PodPhase::kFailed) ++state->pods_failed;
+      if (--*pods_left == 0) {
+        --state->jobs_remaining;
+        state->last_finish = sim.now();
+      }
+    };
+    if (job.kind == MixedJob::Kind::kGang) {
+      std::vector<orch::PodSpec> specs;
+      for (int i = 0; i < job.pods; ++i) {
+        orch::PodSpec spec;
+        spec.name = "gang-pod";
+        spec.tenant = "hpc";
+        spec.request = job.per_pod;
+        specs.push_back(std::move(spec));
+      }
+      const auto ids =
+          orchestrator.submit_gang(specs, job.duration, {}, pod_done);
+      if (ids.empty()) {
+        state->pods_failed += job.pods;
+        --state->jobs_remaining;
+      }
+      return;
+    }
+    for (int i = 0; i < job.pods; ++i) {
+      orch::PodSpec spec;
+      spec.name = job.kind == MixedJob::Kind::kService ? "svc" : "batch";
+      spec.tenant = spec.name;
+      spec.request = job.per_pod;
+      const auto id = orchestrator.submit(spec, job.duration, {}, pod_done);
+      if (id == orch::kInvalidPod) {
+        ++state->pods_failed;
+        if (--*pods_left == 0) --state->jobs_remaining;
+      }
+    }
+  });
+}
+
+ScheduleOutcome collect(sim::Simulation& sim,
+                        const std::vector<const orch::Orchestrator*>& orchs,
+                        const std::vector<double>& capacities,
+                        const TraceState& state) {
+  ScheduleOutcome outcome;
+  metrics::Histogram waits;
+  double weighted_util = 0;
+  double total_capacity = 0;
+  for (std::size_t i = 0; i < orchs.size(); ++i) {
+    waits.merge(orchs[i]->metrics().histogram("pod_wait_ms"));
+    weighted_util += orchs[i]->cpu_utilization() * capacities[i];
+    total_capacity += capacities[i];
+  }
+  outcome.cpu_utilization =
+      total_capacity > 0 ? weighted_util / total_capacity : 0;
+  outcome.mean_wait =
+      static_cast<util::TimeNs>(waits.mean()) * util::kMillisecond;
+  outcome.p95_wait = waits.p95() * util::kMillisecond;
+  outcome.makespan = state.last_finish;
+  outcome.pods_failed = state.pods_failed;
+  (void)sim;
+  return outcome;
+}
+
+double cpu_capacity(const cluster::Cluster& cluster,
+                    const std::vector<cluster::NodeId>& nodes) {
+  double total = 0;
+  for (auto n : nodes) {
+    total += static_cast<double>(cluster.node(n).allocatable().cpu_millicores);
+  }
+  return total;
+}
+
+}  // namespace
+
+ScheduleOutcome run_trace_unified(sim::Simulation& sim,
+                                  orch::Orchestrator& orchestrator,
+                                  const std::vector<MixedJob>& trace) {
+  auto state = std::make_shared<TraceState>();
+  state->jobs_remaining = static_cast<int>(trace.size());
+  for (const MixedJob& job : trace) {
+    submit_job(sim, orchestrator, job, state);
+  }
+  sim.run();
+  ScheduleOutcome outcome = collect(
+      sim, {&orchestrator},
+      {static_cast<double>(
+          orchestrator.cluster().total_allocatable().cpu_millicores)},
+      *state);
+  outcome.jobs_completed = static_cast<int>(trace.size()) -
+                           state->jobs_remaining;
+  return outcome;
+}
+
+ScheduleOutcome run_trace_siloed(sim::Simulation& sim, SiloedPlatform& silos,
+                                 const std::vector<MixedJob>& trace) {
+  auto state = std::make_shared<TraceState>();
+  state->jobs_remaining = static_cast<int>(trace.size());
+  for (const MixedJob& job : trace) {
+    Silo silo = Silo::kBigData;
+    if (job.kind == MixedJob::Kind::kService) silo = Silo::kCloud;
+    if (job.kind == MixedJob::Kind::kGang) silo = Silo::kHpc;
+    submit_job(sim, silos.orchestrator(silo), job, state);
+  }
+  sim.run();
+  std::vector<const orch::Orchestrator*> orchs;
+  std::vector<double> capacities;
+  for (Silo silo : {Silo::kCloud, Silo::kBigData, Silo::kHpc}) {
+    orchs.push_back(&silos.orchestrator(silo));
+    capacities.push_back(
+        cpu_capacity(silos.cluster(), silos.silo_nodes(silo)));
+  }
+  ScheduleOutcome outcome = collect(sim, orchs, capacities, *state);
+  outcome.jobs_completed = static_cast<int>(trace.size()) -
+                           state->jobs_remaining;
+  return outcome;
+}
+
+}  // namespace evolve::core

@@ -1,0 +1,44 @@
+// Mixed-workload scheduling drivers: run the same trace of cloud
+// services, batch analytics pods, and HPC gangs either through ONE
+// unified orchestrator (converged) or through three static partitions
+// (siloed), and report utilization/wait/makespan (experiment F4).
+#pragma once
+
+#include <vector>
+
+#include "core/platform.hpp"
+#include "core/siloed.hpp"
+#include "util/types.hpp"
+
+namespace evolve::core {
+
+struct MixedJob {
+  enum class Kind { kService, kBatch, kGang };
+  Kind kind = Kind::kBatch;
+  util::TimeNs arrival = 0;
+  int pods = 1;  // gang width for kGang, replica count for kService
+  cluster::Resources per_pod;
+  util::TimeNs duration = 0;
+};
+
+struct ScheduleOutcome {
+  double cpu_utilization = 0;
+  util::TimeNs mean_wait = 0;
+  util::TimeNs p95_wait = 0;
+  util::TimeNs makespan = 0;
+  int jobs_completed = 0;
+  int pods_failed = 0;
+};
+
+/// Replays `trace` on one unified orchestrator; returns the outcome
+/// after every job completes. Runs the simulation to completion.
+ScheduleOutcome run_trace_unified(sim::Simulation& sim,
+                                  orch::Orchestrator& orchestrator,
+                                  const std::vector<MixedJob>& trace);
+
+/// Replays `trace` over the siloed partitions: services to the cloud
+/// silo, batch to big-data, gangs to HPC.
+ScheduleOutcome run_trace_siloed(sim::Simulation& sim, SiloedPlatform& silos,
+                                 const std::vector<MixedJob>& trace);
+
+}  // namespace evolve::core

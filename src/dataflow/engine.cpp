@@ -1,0 +1,411 @@
+#include "dataflow/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace evolve::dataflow {
+
+struct DataflowEngine::RunState {
+  PhysicalPlan plan;
+  TaskScheduler scheduler;
+  ShuffleManager shuffle;
+  JobStats stats;
+  util::TimeNs start_time = 0;
+  Callback on_done;
+  util::Rng rng;
+
+  struct StageRun {
+    int num_tasks = 0;
+    int done_tasks = 0;
+    int pending_parents = 0;
+    int children_remaining = 0;  // for shuffle-output release
+    std::vector<util::TimeNs> durations;  // completed task durations
+    StageStats stats;
+  };
+  std::vector<StageRun> stage_runs;
+  std::vector<std::vector<int>> children;
+
+  /// One logical task; may have several racing copies (speculation).
+  struct TaskDef {
+    int stage = -1;
+    int index = -1;
+    bool winner_decided = false;  // a copy finished its compute phase
+    bool completed = false;       // winner finished its output phase
+    bool speculated = false;      // a backup copy was launched
+    int copies_running = 0;
+    util::TimeNs first_start = -1;
+    std::vector<cluster::NodeId> preferred;
+  };
+  std::map<TaskId, TaskDef> tasks;       // logical task id -> state
+  std::map<TaskId, TaskId> copy_owner;   // scheduler copy id -> task id
+  TaskId next_id = 1;
+  int stages_done = 0;
+  bool expiry_armed = false;
+
+  RunState(PhysicalPlan physical, util::TimeNs locality_wait,
+           std::uint64_t seed, Callback cb)
+      : plan(std::move(physical)),
+        scheduler(locality_wait),
+        on_done(std::move(cb)),
+        rng(seed) {}
+
+  TaskId new_copy_of(TaskId task) {
+    const TaskId copy = next_id++;
+    copy_owner[copy] = task;
+    return copy;
+  }
+};
+
+DataflowEngine::DataflowEngine(sim::Simulation& sim,
+                               const cluster::Cluster& cluster,
+                               net::Fabric& fabric, storage::IoSubsystem& io,
+                               storage::DatasetCatalog& catalog,
+                               DataflowConfig config)
+    : sim_(sim),
+      cluster_(cluster),
+      fabric_(fabric),
+      io_(io),
+      catalog_(catalog),
+      config_(config) {
+  if (config_.default_parallelism <= 0) {
+    throw std::invalid_argument("default_parallelism must be > 0");
+  }
+  if (config_.executor_core_speed <= 0) {
+    throw std::invalid_argument("executor_core_speed must be > 0");
+  }
+  if (config_.straggler_probability < 0 || config_.straggler_probability > 1) {
+    throw std::invalid_argument("straggler_probability must be in [0, 1]");
+  }
+  if (config_.straggler_slowdown < 1) {
+    throw std::invalid_argument("straggler_slowdown must be >= 1");
+  }
+  if (config_.speculation_multiplier <= 1.0) {
+    throw std::invalid_argument("speculation_multiplier must be > 1");
+  }
+}
+
+void DataflowEngine::run(const LogicalPlan& plan,
+                         const std::vector<ExecutorSpec>& executors,
+                         Callback on_done) {
+  if (executors.empty()) {
+    throw std::invalid_argument("dataflow job needs executors");
+  }
+  auto run = std::make_shared<RunState>(
+      PhysicalPlan::compile(plan), config_.locality_wait,
+      config_.straggler_seed, std::move(on_done));
+  run->start_time = sim_.now();
+  for (const ExecutorSpec& exec : executors) {
+    if (exec.node < 0 || exec.node >= cluster_.size()) {
+      throw std::invalid_argument("executor on unknown node");
+    }
+    run->scheduler.add_executor(exec.node, exec.slots);
+  }
+
+  run->children = run->plan.children();
+  run->stage_runs.resize(static_cast<std::size_t>(run->plan.size()));
+  for (const StageDef& stage : run->plan.stages()) {
+    auto& sr = run->stage_runs[static_cast<std::size_t>(stage.id)];
+    sr.pending_parents = static_cast<int>(stage.parents.size());
+    sr.children_remaining = static_cast<int>(
+        run->children[static_cast<std::size_t>(stage.id)].size());
+    sr.stats.id = stage.id;
+    if (stage.reads_source()) {
+      if (!catalog_.defined(stage.source_dataset) ||
+          !catalog_.materialized(stage.source_dataset)) {
+        throw std::invalid_argument("source dataset not materialized: " +
+                                    stage.source_dataset);
+      }
+    }
+    if (stage.writes_sink()) {
+      catalog_.store().create_bucket(stage.sink_dataset);
+    }
+  }
+  metrics_.count("jobs_started");
+  for (const StageDef& stage : run->plan.stages()) {
+    if (stage.parents.empty()) start_stage(run, stage.id);
+  }
+}
+
+void DataflowEngine::start_stage(std::shared_ptr<RunState> run,
+                                 int stage_id) {
+  const StageDef& def = run->plan.stage(stage_id);
+  auto& sr = run->stage_runs[static_cast<std::size_t>(stage_id)];
+  sr.stats.start_time = sim_.now();
+
+  if (def.reads_source()) {
+    sr.num_tasks = catalog_.spec(def.source_dataset).partitions;
+  } else {
+    sr.num_tasks = def.requested_partitions > 0 ? def.requested_partitions
+                                                : config_.default_parallelism;
+  }
+  sr.stats.tasks = sr.num_tasks;
+  run->stats.tasks += sr.num_tasks;
+
+  for (int i = 0; i < sr.num_tasks; ++i) {
+    const TaskId id = run->next_id++;
+    RunState::TaskDef task;
+    task.stage = stage_id;
+    task.index = i;
+    if (def.reads_source()) {
+      const auto key =
+          storage::partition_key(catalog_.spec(def.source_dataset), i);
+      task.preferred = catalog_.store().locate(key);
+    }
+    run->copy_owner[id] = id;  // the original copy is its own task
+    auto preferred = task.preferred;
+    run->tasks.emplace(id, std::move(task));
+    run->scheduler.enqueue(id, std::move(preferred), sim_.now());
+  }
+  pump_tasks(run);
+}
+
+void DataflowEngine::pump_tasks(std::shared_ptr<RunState> run) {
+  const auto assignments = run->scheduler.assign(sim_.now());
+  for (const Assignment& a : assignments) {
+    execute_copy(run, a.task, a.executor, a.local);
+  }
+  // Delay scheduling: if tasks are holding out for locality while slots
+  // are free, revisit when the earliest wait expires.
+  if (!run->expiry_armed && run->scheduler.pending() > 0 &&
+      run->scheduler.free_slots() > 0) {
+    const util::TimeNs expiry = run->scheduler.next_expiry();
+    if (expiry >= 0) {
+      run->expiry_armed = true;
+      const util::TimeNs delay =
+          expiry > sim_.now() ? expiry - sim_.now() : 0;
+      sim_.after(delay, [this, run] {
+        run->expiry_armed = false;
+        pump_tasks(run);
+      });
+    }
+  }
+}
+
+void DataflowEngine::release_copy(std::shared_ptr<RunState> run,
+                                  int executor) {
+  run->scheduler.release(executor);
+  pump_tasks(run);
+}
+
+void DataflowEngine::execute_copy(std::shared_ptr<RunState> run, TaskId copy,
+                                  int executor, bool local) {
+  const TaskId task_id = run->copy_owner.at(copy);
+  RunState::TaskDef& task = run->tasks.at(task_id);
+  const bool is_backup = (copy != task_id);
+  const int stage_id = task.stage;
+  const int index = task.index;
+  const StageDef& def = run->plan.stage(stage_id);
+  auto& sr = run->stage_runs[static_cast<std::size_t>(stage_id)];
+
+  // The race may already be over by the time a backup gets a slot.
+  if (task.winner_decided) {
+    release_copy(run, executor);
+    return;
+  }
+  ++task.copies_running;
+  if (task.first_start < 0) task.first_start = sim_.now();
+  if (local && !is_backup) {
+    ++sr.stats.local_tasks;
+    ++run->stats.local_tasks;
+  }
+  const cluster::NodeId node = run->scheduler.executor_node(executor);
+
+  // Phases 3+4 (compute then output), once input has landed.
+  auto compute_and_output = [this, run, task_id, copy, executor, stage_id,
+                             index, node, is_backup, &def,
+                             &sr](util::Bytes input_bytes) {
+    sr.stats.input_bytes += input_bytes;
+    const double speed =
+        config_.executor_core_speed * cluster_.node(node).core_speed;
+    double compute_ns =
+        static_cast<double>(input_bytes) * def.cpu_ns_per_byte / speed;
+    if (config_.straggler_probability > 0 &&
+        run->rng.chance(config_.straggler_probability)) {
+      compute_ns *= config_.straggler_slowdown;
+      ++run->stats.stragglers_injected;
+      metrics_.count("stragglers_injected");
+    }
+    sim_.after(static_cast<util::TimeNs>(std::ceil(compute_ns)), [this, run,
+                                                                  task_id,
+                                                                  copy,
+                                                                  executor,
+                                                                  stage_id,
+                                                                  index, node,
+                                                                  is_backup,
+                                                                  &def, &sr,
+                                                                  input_bytes] {
+      (void)copy;
+      RunState::TaskDef& task = run->tasks.at(task_id);
+      if (task.winner_decided) {
+        // Lost the race: the work is discarded.
+        --task.copies_running;
+        metrics_.count("speculative_losses");
+        release_copy(run, executor);
+        return;
+      }
+      task.winner_decided = true;
+      if (is_backup) {
+        ++run->stats.speculative_wins;
+        metrics_.count("speculative_wins");
+      }
+      const auto output = static_cast<util::Bytes>(std::llround(
+          static_cast<double>(input_bytes) * def.output_ratio));
+      sr.stats.output_bytes += output;
+      auto complete = [this, run, task_id, executor] {
+        RunState::TaskDef& task = run->tasks.at(task_id);
+        --task.copies_running;
+        task.completed = true;
+        task_won(run, task_id);
+        release_copy(run, executor);
+      };
+      if (def.writes_sink()) {
+        run->stats.bytes_written += output;
+        char name[32];
+        std::snprintf(name, sizeof(name), "part-%05d", index);
+        catalog_.store().put(node, {def.sink_dataset, name}, output,
+                             std::move(complete));
+      } else {
+        run->shuffle.register_output(stage_id, index, node, output);
+        io_.device(node, config_.shuffle_device)
+            .submit(storage::IoKind::kWrite, output, std::move(complete));
+      }
+    });
+  };
+
+  sim_.after(config_.task_launch_overhead, [this, run, task_id, node,
+                                            stage_id, index, &def,
+                                            compute_and_output] {
+    (void)task_id;
+    if (def.reads_source()) {
+      const auto key =
+          storage::partition_key(catalog_.spec(def.source_dataset), index);
+      catalog_.store().get(node, key,
+                           [this, run, compute_and_output](
+                               const storage::GetResult& result) {
+                             if (!result.found) {
+                               throw std::logic_error(
+                                   "source partition vanished");
+                             }
+                             run->stats.bytes_read += result.size;
+                             compute_and_output(result.size);
+                           });
+      return;
+    }
+    // Shuffle read: pull this reducer's share of every parent map output.
+    std::vector<FetchSource> plan;
+    const auto& sr = run->stage_runs[static_cast<std::size_t>(stage_id)];
+    for (int parent : def.parents) {
+      const auto part = run->shuffle.fetch_plan(parent, index, sr.num_tasks);
+      plan.insert(plan.end(), part.begin(), part.end());
+    }
+    util::Bytes total = 0;
+    for (const FetchSource& src : plan) total += src.bytes;
+    run->stats.bytes_shuffled += total;
+    if (plan.empty()) {
+      compute_and_output(0);
+      return;
+    }
+    auto remaining = std::make_shared<int>(static_cast<int>(plan.size()));
+    for (const FetchSource& src : plan) {
+      // Map-side disk read, then the network hop to this executor.
+      io_.device(src.node, config_.shuffle_device)
+          .submit(storage::IoKind::kRead, src.bytes,
+                  [this, run, src, node, remaining, total,
+                   compute_and_output] {
+                    fabric_.transfer(src.node, node, src.bytes,
+                                     [remaining, total, compute_and_output] {
+                                       if (--*remaining == 0) {
+                                         compute_and_output(total);
+                                       }
+                                     });
+                  });
+    }
+  });
+}
+
+void DataflowEngine::task_won(std::shared_ptr<RunState> run, TaskId task_id) {
+  RunState::TaskDef& task = run->tasks.at(task_id);
+  auto& sr = run->stage_runs[static_cast<std::size_t>(task.stage)];
+  sr.durations.push_back(sim_.now() - task.first_start);
+  metrics_.count("tasks_completed");
+  if (++sr.done_tasks >= sr.num_tasks) {
+    finish_stage(run, task.stage);
+    return;
+  }
+  maybe_speculate(run, task.stage);
+}
+
+void DataflowEngine::maybe_speculate(std::shared_ptr<RunState> run,
+                                     int stage_id) {
+  if (!config_.speculation) return;
+  auto& sr = run->stage_runs[static_cast<std::size_t>(stage_id)];
+  if (sr.done_tasks <
+      static_cast<int>(config_.speculation_quantile * sr.num_tasks)) {
+    return;
+  }
+  std::vector<util::TimeNs> sorted = sr.durations;
+  std::sort(sorted.begin(), sorted.end());
+  const util::TimeNs median = sorted[sorted.size() / 2];
+  const auto threshold = static_cast<util::TimeNs>(
+      config_.speculation_multiplier * static_cast<double>(median));
+
+  for (auto& [id, task] : run->tasks) {
+    if (task.stage != stage_id || task.winner_decided || task.speculated) {
+      continue;
+    }
+    if (task.first_start < 0) continue;  // still queued: nothing to race
+    if (sim_.now() - task.first_start <= threshold) continue;
+    task.speculated = true;
+    ++run->stats.speculative_launched;
+    metrics_.count("speculative_launched");
+    const TaskId backup = run->new_copy_of(id);
+    run->scheduler.enqueue(backup, task.preferred, sim_.now());
+  }
+  pump_tasks(run);
+}
+
+void DataflowEngine::finish_stage(std::shared_ptr<RunState> run,
+                                  int stage_id) {
+  auto& sr = run->stage_runs[static_cast<std::size_t>(stage_id)];
+  sr.stats.finish_time = sim_.now();
+  ++run->stages_done;
+  metrics_.count("stages_completed");
+
+  // Parents' shuffle outputs can be freed once every consumer is done.
+  const StageDef& def = run->plan.stage(stage_id);
+  for (int parent : def.parents) {
+    auto& pr = run->stage_runs[static_cast<std::size_t>(parent)];
+    if (--pr.children_remaining == 0) run->shuffle.release(parent);
+  }
+  for (int child : run->children[static_cast<std::size_t>(stage_id)]) {
+    auto& cr = run->stage_runs[static_cast<std::size_t>(child)];
+    if (--cr.pending_parents == 0) start_stage(run, child);
+  }
+
+  if (run->stages_done == run->plan.size()) {
+    // Register the sink dataset so downstream workflow steps can read it.
+    const StageDef& last = run->plan.stage(run->plan.final_stage());
+    if (last.writes_sink()) {
+      auto& lsr = run->stage_runs[static_cast<std::size_t>(last.id)];
+      storage::DatasetSpec spec;
+      spec.name = last.sink_dataset;
+      spec.partitions = lsr.num_tasks;
+      spec.total_bytes = lsr.stats.output_bytes;
+      catalog_.define(spec);
+    }
+    run->stats.duration = sim_.now() - run->start_time;
+    for (const auto& stage_run : run->stage_runs) {
+      run->stats.stages.push_back(stage_run.stats);
+    }
+    metrics_.count("jobs_completed");
+    if (run->on_done) run->on_done(run->stats);
+  }
+}
+
+}  // namespace evolve::dataflow

@@ -1,0 +1,123 @@
+// The dataflow execution engine: runs a physical plan on a set of
+// executors over the simulated cluster.
+//
+// Per task: launch overhead -> input (dataset GET or shuffle fetches
+// through the shared fabric and device queues) -> compute (bytes x
+// stage cost) -> output (shuffle spill to local NVMe, or sink PUT).
+// Task placement uses delay scheduling against the input partitions'
+// replica locations — the converged platform's data-locality story.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "dataflow/plan.hpp"
+#include "dataflow/shuffle.hpp"
+#include "dataflow/stage.hpp"
+#include "dataflow/task_scheduler.hpp"
+#include "metrics/registry.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulation.hpp"
+#include "storage/dataset.hpp"
+#include "storage/io_model.hpp"
+
+namespace evolve::dataflow {
+
+struct ExecutorSpec {
+  cluster::NodeId node = cluster::kInvalidNode;
+  int slots = 1;
+};
+
+struct DataflowConfig {
+  int default_parallelism = 8;     // reducer count when a wide op says 0
+  util::TimeNs locality_wait = util::millis(500);  // 0 = no delay sched
+  util::TimeNs task_launch_overhead = util::millis(4);
+  std::string shuffle_device = "nvme";
+  double executor_core_speed = 1.0;  // task compute scale factor
+
+  // -- Straggler injection (models interference/slow nodes) ----------
+  double straggler_probability = 0.0;  // per task
+  double straggler_slowdown = 6.0;     // compute multiplier when hit
+  std::uint64_t straggler_seed = 1;    // deterministic injection
+
+  // -- Speculative execution (Spark-style backup copies) -------------
+  bool speculation = false;
+  /// A task is speculatable once it has run longer than this multiple
+  /// of the median completed-task duration in its stage.
+  double speculation_multiplier = 1.5;
+  /// Fraction of a stage that must be complete before speculating.
+  double speculation_quantile = 0.5;
+};
+
+struct StageStats {
+  int id = -1;
+  int tasks = 0;
+  int local_tasks = 0;
+  util::Bytes input_bytes = 0;
+  util::Bytes output_bytes = 0;
+  util::TimeNs start_time = -1;
+  util::TimeNs finish_time = -1;
+};
+
+struct JobStats {
+  util::TimeNs duration = 0;
+  util::Bytes bytes_read = 0;      // dataset input
+  util::Bytes bytes_shuffled = 0;  // cross-task traffic
+  util::Bytes bytes_written = 0;   // sink output
+  int tasks = 0;
+  int local_tasks = 0;
+  int stragglers_injected = 0;
+  int speculative_launched = 0;
+  int speculative_wins = 0;  // backup copy finished first
+  std::vector<StageStats> stages;
+
+  double locality_ratio() const {
+    return tasks == 0 ? 0.0
+                      : static_cast<double>(local_tasks) /
+                            static_cast<double>(tasks);
+  }
+};
+
+class DataflowEngine {
+ public:
+  using Callback = std::function<void(const JobStats&)>;
+
+  DataflowEngine(sim::Simulation& sim, const cluster::Cluster& cluster,
+                 net::Fabric& fabric, storage::IoSubsystem& io,
+                 storage::DatasetCatalog& catalog,
+                 DataflowConfig config = {});
+
+  /// Runs `plan` on the given executors; `on_done` receives job stats.
+  /// Input datasets must be materialized in the catalog's store. The
+  /// engine supports several concurrent jobs (they contend for the
+  /// fabric and devices but have separate executors).
+  void run(const LogicalPlan& plan, const std::vector<ExecutorSpec>& executors,
+           Callback on_done);
+
+  const DataflowConfig& config() const { return config_; }
+  metrics::Registry& metrics() { return metrics_; }
+
+ private:
+  struct RunState;
+
+  void start_stage(std::shared_ptr<RunState> run, int stage_id);
+  void pump_tasks(std::shared_ptr<RunState> run);
+  void execute_copy(std::shared_ptr<RunState> run, TaskId copy, int executor,
+                    bool local);
+  void release_copy(std::shared_ptr<RunState> run, int executor);
+  void task_won(std::shared_ptr<RunState> run, TaskId task);
+  void maybe_speculate(std::shared_ptr<RunState> run, int stage_id);
+  void finish_stage(std::shared_ptr<RunState> run, int stage_id);
+
+  sim::Simulation& sim_;
+  const cluster::Cluster& cluster_;
+  net::Fabric& fabric_;
+  storage::IoSubsystem& io_;
+  storage::DatasetCatalog& catalog_;
+  DataflowConfig config_;
+  metrics::Registry metrics_;
+};
+
+}  // namespace evolve::dataflow

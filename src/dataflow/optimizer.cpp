@@ -1,0 +1,60 @@
+#include "dataflow/optimizer.hpp"
+
+#include <stdexcept>
+
+namespace evolve::dataflow {
+
+LogicalPlan rebuild_plan(std::vector<Operator> ops) {
+  return LogicalPlan::from_operators(std::move(ops));
+}
+
+LogicalPlan optimize(const LogicalPlan& plan, OptimizerStats* stats) {
+  plan.validate();
+  std::vector<Operator> ops = plan.ops();
+  OptimizerStats local;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Consumer map for the single-consumer check.
+    std::vector<int> consumer(ops.size(), -1);
+    std::vector<int> consumer_count(ops.size(), 0);
+    for (const Operator& op : ops) {
+      for (int input : op.inputs) {
+        consumer[static_cast<std::size_t>(input)] = op.id;
+        ++consumer_count[static_cast<std::size_t>(input)];
+      }
+    }
+    for (Operator& filter : ops) {
+      if (filter.kind != OpKind::kFilter) continue;
+      Operator& upstream =
+          ops[static_cast<std::size_t>(filter.inputs.at(0))];
+      if (upstream.kind != OpKind::kMap &&
+          upstream.kind != OpKind::kFlatMap) {
+        continue;
+      }
+      if (consumer_count[static_cast<std::size_t>(upstream.id)] != 1) {
+        continue;  // the transform feeds someone else too
+      }
+      // Swap edges: grandparent -> filter -> upstream -> (old consumer
+      // of filter, patched below).
+      const int grandparent = upstream.inputs.at(0);
+      const int old_consumer = consumer[static_cast<std::size_t>(filter.id)];
+      filter.inputs = {grandparent};
+      upstream.inputs = {filter.id};
+      if (old_consumer >= 0) {
+        for (int& input :
+             ops[static_cast<std::size_t>(old_consumer)].inputs) {
+          if (input == filter.id) input = upstream.id;
+        }
+      }
+      ++local.filters_pushed;
+      changed = true;
+      break;  // edges moved: rebuild the consumer map
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return rebuild_plan(std::move(ops));
+}
+
+}  // namespace evolve::dataflow

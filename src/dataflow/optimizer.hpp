@@ -1,0 +1,28 @@
+// Rule-based logical-plan optimizer.
+//
+// Implemented rule: filter pushdown — a filter directly above a map or
+// flatMap is swapped below it, so the expensive transform runs on fewer
+// bytes. (Heuristic: assumes the filter predicate does not depend on
+// columns the map creates, which holds for the byte-level cost model.)
+// Applied to a fixpoint; output sizes are unchanged because
+// selectivities commute.
+#pragma once
+
+#include "dataflow/plan.hpp"
+
+namespace evolve::dataflow {
+
+struct OptimizerStats {
+  int filters_pushed = 0;
+};
+
+/// Returns an optimized copy of `plan` (which must validate).
+LogicalPlan optimize(const LogicalPlan& plan,
+                     OptimizerStats* stats = nullptr);
+
+/// Rebuilds a plan from an edge-rewired operator set: topologically
+/// sorts, renumbers, and validates. Used by optimizer rules; exposed for
+/// writing new rules.
+LogicalPlan rebuild_plan(std::vector<Operator> ops);
+
+}  // namespace evolve::dataflow

@@ -1,0 +1,245 @@
+#include "dataflow/plan.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace evolve::dataflow {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSource: return "source";
+    case OpKind::kMap: return "map";
+    case OpKind::kFilter: return "filter";
+    case OpKind::kFlatMap: return "flatMap";
+    case OpKind::kGroupBy: return "groupBy";
+    case OpKind::kReduceByKey: return "reduceByKey";
+    case OpKind::kJoin: return "join";
+    case OpKind::kUnion: return "union";
+    case OpKind::kSink: return "sink";
+  }
+  return "?";
+}
+
+bool is_wide(OpKind kind) {
+  return kind == OpKind::kGroupBy || kind == OpKind::kReduceByKey ||
+         kind == OpKind::kJoin || kind == OpKind::kUnion;
+}
+
+int LogicalPlan::add(Operator op) {
+  for (int input : op.inputs) {
+    if (input < 0 || input >= size()) {
+      throw std::invalid_argument("operator input out of range");
+    }
+    if (ops_[static_cast<std::size_t>(input)].kind == OpKind::kSink) {
+      throw std::invalid_argument("cannot consume a sink");
+    }
+  }
+  if (op.selectivity < 0) throw std::invalid_argument("negative selectivity");
+  if (op.cpu_ns_per_byte < 0) throw std::invalid_argument("negative cpu cost");
+  op.id = size();
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+int LogicalPlan::add_source(const std::string& dataset) {
+  if (dataset.empty()) throw std::invalid_argument("source needs a dataset");
+  Operator op;
+  op.kind = OpKind::kSource;
+  op.name = "source(" + dataset + ")";
+  op.dataset = dataset;
+  op.cpu_ns_per_byte = 0.05;  // deserialization
+  return add(std::move(op));
+}
+
+int LogicalPlan::add_map(int input, const std::string& name,
+                         double selectivity, double cpu_ns_per_byte) {
+  Operator op;
+  op.kind = OpKind::kMap;
+  op.name = name;
+  op.inputs = {input};
+  op.selectivity = selectivity;
+  op.cpu_ns_per_byte = cpu_ns_per_byte;
+  return add(std::move(op));
+}
+
+int LogicalPlan::add_filter(int input, const std::string& name,
+                            double selectivity, double cpu_ns_per_byte) {
+  if (selectivity > 1.0) {
+    throw std::invalid_argument("filter cannot grow data");
+  }
+  Operator op;
+  op.kind = OpKind::kFilter;
+  op.name = name;
+  op.inputs = {input};
+  op.selectivity = selectivity;
+  op.cpu_ns_per_byte = cpu_ns_per_byte;
+  return add(std::move(op));
+}
+
+int LogicalPlan::add_flat_map(int input, const std::string& name,
+                              double selectivity, double cpu_ns_per_byte) {
+  Operator op;
+  op.kind = OpKind::kFlatMap;
+  op.name = name;
+  op.inputs = {input};
+  op.selectivity = selectivity;
+  op.cpu_ns_per_byte = cpu_ns_per_byte;
+  return add(std::move(op));
+}
+
+int LogicalPlan::add_group_by(int input, const std::string& name,
+                              int partitions, double selectivity,
+                              double cpu_ns_per_byte) {
+  Operator op;
+  op.kind = OpKind::kGroupBy;
+  op.name = name;
+  op.inputs = {input};
+  op.selectivity = selectivity;
+  op.cpu_ns_per_byte = cpu_ns_per_byte;
+  op.output_partitions = partitions;
+  return add(std::move(op));
+}
+
+int LogicalPlan::add_reduce_by_key(int input, const std::string& name,
+                                   int partitions, double selectivity,
+                                   double cpu_ns_per_byte) {
+  Operator op;
+  op.kind = OpKind::kReduceByKey;
+  op.name = name;
+  op.inputs = {input};
+  op.selectivity = selectivity;
+  op.cpu_ns_per_byte = cpu_ns_per_byte;
+  op.output_partitions = partitions;
+  return add(std::move(op));
+}
+
+int LogicalPlan::add_join(int left, int right, const std::string& name,
+                          int partitions, double selectivity,
+                          double cpu_ns_per_byte) {
+  Operator op;
+  op.kind = OpKind::kJoin;
+  op.name = name;
+  op.inputs = {left, right};
+  op.selectivity = selectivity;
+  op.cpu_ns_per_byte = cpu_ns_per_byte;
+  op.output_partitions = partitions;
+  return add(std::move(op));
+}
+
+int LogicalPlan::add_union(int left, int right, const std::string& name) {
+  Operator op;
+  op.kind = OpKind::kUnion;
+  op.name = name;
+  op.inputs = {left, right};
+  op.cpu_ns_per_byte = 0.05;
+  return add(std::move(op));
+}
+
+int LogicalPlan::add_sink(int input, const std::string& dataset) {
+  if (dataset.empty()) throw std::invalid_argument("sink needs a dataset");
+  Operator op;
+  op.kind = OpKind::kSink;
+  op.name = "sink(" + dataset + ")";
+  op.inputs = {input};
+  op.dataset = dataset;
+  op.cpu_ns_per_byte = 0.05;  // serialization
+  return add(std::move(op));
+}
+
+const Operator& LogicalPlan::op(int id) const {
+  if (id < 0 || id >= size()) throw std::out_of_range("bad operator id");
+  return ops_[static_cast<std::size_t>(id)];
+}
+
+void LogicalPlan::validate() const {
+  if (ops_.empty()) throw std::invalid_argument("empty plan");
+  std::vector<int> consumers(ops_.size(), 0);
+  int sinks = 0;
+  for (const Operator& op : ops_) {
+    if (op.kind == OpKind::kSink) ++sinks;
+    for (int input : op.inputs) {
+      ++consumers[static_cast<std::size_t>(input)];
+    }
+  }
+  if (sinks != 1) {
+    throw std::invalid_argument("plan must have exactly one sink");
+  }
+  for (const Operator& op : ops_) {
+    const int uses = consumers[static_cast<std::size_t>(op.id)];
+    if (op.kind == OpKind::kSink) {
+      if (uses != 0) throw std::invalid_argument("sink must not be consumed");
+    } else if (uses != 1) {
+      throw std::invalid_argument("operator '" + op.name +
+                                  "' must be consumed exactly once");
+    }
+  }
+}
+
+LogicalPlan LogicalPlan::from_operators(std::vector<Operator> ops) {
+  const int n = static_cast<int>(ops.size());
+  for (int i = 0; i < n; ++i) {
+    if (ops[static_cast<std::size_t>(i)].id != i) {
+      throw std::invalid_argument("operator ids must be dense 0..n-1");
+    }
+  }
+  // Kahn topological sort over input edges.
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<int>> consumers(static_cast<std::size_t>(n));
+  for (const Operator& op : ops) {
+    for (int input : op.inputs) {
+      if (input < 0 || input >= n) {
+        throw std::invalid_argument("operator input out of range");
+      }
+      ++indegree[static_cast<std::size_t>(op.id)];
+      consumers[static_cast<std::size_t>(input)].push_back(op.id);
+    }
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<int> ready;
+  for (int i = 0; i < n; ++i) {
+    if (indegree[static_cast<std::size_t>(i)] == 0) ready.push_back(i);
+  }
+  while (!ready.empty()) {
+    const int id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (int consumer : consumers[static_cast<std::size_t>(id)]) {
+      if (--indegree[static_cast<std::size_t>(consumer)] == 0) {
+        ready.push_back(consumer);
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    throw std::invalid_argument("operator graph has a cycle");
+  }
+  // Renumber in topological order.
+  std::vector<int> new_id(static_cast<std::size_t>(n));
+  for (int pos = 0; pos < n; ++pos) {
+    new_id[static_cast<std::size_t>(order[static_cast<std::size_t>(pos)])] =
+        pos;
+  }
+  LogicalPlan plan;
+  plan.ops_.resize(static_cast<std::size_t>(n));
+  for (Operator& op : ops) {
+    Operator moved = std::move(op);
+    const int id = new_id[static_cast<std::size_t>(moved.id)];
+    moved.id = id;
+    for (int& input : moved.inputs) {
+      input = new_id[static_cast<std::size_t>(input)];
+    }
+    plan.ops_[static_cast<std::size_t>(id)] = std::move(moved);
+  }
+  plan.validate();
+  return plan;
+}
+
+int LogicalPlan::sink() const {
+  validate();
+  for (const Operator& op : ops_) {
+    if (op.kind == OpKind::kSink) return op.id;
+  }
+  throw std::logic_error("unreachable: validated plan lacks sink");
+}
+
+}  // namespace evolve::dataflow

@@ -1,0 +1,92 @@
+// Logical dataflow plans (Spark-style).
+//
+// A plan is a tree of operators rooted at a sink: sources feed chains of
+// narrow operators (map/filter/flatMap), combined by wide operators
+// (groupBy/reduceByKey/join/union) that force shuffles. Operators carry a
+// byte-level cost model: `selectivity` (output/input bytes) and
+// `cpu_ns_per_byte` (compute intensity), which the engine uses to derive
+// task times from partition sizes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace evolve::dataflow {
+
+enum class OpKind {
+  kSource,
+  kMap,
+  kFilter,
+  kFlatMap,
+  kGroupBy,
+  kReduceByKey,
+  kJoin,
+  kUnion,
+  kSink,
+};
+
+const char* to_string(OpKind kind);
+
+/// True for operators that start a new stage (shuffle boundary).
+bool is_wide(OpKind kind);
+
+struct Operator {
+  int id = -1;
+  OpKind kind = OpKind::kMap;
+  std::string name;
+  std::vector<int> inputs;      // upstream operator ids
+  double selectivity = 1.0;     // output bytes / input bytes
+  double cpu_ns_per_byte = 0;   // compute cost
+  std::string dataset;          // source input / sink output dataset name
+  int output_partitions = 0;    // wide ops; 0 = engine default
+};
+
+class LogicalPlan {
+ public:
+  /// Reads a dataset registered in the catalog.
+  int add_source(const std::string& dataset);
+
+  int add_map(int input, const std::string& name, double selectivity = 1.0,
+              double cpu_ns_per_byte = 0.5);
+  int add_filter(int input, const std::string& name, double selectivity,
+                 double cpu_ns_per_byte = 0.2);
+  int add_flat_map(int input, const std::string& name, double selectivity,
+                   double cpu_ns_per_byte = 0.8);
+
+  int add_group_by(int input, const std::string& name, int partitions = 0,
+                   double selectivity = 1.0, double cpu_ns_per_byte = 1.0);
+  int add_reduce_by_key(int input, const std::string& name,
+                        int partitions = 0, double selectivity = 0.1,
+                        double cpu_ns_per_byte = 1.0);
+  int add_join(int left, int right, const std::string& name,
+               int partitions = 0, double selectivity = 1.0,
+               double cpu_ns_per_byte = 1.5);
+  int add_union(int left, int right, const std::string& name);
+
+  /// Writes the result to a dataset; must be the unique plan root.
+  int add_sink(int input, const std::string& dataset);
+
+  const Operator& op(int id) const;
+  const std::vector<Operator>& ops() const { return ops_; }
+  int size() const { return static_cast<int>(ops_.size()); }
+
+  /// Checks the plan is a tree rooted at exactly one sink, with every
+  /// non-sink operator consumed exactly once. Throws on violations.
+  void validate() const;
+
+  /// The sink operator id (validates first).
+  int sink() const;
+
+  /// Rebuilds a plan from an edge-rewired operator set (ids dense in
+  /// [0, n)): topologically sorts, renumbers, and validates. Intended
+  /// for optimizer rules that rewire `inputs` edges.
+  static LogicalPlan from_operators(std::vector<Operator> ops);
+
+ private:
+  int add(Operator op);
+  std::vector<Operator> ops_;
+};
+
+}  // namespace evolve::dataflow

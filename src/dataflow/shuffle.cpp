@@ -1,0 +1,53 @@
+#include "dataflow/shuffle.hpp"
+
+#include <stdexcept>
+
+namespace evolve::dataflow {
+
+void ShuffleManager::register_output(int stage, int task,
+                                     cluster::NodeId node,
+                                     util::Bytes bytes) {
+  if (bytes < 0) throw std::invalid_argument("negative shuffle output");
+  auto& stage_outputs = outputs_[stage];
+  if (!stage_outputs.emplace(task, MapOutput{node, bytes}).second) {
+    throw std::logic_error("duplicate map output registration");
+  }
+}
+
+bool ShuffleManager::complete(int stage, int count) const {
+  auto it = outputs_.find(stage);
+  const int have = it == outputs_.end() ? 0 : static_cast<int>(it->second.size());
+  return have >= count;
+}
+
+std::vector<FetchSource> ShuffleManager::fetch_plan(int stage, int reducer,
+                                                    int reducers) const {
+  if (reducers <= 0) throw std::invalid_argument("need >= 1 reducer");
+  if (reducer < 0 || reducer >= reducers) {
+    throw std::invalid_argument("reducer index out of range");
+  }
+  auto it = outputs_.find(stage);
+  if (it == outputs_.end()) return {};
+  std::vector<FetchSource> plan;
+  plan.reserve(it->second.size());
+  for (const auto& [task, output] : it->second) {
+    // Even split with the remainder spread over the first reducers.
+    const util::Bytes base = output.bytes / reducers;
+    const util::Bytes extra = output.bytes % reducers;
+    const util::Bytes share = base + (reducer < extra ? 1 : 0);
+    if (share > 0) plan.push_back(FetchSource{output.node, share});
+  }
+  return plan;
+}
+
+util::Bytes ShuffleManager::stage_output_bytes(int stage) const {
+  auto it = outputs_.find(stage);
+  if (it == outputs_.end()) return 0;
+  util::Bytes total = 0;
+  for (const auto& [task, output] : it->second) total += output.bytes;
+  return total;
+}
+
+void ShuffleManager::release(int stage) { outputs_.erase(stage); }
+
+}  // namespace evolve::dataflow

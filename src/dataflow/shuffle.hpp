@@ -1,0 +1,50 @@
+// Shuffle bookkeeping: map-side outputs and reduce-side fetch plans.
+//
+// Each map task registers where its output lives (node) and how many
+// bytes it produced; a reduce task's fetch plan pulls an even share of
+// every registered map output of every parent stage.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "util/types.hpp"
+
+namespace evolve::dataflow {
+
+struct MapOutput {
+  cluster::NodeId node = cluster::kInvalidNode;
+  util::Bytes bytes = 0;  // total across all reducers
+};
+
+struct FetchSource {
+  cluster::NodeId node = cluster::kInvalidNode;
+  util::Bytes bytes = 0;  // this reducer's share of one map output
+};
+
+class ShuffleManager {
+ public:
+  /// Registers one map task's output for `stage`.
+  void register_output(int stage, int task, cluster::NodeId node,
+                       util::Bytes bytes);
+
+  /// True once `count` outputs are registered for the stage.
+  bool complete(int stage, int count) const;
+
+  /// Fetch plan for reducer `reducer` of `reducers` reading `stage`.
+  /// Zero-byte shares are dropped.
+  std::vector<FetchSource> fetch_plan(int stage, int reducer,
+                                      int reducers) const;
+
+  /// Total bytes produced by a stage's map outputs.
+  util::Bytes stage_output_bytes(int stage) const;
+
+  /// Frees a stage's outputs (all consumers done).
+  void release(int stage);
+
+ private:
+  std::map<int, std::map<int, MapOutput>> outputs_;  // stage -> task -> out
+};
+
+}  // namespace evolve::dataflow

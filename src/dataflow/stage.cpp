@@ -1,0 +1,88 @@
+#include "dataflow/stage.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+namespace evolve::dataflow {
+
+PhysicalPlan PhysicalPlan::compile(const LogicalPlan& plan) {
+  plan.validate();
+  PhysicalPlan physical;
+
+  // Recursive descent from the sink: narrow operators append to their
+  // input's stage; wide operators open a new stage whose parents are the
+  // stages of their inputs; sources open leaf stages.
+  std::function<int(int)> build = [&](int op_id) -> int {
+    const Operator& op = plan.op(op_id);
+    switch (op.kind) {
+      case OpKind::kSource: {
+        StageDef stage;
+        stage.id = physical.size();
+        stage.operators = {op_id};
+        stage.source_dataset = op.dataset;
+        physical.stages_.push_back(std::move(stage));
+        return physical.size() - 1;
+      }
+      case OpKind::kMap:
+      case OpKind::kFilter:
+      case OpKind::kFlatMap:
+      case OpKind::kSink: {
+        const int stage_id = build(op.inputs.at(0));
+        StageDef& stage = physical.stages_[static_cast<std::size_t>(stage_id)];
+        stage.operators.push_back(op_id);
+        if (op.kind == OpKind::kSink) stage.sink_dataset = op.dataset;
+        return stage_id;
+      }
+      case OpKind::kGroupBy:
+      case OpKind::kReduceByKey:
+      case OpKind::kJoin:
+      case OpKind::kUnion: {
+        std::vector<int> parents;
+        parents.reserve(op.inputs.size());
+        for (int input : op.inputs) parents.push_back(build(input));
+        StageDef stage;
+        stage.id = physical.size();
+        stage.operators = {op_id};
+        stage.parents = std::move(parents);
+        stage.requested_partitions = op.output_partitions;
+        physical.stages_.push_back(std::move(stage));
+        return physical.size() - 1;
+      }
+    }
+    throw std::logic_error("unknown operator kind");
+  };
+
+  build(plan.sink());
+
+  // Aggregate the per-stage cost model: walk the pipeline accumulating
+  // compute per input byte and the cumulative output ratio.
+  for (StageDef& stage : physical.stages_) {
+    double ratio = 1.0;
+    double cpu = 0.0;
+    for (int op_id : stage.operators) {
+      const Operator& op = plan.op(op_id);
+      cpu += ratio * op.cpu_ns_per_byte;
+      ratio *= op.selectivity;
+    }
+    stage.cpu_ns_per_byte = cpu;
+    stage.output_ratio = ratio;
+  }
+  return physical;
+}
+
+const StageDef& PhysicalPlan::stage(int id) const {
+  if (id < 0 || id >= size()) throw std::out_of_range("bad stage id");
+  return stages_[static_cast<std::size_t>(id)];
+}
+
+std::vector<std::vector<int>> PhysicalPlan::children() const {
+  std::vector<std::vector<int>> out(stages_.size());
+  for (const StageDef& stage : stages_) {
+    for (int parent : stage.parents) {
+      out[static_cast<std::size_t>(parent)].push_back(stage.id);
+    }
+  }
+  return out;
+}
+
+}  // namespace evolve::dataflow

@@ -1,0 +1,44 @@
+// Physical plans: logical operator trees split into pipelined stages at
+// shuffle boundaries (wide operators), like Spark's DAGScheduler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/plan.hpp"
+
+namespace evolve::dataflow {
+
+struct StageDef {
+  int id = -1;
+  std::vector<int> operators;   // pipelined chain, execution order
+  std::vector<int> parents;     // stage ids feeding this stage via shuffle
+  std::string source_dataset;   // set when the stage scans a dataset
+  std::string sink_dataset;     // set when the stage writes the result
+  int requested_partitions = 0;  // from the wide head op (0 = default)
+  double cpu_ns_per_byte = 0;   // aggregate compute per input byte
+  double output_ratio = 1.0;    // output bytes per input byte
+
+  bool reads_source() const { return !source_dataset.empty(); }
+  bool writes_sink() const { return !sink_dataset.empty(); }
+};
+
+class PhysicalPlan {
+ public:
+  /// Compiles a validated logical plan. Stages come out in a topological
+  /// order (parents before children); the last stage holds the sink.
+  static PhysicalPlan compile(const LogicalPlan& plan);
+
+  const std::vector<StageDef>& stages() const { return stages_; }
+  const StageDef& stage(int id) const;
+  int size() const { return static_cast<int>(stages_.size()); }
+  int final_stage() const { return size() - 1; }
+
+  /// Children of each stage (inverse of parents).
+  std::vector<std::vector<int>> children() const;
+
+ private:
+  std::vector<StageDef> stages_;
+};
+
+}  // namespace evolve::dataflow

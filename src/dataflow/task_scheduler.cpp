@@ -1,0 +1,95 @@
+#include "dataflow/task_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace evolve::dataflow {
+
+int TaskScheduler::add_executor(cluster::NodeId node, int slots) {
+  if (slots <= 0) throw std::invalid_argument("executor needs slots");
+  executors_.push_back(Executor{node, slots});
+  return static_cast<int>(executors_.size()) - 1;
+}
+
+cluster::NodeId TaskScheduler::executor_node(int executor) const {
+  return executors_.at(static_cast<std::size_t>(executor)).node;
+}
+
+int TaskScheduler::free_slots() const {
+  int total = 0;
+  for (const Executor& e : executors_) total += e.free;
+  return total;
+}
+
+void TaskScheduler::enqueue(TaskId task,
+                            std::vector<cluster::NodeId> preferred,
+                            util::TimeNs now) {
+  queue_.push_back(Pending{task, std::move(preferred), now});
+}
+
+void TaskScheduler::release(int executor) {
+  Executor& e = executors_.at(static_cast<std::size_t>(executor));
+  ++e.free;
+}
+
+int TaskScheduler::find_free_preferred(
+    const std::vector<cluster::NodeId>& preferred) const {
+  for (std::size_t i = 0; i < executors_.size(); ++i) {
+    if (executors_[i].free <= 0) continue;
+    if (std::find(preferred.begin(), preferred.end(), executors_[i].node) !=
+        preferred.end()) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int TaskScheduler::find_any_free() const {
+  for (std::size_t i = 0; i < executors_.size(); ++i) {
+    if (executors_[i].free > 0) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<Assignment> TaskScheduler::assign(util::TimeNs now) {
+  std::vector<Assignment> out;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      int executor = -1;
+      bool local = false;
+      if (!it->preferred.empty()) {
+        executor = find_free_preferred(it->preferred);
+        if (executor >= 0) {
+          local = true;
+        } else if (now - it->enqueued >= locality_wait_) {
+          executor = find_any_free();
+        }
+      } else {
+        executor = find_any_free();
+      }
+      if (executor < 0) continue;
+      --executors_[static_cast<std::size_t>(executor)].free;
+      out.push_back(Assignment{it->task, executor, local});
+      ++total_;
+      if (local) ++local_;
+      queue_.erase(it);
+      progress = true;
+      break;  // restart scan: slot state changed
+    }
+  }
+  return out;
+}
+
+util::TimeNs TaskScheduler::next_expiry() const {
+  util::TimeNs best = -1;
+  for (const Pending& p : queue_) {
+    if (p.preferred.empty()) continue;
+    const util::TimeNs expiry = p.enqueued + locality_wait_;
+    if (best < 0 || expiry < best) best = expiry;
+  }
+  return best;
+}
+
+}  // namespace evolve::dataflow

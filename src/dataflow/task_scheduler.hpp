@@ -1,0 +1,78 @@
+// Executor slot management with delay scheduling (locality waits).
+//
+// Tasks queue FIFO with an optional preferred-node set. The scheduler
+// assigns a task to a preferred executor immediately; a task with
+// preferences only falls back to a non-preferred executor after waiting
+// `locality_wait` (0 disables delay scheduling: immediate fallback).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "util/types.hpp"
+
+namespace evolve::dataflow {
+
+using TaskId = std::int64_t;
+
+struct Assignment {
+  TaskId task;
+  int executor;
+  bool local;  // assigned to a preferred node
+};
+
+class TaskScheduler {
+ public:
+  explicit TaskScheduler(util::TimeNs locality_wait)
+      : locality_wait_(locality_wait) {}
+
+  /// Registers an executor with `slots` concurrent task slots.
+  /// Returns the executor index.
+  int add_executor(cluster::NodeId node, int slots);
+
+  cluster::NodeId executor_node(int executor) const;
+  int executor_count() const { return static_cast<int>(executors_.size()); }
+  int free_slots() const;
+
+  /// Queues a task; `preferred` may be empty (no locality preference).
+  void enqueue(TaskId task, std::vector<cluster::NodeId> preferred,
+               util::TimeNs now);
+
+  /// Frees one slot on `executor` (its task finished).
+  void release(int executor);
+
+  /// Assigns as many queued tasks as possible at time `now`.
+  std::vector<Assignment> assign(util::TimeNs now);
+
+  /// Earliest time a waiting preferred task becomes eligible for remote
+  /// fallback; -1 when no such task exists.
+  util::TimeNs next_expiry() const;
+
+  int pending() const { return static_cast<int>(queue_.size()); }
+  std::int64_t local_assignments() const { return local_; }
+  std::int64_t total_assignments() const { return total_; }
+
+ private:
+  struct Executor {
+    cluster::NodeId node;
+    int free;
+  };
+  struct Pending {
+    TaskId task;
+    std::vector<cluster::NodeId> preferred;
+    util::TimeNs enqueued;
+  };
+
+  int find_free_preferred(const std::vector<cluster::NodeId>& preferred) const;
+  int find_any_free() const;
+
+  util::TimeNs locality_wait_;
+  std::vector<Executor> executors_;
+  std::deque<Pending> queue_;
+  std::int64_t local_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace evolve::dataflow

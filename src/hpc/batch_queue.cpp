@@ -1,0 +1,186 @@
+#include "hpc/batch_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace evolve::hpc {
+
+BatchQueue::BatchQueue(sim::Simulation& sim, int total_nodes,
+                       QueuePolicy policy, util::TimeNs aging_interval)
+    : sim_(sim),
+      policy_(policy),
+      aging_interval_(aging_interval),
+      usage_(static_cast<double>(total_nodes)) {
+  if (total_nodes <= 0) {
+    throw std::invalid_argument("batch queue needs nodes");
+  }
+  for (int n = 0; n < total_nodes; ++n) free_.insert(n);
+}
+
+JobId BatchQueue::submit(HpcJobSpec spec, StartFn on_start,
+                         FinishFn on_finish) {
+  if (spec.nodes <= 0) throw std::invalid_argument("job needs >= 1 node");
+  if (spec.nodes > static_cast<int>(usage_.capacity())) {
+    throw std::invalid_argument("job larger than the machine");
+  }
+  if (spec.runtime < 0 || spec.walltime < 0) {
+    throw std::invalid_argument("negative runtime");
+  }
+  for (JobId dep : spec.depends_on) {
+    if (jobs_.count(dep) == 0) {
+      throw std::invalid_argument("unknown dependency job id");
+    }
+  }
+  if (spec.walltime < spec.runtime) spec.walltime = spec.runtime;
+  const JobId id = next_id_++;
+  JobRecord rec;
+  rec.status.id = id;
+  rec.status.spec = std::move(spec);
+  rec.status.submit_time = sim_.now();
+  rec.on_start = std::move(on_start);
+  rec.on_finish = std::move(on_finish);
+  jobs_.emplace(id, std::move(rec));
+  queue_.push_back(id);
+  metrics_.count("jobs_submitted");
+  sim_.defer([this] { schedule_pass(); });
+  return id;
+}
+
+const HpcJobStatus& BatchQueue::job(JobId id) const {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("unknown job");
+  return it->second.status;
+}
+
+void BatchQueue::start_job(JobRecord& rec) {
+  const int needed = rec.status.spec.nodes;
+  rec.status.assigned_nodes.assign(free_.begin(),
+                                   std::next(free_.begin(), needed));
+  for (int node : rec.status.assigned_nodes) free_.erase(node);
+  rec.status.started = true;
+  rec.status.start_time = sim_.now();
+  running_.insert(rec.status.id);
+  usage_.add(sim_.now(), static_cast<double>(needed));
+  metrics_.count("jobs_started");
+  metrics_.observe("job_wait_s",
+                   (sim_.now() - rec.status.submit_time) / util::kSecond);
+  const JobId id = rec.status.id;
+  if (rec.on_start) rec.on_start(id, rec.status.assigned_nodes);
+  sim_.after(rec.status.spec.runtime, [this, id] { finish_job(id); });
+}
+
+void BatchQueue::finish_job(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.status.finished) return;
+  JobRecord& rec = it->second;
+  rec.status.finished = true;
+  rec.status.finish_time = sim_.now();
+  for (int node : rec.status.assigned_nodes) free_.insert(node);
+  running_.erase(id);
+  usage_.add(sim_.now(), -static_cast<double>(rec.status.spec.nodes));
+  metrics_.count("jobs_finished");
+  if (rec.on_finish) rec.on_finish(id);
+  schedule_pass();
+}
+
+util::TimeNs BatchQueue::shadow_time(int needed) const {
+  // Sort running jobs by their estimated completion (start + walltime);
+  // accumulate freed nodes until the head job fits.
+  std::vector<std::pair<util::TimeNs, int>> completions;
+  for (JobId id : running_) {
+    const auto& status = jobs_.at(id).status;
+    completions.emplace_back(status.start_time + status.spec.walltime,
+                             status.spec.nodes);
+  }
+  std::sort(completions.begin(), completions.end());
+  int available = static_cast<int>(free_.size());
+  for (const auto& [when, nodes] : completions) {
+    if (available >= needed) break;
+    available += nodes;
+    if (available >= needed) return when;
+  }
+  return sim_.now();  // fits now (or nothing running)
+}
+
+bool BatchQueue::dependencies_met(const JobRecord& rec) const {
+  for (JobId dep : rec.status.spec.depends_on) {
+    if (!jobs_.at(dep).status.finished) return false;
+  }
+  return true;
+}
+
+std::vector<JobId> BatchQueue::eligible_order() const {
+  std::vector<JobId> order;
+  order.reserve(queue_.size());
+  for (JobId id : queue_) {
+    if (dependencies_met(jobs_.at(id))) order.push_back(id);
+  }
+  auto effective = [this](JobId id) {
+    const auto& status = jobs_.at(id).status;
+    std::int64_t priority = status.spec.priority;
+    if (aging_interval_ > 0) {
+      priority += (sim_.now() - status.submit_time) / aging_interval_;
+    }
+    return priority;
+  };
+  std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    return effective(a) > effective(b);
+  });
+  return order;
+}
+
+void BatchQueue::schedule_pass() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    const std::vector<JobId> order = eligible_order();
+    if (order.empty()) break;
+
+    // Head job starts whenever it fits.
+    const JobId head = order.front();
+    JobRecord& head_rec = jobs_.at(head);
+    if (head_rec.status.spec.nodes <= static_cast<int>(free_.size())) {
+      queue_.erase(std::remove(queue_.begin(), queue_.end(), head),
+                   queue_.end());
+      start_job(head_rec);
+      progress = true;
+      continue;
+    }
+    if (policy_ == QueuePolicy::kFcfs) break;
+
+    // EASY backfill: a later job may start now iff it fits AND it does
+    // not delay the head job's reservation — either it ends before the
+    // head's shadow time, or it leaves enough nodes at the shadow.
+    const util::TimeNs shadow = shadow_time(head_rec.status.spec.nodes);
+    int freed_by_shadow = 0;
+    for (JobId rid : running_) {
+      const auto& status = jobs_.at(rid).status;
+      if (status.start_time + status.spec.walltime <= shadow) {
+        freed_by_shadow += status.spec.nodes;
+      }
+    }
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      JobRecord& cand = jobs_.at(order[i]);
+      const int nodes = cand.status.spec.nodes;
+      if (nodes > static_cast<int>(free_.size())) continue;
+      const bool ends_before_shadow =
+          sim_.now() + cand.status.spec.walltime <= shadow;
+      const bool spares_reservation =
+          static_cast<int>(free_.size()) - nodes + freed_by_shadow >=
+          head_rec.status.spec.nodes;
+      if (!ends_before_shadow && !spares_reservation) continue;
+      const JobId cid = order[i];
+      queue_.erase(std::remove(queue_.begin(), queue_.end(), cid),
+                   queue_.end());
+      start_job(jobs_.at(cid));
+      metrics_.count("backfilled_jobs");
+      progress = true;
+      break;  // restart the scan: free set changed
+    }
+  }
+  metrics_.set_gauge("queued_jobs", static_cast<double>(queue_.size()));
+}
+
+double BatchQueue::utilization() const { return usage_.utilization(sim_.now()); }
+
+}  // namespace evolve::hpc

@@ -1,0 +1,104 @@
+// Slurm-style batch queue with whole-node allocation.
+//
+// Jobs request N exclusive nodes for a bounded walltime estimate. Two
+// policies: strict FCFS, and EASY backfill (later jobs may jump the queue
+// if they cannot delay the head job's earliest possible start, computed
+// from running jobs' walltime estimates).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "metrics/registry.hpp"
+#include "metrics/timeseries.hpp"
+#include "sim/simulation.hpp"
+#include "util/types.hpp"
+
+namespace evolve::hpc {
+
+using JobId = std::int64_t;
+inline constexpr JobId kInvalidJob = -1;
+
+enum class QueuePolicy { kFcfs, kEasyBackfill };
+
+struct HpcJobSpec {
+  std::string name;
+  int nodes = 1;                 // exclusive nodes required
+  util::TimeNs walltime = 0;     // user estimate (upper bound)
+  util::TimeNs runtime = 0;      // actual runtime (<= walltime typically)
+  int priority = 0;              // higher runs first
+  std::vector<JobId> depends_on; // must finish before this job is eligible
+};
+
+struct HpcJobStatus {
+  JobId id = kInvalidJob;
+  HpcJobSpec spec;
+  util::TimeNs submit_time = 0;
+  util::TimeNs start_time = -1;
+  util::TimeNs finish_time = -1;
+  std::vector<int> assigned_nodes;
+  bool started = false;
+  bool finished = false;
+};
+
+class BatchQueue {
+ public:
+  using StartFn = std::function<void(JobId, const std::vector<int>&)>;
+  using FinishFn = std::function<void(JobId)>;
+
+  /// `aging_interval`: waiting jobs gain +1 effective priority per
+  /// interval (0 disables aging; ordering is then priority, then FIFO).
+  BatchQueue(sim::Simulation& sim, int total_nodes,
+             QueuePolicy policy = QueuePolicy::kFcfs,
+             util::TimeNs aging_interval = 0);
+
+  JobId submit(HpcJobSpec spec, StartFn on_start = {},
+               FinishFn on_finish = {});
+
+  const HpcJobStatus& job(JobId id) const;
+  int free_nodes() const { return static_cast<int>(free_.size()); }
+  int queued_jobs() const { return static_cast<int>(queue_.size()); }
+  int running_jobs() const { return static_cast<int>(running_.size()); }
+
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
+
+  /// Node-level utilization since t=0.
+  double utilization() const;
+
+ private:
+  struct JobRecord {
+    HpcJobStatus status;
+    StartFn on_start;
+    FinishFn on_finish;
+  };
+
+  void schedule_pass();
+  /// Queue order for this pass: eligible jobs (dependencies satisfied)
+  /// sorted by effective priority desc, then submit order.
+  std::vector<JobId> eligible_order() const;
+  bool dependencies_met(const JobRecord& rec) const;
+  void start_job(JobRecord& rec);
+  void finish_job(JobId id);
+  /// Earliest time the head job could start, from running jobs' walltime
+  /// estimates (the EASY "shadow time").
+  util::TimeNs shadow_time(int needed) const;
+
+  sim::Simulation& sim_;
+  QueuePolicy policy_;
+  util::TimeNs aging_interval_;
+  std::set<int> free_;
+  std::map<JobId, JobRecord> jobs_;
+  std::deque<JobId> queue_;
+  std::set<JobId> running_;
+  JobId next_id_ = 1;
+  metrics::Registry metrics_;
+  metrics::UsageTracker usage_;
+};
+
+}  // namespace evolve::hpc

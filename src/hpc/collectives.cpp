@@ -1,0 +1,343 @@
+#include "hpc/collectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace evolve::hpc {
+
+const char* to_string(CollectiveAlgo algo) {
+  switch (algo) {
+    case CollectiveAlgo::kLinear: return "linear";
+    case CollectiveAlgo::kTree: return "tree";
+    case CollectiveAlgo::kRing: return "ring";
+    case CollectiveAlgo::kRecursiveDoubling: return "recursive-doubling";
+  }
+  return "?";
+}
+
+namespace {
+
+void check_args(int p, int root, util::Bytes bytes) {
+  if (p < 1) throw std::invalid_argument("collective needs p >= 1");
+  if (root < 0 || root >= p) throw std::invalid_argument("bad root rank");
+  if (bytes < 0) throw std::invalid_argument("negative payload");
+}
+
+util::TimeNs reduce_cost(util::Bytes bytes, double ns_per_byte) {
+  if (ns_per_byte <= 0) return 0;
+  return static_cast<util::TimeNs>(
+      std::ceil(static_cast<double>(bytes) * ns_per_byte));
+}
+
+int floor_pow2(int p) {
+  int v = 1;
+  while (v * 2 <= p) v *= 2;
+  return v;
+}
+
+Schedule bcast_linear(int p, int root, util::Bytes bytes) {
+  Round round;
+  for (int r = 0; r < p; ++r) {
+    if (r != root) round.transfers.push_back({root, r, bytes});
+  }
+  return round.transfers.empty() ? Schedule{} : Schedule{round};
+}
+
+Schedule bcast_tree(int p, int root, util::Bytes bytes) {
+  Schedule schedule;
+  for (int span = 1; span < p; span *= 2) {
+    Round round;
+    for (int rel = 0; rel < span; ++rel) {
+      const int peer = rel + span;
+      if (peer >= p) break;
+      round.transfers.push_back(
+          {(rel + root) % p, (peer + root) % p, bytes});
+    }
+    schedule.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+Schedule reduce_linear(int p, int root, util::Bytes bytes,
+                       double ns_per_byte) {
+  Round round;
+  for (int r = 0; r < p; ++r) {
+    if (r != root) round.transfers.push_back({r, root, bytes});
+  }
+  if (round.transfers.empty()) return {};
+  round.compute = reduce_cost(bytes * (p - 1), ns_per_byte);
+  return {round};
+}
+
+Schedule reduce_tree(int p, int root, util::Bytes bytes,
+                     double ns_per_byte) {
+  // Mirror of the binomial bcast, leaves first.
+  Schedule down = bcast_tree(p, root, bytes);
+  Schedule schedule;
+  for (auto it = down.rbegin(); it != down.rend(); ++it) {
+    Round round;
+    for (const Transfer& t : it->transfers) {
+      round.transfers.push_back({t.dst, t.src, t.bytes});
+    }
+    round.compute = reduce_cost(bytes, ns_per_byte);
+    schedule.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+Schedule allreduce_ring(int p, util::Bytes bytes, double ns_per_byte) {
+  if (p == 1) return {};
+  const util::Bytes chunk =
+      (bytes + p - 1) / p;  // equal chunks, rounded up
+  Schedule schedule;
+  // Reduce-scatter: p-1 rounds; every rank forwards one chunk to its
+  // successor and combines the chunk it received.
+  for (int step = 0; step < p - 1; ++step) {
+    Round round;
+    for (int r = 0; r < p; ++r) {
+      round.transfers.push_back({r, (r + 1) % p, chunk});
+    }
+    round.compute = reduce_cost(chunk, ns_per_byte);
+    schedule.push_back(std::move(round));
+  }
+  // Allgather: p-1 rounds of the same ring pattern, no compute.
+  for (int step = 0; step < p - 1; ++step) {
+    Round round;
+    for (int r = 0; r < p; ++r) {
+      round.transfers.push_back({r, (r + 1) % p, chunk});
+    }
+    schedule.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+Schedule allreduce_recursive_doubling(int p, util::Bytes bytes,
+                                      double ns_per_byte) {
+  if (p == 1) return {};
+  const int pow2 = floor_pow2(p);
+  const int rest = p - pow2;  // ranks folded in/out around the core
+  Schedule schedule;
+
+  // Fold-in: rank 2i sends to 2i+1 for i < rest; odd ranks of those pairs
+  // plus ranks >= 2*rest form the power-of-two core.
+  if (rest > 0) {
+    Round round;
+    for (int i = 0; i < rest; ++i) {
+      round.transfers.push_back({2 * i, 2 * i + 1, bytes});
+    }
+    round.compute = reduce_cost(bytes, ns_per_byte);
+    schedule.push_back(std::move(round));
+  }
+
+  // Core participants in rank order.
+  std::vector<int> core;
+  core.reserve(static_cast<std::size_t>(pow2));
+  for (int i = 0; i < rest; ++i) core.push_back(2 * i + 1);
+  for (int r = 2 * rest; r < p; ++r) core.push_back(r);
+
+  for (int span = 1; span < pow2; span *= 2) {
+    Round round;
+    for (int i = 0; i < pow2; ++i) {
+      const int peer = i ^ span;
+      if (i < peer) {
+        // Pairwise exchange: both directions in the same round.
+        round.transfers.push_back({core[static_cast<std::size_t>(i)],
+                                   core[static_cast<std::size_t>(peer)],
+                                   bytes});
+        round.transfers.push_back({core[static_cast<std::size_t>(peer)],
+                                   core[static_cast<std::size_t>(i)], bytes});
+      }
+    }
+    round.compute = reduce_cost(bytes, ns_per_byte);
+    schedule.push_back(std::move(round));
+  }
+
+  // Fold-out: results return to the even ranks of the folded pairs.
+  if (rest > 0) {
+    Round round;
+    for (int i = 0; i < rest; ++i) {
+      round.transfers.push_back({2 * i + 1, 2 * i, bytes});
+    }
+    schedule.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+}  // namespace
+
+Schedule bcast_schedule(int p, int root, util::Bytes bytes,
+                        CollectiveAlgo algo) {
+  check_args(p, root, bytes);
+  switch (algo) {
+    case CollectiveAlgo::kLinear:
+      return bcast_linear(p, root, bytes);
+    case CollectiveAlgo::kTree:
+    case CollectiveAlgo::kRecursiveDoubling:
+      return bcast_tree(p, root, bytes);
+    case CollectiveAlgo::kRing: {
+      // Pipeline around the ring: p-1 sequential hops.
+      Schedule schedule;
+      for (int step = 0; step < p - 1; ++step) {
+        const int src = (root + step) % p;
+        schedule.push_back(Round{{{src, (src + 1) % p, bytes}}, 0});
+      }
+      return schedule;
+    }
+  }
+  throw std::invalid_argument("unknown bcast algorithm");
+}
+
+Schedule reduce_schedule(int p, int root, util::Bytes bytes,
+                         double reduce_ns_per_byte, CollectiveAlgo algo) {
+  check_args(p, root, bytes);
+  switch (algo) {
+    case CollectiveAlgo::kLinear:
+      return reduce_linear(p, root, bytes, reduce_ns_per_byte);
+    case CollectiveAlgo::kTree:
+    case CollectiveAlgo::kRing:
+    case CollectiveAlgo::kRecursiveDoubling:
+      return reduce_tree(p, root, bytes, reduce_ns_per_byte);
+  }
+  throw std::invalid_argument("unknown reduce algorithm");
+}
+
+Schedule allreduce_schedule(int p, util::Bytes bytes,
+                            double reduce_ns_per_byte, CollectiveAlgo algo) {
+  check_args(p, 0, bytes);
+  switch (algo) {
+    case CollectiveAlgo::kLinear: {
+      Schedule schedule = reduce_linear(p, 0, bytes, reduce_ns_per_byte);
+      Schedule down = bcast_linear(p, 0, bytes);
+      schedule.insert(schedule.end(), down.begin(), down.end());
+      return schedule;
+    }
+    case CollectiveAlgo::kTree: {
+      Schedule schedule = reduce_tree(p, 0, bytes, reduce_ns_per_byte);
+      Schedule down = bcast_tree(p, 0, bytes);
+      schedule.insert(schedule.end(), down.begin(), down.end());
+      return schedule;
+    }
+    case CollectiveAlgo::kRing:
+      return allreduce_ring(p, bytes, reduce_ns_per_byte);
+    case CollectiveAlgo::kRecursiveDoubling:
+      return allreduce_recursive_doubling(p, bytes, reduce_ns_per_byte);
+  }
+  throw std::invalid_argument("unknown allreduce algorithm");
+}
+
+Schedule allgather_schedule(int p, util::Bytes bytes_per_rank) {
+  check_args(p, 0, bytes_per_rank);
+  if (p == 1) return {};
+  Schedule schedule;
+  for (int step = 0; step < p - 1; ++step) {
+    Round round;
+    for (int r = 0; r < p; ++r) {
+      round.transfers.push_back({r, (r + 1) % p, bytes_per_rank});
+    }
+    schedule.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+namespace {
+
+Schedule scatter_tree(int p, int root, util::Bytes bytes_per_rank) {
+  // Binomial halving: in descending spans, a holder of block [r, r+2s)
+  // forwards the upper half [r+s, r+2s) to relative rank r+s.
+  Schedule schedule;
+  int top_span = 1;
+  while (top_span < p) top_span *= 2;
+  for (int span = top_span / 2; span >= 1; span /= 2) {
+    Round round;
+    for (int r = 0; r < p; r += 2 * span) {
+      const int peer = r + span;
+      if (peer >= p) continue;
+      const int block = std::min(2 * span, p - r) - span;  // ranks moved
+      round.transfers.push_back({(r + root) % p, (peer + root) % p,
+                                 block * bytes_per_rank});
+    }
+    if (!round.transfers.empty()) schedule.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+}  // namespace
+
+Schedule scatter_schedule(int p, int root, util::Bytes bytes_per_rank,
+                          CollectiveAlgo algo) {
+  check_args(p, root, bytes_per_rank);
+  if (p == 1) return {};
+  if (algo == CollectiveAlgo::kLinear) {
+    Round round;
+    for (int r = 0; r < p; ++r) {
+      if (r != root) round.transfers.push_back({root, r, bytes_per_rank});
+    }
+    return {round};
+  }
+  return scatter_tree(p, root, bytes_per_rank);
+}
+
+Schedule gather_schedule(int p, int root, util::Bytes bytes_per_rank,
+                         CollectiveAlgo algo) {
+  // Exact mirror: reverse the scatter rounds and flip each transfer.
+  Schedule down = scatter_schedule(p, root, bytes_per_rank, algo);
+  Schedule schedule;
+  for (auto it = down.rbegin(); it != down.rend(); ++it) {
+    Round round;
+    for (const Transfer& t : it->transfers) {
+      round.transfers.push_back({t.dst, t.src, t.bytes});
+    }
+    schedule.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+Schedule reduce_scatter_schedule(int p, util::Bytes bytes,
+                                 double reduce_ns_per_byte) {
+  check_args(p, 0, bytes);
+  if (p == 1) return {};
+  const util::Bytes chunk = (bytes + p - 1) / p;
+  Schedule schedule;
+  for (int step = 0; step < p - 1; ++step) {
+    Round round;
+    for (int r = 0; r < p; ++r) {
+      round.transfers.push_back({r, (r + 1) % p, chunk});
+    }
+    round.compute = reduce_cost(chunk, reduce_ns_per_byte);
+    schedule.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+Schedule alltoall_schedule(int p, util::Bytes bytes_per_pair) {
+  check_args(p, 0, bytes_per_pair);
+  if (p == 1) return {};
+  Schedule schedule;
+  for (int offset = 1; offset < p; ++offset) {
+    Round round;
+    for (int r = 0; r < p; ++r) {
+      round.transfers.push_back({r, (r + offset) % p, bytes_per_pair});
+    }
+    schedule.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+Schedule barrier_schedule(int p) {
+  check_args(p, 0, 0);
+  Schedule schedule = reduce_tree(p, 0, 0, 0.0);
+  Schedule down = bcast_tree(p, 0, 0);
+  schedule.insert(schedule.end(), down.begin(), down.end());
+  return schedule;
+}
+
+util::Bytes schedule_bytes(const Schedule& schedule) {
+  util::Bytes total = 0;
+  for (const Round& round : schedule) {
+    for (const Transfer& t : round.transfers) total += t.bytes;
+  }
+  return total;
+}
+
+}  // namespace evolve::hpc

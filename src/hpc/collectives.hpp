@@ -1,0 +1,85 @@
+// Collective-communication schedules.
+//
+// Each algorithm is a pure function from (ranks, sizes) to a list of
+// rounds; a round is a set of point-to-point transfers that proceed in
+// parallel, optionally followed by local reduction compute. The
+// Communicator executes rounds over the simulated fabric. Keeping the
+// schedule builders pure makes the algorithms unit-testable without a
+// simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace evolve::hpc {
+
+enum class CollectiveAlgo {
+  kLinear,             // naive: root exchanges with everyone
+  kTree,               // binomial tree
+  kRing,               // ring (bandwidth-optimal for large messages)
+  kRecursiveDoubling,  // latency-optimal for small messages
+};
+
+const char* to_string(CollectiveAlgo algo);
+
+struct Transfer {
+  int src = 0;
+  int dst = 0;
+  util::Bytes bytes = 0;
+};
+
+struct Round {
+  std::vector<Transfer> transfers;
+  /// Local reduction time appended after the round's transfers complete.
+  util::TimeNs compute = 0;
+};
+
+using Schedule = std::vector<Round>;
+
+// All builders require p >= 1 and bytes >= 0; root in [0, p).
+// `reduce_ns_per_byte` models the local combine cost of reductions.
+
+Schedule bcast_schedule(int p, int root, util::Bytes bytes,
+                        CollectiveAlgo algo);
+
+Schedule reduce_schedule(int p, int root, util::Bytes bytes,
+                         double reduce_ns_per_byte, CollectiveAlgo algo);
+
+Schedule allreduce_schedule(int p, util::Bytes bytes,
+                            double reduce_ns_per_byte, CollectiveAlgo algo);
+
+/// Ring allgather: every rank contributes `bytes_per_rank`.
+Schedule allgather_schedule(int p, util::Bytes bytes_per_rank);
+
+/// Scatter: root distributes a distinct `bytes_per_rank` block to every
+/// rank. kLinear = one round from root; kTree = binomial halving (root
+/// forwards whole sub-blocks down the tree). Other algos map to kTree.
+Schedule scatter_schedule(int p, int root, util::Bytes bytes_per_rank,
+                          CollectiveAlgo algo = CollectiveAlgo::kTree);
+
+/// Gather: mirror of scatter (blocks flow up to the root).
+Schedule gather_schedule(int p, int root, util::Bytes bytes_per_rank,
+                         CollectiveAlgo algo = CollectiveAlgo::kTree);
+
+/// Ring reduce-scatter: each rank ends with one reduced 1/p chunk.
+Schedule reduce_scatter_schedule(int p, util::Bytes bytes,
+                                 double reduce_ns_per_byte);
+
+/// All-to-all personalized exchange: every rank sends a distinct
+/// `bytes_per_pair` block to every other rank (p-1 rotation rounds).
+Schedule alltoall_schedule(int p, util::Bytes bytes_per_pair);
+
+/// Barrier: tree reduce + tree bcast of empty messages.
+Schedule barrier_schedule(int p);
+
+/// Total bytes moved by a schedule (sanity metric for tests).
+util::Bytes schedule_bytes(const Schedule& schedule);
+
+/// Number of rounds.
+inline std::size_t schedule_depth(const Schedule& schedule) {
+  return schedule.size();
+}
+
+}  // namespace evolve::hpc

@@ -1,0 +1,119 @@
+#include "hpc/communicator.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace evolve::hpc {
+
+Communicator::Communicator(sim::Simulation& sim, net::Fabric& fabric,
+                           std::vector<cluster::NodeId> rank_nodes,
+                           CommConfig config)
+    : sim_(sim),
+      fabric_(fabric),
+      rank_nodes_(std::move(rank_nodes)),
+      config_(config) {
+  if (rank_nodes_.empty()) {
+    throw std::invalid_argument("communicator needs at least one rank");
+  }
+}
+
+cluster::NodeId Communicator::node_of(int rank) const {
+  if (rank < 0 || rank >= size()) throw std::out_of_range("bad rank");
+  return rank_nodes_[static_cast<std::size_t>(rank)];
+}
+
+void Communicator::send(int src, int dst, util::Bytes bytes,
+                        Callback on_done) {
+  const cluster::NodeId src_node = node_of(src);
+  const cluster::NodeId dst_node = node_of(dst);
+  metrics_.count("messages");
+  metrics_.count("bytes_sent", bytes);
+  sim_.after(config_.per_message_overhead,
+             [this, src_node, dst_node, bytes, cb = std::move(on_done)]() mutable {
+               fabric_.transfer(src_node, dst_node, bytes, std::move(cb));
+             });
+}
+
+void Communicator::run_round(std::shared_ptr<const Schedule> schedule,
+                             std::size_t index, Callback on_done) {
+  if (index >= schedule->size()) {
+    on_done();
+    return;
+  }
+  const Round& round = (*schedule)[index];
+  if (round.transfers.empty()) {
+    sim_.after(round.compute, [this, schedule, index,
+                               cb = std::move(on_done)]() mutable {
+      run_round(schedule, index + 1, std::move(cb));
+    });
+    return;
+  }
+  auto remaining = std::make_shared<int>(
+      static_cast<int>(round.transfers.size()));
+  auto compute = round.compute;
+  auto next = [this, schedule, index, remaining, compute,
+               cb = std::move(on_done)]() mutable {
+    if (--*remaining > 0) return;
+    sim_.after(compute, [this, schedule, index, cb = std::move(cb)]() mutable {
+      run_round(schedule, index + 1, std::move(cb));
+    });
+  };
+  for (const Transfer& t : round.transfers) {
+    send(t.src, t.dst, t.bytes, next);
+  }
+}
+
+void Communicator::execute(const Schedule& schedule, Callback on_done) {
+  auto shared = std::make_shared<const Schedule>(schedule);
+  metrics_.count("collectives");
+  run_round(std::move(shared), 0, std::move(on_done));
+}
+
+void Communicator::barrier(Callback on_done) {
+  execute(barrier_schedule(size()), std::move(on_done));
+}
+
+void Communicator::bcast(int root, util::Bytes bytes, CollectiveAlgo algo,
+                         Callback on_done) {
+  execute(bcast_schedule(size(), root, bytes, algo), std::move(on_done));
+}
+
+void Communicator::reduce(int root, util::Bytes bytes, CollectiveAlgo algo,
+                          Callback on_done) {
+  execute(reduce_schedule(size(), root, bytes, config_.reduce_ns_per_byte,
+                          algo),
+          std::move(on_done));
+}
+
+void Communicator::allreduce(util::Bytes bytes, CollectiveAlgo algo,
+                             Callback on_done) {
+  execute(allreduce_schedule(size(), bytes, config_.reduce_ns_per_byte, algo),
+          std::move(on_done));
+}
+
+void Communicator::allgather(util::Bytes bytes_per_rank, Callback on_done) {
+  execute(allgather_schedule(size(), bytes_per_rank), std::move(on_done));
+}
+
+void Communicator::scatter(int root, util::Bytes bytes_per_rank,
+                           Callback on_done) {
+  execute(scatter_schedule(size(), root, bytes_per_rank),
+          std::move(on_done));
+}
+
+void Communicator::gather(int root, util::Bytes bytes_per_rank,
+                          Callback on_done) {
+  execute(gather_schedule(size(), root, bytes_per_rank), std::move(on_done));
+}
+
+void Communicator::reduce_scatter(util::Bytes bytes, Callback on_done) {
+  execute(
+      reduce_scatter_schedule(size(), bytes, config_.reduce_ns_per_byte),
+      std::move(on_done));
+}
+
+void Communicator::alltoall(util::Bytes bytes_per_pair, Callback on_done) {
+  execute(alltoall_schedule(size(), bytes_per_pair), std::move(on_done));
+}
+
+}  // namespace evolve::hpc

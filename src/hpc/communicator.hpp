@@ -1,0 +1,74 @@
+// MPI-style communicator executing point-to-point messages and collective
+// schedules over the simulated fabric.
+//
+// Ranks map to cluster nodes (several ranks may share a node; intra-node
+// traffic uses the loopback path). Collectives run round-by-round: all
+// transfers of a round proceed in parallel, then local reduction compute
+// is charged, then the next round starts.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "hpc/collectives.hpp"
+#include "metrics/registry.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulation.hpp"
+#include "util/types.hpp"
+
+namespace evolve::hpc {
+
+struct CommConfig {
+  /// Software overhead charged per message on top of the fabric time.
+  util::TimeNs per_message_overhead = util::micros(1);
+  /// Local combine cost for reductions (ns per byte reduced).
+  double reduce_ns_per_byte = 0.05;
+};
+
+class Communicator {
+ public:
+  using Callback = std::function<void()>;
+
+  Communicator(sim::Simulation& sim, net::Fabric& fabric,
+               std::vector<cluster::NodeId> rank_nodes,
+               CommConfig config = {});
+
+  int size() const { return static_cast<int>(rank_nodes_.size()); }
+  cluster::NodeId node_of(int rank) const;
+  const CommConfig& config() const { return config_; }
+
+  /// Point-to-point message; `on_done` fires when it is fully received.
+  void send(int src, int dst, util::Bytes bytes, Callback on_done);
+
+  /// Executes a prebuilt schedule round-by-round.
+  void execute(const Schedule& schedule, Callback on_done);
+
+  // Convenience collective entry points.
+  void barrier(Callback on_done);
+  void bcast(int root, util::Bytes bytes, CollectiveAlgo algo,
+             Callback on_done);
+  void reduce(int root, util::Bytes bytes, CollectiveAlgo algo,
+              Callback on_done);
+  void allreduce(util::Bytes bytes, CollectiveAlgo algo, Callback on_done);
+  void allgather(util::Bytes bytes_per_rank, Callback on_done);
+  void scatter(int root, util::Bytes bytes_per_rank, Callback on_done);
+  void gather(int root, util::Bytes bytes_per_rank, Callback on_done);
+  void reduce_scatter(util::Bytes bytes, Callback on_done);
+  void alltoall(util::Bytes bytes_per_pair, Callback on_done);
+
+  metrics::Registry& metrics() { return metrics_; }
+
+ private:
+  void run_round(std::shared_ptr<const Schedule> schedule, std::size_t index,
+                 Callback on_done);
+
+  sim::Simulation& sim_;
+  net::Fabric& fabric_;
+  std::vector<cluster::NodeId> rank_nodes_;
+  CommConfig config_;
+  metrics::Registry metrics_;
+};
+
+}  // namespace evolve::hpc

@@ -1,0 +1,56 @@
+#include "hpc/job.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace evolve::hpc {
+
+namespace {
+
+struct RunState {
+  sim::Simulation& sim;
+  Communicator& comm;
+  MpiProgram program;
+  std::function<void(const MpiRunStats&)> on_done;
+  MpiRunStats stats;
+  util::TimeNs started = 0;
+  util::TimeNs compute_step = 0;
+
+  void iterate(std::shared_ptr<RunState> self) {
+    if (stats.iterations_completed >= program.iterations) {
+      stats.total_time = sim.now() - started;
+      on_done(stats);
+      return;
+    }
+    // Compute phase: ranks run in parallel, so wall time advances by one
+    // per-rank compute step.
+    sim.after(compute_step, [this, self] {
+      stats.compute_time += compute_step;
+      comm.allreduce(program.allreduce_bytes, program.algo, [this, self] {
+        ++stats.iterations_completed;
+        iterate(self);
+      });
+    });
+  }
+};
+
+}  // namespace
+
+void run_mpi_program(sim::Simulation& sim, Communicator& comm,
+                     const MpiProgram& program,
+                     std::function<void(const MpiRunStats&)> on_done) {
+  if (program.iterations < 0) {
+    throw std::invalid_argument("negative iteration count");
+  }
+  if (program.compute_speedup <= 0) {
+    throw std::invalid_argument("compute_speedup must be > 0");
+  }
+  auto state = std::make_shared<RunState>(RunState{
+      sim, comm, program, std::move(on_done), {}, sim.now(), 0});
+  state->compute_step = static_cast<util::TimeNs>(
+      std::llround(static_cast<double>(program.compute_per_iteration) /
+                   program.compute_speedup));
+  state->iterate(state);
+}
+
+}  // namespace evolve::hpc

@@ -1,0 +1,36 @@
+// Iterative MPI-style programs: compute phase + allreduce per iteration
+// (the dominant pattern of EVOLVE's HPC/ML workloads).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "hpc/communicator.hpp"
+#include "util/types.hpp"
+
+namespace evolve::hpc {
+
+struct MpiProgram {
+  int iterations = 1;
+  /// Per-rank compute time per iteration (before any accel speedup).
+  util::TimeNs compute_per_iteration = 0;
+  /// Gradient/halo exchange payload all-reduced each iteration.
+  util::Bytes allreduce_bytes = 0;
+  CollectiveAlgo algo = CollectiveAlgo::kRing;
+  /// Multiplier < 1 accelerates compute (e.g. FPGA offload).
+  double compute_speedup = 1.0;
+};
+
+struct MpiRunStats {
+  util::TimeNs total_time = 0;
+  util::TimeNs compute_time = 0;        // per-rank serial compute charged
+  int iterations_completed = 0;
+};
+
+/// Runs `program` on `comm`; `on_done` receives the run stats.
+/// The communicator must stay alive until completion.
+void run_mpi_program(sim::Simulation& sim, Communicator& comm,
+                     const MpiProgram& program,
+                     std::function<void(const MpiRunStats&)> on_done);
+
+}  // namespace evolve::hpc

@@ -1,0 +1,123 @@
+#include "metrics/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace evolve::metrics {
+
+namespace {
+constexpr int kSubBucketBits = 6;
+constexpr std::int64_t kSubBuckets = 1 << kSubBucketBits;  // 64
+}  // namespace
+
+Histogram::Histogram() = default;
+
+std::size_t Histogram::bucket_index(std::int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const auto v = static_cast<std::uint64_t>(value);
+  const int msb = 63 - std::countl_zero(v);
+  const int octave = msb - kSubBucketBits + 1;  // >= 1
+  const std::int64_t sub = (value >> octave) & (kSubBuckets - 1);
+  return static_cast<std::size_t>(kSubBuckets + (octave - 1) * kSubBuckets +
+                                  sub);
+}
+
+std::int64_t Histogram::bucket_midpoint(std::size_t index) {
+  if (index < static_cast<std::size_t>(kSubBuckets)) {
+    return static_cast<std::int64_t>(index);
+  }
+  const std::size_t rest = index - kSubBuckets;
+  const int octave = static_cast<int>(rest / kSubBuckets) + 1;
+  const std::int64_t sub = static_cast<std::int64_t>(rest % kSubBuckets);
+  const std::int64_t lo = (kSubBuckets + sub) << octave;
+  const std::int64_t width = std::int64_t{1} << octave;
+  return lo + width / 2;
+}
+
+void Histogram::record(std::int64_t value) { record_n(value, 1); }
+
+void Histogram::record_n(std::int64_t value, std::int64_t count) {
+  if (count <= 0) return;
+  if (value < 0) value = 0;
+  const std::size_t index = bucket_index(value);
+  if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+  buckets_[index] += count;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+  sum_sq_ += static_cast<double>(value) * static_cast<double>(value) *
+             static_cast<double>(count);
+}
+
+std::int64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
+std::int64_t Histogram::max() const { return count_ == 0 ? 0 : max_; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::stddev() const {
+  if (count_ == 0) return 0.0;
+  const double m = mean();
+  const double var = sum_sq_ / static_cast<double>(count_) - m * m;
+  return var <= 0 ? 0.0 : std::sqrt(var);
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto target = static_cast<std::int64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::clamp(bucket_midpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void Histogram::reset() {
+  buckets_.clear();
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = sum_sq_ = 0;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream out;
+  out << "n=" << count_ << " mean=" << mean() << " p50=" << p50()
+      << " p95=" << p95() << " p99=" << p99() << " max=" << max();
+  return out.str();
+}
+
+}  // namespace evolve::metrics

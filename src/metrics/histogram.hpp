@@ -1,0 +1,58 @@
+// Log-bucketed histogram (HDR-style) for latency/size distributions.
+//
+// Values are bucketed with bounded relative error (~= 1/64 per octave),
+// which is plenty for percentile reporting in benchmark tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evolve::metrics {
+
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records a non-negative sample (negative samples clamp to zero).
+  void record(std::int64_t value);
+
+  /// Records `count` occurrences of `value`.
+  void record_n(std::int64_t value, std::int64_t count);
+
+  std::int64_t count() const { return count_; }
+  std::int64_t min() const;
+  std::int64_t max() const;
+  double mean() const;
+  double stddev() const;
+
+  /// Percentile in [0, 100]. Returns 0 on an empty histogram.
+  std::int64_t percentile(double p) const;
+
+  std::int64_t p50() const { return percentile(50); }
+  std::int64_t p95() const { return percentile(95); }
+  std::int64_t p99() const { return percentile(99); }
+
+  /// Merges another histogram into this one.
+  void merge(const Histogram& other);
+
+  void reset();
+
+  /// One-line summary, e.g. "n=100 mean=5.2 p50=5 p95=9 p99=10 max=10".
+  std::string summary() const;
+
+ private:
+  static std::size_t bucket_index(std::int64_t value);
+  static std::int64_t bucket_midpoint(std::size_t index);
+
+  static constexpr int kSubBucketBits = 6;  // 64 sub-buckets per octave
+
+  std::vector<std::int64_t> buckets_;
+  std::int64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+};
+
+}  // namespace evolve::metrics

@@ -1,0 +1,80 @@
+#include "metrics/registry.hpp"
+
+#include <sstream>
+
+namespace evolve::metrics {
+
+const Histogram Registry::kEmptyHistogram{};
+const TimeSeries Registry::kEmptySeries{};
+
+void Registry::count(const std::string& name, std::int64_t delta) {
+  counters_[name] += delta;
+}
+
+std::int64_t Registry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Registry::set_gauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+double Registry::gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void Registry::observe(const std::string& name, std::int64_t value) {
+  histograms_[name].record(value);
+}
+
+const Histogram& Registry::histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? kEmptyHistogram : it->second;
+}
+
+bool Registry::has_histogram(const std::string& name) const {
+  return histograms_.count(name) != 0;
+}
+
+void Registry::sample(const std::string& name, util::TimeNs time,
+                      double value) {
+  series_[name].record(time, value);
+}
+
+const TimeSeries& Registry::series(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? kEmptySeries : it->second;
+}
+
+bool Registry::has_series(const std::string& name) const {
+  return series_.count(name) != 0;
+}
+
+std::string Registry::render() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters_) {
+    out << "counter " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges_) {
+    out << "gauge " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out << "histogram " << name << " " << hist.summary() << "\n";
+  }
+  for (const auto& [name, ts] : series_) {
+    out << "series " << name << " n=" << ts.size() << " last=" << ts.last()
+        << "\n";
+  }
+  return out.str();
+}
+
+void Registry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  series_.clear();
+}
+
+}  // namespace evolve::metrics

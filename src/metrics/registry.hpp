@@ -1,0 +1,48 @@
+// Named metric registry: counters, gauges, histograms, series.
+// Mirrors the Prometheus-style monitoring plane of the EVOLVE testbed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "metrics/histogram.hpp"
+#include "metrics/timeseries.hpp"
+
+namespace evolve::metrics {
+
+class Registry {
+ public:
+  /// Monotonic counter (creates on first use).
+  void count(const std::string& name, std::int64_t delta = 1);
+  std::int64_t counter(const std::string& name) const;
+
+  /// Last-value gauge.
+  void set_gauge(const std::string& name, double value);
+  double gauge(const std::string& name) const;
+
+  /// Histogram sample.
+  void observe(const std::string& name, std::int64_t value);
+  const Histogram& histogram(const std::string& name) const;
+  bool has_histogram(const std::string& name) const;
+
+  /// Time series sample.
+  void sample(const std::string& name, util::TimeNs time, double value);
+  const TimeSeries& series(const std::string& name) const;
+  bool has_series(const std::string& name) const;
+
+  /// Plain-text dump of all metrics, sorted by name.
+  std::string render() const;
+
+  void reset();
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, TimeSeries> series_;
+  static const Histogram kEmptyHistogram;
+  static const TimeSeries kEmptySeries;
+};
+
+}  // namespace evolve::metrics

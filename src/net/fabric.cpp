@@ -1,0 +1,172 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace evolve::net {
+
+namespace {
+constexpr double kDrainEpsilon = 1e-6;  // bytes
+}
+
+Fabric::Fabric(sim::Simulation& sim, const Topology& topology)
+    : sim_(sim), topology_(topology), last_settle_(sim.now()) {}
+
+FlowId Fabric::transfer(cluster::NodeId src, cluster::NodeId dst,
+                        util::Bytes bytes, FlowCallback on_complete) {
+  if (bytes < 0) throw std::invalid_argument("transfer: negative bytes");
+  const util::TimeNs latency = topology_.latency(src, dst);
+  const FlowId id = next_id_++;
+  ++stats_.flows_started;
+  if (bytes == 0) {
+    ++stats_.flows_completed;
+    sim_.after(latency, std::move(on_complete));
+    return id;
+  }
+  settle_progress();
+  Flow flow;
+  flow.id = id;
+  flow.path = topology_.path(src, dst);
+  flow.remaining = static_cast<double>(bytes);
+  // Completion callback is deferred by the propagation latency so short
+  // messages still pay the base RTT contribution.
+  const bool remote = !flow.path.empty();
+  flow.on_complete = [this, latency, cb = std::move(on_complete), bytes,
+                      remote]() mutable {
+    stats_.bytes_delivered += bytes;
+    if (remote) stats_.bytes_remote += bytes;
+    sim_.after(latency, std::move(cb));
+  };
+  flows_.emplace(id, std::move(flow));
+  recompute();
+  return id;
+}
+
+bool Fabric::cancel(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  settle_progress();
+  flows_.erase(it);
+  recompute();
+  return true;
+}
+
+double Fabric::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void Fabric::settle_progress() {
+  const util::TimeNs now = sim_.now();
+  if (now == last_settle_) return;
+  const double dt = util::to_seconds(now - last_settle_);
+  last_settle_ = now;
+  for (auto& [id, flow] : flows_) {
+    flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
+  }
+}
+
+void Fabric::solve_max_min() {
+  ++stats_.rate_recomputations;
+  const int link_count = topology_.link_count();
+  std::vector<double> capacity(static_cast<std::size_t>(link_count));
+  std::vector<int> unfixed(static_cast<std::size_t>(link_count), 0);
+  for (int l = 0; l < link_count; ++l) {
+    capacity[static_cast<std::size_t>(l)] =
+        topology_.link(l).capacity_bytes_per_s;
+  }
+
+  std::vector<Flow*> pending;
+  pending.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) {
+    if (flow.path.empty()) {
+      flow.rate = topology_.config().loopback_bytes_per_s;
+      continue;
+    }
+    flow.rate = -1.0;  // unfixed marker
+    pending.push_back(&flow);
+    for (LinkId l : flow.path) ++unfixed[static_cast<std::size_t>(l)];
+  }
+
+  std::size_t remaining = pending.size();
+  while (remaining > 0) {
+    // Find the bottleneck: the link with the smallest fair share.
+    double best_share = std::numeric_limits<double>::infinity();
+    for (int l = 0; l < link_count; ++l) {
+      const auto idx = static_cast<std::size_t>(l);
+      if (unfixed[idx] == 0) continue;
+      const double share = std::max(0.0, capacity[idx]) / unfixed[idx];
+      best_share = std::min(best_share, share);
+    }
+    if (!std::isfinite(best_share)) {
+      throw std::logic_error("max-min: unfixed flows but no loaded link");
+    }
+    // Fix every unfixed flow crossing a link at the bottleneck share.
+    bool fixed_any = false;
+    for (Flow* flow : pending) {
+      if (flow->rate >= 0) continue;
+      bool at_bottleneck = false;
+      for (LinkId l : flow->path) {
+        const auto idx = static_cast<std::size_t>(l);
+        const double share = std::max(0.0, capacity[idx]) / unfixed[idx];
+        if (share <= best_share * (1 + 1e-12)) {
+          at_bottleneck = true;
+          break;
+        }
+      }
+      if (!at_bottleneck) continue;
+      flow->rate = best_share;
+      fixed_any = true;
+      --remaining;
+      for (LinkId l : flow->path) {
+        const auto idx = static_cast<std::size_t>(l);
+        capacity[idx] -= best_share;
+        --unfixed[idx];
+      }
+    }
+    if (!fixed_any) {
+      throw std::logic_error("max-min: made no progress");
+    }
+  }
+}
+
+void Fabric::recompute() {
+  if (has_pending_event_) {
+    sim_.cancel(pending_event_);
+    has_pending_event_ = false;
+  }
+  if (flows_.empty()) return;
+  solve_max_min();
+  double earliest_s = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    if (flow.rate <= 0) {
+      throw std::logic_error("flow with zero rate would never complete");
+    }
+    earliest_s = std::min(earliest_s, flow.remaining / flow.rate);
+  }
+  const auto delay = static_cast<util::TimeNs>(std::ceil(earliest_s * 1e9));
+  pending_event_ = sim_.after(std::max<util::TimeNs>(delay, 0),
+                              [this] { on_completion_event(); });
+  has_pending_event_ = true;
+}
+
+void Fabric::on_completion_event() {
+  has_pending_event_ = false;
+  settle_progress();
+  std::vector<FlowCallback> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining <= kDrainEpsilon) {
+      done.push_back(std::move(it->second.on_complete));
+      it = flows_.erase(it);
+      ++stats_.flows_completed;
+    } else {
+      ++it;
+    }
+  }
+  recompute();
+  for (auto& cb : done) cb();
+}
+
+}  // namespace evolve::net

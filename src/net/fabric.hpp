@@ -1,0 +1,86 @@
+// Flow-level network simulation with progressive max-min fair sharing.
+//
+// A Flow occupies every directed link on its path. Whenever the set of
+// active flows changes, the fabric re-solves max-min fair rates
+// (water-filling over bottleneck links) and reschedules the earliest flow
+// completion. This reproduces the bandwidth contention behaviour that
+// drives shuffle, collective, and storage-transfer times in EVOLVE.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+#include "util/types.hpp"
+
+namespace evolve::net {
+
+using FlowId = std::int64_t;
+using FlowCallback = std::function<void()>;
+
+struct FlowStats {
+  std::int64_t flows_started = 0;
+  std::int64_t flows_completed = 0;
+  util::Bytes bytes_delivered = 0;
+  /// Bytes that actually crossed network links (excludes loopback).
+  util::Bytes bytes_remote = 0;
+  std::int64_t rate_recomputations = 0;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulation& sim, const Topology& topology);
+
+  /// Starts a transfer of `bytes` from host `src` to host `dst`;
+  /// `on_complete` fires (as a simulation event) when the last byte lands.
+  /// Zero-byte transfers complete after just the propagation latency.
+  FlowId transfer(cluster::NodeId src, cluster::NodeId dst, util::Bytes bytes,
+                  FlowCallback on_complete);
+
+  /// Cancels an in-flight transfer; its callback never fires.
+  /// Returns false if the flow already completed.
+  bool cancel(FlowId id);
+
+  /// Current max-min rate of a flow in bytes/s (0 if unknown/finished).
+  double flow_rate(FlowId id) const;
+
+  int active_flows() const { return static_cast<int>(flows_.size()); }
+  const FlowStats& stats() const { return stats_; }
+  const Topology& topology() const { return topology_; }
+
+ private:
+  struct Flow {
+    FlowId id = 0;
+    std::vector<LinkId> path;   // empty = loopback
+    double remaining = 0;       // bytes still to deliver
+    double rate = 0;            // bytes/s, from the last max-min solve
+    FlowCallback on_complete;
+  };
+
+  /// Folds elapsed time into every flow's `remaining`.
+  void settle_progress();
+
+  /// Recomputes max-min rates and schedules the next completion event.
+  void recompute();
+
+  /// Completion event body: completes all flows that have drained.
+  void on_completion_event();
+
+  void solve_max_min();
+
+  sim::Simulation& sim_;
+  const Topology& topology_;
+  // std::map keeps iteration order deterministic (flow-id order), which
+  // makes completion-callback ordering reproducible across platforms.
+  std::map<FlowId, Flow> flows_;
+  FlowId next_id_ = 1;
+  util::TimeNs last_settle_ = 0;
+  sim::EventId pending_event_ = 0;
+  bool has_pending_event_ = false;
+  FlowStats stats_;
+};
+
+}  // namespace evolve::net

@@ -1,0 +1,82 @@
+#include "orch/autoscaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace evolve::orch {
+
+HorizontalAutoscaler::HorizontalAutoscaler(sim::Simulation& sim,
+                                           DeploymentController& deployment,
+                                           std::function<double()> load,
+                                           AutoscalerConfig config)
+    : sim_(sim),
+      deployment_(deployment),
+      load_(std::move(load)),
+      config_(config) {
+  if (config_.capacity_per_replica <= 0) {
+    throw std::invalid_argument("capacity_per_replica must be > 0");
+  }
+  if (config_.target_utilization <= 0 || config_.target_utilization > 1) {
+    throw std::invalid_argument("target_utilization must be in (0, 1]");
+  }
+  if (config_.min_replicas < 0 ||
+      config_.max_replicas < config_.min_replicas) {
+    throw std::invalid_argument("bad replica bounds");
+  }
+  if (!load_) throw std::invalid_argument("autoscaler needs a load signal");
+}
+
+int HorizontalAutoscaler::recommend(double load) const {
+  const double per_replica =
+      config_.capacity_per_replica * config_.target_utilization;
+  const int want = static_cast<int>(std::ceil(load / per_replica));
+  return std::clamp(want, config_.min_replicas, config_.max_replicas);
+}
+
+void HorizontalAutoscaler::reconcile() {
+  const int want = recommend(load_());
+  last_recommendation_ = want;
+  const util::TimeNs now = sim_.now();
+  history_.emplace_back(now, want);
+  while (!history_.empty() &&
+         history_.front().first < now - config_.scale_down_window) {
+    history_.pop_front();
+  }
+  const int current = deployment_.desired();
+  if (want > current) {
+    // Scale up immediately.
+    deployment_.scale(want);
+    ++scale_ups_;
+    return;
+  }
+  if (want < current) {
+    // Scale down only to the max recommendation over the window
+    // (prevents flapping on a transient dip).
+    int window_max = want;
+    for (const auto& [t, rec] : history_) window_max = std::max(window_max, rec);
+    if (window_max < current) {
+      deployment_.scale(window_max);
+      ++scale_downs_;
+    }
+  }
+}
+
+void HorizontalAutoscaler::start() {
+  if (running_) return;
+  running_ = true;
+  // Periodic loop; each tick re-arms itself while running.
+  struct Loop {
+    HorizontalAutoscaler* self;
+    void operator()() const {
+      if (!self->running_) return;
+      self->reconcile();
+      self->sim_.after(self->config_.interval, Loop{self});
+    }
+  };
+  sim_.after(config_.interval, Loop{this});
+}
+
+void HorizontalAutoscaler::stop() { running_ = false; }
+
+}  // namespace evolve::orch

@@ -1,0 +1,61 @@
+// Horizontal pod autoscaler: periodically resizes a deployment to track
+// an external load signal (Kubernetes HPA semantics: immediate scale-up,
+// stabilization-window scale-down).
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "orch/controllers.hpp"
+#include "sim/simulation.hpp"
+
+namespace evolve::orch {
+
+struct AutoscalerConfig {
+  /// Each replica is sized for this much load (e.g. requests/s).
+  double capacity_per_replica = 100.0;
+  /// Target fraction of replica capacity to run at (headroom below 1).
+  double target_utilization = 0.7;
+  int min_replicas = 1;
+  int max_replicas = 64;
+  util::TimeNs interval = util::seconds(15);
+  /// Scale down only to the max recommendation seen in this window.
+  util::TimeNs scale_down_window = util::seconds(60);
+};
+
+class HorizontalAutoscaler {
+ public:
+  /// `load` is sampled every interval (aggregate demand on the service).
+  HorizontalAutoscaler(sim::Simulation& sim, DeploymentController& deployment,
+                       std::function<double()> load,
+                       AutoscalerConfig config = {});
+
+  /// Arms the periodic reconcile loop.
+  void start();
+  /// Stops the loop (required for the simulation to drain).
+  void stop();
+
+  /// Replica count the last sample asked for (before stabilization).
+  int last_recommendation() const { return last_recommendation_; }
+  std::int64_t scale_ups() const { return scale_ups_; }
+  std::int64_t scale_downs() const { return scale_downs_; }
+
+  /// One reconcile step (also called by the periodic loop).
+  void reconcile();
+
+ private:
+  int recommend(double load) const;
+
+  sim::Simulation& sim_;
+  DeploymentController& deployment_;
+  std::function<double()> load_;
+  AutoscalerConfig config_;
+  bool running_ = false;
+  int last_recommendation_ = 0;
+  std::int64_t scale_ups_ = 0;
+  std::int64_t scale_downs_ = 0;
+  /// (time, recommendation) samples inside the stabilization window.
+  std::deque<std::pair<util::TimeNs, int>> history_;
+};
+
+}  // namespace evolve::orch

@@ -1,0 +1,79 @@
+// Controllers: reconcile desired state on top of the Orchestrator.
+//
+// DeploymentController keeps N replicas of a pod template running
+// (recreating failed/preempted replicas). JobController runs a fixed
+// number of completions with bounded parallelism.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "orch/scheduler.hpp"
+
+namespace evolve::orch {
+
+class DeploymentController {
+ public:
+  DeploymentController(Orchestrator& orch, std::string name, PodSpec base,
+                       int replicas);
+
+  /// Changes the desired replica count; reconciles immediately.
+  void scale(int replicas);
+
+  /// Stops all replicas and holds the deployment at zero.
+  void stop();
+
+  int desired() const { return desired_; }
+  int live() const { return static_cast<int>(live_.size()); }
+  const std::string& name() const { return name_; }
+  std::int64_t restarts() const { return restarts_; }
+
+ private:
+  void reconcile();
+  PodSpec replica_spec();
+
+  Orchestrator& orch_;
+  std::string name_;
+  PodSpec base_;
+  int desired_ = 0;
+  int next_index_ = 0;
+  std::int64_t restarts_ = 0;
+  bool stopped_ = false;
+  std::set<PodId> live_;  // pods submitted and not yet terminal
+};
+
+class JobController {
+ public:
+  /// `completions` pods of `duration` each, at most `parallelism` in
+  /// flight. `on_complete` fires when the last pod succeeds.
+  JobController(Orchestrator& orch, std::string name, PodSpec base,
+                int completions, int parallelism, util::TimeNs duration,
+                std::function<void()> on_complete = {});
+
+  void start();
+
+  int succeeded() const { return succeeded_; }
+  int failed() const { return failed_; }
+  bool done() const { return succeeded_ >= completions_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  void launch_next();
+
+  Orchestrator& orch_;
+  std::string name_;
+  PodSpec base_;
+  int completions_;
+  int parallelism_;
+  util::TimeNs duration_;
+  std::function<void()> on_complete_;
+  int launched_ = 0;
+  int in_flight_ = 0;
+  int succeeded_ = 0;
+  int failed_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace evolve::orch

@@ -1,0 +1,28 @@
+#include "orch/node_status.hpp"
+
+#include <stdexcept>
+
+namespace evolve::orch {
+
+void NodeStatus::bind(PodId pod, const cluster::Resources& request) {
+  if (!fits(request)) {
+    throw std::logic_error("bind would overcommit node " +
+                           std::to_string(id_));
+  }
+  if (!pods_.insert(pod).second) {
+    throw std::logic_error("pod already bound to node");
+  }
+  allocated_ += request;
+}
+
+void NodeStatus::unbind(PodId pod, const cluster::Resources& request) {
+  if (pods_.erase(pod) == 0) {
+    throw std::logic_error("pod not bound to node " + std::to_string(id_));
+  }
+  allocated_ -= request;
+  if (allocated_.any_negative()) {
+    throw std::logic_error("unbind drove allocation negative");
+  }
+}
+
+}  // namespace evolve::orch

@@ -1,0 +1,42 @@
+// Per-node scheduling state: allocatable capacity vs bound pods.
+#pragma once
+
+#include <set>
+
+#include "cluster/cluster.hpp"
+#include "orch/pod.hpp"
+
+namespace evolve::orch {
+
+class NodeStatus {
+ public:
+  NodeStatus(cluster::NodeId id, cluster::Resources allocatable)
+      : id_(id), allocatable_(allocatable) {}
+
+  cluster::NodeId id() const { return id_; }
+  const cluster::Resources& allocatable() const { return allocatable_; }
+  const cluster::Resources& allocated() const { return allocated_; }
+  cluster::Resources free() const { return allocatable_ - allocated_; }
+
+  bool fits(const cluster::Resources& request) const {
+    return free().fits(request);
+  }
+
+  /// Binds a pod's resources. Throws if it does not fit (scheduler bug).
+  void bind(PodId pod, const cluster::Resources& request);
+
+  /// Releases a pod's resources. Throws if the pod is not bound here.
+  void unbind(PodId pod, const cluster::Resources& request);
+
+  bool has_pod(PodId pod) const { return pods_.count(pod) != 0; }
+  const std::set<PodId>& pods() const { return pods_; }
+  int pod_count() const { return static_cast<int>(pods_.size()); }
+
+ private:
+  cluster::NodeId id_;
+  cluster::Resources allocatable_;
+  cluster::Resources allocated_;
+  std::set<PodId> pods_;
+};
+
+}  // namespace evolve::orch

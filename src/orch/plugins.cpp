@@ -1,0 +1,109 @@
+#include "orch/plugins.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace evolve::orch {
+
+bool ResourceFitFilter::feasible(const PodSpec& pod,
+                                 const cluster::NodeSpec& /*spec*/,
+                                 const NodeStatus& node) const {
+  return node.fits(pod.request);
+}
+
+bool NodeSelectorFilter::feasible(const PodSpec& pod,
+                                  const cluster::NodeSpec& spec,
+                                  const NodeStatus& /*node*/) const {
+  for (const auto& label : pod.node_selector) {
+    if (!spec.has_label(label)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Fraction of the node's capacity used after placing the pod, averaged
+/// over CPU and memory (accel ignored: it is all-or-nothing).
+double used_fraction(const PodSpec& pod, const NodeStatus& node,
+                     double* cpu_out = nullptr, double* mem_out = nullptr) {
+  const auto& cap = node.allocatable();
+  const auto after = node.allocated() + pod.request;
+  const double cpu =
+      cap.cpu_millicores > 0
+          ? static_cast<double>(after.cpu_millicores) /
+                static_cast<double>(cap.cpu_millicores)
+          : 0.0;
+  const double mem = cap.memory_bytes > 0
+                         ? static_cast<double>(after.memory_bytes) /
+                               static_cast<double>(cap.memory_bytes)
+                         : 0.0;
+  if (cpu_out) *cpu_out = cpu;
+  if (mem_out) *mem_out = mem;
+  return (cpu + mem) / 2.0;
+}
+
+}  // namespace
+
+double LeastAllocatedScore::score(const PodSpec& pod,
+                                  const cluster::NodeSpec& /*spec*/,
+                                  const NodeStatus& node) const {
+  return 1.0 - std::clamp(used_fraction(pod, node), 0.0, 1.0);
+}
+
+double MostAllocatedScore::score(const PodSpec& pod,
+                                 const cluster::NodeSpec& /*spec*/,
+                                 const NodeStatus& node) const {
+  return std::clamp(used_fraction(pod, node), 0.0, 1.0);
+}
+
+double BalancedAllocationScore::score(const PodSpec& pod,
+                                      const cluster::NodeSpec& /*spec*/,
+                                      const NodeStatus& node) const {
+  double cpu = 0, mem = 0;
+  used_fraction(pod, node, &cpu, &mem);
+  return 1.0 - std::min(1.0, std::abs(cpu - mem));
+}
+
+double LocalityScore::score(const PodSpec& pod,
+                            const cluster::NodeSpec& /*spec*/,
+                            const NodeStatus& node) const {
+  if (pod.preferred_nodes.empty()) return 0.0;
+  for (cluster::NodeId preferred : pod.preferred_nodes) {
+    if (preferred == node.id()) return 1.0;
+  }
+  // Same rack as any preferred node earns partial credit.
+  const int rack = cluster_.node(node.id()).rack;
+  for (cluster::NodeId preferred : pod.preferred_nodes) {
+    if (cluster_.node(preferred).rack == rack) return 0.5;
+  }
+  return 0.0;
+}
+
+double PodSpreadScore::score(const PodSpec& /*pod*/,
+                             const cluster::NodeSpec& /*spec*/,
+                             const NodeStatus& node) const {
+  return 1.0 / (1.0 + static_cast<double>(node.pod_count()));
+}
+
+SchedulingPolicy SchedulingPolicy::spreading(const cluster::Cluster& cluster) {
+  SchedulingPolicy policy;
+  policy.filters.push_back(std::make_shared<ResourceFitFilter>());
+  policy.filters.push_back(std::make_shared<NodeSelectorFilter>());
+  policy.scorers.emplace_back(std::make_shared<LeastAllocatedScore>(), 1.0);
+  policy.scorers.emplace_back(std::make_shared<BalancedAllocationScore>(), 0.5);
+  policy.scorers.emplace_back(std::make_shared<LocalityScore>(cluster), 2.0);
+  policy.scorers.emplace_back(std::make_shared<PodSpreadScore>(), 0.25);
+  return policy;
+}
+
+SchedulingPolicy SchedulingPolicy::binpacking(
+    const cluster::Cluster& cluster) {
+  SchedulingPolicy policy;
+  policy.filters.push_back(std::make_shared<ResourceFitFilter>());
+  policy.filters.push_back(std::make_shared<NodeSelectorFilter>());
+  policy.scorers.emplace_back(std::make_shared<MostAllocatedScore>(), 1.0);
+  policy.scorers.emplace_back(std::make_shared<LocalityScore>(cluster), 2.0);
+  return policy;
+}
+
+}  // namespace evolve::orch

@@ -1,0 +1,112 @@
+// Scheduler framework: filter plugins (hard feasibility) and score
+// plugins (soft preference), mirroring the Kubernetes scheduling
+// framework that EVOLVE's unified scheduler builds on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "orch/node_status.hpp"
+#include "orch/pod.hpp"
+
+namespace evolve::orch {
+
+class FilterPlugin {
+ public:
+  virtual ~FilterPlugin() = default;
+  virtual std::string name() const = 0;
+  /// True when `node` can run `pod` at all.
+  virtual bool feasible(const PodSpec& pod, const cluster::NodeSpec& spec,
+                        const NodeStatus& node) const = 0;
+};
+
+class ScorePlugin {
+ public:
+  virtual ~ScorePlugin() = default;
+  virtual std::string name() const = 0;
+  /// Score in [0, 1]; higher is better. Combined as a weighted sum.
+  virtual double score(const PodSpec& pod, const cluster::NodeSpec& spec,
+                       const NodeStatus& node) const = 0;
+};
+
+// ---- Filters ---------------------------------------------------------
+
+/// Node must have enough free resources for the pod request.
+class ResourceFitFilter : public FilterPlugin {
+ public:
+  std::string name() const override { return "ResourceFit"; }
+  bool feasible(const PodSpec& pod, const cluster::NodeSpec& spec,
+                const NodeStatus& node) const override;
+};
+
+/// Every label in the pod's node_selector must be present on the node.
+class NodeSelectorFilter : public FilterPlugin {
+ public:
+  std::string name() const override { return "NodeSelector"; }
+  bool feasible(const PodSpec& pod, const cluster::NodeSpec& spec,
+                const NodeStatus& node) const override;
+};
+
+// ---- Scores ----------------------------------------------------------
+
+/// Prefer nodes with the most free capacity (spreading).
+class LeastAllocatedScore : public ScorePlugin {
+ public:
+  std::string name() const override { return "LeastAllocated"; }
+  double score(const PodSpec& pod, const cluster::NodeSpec& spec,
+               const NodeStatus& node) const override;
+};
+
+/// Prefer nodes with the least free capacity that still fit (bin-packing).
+class MostAllocatedScore : public ScorePlugin {
+ public:
+  std::string name() const override { return "MostAllocated"; }
+  double score(const PodSpec& pod, const cluster::NodeSpec& spec,
+               const NodeStatus& node) const override;
+};
+
+/// Prefer nodes whose CPU and memory usage stay balanced after placement
+/// (avoids stranding one dimension).
+class BalancedAllocationScore : public ScorePlugin {
+ public:
+  std::string name() const override { return "BalancedAllocation"; }
+  double score(const PodSpec& pod, const cluster::NodeSpec& spec,
+               const NodeStatus& node) const override;
+};
+
+/// Prefer the pod's preferred_nodes (data locality), with a lower score
+/// for same-rack nodes and zero elsewhere.
+class LocalityScore : public ScorePlugin {
+ public:
+  explicit LocalityScore(const cluster::Cluster& cluster)
+      : cluster_(cluster) {}
+  std::string name() const override { return "Locality"; }
+  double score(const PodSpec& pod, const cluster::NodeSpec& spec,
+               const NodeStatus& node) const override;
+
+ private:
+  const cluster::Cluster& cluster_;
+};
+
+/// Prefer nodes running fewer pods (simple count-based spreading).
+class PodSpreadScore : public ScorePlugin {
+ public:
+  std::string name() const override { return "PodSpread"; }
+  double score(const PodSpec& pod, const cluster::NodeSpec& spec,
+               const NodeStatus& node) const override;
+};
+
+/// Weighted plugin set used by the scheduler.
+struct SchedulingPolicy {
+  std::vector<std::shared_ptr<FilterPlugin>> filters;
+  std::vector<std::pair<std::shared_ptr<ScorePlugin>, double>> scorers;
+
+  /// Default cloud policy: resource fit + selector; spread-oriented.
+  static SchedulingPolicy spreading(const cluster::Cluster& cluster);
+  /// Bin-packing policy (consolidation; frees whole nodes for gangs).
+  static SchedulingPolicy binpacking(const cluster::Cluster& cluster);
+};
+
+}  // namespace evolve::orch

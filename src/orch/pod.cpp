@@ -1,0 +1,15 @@
+#include "orch/pod.hpp"
+
+namespace evolve::orch {
+
+const char* to_string(PodPhase phase) {
+  switch (phase) {
+    case PodPhase::kPending: return "Pending";
+    case PodPhase::kRunning: return "Running";
+    case PodPhase::kSucceeded: return "Succeeded";
+    case PodPhase::kFailed: return "Failed";
+  }
+  return "?";
+}
+
+}  // namespace evolve::orch

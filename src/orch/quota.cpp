@@ -1,0 +1,53 @@
+#include "orch/quota.hpp"
+
+#include <stdexcept>
+
+namespace evolve::orch {
+
+void QuotaManager::set_quota(const std::string& tenant,
+                             cluster::Resources limit) {
+  limits_[tenant] = limit;
+}
+
+void QuotaManager::clear_quota(const std::string& tenant) {
+  limits_.erase(tenant);
+}
+
+std::optional<cluster::Resources> QuotaManager::quota(
+    const std::string& tenant) const {
+  auto it = limits_.find(tenant);
+  if (it == limits_.end()) return std::nullopt;
+  return it->second;
+}
+
+cluster::Resources QuotaManager::usage(const std::string& tenant) const {
+  auto it = usage_.find(tenant);
+  return it == usage_.end() ? cluster::Resources{} : it->second;
+}
+
+bool QuotaManager::allows(const std::string& tenant,
+                          const cluster::Resources& request) const {
+  auto it = limits_.find(tenant);
+  if (it == limits_.end()) return true;
+  const cluster::Resources remaining = it->second - usage(tenant);
+  return remaining.fits(request);
+}
+
+void QuotaManager::charge(const std::string& tenant,
+                          const cluster::Resources& request) {
+  usage_[tenant] += request;
+}
+
+void QuotaManager::release(const std::string& tenant,
+                           const cluster::Resources& request) {
+  auto it = usage_.find(tenant);
+  if (it == usage_.end()) {
+    throw std::logic_error("release for tenant with no usage");
+  }
+  it->second -= request;
+  if (it->second.any_negative()) {
+    throw std::logic_error("quota release drove usage negative");
+  }
+}
+
+}  // namespace evolve::orch

@@ -1,0 +1,35 @@
+// Per-tenant resource quotas (admission control).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cluster/resources.hpp"
+
+namespace evolve::orch {
+
+class QuotaManager {
+ public:
+  /// Sets (or replaces) a tenant's quota. Tenants without a quota are
+  /// unlimited.
+  void set_quota(const std::string& tenant, cluster::Resources limit);
+  void clear_quota(const std::string& tenant);
+
+  std::optional<cluster::Resources> quota(const std::string& tenant) const;
+  cluster::Resources usage(const std::string& tenant) const;
+
+  /// True if `request` fits in the tenant's remaining quota.
+  bool allows(const std::string& tenant,
+              const cluster::Resources& request) const;
+
+  /// Charges/releases usage. `release` must not drive usage negative.
+  void charge(const std::string& tenant, const cluster::Resources& request);
+  void release(const std::string& tenant, const cluster::Resources& request);
+
+ private:
+  std::map<std::string, cluster::Resources> limits_;
+  std::map<std::string, cluster::Resources> usage_;
+};
+
+}  // namespace evolve::orch

@@ -1,0 +1,437 @@
+#include "orch/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace evolve::orch {
+
+cluster::NodeId select_node(const PodSpec& pod,
+                            const cluster::Cluster& cluster,
+                            const std::vector<NodeStatus>& nodes,
+                            const SchedulingPolicy& policy) {
+  cluster::NodeId best = cluster::kInvalidNode;
+  double best_score = -1.0;
+  for (const NodeStatus& node : nodes) {
+    const auto& spec = cluster.node(node.id());
+    bool ok = true;
+    for (const auto& filter : policy.filters) {
+      if (!filter->feasible(pod, spec, node)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    double score = 0.0;
+    for (const auto& [scorer, weight] : policy.scorers) {
+      score += weight * scorer->score(pod, spec, node);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = node.id();
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Excludes cordoned nodes; appended to every orchestrator's policy.
+class CordonFilter : public FilterPlugin {
+ public:
+  explicit CordonFilter(const std::set<cluster::NodeId>* cordoned)
+      : cordoned_(cordoned) {}
+  std::string name() const override { return "Cordon"; }
+  bool feasible(const PodSpec&, const cluster::NodeSpec&,
+                const NodeStatus& node) const override {
+    return cordoned_->count(node.id()) == 0;
+  }
+
+ private:
+  const std::set<cluster::NodeId>* cordoned_;
+};
+
+/// Hard anti-affinity: a node may host at most one pod per group.
+class AntiAffinityFilter : public FilterPlugin {
+ public:
+  explicit AntiAffinityFilter(
+      const std::map<std::pair<cluster::NodeId, std::string>, int>* counts)
+      : counts_(counts) {}
+  std::string name() const override { return "AntiAffinity"; }
+  bool feasible(const PodSpec& pod, const cluster::NodeSpec&,
+                const NodeStatus& node) const override {
+    if (pod.anti_affinity_group.empty()) return true;
+    auto it = counts_->find({node.id(), pod.anti_affinity_group});
+    return it == counts_->end() || it->second == 0;
+  }
+
+ private:
+  const std::map<std::pair<cluster::NodeId, std::string>, int>* counts_;
+};
+
+}  // namespace
+
+Orchestrator::Orchestrator(sim::Simulation& sim,
+                           const cluster::Cluster& cluster,
+                           SchedulingPolicy policy, OrchestratorConfig config)
+    : sim_(sim),
+      cluster_(cluster),
+      policy_(std::move(policy)),
+      config_(config) {
+  policy_.filters.push_back(std::make_shared<CordonFilter>(&cordoned_));
+  policy_.filters.push_back(
+      std::make_shared<AntiAffinityFilter>(&affinity_counts_));
+  std::vector<cluster::NodeId> managed = config_.nodes;
+  if (managed.empty()) {
+    for (cluster::NodeId n = 0; n < cluster_.size(); ++n) managed.push_back(n);
+  }
+  double total_cpu = 0, total_mem = 0;
+  for (cluster::NodeId n : managed) {
+    const auto allocatable =
+        cluster_.node(n).allocatable(config_.accel_slots_per_device);
+    node_index_[n] = nodes_.size();
+    nodes_.emplace_back(n, allocatable);
+    total_cpu += static_cast<double>(allocatable.cpu_millicores);
+    total_mem += static_cast<double>(allocatable.memory_bytes);
+  }
+  cpu_usage_.set_capacity(total_cpu);
+  mem_usage_.set_capacity(total_mem);
+}
+
+NodeStatus& Orchestrator::status_for(cluster::NodeId node) {
+  auto it = node_index_.find(node);
+  if (it == node_index_.end()) {
+    throw std::out_of_range("node not managed by this orchestrator");
+  }
+  return nodes_[it->second];
+}
+
+Orchestrator::PodRecord& Orchestrator::record(PodId id) {
+  auto it = pods_.find(id);
+  if (it == pods_.end()) throw std::out_of_range("unknown pod id");
+  return it->second;
+}
+
+const PodStatus& Orchestrator::pod(PodId id) const {
+  auto it = pods_.find(id);
+  if (it == pods_.end()) throw std::out_of_range("unknown pod id");
+  return it->second.status;
+}
+
+const NodeStatus& Orchestrator::node_status(cluster::NodeId node) const {
+  auto it = node_index_.find(node);
+  if (it == node_index_.end()) {
+    throw std::out_of_range("node not managed by this orchestrator");
+  }
+  return nodes_[it->second];
+}
+
+void Orchestrator::enqueue(PodId id) {
+  queue_.push_back(id);
+  if (!pump_scheduled_ && !shutdown_) {
+    pump_scheduled_ = true;
+    sim_.after(config_.scheduling_interval, [this] { pump(); });
+  }
+}
+
+void Orchestrator::pump() {
+  pump_scheduled_ = false;
+  if (shutdown_) return;
+  schedule_now();
+}
+
+PodId Orchestrator::submit(PodSpec spec, util::TimeNs duration,
+                           StartFn on_start, FinishFn on_finish) {
+  if (!quotas_.allows(spec.tenant, spec.request)) {
+    metrics_.count("admission_rejected");
+    return kInvalidPod;
+  }
+  quotas_.charge(spec.tenant, spec.request);
+  const PodId id = next_pod_++;
+  PodRecord rec;
+  rec.status.id = id;
+  rec.status.spec = std::move(spec);
+  rec.status.submit_time = sim_.now();
+  rec.duration = duration;
+  rec.on_start = std::move(on_start);
+  rec.on_finish = std::move(on_finish);
+  pods_.emplace(id, std::move(rec));
+  metrics_.count("pods_submitted");
+  enqueue(id);
+  return id;
+}
+
+std::vector<PodId> Orchestrator::submit_gang(std::vector<PodSpec> specs,
+                                             util::TimeNs duration,
+                                             StartFn on_start,
+                                             FinishFn on_finish) {
+  if (specs.empty()) return {};
+  // Admission is all-or-nothing against the (shared) tenant quota.
+  cluster::Resources total;
+  for (const auto& spec : specs) total += spec.request;
+  const std::string tenant = specs.front().tenant;
+  if (!quotas_.allows(tenant, total)) {
+    metrics_.count("admission_rejected");
+    return {};
+  }
+  const GangId gang = next_gang_++;
+  std::vector<PodId> ids;
+  ids.reserve(specs.size());
+  for (auto& spec : specs) {
+    spec.gang = gang;
+    spec.tenant = tenant;
+    quotas_.charge(tenant, spec.request);
+    const PodId id = next_pod_++;
+    PodRecord rec;
+    rec.status.id = id;
+    rec.status.spec = std::move(spec);
+    rec.status.submit_time = sim_.now();
+    rec.duration = duration;
+    rec.on_start = on_start;
+    rec.on_finish = on_finish;
+    pods_.emplace(id, std::move(rec));
+    metrics_.count("pods_submitted");
+    enqueue(id);
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+void Orchestrator::place(PodRecord& rec, cluster::NodeId node) {
+  status_for(node).bind(rec.status.id, rec.status.spec.request);
+  if (!rec.status.spec.anti_affinity_group.empty()) {
+    ++affinity_counts_[{node, rec.status.spec.anti_affinity_group}];
+  }
+  rec.status.phase = PodPhase::kRunning;
+  rec.status.node = node;
+  rec.status.start_time = sim_.now() + config_.bind_latency;
+  ++running_count_;
+  cpu_usage_.add(sim_.now(),
+                 static_cast<double>(rec.status.spec.request.cpu_millicores));
+  mem_usage_.add(sim_.now(),
+                 static_cast<double>(rec.status.spec.request.memory_bytes));
+  metrics_.count("pods_started");
+  metrics_.observe("pod_wait_ms",
+                   (sim_.now() - rec.status.submit_time) / util::kMillisecond);
+
+  const PodId id = rec.status.id;
+  const util::TimeNs duration = rec.duration;
+  sim_.after(config_.bind_latency, [this, id, node] {
+    auto it = pods_.find(id);
+    if (it == pods_.end() || it->second.status.is_terminal()) return;
+    if (it->second.on_start) it->second.on_start(id, node);
+  });
+  if (duration >= 0) {
+    sim_.after(config_.bind_latency + duration,
+               [this, id] { complete(id, PodPhase::kSucceeded); });
+  }
+}
+
+void Orchestrator::complete(PodId id, PodPhase phase) {
+  auto it = pods_.find(id);
+  if (it == pods_.end()) return;
+  PodRecord& rec = it->second;
+  if (rec.status.is_terminal()) return;
+
+  if (rec.status.phase == PodPhase::kRunning) {
+    status_for(rec.status.node).unbind(id, rec.status.spec.request);
+    if (!rec.status.spec.anti_affinity_group.empty()) {
+      --affinity_counts_[{rec.status.node,
+                          rec.status.spec.anti_affinity_group}];
+    }
+    cpu_usage_.add(sim_.now(),
+                   -static_cast<double>(rec.status.spec.request.cpu_millicores));
+    mem_usage_.add(sim_.now(),
+                   -static_cast<double>(rec.status.spec.request.memory_bytes));
+    --running_count_;
+  } else {
+    // Still pending: drop it from the queue.
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
+  }
+  quotas_.release(rec.status.spec.tenant, rec.status.spec.request);
+  rec.status.phase = phase;
+  rec.status.finish_time = sim_.now();
+  metrics_.count(phase == PodPhase::kSucceeded ? "pods_succeeded"
+                                               : "pods_failed");
+  if (rec.on_finish) rec.on_finish(id, phase);
+  if (!queue_.empty() && !pump_scheduled_ && !shutdown_) {
+    pump_scheduled_ = true;
+    sim_.after(config_.scheduling_interval, [this] { pump(); });
+  }
+}
+
+void Orchestrator::finish(PodId id) { complete(id, PodPhase::kSucceeded); }
+
+bool Orchestrator::cancel(PodId id) {
+  auto it = pods_.find(id);
+  if (it == pods_.end() || it->second.status.is_terminal()) return false;
+  complete(id, PodPhase::kFailed);
+  return true;
+}
+
+bool Orchestrator::try_schedule_gang(GangId gang,
+                                     std::vector<PodId>& gang_pods) {
+  // Trial binds maintain the anti-affinity counts too, so same-group
+  // gang members cannot co-locate during the trial.
+  auto trial_bind = [this](PodId id, cluster::NodeId node) {
+    const PodSpec& spec = record(id).status.spec;
+    status_for(node).bind(id, spec.request);
+    if (!spec.anti_affinity_group.empty()) {
+      ++affinity_counts_[{node, spec.anti_affinity_group}];
+    }
+  };
+  auto trial_unbind = [this](PodId id, cluster::NodeId node) {
+    const PodSpec& spec = record(id).status.spec;
+    status_for(node).unbind(id, spec.request);
+    if (!spec.anti_affinity_group.empty()) {
+      --affinity_counts_[{node, spec.anti_affinity_group}];
+    }
+  };
+
+  std::vector<std::pair<PodId, cluster::NodeId>> bound;
+  for (PodId id : gang_pods) {
+    PodRecord& rec = record(id);
+    const cluster::NodeId node =
+        select_node(rec.status.spec, cluster_, nodes_, policy_);
+    if (node == cluster::kInvalidNode) {
+      // Roll back tentative binds; the gang waits as a unit.
+      for (auto& [bid, bnode] : bound) trial_unbind(bid, bnode);
+      metrics_.count("gang_placement_failures");
+      return false;
+    }
+    trial_bind(id, node);
+    bound.emplace_back(id, node);
+  }
+  // All fit: undo the trial binds and run the real placement lifecycle.
+  for (auto& [id, node] : bound) trial_unbind(id, node);
+  for (auto& [id, node] : bound) place(record(id), node);
+  (void)gang;
+  return true;
+}
+
+bool Orchestrator::try_preempt_for(const PodRecord& rec) {
+  // Find the node where evicting the cheapest set of strictly-lower-
+  // priority pods makes room; evict that set.
+  NodeSelectorFilter selector;
+  for (NodeStatus& node : nodes_) {
+    const auto& spec = cluster_.node(node.id());
+    if (!selector.feasible(rec.status.spec, spec, node)) continue;
+    if (!node.allocatable().fits(rec.status.spec.request)) continue;
+    // Victims sorted lowest priority first.
+    std::vector<std::pair<int, PodId>> victims;
+    for (PodId pid : node.pods()) {
+      const auto& status = pods_.at(pid).status;
+      if (status.spec.priority < rec.status.spec.priority) {
+        victims.emplace_back(status.spec.priority, pid);
+      }
+    }
+    std::sort(victims.begin(), victims.end());
+    cluster::Resources free = node.free();
+    std::vector<PodId> chosen;
+    for (const auto& [prio, pid] : victims) {
+      if (free.fits(rec.status.spec.request)) break;
+      free += pods_.at(pid).status.spec.request;
+      chosen.push_back(pid);
+    }
+    if (!free.fits(rec.status.spec.request)) continue;
+    for (PodId pid : chosen) {
+      metrics_.count("preemptions");
+      complete(pid, PodPhase::kFailed);
+    }
+    return true;
+  }
+  return false;
+}
+
+void Orchestrator::schedule_now() {
+  metrics_.count("scheduling_passes");
+  // Snapshot and order the queue: priority desc, then submit order.
+  std::vector<PodId> order(queue_.begin(), queue_.end());
+  std::stable_sort(order.begin(), order.end(), [this](PodId a, PodId b) {
+    return record(a).status.spec.priority > record(b).status.spec.priority;
+  });
+
+  std::set<GangId> gangs_tried;
+  for (PodId id : order) {
+    auto it = pods_.find(id);
+    if (it == pods_.end()) continue;
+    PodRecord& rec = it->second;
+    if (rec.status.phase != PodPhase::kPending) continue;
+
+    if (rec.status.spec.gang != 0) {
+      const GangId gang = rec.status.spec.gang;
+      if (!gangs_tried.insert(gang).second) continue;
+      std::vector<PodId> members;
+      for (PodId other : order) {
+        auto oit = pods_.find(other);
+        if (oit != pods_.end() &&
+            oit->second.status.phase == PodPhase::kPending &&
+            oit->second.status.spec.gang == gang) {
+          members.push_back(other);
+        }
+      }
+      if (try_schedule_gang(gang, members)) {
+        for (PodId member : members) {
+          queue_.erase(std::remove(queue_.begin(), queue_.end(), member),
+                       queue_.end());
+        }
+      }
+      continue;
+    }
+
+    cluster::NodeId node = select_node(rec.status.spec, cluster_, nodes_,
+                                       policy_);
+    if (node == cluster::kInvalidNode && config_.enable_preemption &&
+        rec.status.spec.priority > 0 && try_preempt_for(rec)) {
+      node = select_node(rec.status.spec, cluster_, nodes_, policy_);
+    }
+    if (node == cluster::kInvalidNode) continue;
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
+    place(rec, node);
+  }
+  metrics_.set_gauge("pending_pods", static_cast<double>(queue_.size()));
+}
+
+void Orchestrator::cordon(cluster::NodeId node) {
+  (void)status_for(node);  // validate it is managed here
+  cordoned_.insert(node);
+  metrics_.count("cordons");
+}
+
+void Orchestrator::uncordon(cluster::NodeId node) {
+  if (cordoned_.erase(node) > 0 && !queue_.empty() && !pump_scheduled_ &&
+      !shutdown_) {
+    pump_scheduled_ = true;
+    sim_.after(config_.scheduling_interval, [this] { pump(); });
+  }
+}
+
+bool Orchestrator::is_cordoned(cluster::NodeId node) const {
+  return cordoned_.count(node) != 0;
+}
+
+void Orchestrator::drain(cluster::NodeId node) {
+  cordon(node);
+  const std::set<PodId> victims = status_for(node).pods();
+  for (PodId pod : victims) {
+    metrics_.count("evictions");
+    complete(pod, PodPhase::kFailed);
+  }
+}
+
+double Orchestrator::cpu_utilization() const {
+  return cpu_usage_.utilization(sim_.now());
+}
+
+double Orchestrator::mean_cpu_millicores() const {
+  return cpu_usage_.mean_usage(sim_.now());
+}
+
+double Orchestrator::memory_utilization() const {
+  return mem_usage_.utilization(sim_.now());
+}
+
+void Orchestrator::shutdown() { shutdown_ = true; }
+
+}  // namespace evolve::orch

@@ -1,0 +1,140 @@
+// The orchestrator: pod admission, queueing, placement, lifecycle.
+//
+// A periodic scheduling pass drains the pending queue in priority order
+// (FIFO within a priority). Gangs are placed all-or-nothing. Optional
+// priority preemption evicts lower-priority pods when a high-priority pod
+// cannot fit anywhere.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "metrics/registry.hpp"
+#include "metrics/timeseries.hpp"
+#include "orch/node_status.hpp"
+#include "orch/plugins.hpp"
+#include "orch/pod.hpp"
+#include "orch/quota.hpp"
+#include "sim/simulation.hpp"
+
+namespace evolve::orch {
+
+struct OrchestratorConfig {
+  util::TimeNs scheduling_interval = util::millis(10);
+  util::TimeNs bind_latency = util::millis(50);  // image pull + start
+  int accel_slots_per_device = 1;
+  bool enable_preemption = false;
+  /// Nodes this orchestrator manages; empty = the whole cluster.
+  /// Siloed (partitioned) deployments give each silo its own subset.
+  std::vector<cluster::NodeId> nodes;
+};
+
+/// Pure placement: filters then weighted scores; ties break to the lowest
+/// node id. Returns kInvalidNode when no node is feasible.
+cluster::NodeId select_node(const PodSpec& pod,
+                            const cluster::Cluster& cluster,
+                            const std::vector<NodeStatus>& nodes,
+                            const SchedulingPolicy& policy);
+
+class Orchestrator {
+ public:
+  using StartFn = std::function<void(PodId, cluster::NodeId)>;
+  using FinishFn = std::function<void(PodId, PodPhase)>;
+
+  Orchestrator(sim::Simulation& sim, const cluster::Cluster& cluster,
+               SchedulingPolicy policy, OrchestratorConfig config = {});
+
+  /// Submits a pod. If `duration` >= 0 the pod auto-finishes that long
+  /// after it starts; if negative it runs until finish() is called.
+  /// Returns kInvalidPod when the tenant quota rejects admission.
+  PodId submit(PodSpec spec, util::TimeNs duration, StartFn on_start = {},
+               FinishFn on_finish = {});
+
+  /// Submits a gang: the pods are placed all-or-nothing in one pass.
+  /// Returns the pod ids ({} if quota rejects the whole gang).
+  std::vector<PodId> submit_gang(std::vector<PodSpec> specs,
+                                 util::TimeNs duration, StartFn on_start = {},
+                                 FinishFn on_finish = {});
+
+  /// Marks a running pod finished, releasing its resources.
+  void finish(PodId id);
+
+  /// Cancels a pending pod or kills a running one (phase -> Failed).
+  bool cancel(PodId id);
+
+  const PodStatus& pod(PodId id) const;
+  const NodeStatus& node_status(cluster::NodeId node) const;
+  const cluster::Cluster& cluster() const { return cluster_; }
+
+  int pending_count() const { return static_cast<int>(queue_.size()); }
+  int running_count() const { return running_count_; }
+
+  QuotaManager& quotas() { return quotas_; }
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
+
+  /// Time-weighted CPU/memory utilization of the whole cluster since t=0.
+  double cpu_utilization() const;
+  double memory_utilization() const;
+  /// Time-weighted mean of allocated CPU millicores (energy accounting).
+  double mean_cpu_millicores() const;
+
+  /// Marks a node unschedulable (existing pods keep running).
+  void cordon(cluster::NodeId node);
+  /// Makes a cordoned node schedulable again.
+  void uncordon(cluster::NodeId node);
+  bool is_cordoned(cluster::NodeId node) const;
+  /// Cordons the node and evicts every pod on it (phase -> Failed, so
+  /// controllers recreate them elsewhere). Models node failure/maintenance.
+  void drain(cluster::NodeId node);
+
+  /// Runs one scheduling pass immediately (also runs periodically).
+  void schedule_now();
+
+  /// Stops the periodic scheduling loop (call when the experiment ends,
+  /// so the simulation can drain).
+  void shutdown();
+
+ private:
+  struct PodRecord {
+    PodStatus status;
+    util::TimeNs duration = -1;
+    StartFn on_start;
+    FinishFn on_finish;
+  };
+
+  PodRecord& record(PodId id);
+  NodeStatus& status_for(cluster::NodeId node);
+  void enqueue(PodId id);
+  void place(PodRecord& rec, cluster::NodeId node);
+  void complete(PodId id, PodPhase phase);
+  bool try_schedule_gang(GangId gang, std::vector<PodId>& gang_pods);
+  bool try_preempt_for(const PodRecord& rec);
+  void pump();
+
+  sim::Simulation& sim_;
+  const cluster::Cluster& cluster_;
+  SchedulingPolicy policy_;
+  OrchestratorConfig config_;
+  std::vector<NodeStatus> nodes_;
+  std::map<cluster::NodeId, std::size_t> node_index_;
+  std::set<cluster::NodeId> cordoned_;
+  /// Live pod count per (node, anti-affinity group).
+  std::map<std::pair<cluster::NodeId, std::string>, int> affinity_counts_;
+  std::map<PodId, PodRecord> pods_;
+  std::deque<PodId> queue_;
+  QuotaManager quotas_;
+  metrics::Registry metrics_;
+  metrics::UsageTracker cpu_usage_;
+  metrics::UsageTracker mem_usage_;
+  PodId next_pod_ = 1;
+  GangId next_gang_ = 1;
+  int running_count_ = 0;
+  bool pump_scheduled_ = false;
+  bool shutdown_ = false;
+};
+
+}  // namespace evolve::orch

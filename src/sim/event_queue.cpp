@@ -1,0 +1,56 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace evolve::sim {
+
+EventId EventQueue::push(util::TimeNs time, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{time, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled_head();
+  return heap_.empty();
+}
+
+util::TimeNs EventQueue::next_time() const {
+  drop_cancelled_head();
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty");
+  return heap_.top().time;
+}
+
+Event EventQueue::pop() {
+  drop_cancelled_head();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty");
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(entry.id);
+  Event event{entry.time, entry.id, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return event;
+}
+
+}  // namespace evolve::sim

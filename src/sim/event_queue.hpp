@@ -1,0 +1,70 @@
+// Priority queue of timestamped events with stable FIFO ordering for ties
+// and O(log n) cancellation via tombstones.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace evolve::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+/// One scheduled callback. Ordering: earlier time first, then lower sequence
+/// number (schedule order) so same-time events run FIFO — this makes the
+/// whole simulation deterministic.
+struct Event {
+  util::TimeNs time = 0;
+  EventId id = 0;
+  EventFn fn;
+};
+
+class EventQueue {
+ public:
+  /// Enqueues `fn` at absolute time `time`; returns a handle for cancel().
+  EventId push(util::TimeNs time, EventFn fn);
+
+  /// Marks an event as cancelled; it will be skipped when popped.
+  /// Returns false if the event already ran or was already cancelled.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const;
+
+  /// Number of live events.
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event. Requires !empty().
+  util::TimeNs next_time() const;
+
+  /// Removes and returns the earliest live event. Requires !empty().
+  Event pop();
+
+ private:
+  struct Entry {
+    util::TimeNs time;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_cancelled_head() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, EventFn> callbacks_;
+  mutable std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace evolve::sim

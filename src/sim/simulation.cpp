@@ -1,0 +1,42 @@
+#include "sim/simulation.hpp"
+
+namespace evolve::sim {
+
+EventId Simulation::at(util::TimeNs time, EventFn fn) {
+  if (time < now_) throw std::invalid_argument("Simulation::at: time in past");
+  return queue_.push(time, std::move(fn));
+}
+
+EventId Simulation::after(util::TimeNs delay, EventFn fn) {
+  if (delay < 0) throw std::invalid_argument("Simulation::after: delay < 0");
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  Event event = queue_.pop();
+  now_ = event.time;
+  ++executed_;
+  event.fn();
+  return true;
+}
+
+std::size_t Simulation::run() {
+  stopped_ = false;
+  std::size_t count = 0;
+  while (!stopped_ && step()) ++count;
+  return count;
+}
+
+std::size_t Simulation::run_until(util::TimeNs deadline) {
+  stopped_ = false;
+  std::size_t count = 0;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+    ++count;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+}  // namespace evolve::sim

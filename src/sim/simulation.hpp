@@ -1,0 +1,65 @@
+// The simulation kernel: a virtual clock plus an event queue.
+//
+// All EVOLVE subsystems (network fabric, storage devices, schedulers,
+// dataflow/HPC runtimes) share one Simulation instance and advance the
+// same clock, so cross-subsystem contention is modeled consistently.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+#include "util/types.hpp"
+
+namespace evolve::sim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time.
+  util::TimeNs now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `time` (>= now).
+  EventId at(util::TimeNs time, EventFn fn);
+
+  /// Schedules `fn` after a relative delay (>= 0).
+  EventId after(util::TimeNs delay, EventFn fn);
+
+  /// Schedules `fn` to run at the current time, after already-queued
+  /// same-time events (a "yield").
+  EventId defer(EventFn fn) { return after(0, std::move(fn)); }
+
+  /// Cancels a scheduled event. Returns false if it already ran.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue is empty or stop() is called.
+  /// Returns the number of events executed.
+  std::size_t run();
+
+  /// Runs events with time <= `deadline`; the clock ends at
+  /// min(deadline, last event time) or `deadline` if events remain.
+  std::size_t run_until(util::TimeNs deadline);
+
+  /// Executes exactly one event if any remain. Returns true if one ran.
+  bool step();
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  /// True if there are pending events.
+  bool has_events() const { return !queue_.empty(); }
+
+  /// Number of events executed since construction.
+  std::size_t events_executed() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  util::TimeNs now_ = 0;
+  bool stopped_ = false;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace evolve::sim

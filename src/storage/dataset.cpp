@@ -1,0 +1,96 @@
+#include "storage/dataset.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace evolve::storage {
+
+util::Bytes DatasetSpec::partition_bytes(int index) const {
+  if (index < 0 || index >= partitions) {
+    throw std::out_of_range("partition index out of range");
+  }
+  // Even split; the first (total % partitions) partitions get one extra
+  // byte so sizes sum exactly to total_bytes.
+  const util::Bytes base = total_bytes / partitions;
+  const util::Bytes extra = total_bytes % partitions;
+  return base + (index < extra ? 1 : 0);
+}
+
+ObjectKey partition_key(const DatasetSpec& spec, int index) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "part-%05d", index);
+  return ObjectKey{spec.name, buffer};
+}
+
+void DatasetCatalog::define(DatasetSpec spec) {
+  if (spec.name.empty()) throw std::invalid_argument("dataset needs a name");
+  if (spec.partitions <= 0) {
+    throw std::invalid_argument("dataset needs >= 1 partition");
+  }
+  if (spec.total_bytes < 0) {
+    throw std::invalid_argument("dataset size must be >= 0");
+  }
+  specs_[spec.name] = std::move(spec);
+}
+
+bool DatasetCatalog::defined(const std::string& name) const {
+  return specs_.count(name) != 0;
+}
+
+const DatasetSpec& DatasetCatalog::spec(const std::string& name) const {
+  auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    throw std::out_of_range("unknown dataset: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> DatasetCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) out.push_back(name);
+  return out;
+}
+
+void DatasetCatalog::preload(const std::string& name, bool warm_cache) {
+  const DatasetSpec& ds = spec(name);
+  store_.create_bucket(ds.name);
+  for (int i = 0; i < ds.partitions; ++i) {
+    store_.preload(partition_key(ds, i), ds.partition_bytes(i), warm_cache);
+  }
+}
+
+void DatasetCatalog::ingest(cluster::NodeId client, const std::string& name,
+                            std::function<void()> on_done) {
+  const DatasetSpec& ds = spec(name);
+  store_.create_bucket(ds.name);
+  auto remaining = std::make_shared<int>(ds.partitions);
+  for (int i = 0; i < ds.partitions; ++i) {
+    store_.put(client, partition_key(ds, i), ds.partition_bytes(i),
+               [remaining, on_done] {
+                 if (--*remaining == 0) on_done();
+               });
+  }
+}
+
+std::vector<std::vector<cluster::NodeId>> DatasetCatalog::locations(
+    const std::string& name) const {
+  const DatasetSpec& ds = spec(name);
+  std::vector<std::vector<cluster::NodeId>> out;
+  out.reserve(static_cast<std::size_t>(ds.partitions));
+  for (int i = 0; i < ds.partitions; ++i) {
+    out.push_back(store_.locate(partition_key(ds, i)));
+  }
+  return out;
+}
+
+bool DatasetCatalog::materialized(const std::string& name) const {
+  const DatasetSpec& ds = spec(name);
+  for (int i = 0; i < ds.partitions; ++i) {
+    if (!store_.exists(partition_key(ds, i))) return false;
+  }
+  return true;
+}
+
+}  // namespace evolve::storage

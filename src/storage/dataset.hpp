@@ -1,0 +1,63 @@
+// Datasets: named, partitioned collections of objects in the store.
+//
+// This mirrors EVOLVE's shared-dataset abstraction (DataShim-style):
+// big-data, HPC, and cloud steps all reference the same dataset by name
+// and the platform resolves partitions to object replicas for
+// locality-aware placement.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/object_store.hpp"
+#include "util/types.hpp"
+
+namespace evolve::storage {
+
+struct DatasetSpec {
+  std::string name;           // also the bucket name
+  int partitions = 1;
+  util::Bytes total_bytes = 0;
+
+  util::Bytes partition_bytes(int index) const;
+};
+
+/// Object key of one partition ("<name>/part-00042").
+ObjectKey partition_key(const DatasetSpec& spec, int index);
+
+class DatasetCatalog {
+ public:
+  explicit DatasetCatalog(ObjectStore& store) : store_(store) {}
+
+  /// Registers a dataset definition.
+  void define(DatasetSpec spec);
+
+  bool defined(const std::string& name) const;
+  const DatasetSpec& spec(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// Stages every partition instantly (no simulated time).
+  void preload(const std::string& name, bool warm_cache = false);
+
+  /// Ingests every partition through real PUTs from `client`;
+  /// `on_done` fires when the last partition is durable.
+  void ingest(cluster::NodeId client, const std::string& name,
+              std::function<void()> on_done);
+
+  /// Replica locations per partition (primary first).
+  std::vector<std::vector<cluster::NodeId>> locations(
+      const std::string& name) const;
+
+  /// True once every partition object exists in the store.
+  bool materialized(const std::string& name) const;
+
+  ObjectStore& store() { return store_; }
+
+ private:
+  ObjectStore& store_;
+  std::map<std::string, DatasetSpec> specs_;
+};
+
+}  // namespace evolve::storage

@@ -1,0 +1,217 @@
+#include "storage/filesystem.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace evolve::storage {
+
+FileSystem::FileSystem(ObjectStore& store, std::string bucket)
+    : store_(store), bucket_(std::move(bucket)) {
+  if (bucket_.empty()) throw std::invalid_argument("filesystem needs bucket");
+  store_.create_bucket(bucket_);
+  nodes_["/"] = Node{true, "", 0};
+}
+
+std::string FileSystem::normalize(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    throw std::invalid_argument("path must be absolute: " + path);
+  }
+  std::vector<std::string> segments;
+  for (const std::string& part : util::split(path, '/')) {
+    if (part.empty()) continue;
+    if (part == "." || part == "..") {
+      throw std::invalid_argument("path must not contain . or ..: " + path);
+    }
+    segments.push_back(part);
+  }
+  if (segments.empty()) return "/";
+  std::string out;
+  for (const std::string& segment : segments) out += "/" + segment;
+  return out;
+}
+
+std::string FileSystem::parent_of(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  return pos == 0 ? "/" : path.substr(0, pos);
+}
+
+const FileSystem::Node* FileSystem::find(const std::string& path) const {
+  auto it = nodes_.find(path);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+void FileSystem::require_parent(const std::string& path) const {
+  const Node* parent = find(parent_of(path));
+  if (parent == nullptr || !parent->directory) {
+    throw std::invalid_argument("parent directory missing: " + path);
+  }
+}
+
+std::string FileSystem::fresh_inode() {
+  return "inode-" + std::to_string(next_inode_++);
+}
+
+void FileSystem::mkdir(const std::string& raw) {
+  const std::string path = normalize(raw);
+  if (path == "/") return;
+  if (find(path) != nullptr) {
+    throw std::invalid_argument("already exists: " + path);
+  }
+  require_parent(path);
+  nodes_[path] = Node{true, "", 0};
+}
+
+void FileSystem::mkdirs(const std::string& raw) {
+  const std::string path = normalize(raw);
+  if (path == "/") return;
+  std::string prefix;
+  for (const std::string& part : util::split(path.substr(1), '/')) {
+    prefix += "/" + part;
+    const Node* node = find(prefix);
+    if (node == nullptr) {
+      nodes_[prefix] = Node{true, "", 0};
+    } else if (!node->directory) {
+      throw std::invalid_argument("not a directory: " + prefix);
+    }
+  }
+}
+
+bool FileSystem::exists(const std::string& path) const {
+  return find(normalize(path)) != nullptr;
+}
+
+bool FileSystem::is_dir(const std::string& path) const {
+  const Node* node = find(normalize(path));
+  return node != nullptr && node->directory;
+}
+
+bool FileSystem::is_file(const std::string& path) const {
+  const Node* node = find(normalize(path));
+  return node != nullptr && !node->directory;
+}
+
+std::optional<util::Bytes> FileSystem::stat(const std::string& path) const {
+  const Node* node = find(normalize(path));
+  if (node == nullptr || node->directory) return std::nullopt;
+  return node->size;
+}
+
+std::vector<std::string> FileSystem::list(const std::string& raw) const {
+  const std::string path = normalize(raw);
+  const Node* node = find(path);
+  if (node == nullptr || !node->directory) {
+    throw std::invalid_argument("not a directory: " + path);
+  }
+  const std::string prefix = path == "/" ? "/" : path + "/";
+  std::vector<std::string> out;
+  for (auto it = nodes_.lower_bound(prefix); it != nodes_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    if (it->first == path) continue;  // the directory itself (root case)
+    const std::string rest = it->first.substr(prefix.size());
+    if (!rest.empty() && rest.find('/') == std::string::npos) {
+      out.push_back(rest);
+    }
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+void FileSystem::rename(const std::string& raw_from,
+                        const std::string& raw_to) {
+  const std::string from = normalize(raw_from);
+  const std::string to = normalize(raw_to);
+  if (from == "/") throw std::invalid_argument("cannot rename root");
+  const Node* source = find(from);
+  if (source == nullptr) throw std::invalid_argument("no such path: " + from);
+  if (find(to) != nullptr) {
+    throw std::invalid_argument("destination exists: " + to);
+  }
+  if (to.compare(0, from.size() + 1, from + "/") == 0) {
+    throw std::invalid_argument("cannot move a directory into itself");
+  }
+  require_parent(to);
+
+  // Collect the subtree [from, from/...] and re-key it.
+  std::vector<std::pair<std::string, Node>> moved;
+  const std::string prefix = from + "/";
+  for (auto it = nodes_.find(from); it != nodes_.end();) {
+    if (it->first != from &&
+        it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    moved.emplace_back(it->first, it->second);
+    it = nodes_.erase(it);
+  }
+  for (auto& [old_path, node] : moved) {
+    nodes_[to + old_path.substr(from.size())] = std::move(node);
+  }
+}
+
+void FileSystem::remove(const std::string& raw, bool recursive) {
+  const std::string path = normalize(raw);
+  if (path == "/") throw std::invalid_argument("cannot remove root");
+  const Node* node = find(path);
+  if (node == nullptr) throw std::invalid_argument("no such path: " + path);
+  if (node->directory && !recursive && !list(path).empty()) {
+    throw std::invalid_argument("directory not empty: " + path);
+  }
+  const std::string prefix = path + "/";
+  for (auto it = nodes_.find(path); it != nodes_.end();) {
+    if (it->first != path &&
+        it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    if (!it->second.directory) {
+      store_.remove(0, ObjectKey{bucket_, it->second.inode}, [] {});
+    }
+    it = nodes_.erase(it);
+  }
+}
+
+void FileSystem::write_file(cluster::NodeId client, const std::string& raw,
+                            util::Bytes size,
+                            std::function<void()> on_done) {
+  const std::string path = normalize(raw);
+  require_parent(path);
+  const Node* existing = find(path);
+  if (existing != nullptr && existing->directory) {
+    throw std::invalid_argument("is a directory: " + path);
+  }
+  std::string inode;
+  if (existing != nullptr) {
+    inode = existing->inode;  // overwrite in place
+  } else {
+    inode = fresh_inode();
+  }
+  nodes_[path] = Node{false, inode, size};
+  store_.put(client, ObjectKey{bucket_, inode}, size, std::move(on_done));
+}
+
+void FileSystem::read_file(cluster::NodeId client, const std::string& raw,
+                           std::function<void(const GetResult&)> on_done) {
+  const std::string path = normalize(raw);
+  const Node* node = find(path);
+  if (node == nullptr || node->directory) {
+    throw std::invalid_argument("no such file: " + path);
+  }
+  store_.get(client, ObjectKey{bucket_, node->inode}, std::move(on_done));
+}
+
+util::Bytes FileSystem::total_bytes() const {
+  util::Bytes total = 0;
+  for (const auto& [path, node] : nodes_) {
+    if (!node.directory) total += node.size;
+  }
+  return total;
+}
+
+std::size_t FileSystem::file_count() const {
+  std::size_t count = 0;
+  for (const auto& [path, node] : nodes_) {
+    if (!node.directory) ++count;
+  }
+  return count;
+}
+
+}  // namespace evolve::storage

@@ -1,0 +1,79 @@
+// POSIX-like filesystem shim over the object store (the H3 FUSE layer
+// analog): a hierarchical namespace whose files are store objects.
+//
+// Files map to immutable inode objects ("inode-<n>") so rename — of a
+// file or a whole directory subtree — is a pure metadata operation, as
+// in H3. Directory/namespace operations are synchronous bookkeeping;
+// data operations (read/write) move real bytes through the store and
+// take simulated time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/object_store.hpp"
+
+namespace evolve::storage {
+
+class FileSystem {
+ public:
+  /// Files live in `bucket` of `store` (created if missing).
+  FileSystem(ObjectStore& store, std::string bucket = "fs");
+
+  /// Normalizes a path ("/a//b/" -> "/a/b"); throws on invalid paths
+  /// (empty, not absolute, or containing "." / ".." segments).
+  static std::string normalize(const std::string& path);
+
+  // -- Namespace (synchronous metadata) --------------------------------
+  void mkdir(const std::string& path);
+  /// Creates all missing ancestors, like `mkdir -p`.
+  void mkdirs(const std::string& path);
+  bool exists(const std::string& path) const;
+  bool is_dir(const std::string& path) const;
+  bool is_file(const std::string& path) const;
+  /// File size; nullopt for directories/missing paths.
+  std::optional<util::Bytes> stat(const std::string& path) const;
+  /// Immediate children names (not full paths), sorted.
+  std::vector<std::string> list(const std::string& path) const;
+  /// Renames a file or directory subtree (metadata-only).
+  void rename(const std::string& from, const std::string& to);
+  /// Removes a file, or a directory (recursive required if non-empty).
+  /// Freed objects are deleted from the store asynchronously.
+  void remove(const std::string& path, bool recursive = false);
+
+  // -- Data (asynchronous, simulated time) ------------------------------
+  /// Creates or overwrites a file of `size` bytes written from `client`.
+  /// Parent directory must exist.
+  void write_file(cluster::NodeId client, const std::string& path,
+                  util::Bytes size, std::function<void()> on_done);
+  /// Reads a file to `client`.
+  void read_file(cluster::NodeId client, const std::string& path,
+                 std::function<void(const GetResult&)> on_done);
+
+  /// Total bytes across all files.
+  util::Bytes total_bytes() const;
+  std::size_t file_count() const;
+
+ private:
+  struct Node {
+    bool directory = false;
+    std::string inode;        // object name; empty for directories
+    util::Bytes size = 0;
+  };
+
+  static std::string parent_of(const std::string& path);
+  const Node* find(const std::string& path) const;
+  void require_parent(const std::string& path) const;
+  std::string fresh_inode();
+
+  ObjectStore& store_;
+  std::string bucket_;
+  std::map<std::string, Node> nodes_;  // sorted: subtree = key range
+  std::int64_t next_inode_ = 1;
+};
+
+}  // namespace evolve::storage

@@ -1,0 +1,60 @@
+#include "storage/io_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace evolve::storage {
+
+util::TimeNs service_time(const cluster::StorageDeviceSpec& device,
+                          IoKind kind, util::Bytes bytes) {
+  if (bytes < 0) throw std::invalid_argument("service_time: negative bytes");
+  const double bw = kind == IoKind::kRead ? device.read_bw_bytes_per_s
+                                          : device.write_bw_bytes_per_s;
+  if (bw <= 0) throw std::logic_error("device has no bandwidth");
+  const double transfer_s = static_cast<double>(bytes) / bw;
+  return device.access_latency +
+         static_cast<util::TimeNs>(std::ceil(transfer_s * 1e9));
+}
+
+DeviceQueue::DeviceQueue(sim::Simulation& sim,
+                         cluster::StorageDeviceSpec spec)
+    : sim_(sim), spec_(std::move(spec)) {}
+
+void DeviceQueue::submit(IoKind kind, util::Bytes bytes,
+                         std::function<void()> on_done) {
+  const util::TimeNs start = std::max(sim_.now(), busy_until_);
+  const util::TimeNs done = start + service_time(spec_, kind, bytes);
+  busy_until_ = done;
+  sim_.at(done, [this, cb = std::move(on_done)]() mutable {
+    ++completed_;
+    cb();
+  });
+}
+
+IoSubsystem::IoSubsystem(sim::Simulation& sim,
+                         const cluster::Cluster& cluster) {
+  for (cluster::NodeId n = 0; n < cluster.size(); ++n) {
+    for (const auto& dev : cluster.node(n).devices) {
+      queues_.emplace(std::piecewise_construct,
+                      std::forward_as_tuple(n, dev.name),
+                      std::forward_as_tuple(sim, dev));
+    }
+  }
+}
+
+DeviceQueue& IoSubsystem::device(cluster::NodeId node,
+                                 const std::string& name) {
+  auto it = queues_.find({node, name});
+  if (it == queues_.end()) {
+    throw std::out_of_range("no device '" + name + "' on node " +
+                            std::to_string(node));
+  }
+  return it->second;
+}
+
+bool IoSubsystem::has_device(cluster::NodeId node,
+                             const std::string& name) const {
+  return queues_.count({node, name}) != 0;
+}
+
+}  // namespace evolve::storage

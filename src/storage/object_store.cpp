@@ -1,0 +1,506 @@
+#include "storage/object_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace evolve::storage {
+
+namespace {
+
+/// Stateless 64-bit mix for rendezvous hashing.
+std::uint64_t mix_hash(std::uint64_t seed) {
+  return util::splitmix64(seed);
+}
+
+std::uint64_t string_hash(const std::string& text) {
+  // FNV-1a, then a SplitMix finalizer for avalanche.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return mix_hash(h);
+}
+
+}  // namespace
+
+ObjectStore::ObjectStore(sim::Simulation& sim,
+                         const cluster::Cluster& cluster, net::Fabric& fabric,
+                         IoSubsystem& io, std::vector<cluster::NodeId> servers,
+                         ObjectStoreConfig config)
+    : sim_(sim),
+      cluster_(cluster),
+      fabric_(fabric),
+      io_(io),
+      servers_(std::move(servers)),
+      config_(config) {
+  if (servers_.empty()) {
+    throw std::invalid_argument("object store needs at least one server");
+  }
+  if (config_.replicas < 1) {
+    throw std::invalid_argument("replicas must be >= 1");
+  }
+  if (config_.redundancy == Redundancy::kErasure) {
+    if (config_.ec_data < 1 || config_.ec_parity < 0) {
+      throw std::invalid_argument("bad erasure-coding parameters");
+    }
+    if (config_.ec_data + config_.ec_parity >
+        static_cast<int>(servers_.size())) {
+      throw std::invalid_argument(
+          "erasure coding needs at least k+m storage servers");
+    }
+  }
+  if (config_.cache_capacity_fraction <= 0 ||
+      config_.cache_capacity_fraction > 1.0) {
+    throw std::invalid_argument("cache_capacity_fraction must be in (0, 1]");
+  }
+  for (cluster::NodeId node : servers_) {
+    const auto& spec = cluster_.node(node);
+    if (spec.devices.empty()) {
+      throw std::invalid_argument("storage server '" + spec.name +
+                                  "' has no devices");
+    }
+    ServerState state;
+    state.node = node;
+    state.durable_device = spec.devices.back().name;
+    std::vector<TierConfig> tiers;
+    for (std::size_t i = 0; i + 1 < spec.devices.size(); ++i) {
+      tiers.push_back(TierConfig{
+          spec.devices[i].name,
+          static_cast<util::Bytes>(
+              static_cast<double>(spec.devices[i].capacity) *
+              config_.cache_capacity_fraction)});
+      state.cache_tiers.push_back(spec.devices[i].name);
+    }
+    if (tiers.empty()) {
+      // Single-device server: the durable device is also the only "cache".
+      tiers.push_back(TierConfig{spec.devices.back().name, 0});
+      state.cache_tiers.push_back(spec.devices.back().name);
+    }
+    state.cache = std::make_unique<TieredCache>(std::move(tiers));
+    server_states_.emplace(node, std::move(state));
+  }
+}
+
+ObjectStore::ServerState& ObjectStore::server_state(cluster::NodeId node) {
+  auto it = server_states_.find(node);
+  if (it == server_states_.end()) {
+    throw std::out_of_range("node is not a storage server");
+  }
+  return it->second;
+}
+
+const ObjectStore::ServerState& ObjectStore::server_state(
+    cluster::NodeId node) const {
+  auto it = server_states_.find(node);
+  if (it == server_states_.end()) {
+    throw std::out_of_range("node is not a storage server");
+  }
+  return it->second;
+}
+
+void ObjectStore::create_bucket(const std::string& bucket) {
+  if (bucket.empty()) throw std::invalid_argument("empty bucket name");
+  buckets_[bucket] = true;
+}
+
+bool ObjectStore::bucket_exists(const std::string& bucket) const {
+  return buckets_.count(bucket) != 0;
+}
+
+std::vector<cluster::NodeId> ObjectStore::locate(const ObjectKey& key) const {
+  // Rendezvous hashing: rank servers by hash(key, server), take top R.
+  std::vector<std::pair<std::uint64_t, cluster::NodeId>> ranked;
+  ranked.reserve(servers_.size());
+  const std::uint64_t kh = string_hash(key.full());
+  for (cluster::NodeId node : servers_) {
+    ranked.emplace_back(mix_hash(kh ^ (0x9e3779b97f4a7c15ULL *
+                                       static_cast<std::uint64_t>(node + 1))),
+                        node);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  const int wanted = config_.redundancy == Redundancy::kReplication
+                         ? config_.replicas
+                         : config_.ec_data + config_.ec_parity;
+  const int count = std::min<int>(wanted, static_cast<int>(ranked.size()));
+  std::vector<cluster::NodeId> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(ranked[static_cast<std::size_t>(i)].second);
+  return out;
+}
+
+cluster::NodeId ObjectStore::choose_replica(
+    const std::vector<cluster::NodeId>& replicas,
+    cluster::NodeId client) const {
+  for (cluster::NodeId r : replicas) {
+    if (r == client) return r;
+  }
+  const auto& topo = fabric_.topology();
+  for (cluster::NodeId r : replicas) {
+    if (topo.same_rack(r, client)) return r;
+  }
+  return replicas.front();
+}
+
+void ObjectStore::write_durable(cluster::NodeId server, const ObjectKey& key,
+                                util::Bytes size,
+                                std::function<void()> on_done) {
+  ServerState& state = server_state(server);
+  io_.device(server, state.durable_device)
+      .submit(IoKind::kWrite, size, std::move(on_done));
+  state.durable_used += size;
+  if (config_.cache_on_put) {
+    state.cache->put(key.full(), size);
+  }
+}
+
+util::Bytes ObjectStore::per_server_bytes(util::Bytes size) const {
+  if (config_.redundancy == Redundancy::kReplication) return size;
+  return (size + config_.ec_data - 1) / config_.ec_data;  // fragment
+}
+
+void ObjectStore::put(cluster::NodeId client, const ObjectKey& key,
+                      util::Bytes size, PutCallback on_done) {
+  if (!bucket_exists(key.bucket)) {
+    throw std::invalid_argument("bucket does not exist: " + key.bucket);
+  }
+  if (size < 0) throw std::invalid_argument("put: negative size");
+  const auto replicas = locate(key);
+  const util::TimeNs start = sim_.now();
+  metrics_.count("put_requests");
+  metrics_.count("put_bytes", size);
+
+  // If overwriting, reclaim the old durable bytes first.
+  if (auto it = objects_.find(key); it != objects_.end()) {
+    for (cluster::NodeId r : it->second.replicas) {
+      ServerState& state = server_state(r);
+      state.durable_used -= it->second.per_server_bytes;
+      state.cache->erase(key.full());
+    }
+  }
+  const util::Bytes per_server = per_server_bytes(size);
+  objects_[key] = ObjectMeta{size, per_server, replicas};
+
+  auto remaining = std::make_shared<int>(static_cast<int>(replicas.size()));
+  auto finish = [this, remaining, start,
+                 cb = std::move(on_done)]() mutable {
+    if (--*remaining > 0) return;
+    metrics_.observe("put_latency_us",
+                     (sim_.now() - start) / util::kMicrosecond);
+    cb();
+  };
+  const cluster::NodeId primary = replicas.front();
+
+  if (config_.redundancy == Redundancy::kReplication) {
+    // Metadata round, then client -> primary transfer, then fan-out
+    // replication in parallel. Done when every replica is durable.
+    sim_.after(config_.metadata_latency, [this, client, primary, key, size,
+                                          replicas, finish]() mutable {
+      fabric_.transfer(client, primary, size, [this, primary, key, size,
+                                               replicas, finish]() mutable {
+        write_durable(primary, key, size, finish);
+        for (std::size_t i = 1; i < replicas.size(); ++i) {
+          const cluster::NodeId replica = replicas[i];
+          fabric_.transfer(primary, replica, size,
+                           [this, replica, key, size, finish]() mutable {
+                             write_durable(replica, key, size, finish);
+                           });
+        }
+      });
+    });
+    return;
+  }
+
+  // Erasure coding: client -> primary (full body); primary encodes, then
+  // distributes k+m-1 fragments; every fragment must be durable.
+  const auto encode_ns = static_cast<util::TimeNs>(
+      std::ceil(static_cast<double>(size) * config_.ec_ns_per_byte));
+  sim_.after(config_.metadata_latency, [this, client, primary, key, size,
+                                        per_server, encode_ns, replicas,
+                                        finish]() mutable {
+    fabric_.transfer(client, primary, size, [this, primary, key, per_server,
+                                             encode_ns, replicas,
+                                             finish]() mutable {
+      sim_.after(encode_ns, [this, primary, key, per_server, replicas,
+                             finish]() mutable {
+        write_durable(primary, key, per_server, finish);
+        for (std::size_t i = 1; i < replicas.size(); ++i) {
+          const cluster::NodeId peer = replicas[i];
+          fabric_.transfer(primary, peer, per_server,
+                           [this, peer, key, per_server, finish]() mutable {
+                             write_durable(peer, key, per_server, finish);
+                           });
+        }
+      });
+    });
+  });
+}
+
+void ObjectStore::get(cluster::NodeId client, const ObjectKey& key,
+                      GetCallback on_done) {
+  const util::TimeNs start = sim_.now();
+  metrics_.count("get_requests");
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    metrics_.count("get_misses");
+    sim_.after(config_.metadata_latency,
+               [cb = std::move(on_done)] { cb(GetResult{}); });
+    return;
+  }
+  const util::Bytes size = it->second.size;
+  if (config_.redundancy == Redundancy::kErasure) {
+    get_erasure(client, key, it->second, start, std::move(on_done));
+    return;
+  }
+  const cluster::NodeId server =
+      choose_replica(it->second.replicas, client);
+  ServerState& state = server_state(server);
+
+  // Which tier serves the read?
+  std::string tier_name;
+  if (config_.cache_on_get) {
+    if (auto tier = state.cache->get(key.full()); tier.has_value()) {
+      tier_name = state.cache_tiers[static_cast<std::size_t>(*tier)];
+    } else {
+      tier_name = state.durable_device;
+      state.cache->put(key.full(), size);  // admit on miss
+    }
+  } else {
+    if (auto tier = state.cache->peek(key.full()); tier.has_value()) {
+      tier_name = state.cache_tiers[static_cast<std::size_t>(*tier)];
+    } else {
+      tier_name = state.durable_device;
+    }
+  }
+  metrics_.count("get_tier_" + tier_name);
+  metrics_.count("get_bytes", size);
+
+  GetResult result;
+  result.found = true;
+  result.size = size;
+  result.served_by = server;
+  result.tier = tier_name;
+
+  sim_.after(config_.metadata_latency, [this, server, client, size, tier_name,
+                                        start, result,
+                                        cb = std::move(on_done)]() mutable {
+    io_.device(server, tier_name)
+        .submit(IoKind::kRead, size,
+                [this, server, client, size, start, result,
+                 cb = std::move(cb)]() mutable {
+                  fabric_.transfer(
+                      server, client, size,
+                      [this, start, result, cb = std::move(cb)]() mutable {
+                        metrics_.observe(
+                            "get_latency_us",
+                            (sim_.now() - start) / util::kMicrosecond);
+                        cb(result);
+                      });
+                });
+  });
+}
+
+void ObjectStore::get_erasure(cluster::NodeId client, const ObjectKey& key,
+                              const ObjectMeta& meta, util::TimeNs start,
+                              GetCallback on_done) {
+  // Rank fragment holders by proximity to the client; read the k nearest.
+  std::vector<cluster::NodeId> ranked = meta.replicas;
+  const auto& topo = fabric_.topology();
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](cluster::NodeId a, cluster::NodeId b) {
+                     auto rank = [&](cluster::NodeId n) {
+                       if (n == client) return 0;
+                       return topo.same_rack(n, client) ? 1 : 2;
+                     };
+                     return rank(a) < rank(b);
+                   });
+  const int k = config_.ec_data;
+  ranked.resize(static_cast<std::size_t>(k));
+
+  auto result = std::make_shared<GetResult>();
+  result->found = true;
+  result->size = meta.size;
+  result->served_by = ranked.front();
+  const util::Bytes fragment = meta.per_server_bytes;
+  const auto decode_ns = static_cast<util::TimeNs>(std::ceil(
+      static_cast<double>(meta.size) * config_.ec_ns_per_byte));
+
+  // Tier is reported for the nearest fragment; all fragment reads go
+  // through their server's cache independently.
+  auto remaining = std::make_shared<int>(k);
+  auto finish = [this, remaining, start, decode_ns, result,
+                 cb = std::move(on_done)]() mutable {
+    if (--*remaining > 0) return;
+    sim_.after(decode_ns, [this, start, result, cb = std::move(cb)]() mutable {
+      metrics_.observe("get_latency_us",
+                       (sim_.now() - start) / util::kMicrosecond);
+      cb(*result);
+    });
+  };
+  for (int i = 0; i < k; ++i) {
+    const cluster::NodeId server = ranked[static_cast<std::size_t>(i)];
+    ServerState& state = server_state(server);
+    std::string tier_name;
+    if (config_.cache_on_get) {
+      if (auto tier = state.cache->get(key.full()); tier.has_value()) {
+        tier_name = state.cache_tiers[static_cast<std::size_t>(*tier)];
+      } else {
+        tier_name = state.durable_device;
+        state.cache->put(key.full(), fragment);
+      }
+    } else {
+      tier_name = state.durable_device;
+    }
+    metrics_.count("get_tier_" + tier_name);
+    metrics_.count("get_bytes", fragment);
+    if (i == 0) result->tier = tier_name;
+    sim_.after(config_.metadata_latency, [this, server, client, fragment,
+                                          tier_name, finish]() mutable {
+      io_.device(server, tier_name)
+          .submit(IoKind::kRead, fragment,
+                  [this, server, client, fragment, finish]() mutable {
+                    fabric_.transfer(server, client, fragment, finish);
+                  });
+    });
+  }
+}
+
+void ObjectStore::preload(const ObjectKey& key, util::Bytes size,
+                          bool warm_cache) {
+  if (!bucket_exists(key.bucket)) create_bucket(key.bucket);
+  if (size < 0) throw std::invalid_argument("preload: negative size");
+  if (exists(key)) {
+    throw std::invalid_argument("preload: object already exists: " +
+                                key.full());
+  }
+  const auto replicas = locate(key);
+  const util::Bytes per_server = per_server_bytes(size);
+  objects_[key] = ObjectMeta{size, per_server, replicas};
+  for (cluster::NodeId r : replicas) {
+    ServerState& state = server_state(r);
+    state.durable_used += per_server;
+    if (warm_cache) state.cache->put(key.full(), per_server);
+  }
+}
+
+void ObjectStore::remove(cluster::NodeId /*client*/, const ObjectKey& key,
+                         PutCallback on_done) {
+  auto it = objects_.find(key);
+  if (it != objects_.end()) {
+    for (cluster::NodeId r : it->second.replicas) {
+      ServerState& state = server_state(r);
+      state.durable_used -= it->second.per_server_bytes;
+      state.cache->erase(key.full());
+    }
+    objects_.erase(it);
+    metrics_.count("delete_requests");
+  }
+  sim_.after(config_.metadata_latency, std::move(on_done));
+}
+
+bool ObjectStore::exists(const ObjectKey& key) const {
+  return objects_.count(key) != 0;
+}
+
+std::optional<util::Bytes> ObjectStore::object_size(
+    const ObjectKey& key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second.size;
+}
+
+std::vector<std::string> ObjectStore::list(const std::string& bucket,
+                                           const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [key, meta] : objects_) {
+    if (key.bucket != bucket) continue;
+    if (key.name.compare(0, prefix.size(), prefix) != 0) continue;
+    out.push_back(key.name);
+  }
+  return out;
+}
+
+std::int64_t ObjectStore::initiate_multipart(const ObjectKey& key) {
+  if (!bucket_exists(key.bucket)) {
+    throw std::invalid_argument("bucket does not exist: " + key.bucket);
+  }
+  const std::int64_t id = next_upload_id_++;
+  uploads_[id] = MultipartUpload{key, 0, {}};
+  return id;
+}
+
+void ObjectStore::upload_part(cluster::NodeId client, std::int64_t upload_id,
+                              int part_number, util::Bytes size,
+                              PutCallback on_done) {
+  auto it = uploads_.find(upload_id);
+  if (it == uploads_.end()) {
+    throw std::invalid_argument("unknown multipart upload");
+  }
+  if (it->second.parts.count(part_number) != 0) {
+    throw std::invalid_argument("duplicate part number");
+  }
+  it->second.parts[part_number] = size;
+  it->second.total += size;
+  // Parts stream to the primary replica of the final key.
+  const auto replicas = locate(it->second.key);
+  const cluster::NodeId primary = replicas.front();
+  sim_.after(config_.metadata_latency,
+             [this, client, primary, size, cb = std::move(on_done)]() mutable {
+               fabric_.transfer(client, primary, size, std::move(cb));
+             });
+}
+
+void ObjectStore::complete_multipart(std::int64_t upload_id,
+                                     PutCallback on_done) {
+  auto it = uploads_.find(upload_id);
+  if (it == uploads_.end()) {
+    throw std::invalid_argument("unknown multipart upload");
+  }
+  const ObjectKey key = it->second.key;
+  const util::Bytes total = it->second.total;
+  const auto replicas = locate(key);
+  uploads_.erase(it);
+  const util::Bytes per_server = per_server_bytes(total);
+  objects_[key] = ObjectMeta{total, per_server, replicas};
+
+  // Assembly: parts already live on the primary, which persists its
+  // share and fans out full copies (replication) or fragments (EC).
+  const auto encode_ns =
+      config_.redundancy == Redundancy::kErasure
+          ? static_cast<util::TimeNs>(std::ceil(static_cast<double>(total) *
+                                                config_.ec_ns_per_byte))
+          : 0;
+  auto remaining = std::make_shared<int>(static_cast<int>(replicas.size()));
+  auto finish = [remaining, cb = std::move(on_done)]() mutable {
+    if (--*remaining > 0) return;
+    cb();
+  };
+  const cluster::NodeId primary = replicas.front();
+  sim_.after(config_.metadata_latency + encode_ns,
+             [this, primary, key, per_server, replicas, finish]() mutable {
+               write_durable(primary, key, per_server, finish);
+               for (std::size_t i = 1; i < replicas.size(); ++i) {
+                 const cluster::NodeId peer = replicas[i];
+                 fabric_.transfer(
+                     primary, peer, per_server,
+                     [this, peer, key, per_server, finish]() mutable {
+                       write_durable(peer, key, per_server, finish);
+                     });
+               }
+             });
+}
+
+util::Bytes ObjectStore::durable_bytes(cluster::NodeId server) const {
+  return server_state(server).durable_used;
+}
+
+const TieredCache& ObjectStore::cache(cluster::NodeId server) const {
+  return *server_state(server).cache;
+}
+
+}  // namespace evolve::storage

@@ -1,0 +1,194 @@
+// H3-style distributed object store over the simulated cluster.
+//
+// Buckets hold named objects. Objects are placed on storage servers by
+// rendezvous (HRW) hashing with R-way replication. Every server runs a
+// tiered cache: the durable home of an object is the server's slowest
+// device; faster devices act as read caches. GET prefers the replica
+// closest to the client (same node, then same rack).
+//
+// All data movement goes through the shared network fabric and the
+// per-device queues, so storage traffic contends with shuffle and
+// collective traffic — the central "converged storage" property of EVOLVE.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "metrics/registry.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulation.hpp"
+#include "storage/io_model.hpp"
+#include "storage/tiered_cache.hpp"
+#include "util/types.hpp"
+
+namespace evolve::storage {
+
+struct ObjectKey {
+  std::string bucket;
+  std::string name;
+
+  std::string full() const { return bucket + "/" + name; }
+  bool operator<(const ObjectKey& other) const {
+    return full() < other.full();
+  }
+};
+
+enum class Redundancy {
+  kReplication,  // R full copies
+  kErasure,      // k data + m parity fragments (Reed-Solomon-style)
+};
+
+struct ObjectStoreConfig {
+  Redundancy redundancy = Redundancy::kReplication;
+  int replicas = 2;        // replication factor (kReplication)
+  int ec_data = 4;         // k (kErasure)
+  int ec_parity = 2;       // m (kErasure)
+  /// Encode/decode compute cost charged at the coordinating server.
+  double ec_ns_per_byte = 0.3;
+  util::TimeNs metadata_latency = util::micros(200);
+  bool cache_on_put = true;   // write-through into the cache tiers
+  bool cache_on_get = true;   // promote on read
+  // Fraction of each cache device actually granted to the store
+  // (the rest is left to co-located applications).
+  double cache_capacity_fraction = 1.0;
+
+  /// Storage overhead factor: durable bytes per logical byte.
+  double storage_overhead() const {
+    return redundancy == Redundancy::kReplication
+               ? static_cast<double>(replicas)
+               : static_cast<double>(ec_data + ec_parity) / ec_data;
+  }
+};
+
+struct GetResult {
+  bool found = false;
+  util::Bytes size = 0;
+  cluster::NodeId served_by = cluster::kInvalidNode;
+  /// Device tier name the read was served from ("dram", "nvme", "hdd").
+  std::string tier;
+};
+
+using PutCallback = std::function<void()>;
+using GetCallback = std::function<void(const GetResult&)>;
+
+class ObjectStore {
+ public:
+  /// `servers`: nodes that act as storage servers. Each must have at
+  /// least one device; the slowest (last) device is the durable home.
+  ObjectStore(sim::Simulation& sim, const cluster::Cluster& cluster,
+              net::Fabric& fabric, IoSubsystem& io,
+              std::vector<cluster::NodeId> servers,
+              ObjectStoreConfig config = {});
+
+  void create_bucket(const std::string& bucket);
+  bool bucket_exists(const std::string& bucket) const;
+
+  /// Writes an object of `size` bytes from `client`. Completes when all
+  /// replicas are durable.
+  void put(cluster::NodeId client, const ObjectKey& key, util::Bytes size,
+           PutCallback on_done);
+
+  /// Reads an object to `client`. Completes when the last byte arrives.
+  void get(cluster::NodeId client, const ObjectKey& key, GetCallback on_done);
+
+  /// Installs an object instantly (no simulated time): metadata, durable
+  /// bytes on every replica, and optional cache admission. Benchmarks use
+  /// this to stage input datasets without simulating the ingest.
+  void preload(const ObjectKey& key, util::Bytes size, bool warm_cache = false);
+
+  /// Deletes an object (metadata-latency cost).
+  void remove(cluster::NodeId client, const ObjectKey& key,
+              PutCallback on_done);
+
+  bool exists(const ObjectKey& key) const;
+  std::optional<util::Bytes> object_size(const ObjectKey& key) const;
+
+  /// Names of objects in a bucket with the given prefix, sorted.
+  std::vector<std::string> list(const std::string& bucket,
+                                const std::string& prefix = "") const;
+
+  // -- Multipart upload (large-object ingest path) --------------------
+  /// Starts a multipart upload; returns an upload id.
+  std::int64_t initiate_multipart(const ObjectKey& key);
+  /// Uploads one part; parts may be uploaded concurrently.
+  void upload_part(cluster::NodeId client, std::int64_t upload_id,
+                   int part_number, util::Bytes size, PutCallback on_done);
+  /// Completes the upload, making the assembled object visible.
+  void complete_multipart(std::int64_t upload_id, PutCallback on_done);
+
+  /// Replica servers for a key (primary first). Exposed so the dataflow
+  /// engine can do locality-aware task placement.
+  std::vector<cluster::NodeId> locate(const ObjectKey& key) const;
+
+  const std::vector<cluster::NodeId>& servers() const { return servers_; }
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
+
+  /// Total durable bytes on one server.
+  util::Bytes durable_bytes(cluster::NodeId server) const;
+
+  /// The cache of one server (tests/benchmarks inspect hit ratios).
+  const TieredCache& cache(cluster::NodeId server) const;
+
+ private:
+  struct ObjectMeta {
+    util::Bytes size = 0;
+    /// Durable bytes held per server (== size for replication, the
+    /// fragment size for erasure coding).
+    util::Bytes per_server_bytes = 0;
+    std::vector<cluster::NodeId> replicas;  // primary first
+  };
+
+  /// Durable bytes one server holds for an object of `size`.
+  util::Bytes per_server_bytes(util::Bytes size) const;
+  struct ServerState {
+    cluster::NodeId node = cluster::kInvalidNode;
+    std::unique_ptr<TieredCache> cache;     // fast tiers only
+    std::vector<std::string> cache_tiers;   // device name per cache tier
+    std::string durable_device;
+    util::Bytes durable_used = 0;
+  };
+  struct MultipartUpload {
+    ObjectKey key;
+    util::Bytes total = 0;
+    std::map<int, util::Bytes> parts;
+  };
+
+  ServerState& server_state(cluster::NodeId node);
+  const ServerState& server_state(cluster::NodeId node) const;
+
+  /// Writes `size` bytes durably on `server`, then `on_done`.
+  void write_durable(cluster::NodeId server, const ObjectKey& key,
+                     util::Bytes size, std::function<void()> on_done);
+
+  /// Picks the replica to serve a GET for `client`.
+  cluster::NodeId choose_replica(const std::vector<cluster::NodeId>& replicas,
+                                 cluster::NodeId client) const;
+
+  /// Erasure-coded GET: fetch k fragments from the nearest fragment
+  /// holders in parallel, then decode at the client.
+  void get_erasure(cluster::NodeId client, const ObjectKey& key,
+                   const ObjectMeta& meta, util::TimeNs start,
+                   GetCallback on_done);
+
+  sim::Simulation& sim_;
+  const cluster::Cluster& cluster_;
+  net::Fabric& fabric_;
+  IoSubsystem& io_;
+  std::vector<cluster::NodeId> servers_;
+  ObjectStoreConfig config_;
+  std::map<std::string, bool> buckets_;
+  std::map<ObjectKey, ObjectMeta> objects_;
+  std::map<cluster::NodeId, ServerState> server_states_;
+  std::map<std::int64_t, MultipartUpload> uploads_;
+  std::int64_t next_upload_id_ = 1;
+  metrics::Registry metrics_;
+};
+
+}  // namespace evolve::storage

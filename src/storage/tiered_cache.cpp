@@ -1,0 +1,141 @@
+#include "storage/tiered_cache.hpp"
+
+#include <stdexcept>
+
+namespace evolve::storage {
+
+TieredCache::TieredCache(std::vector<TierConfig> tiers) {
+  if (tiers.empty()) throw std::invalid_argument("need at least one tier");
+  for (auto& config : tiers) {
+    if (config.capacity < 0) {
+      throw std::invalid_argument("tier capacity must be >= 0");
+    }
+    Tier tier;
+    tier.config = std::move(config);
+    tiers_.push_back(std::move(tier));
+  }
+}
+
+const TierStats& TieredCache::stats(int tier) const {
+  return tiers_.at(static_cast<std::size_t>(tier)).stats;
+}
+
+const TierConfig& TieredCache::config(int tier) const {
+  return tiers_.at(static_cast<std::size_t>(tier)).config;
+}
+
+util::Bytes TieredCache::used(int tier) const {
+  return tiers_.at(static_cast<std::size_t>(tier)).stats.used;
+}
+
+bool TieredCache::contains(const std::string& key) const {
+  return index_.count(key) != 0;
+}
+
+std::optional<int> TieredCache::peek(const std::string& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return it->second.tier;
+}
+
+void TieredCache::make_room(int tier_index, util::Bytes needed) {
+  Tier& tier = tiers_[static_cast<std::size_t>(tier_index)];
+  while (tier.stats.used + needed > tier.config.capacity &&
+         !tier.lru.empty()) {
+    Entry victim = std::move(tier.lru.back());
+    tier.lru.pop_back();
+    tier.stats.used -= victim.size;
+    index_.erase(victim.key);
+    ++tier.stats.demotions_out;
+    if (tier_index + 1 < tier_count()) {
+      insert_into(tier_index + 1, std::move(victim), /*demotion=*/true);
+    } else {
+      ++drops_;
+    }
+  }
+}
+
+void TieredCache::insert_into(int tier_index, Entry entry, bool demotion) {
+  Tier& tier = tiers_[static_cast<std::size_t>(tier_index)];
+  if (entry.size > tier.config.capacity) {
+    // Too big for this tier entirely: push further down or drop.
+    if (tier_index + 1 < tier_count()) {
+      insert_into(tier_index + 1, std::move(entry), demotion);
+    } else {
+      ++drops_;
+    }
+    return;
+  }
+  make_room(tier_index, entry.size);
+  tier.stats.used += entry.size;
+  if (demotion) {
+    ++tier.stats.demotions_in;
+  } else {
+    ++tier.stats.inserts;
+  }
+  tier.lru.push_front(std::move(entry));
+  index_[tier.lru.front().key] = Location{tier_index, tier.lru.begin()};
+}
+
+bool TieredCache::put(const std::string& key, util::Bytes size) {
+  if (size < 0) throw std::invalid_argument("put: negative size");
+  erase(key);
+  bool fits_somewhere = false;
+  for (const Tier& tier : tiers_) {
+    if (size <= tier.config.capacity) {
+      fits_somewhere = true;
+      break;
+    }
+  }
+  if (!fits_somewhere) {
+    ++drops_;
+    return false;
+  }
+  insert_into(0, Entry{key, size}, /*demotion=*/false);
+  return true;
+}
+
+std::optional<int> TieredCache::get(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  const int found_tier = it->second.tier;
+  ++tiers_[static_cast<std::size_t>(found_tier)].stats.hits;
+  Entry entry = *it->second.it;
+  if (found_tier == 0) {
+    // Refresh LRU position in place.
+    Tier& tier = tiers_[0];
+    tier.lru.erase(it->second.it);
+    tier.stats.used -= entry.size;
+    index_.erase(it);
+    tier.stats.used += entry.size;
+    tier.lru.push_front(std::move(entry));
+    index_[tier.lru.front().key] = Location{0, tier.lru.begin()};
+    return found_tier;
+  }
+  // Promote to tier 0 when it can ever fit there; otherwise refresh here.
+  Tier& old_tier = tiers_[static_cast<std::size_t>(found_tier)];
+  old_tier.lru.erase(it->second.it);
+  old_tier.stats.used -= entry.size;
+  index_.erase(it);
+  if (entry.size <= tiers_[0].config.capacity) {
+    insert_into(0, std::move(entry), /*demotion=*/false);
+  } else {
+    insert_into(found_tier, std::move(entry), /*demotion=*/false);
+  }
+  return found_tier;
+}
+
+bool TieredCache::erase(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  Tier& tier = tiers_[static_cast<std::size_t>(it->second.tier)];
+  tier.stats.used -= it->second.it->size;
+  tier.lru.erase(it->second.it);
+  index_.erase(it);
+  return true;
+}
+
+}  // namespace evolve::storage

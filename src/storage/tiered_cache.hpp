@@ -1,0 +1,94 @@
+// Per-node tiered cache (DRAM -> NVMe -> HDD) with LRU per tier and
+// demotion cascades, mirroring the EVOLVE storage nodes' tiering.
+//
+// This class is a placement/bookkeeping structure: it decides which tier
+// an object lives in. Timing is applied by the object store, which charges
+// the device queue of the tier the cache reports.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace evolve::storage {
+
+struct TierConfig {
+  std::string name;          // must match a StorageDeviceSpec name
+  util::Bytes capacity = 0;  // bytes usable for cached objects
+};
+
+struct TierStats {
+  std::int64_t hits = 0;
+  std::int64_t inserts = 0;
+  std::int64_t demotions_in = 0;   // objects demoted into this tier
+  std::int64_t demotions_out = 0;  // objects demoted out of this tier
+  util::Bytes used = 0;
+};
+
+/// Multi-tier LRU. Tier 0 is fastest. An object lives in exactly one tier.
+/// Inserts land in tier 0; eviction demotes the LRU object to the next
+/// tier (possibly cascading); the last tier evicts to nowhere (drop).
+class TieredCache {
+ public:
+  explicit TieredCache(std::vector<TierConfig> tiers);
+
+  /// Inserts or refreshes an object in tier 0. Objects larger than tier 0
+  /// land in the first tier that can ever hold them; objects larger than
+  /// every tier are not cached (returns false).
+  bool put(const std::string& key, util::Bytes size);
+
+  /// Looks up an object. On a hit, promotes it to tier 0 (if it fits) and
+  /// returns the tier index it was found in *before* promotion.
+  std::optional<int> get(const std::string& key);
+
+  /// Looks up without promoting or touching LRU order.
+  std::optional<int> peek(const std::string& key) const;
+
+  /// Removes an object from whatever tier holds it.
+  bool erase(const std::string& key);
+
+  bool contains(const std::string& key) const;
+
+  int tier_count() const { return static_cast<int>(tiers_.size()); }
+  const TierStats& stats(int tier) const;
+  const TierConfig& config(int tier) const;
+  util::Bytes used(int tier) const;
+
+  std::int64_t misses() const { return misses_; }
+  std::int64_t drops() const { return drops_; }
+
+  /// Total objects across all tiers.
+  std::size_t size() const { return index_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    util::Bytes size;
+  };
+  struct Tier {
+    TierConfig config;
+    TierStats stats;
+    std::list<Entry> lru;  // front = most recent
+  };
+  struct Location {
+    int tier;
+    std::list<Entry>::iterator it;
+  };
+
+  /// Places an entry at the head of `tier`, evicting/demoting as needed.
+  /// `demotion` marks whether this insert came from a higher tier.
+  void insert_into(int tier, Entry entry, bool demotion);
+  void make_room(int tier, util::Bytes needed);
+
+  std::vector<Tier> tiers_;
+  std::unordered_map<std::string, Location> index_;
+  std::int64_t misses_ = 0;
+  std::int64_t drops_ = 0;
+};
+
+}  // namespace evolve::storage

@@ -1,0 +1,44 @@
+// Minimal leveled logger. Off by default so benchmarks stay quiet;
+// tests and examples can raise the level for debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace evolve::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+/// Stream-style helper: LOG_AT(kInfo, "orch") << "placed pod " << id;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace evolve::util
+
+#define EVOLVE_LOG(level, component) \
+  ::evolve::util::LogStream(::evolve::util::LogLevel::level, component)

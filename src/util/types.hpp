@@ -1,0 +1,45 @@
+// Basic shared aliases and small value types used across the EVOLVE library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace evolve::util {
+
+/// Simulated time in integer nanoseconds (deterministic, no floating drift).
+using TimeNs = std::int64_t;
+
+/// Byte counts. Signed to make arithmetic on deltas safe.
+using Bytes = std::int64_t;
+
+inline constexpr TimeNs kNanosecond = 1;
+inline constexpr TimeNs kMicrosecond = 1'000;
+inline constexpr TimeNs kMillisecond = 1'000'000;
+inline constexpr TimeNs kSecond = 1'000'000'000;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/// Converts simulated nanoseconds to seconds as a double (for reporting).
+constexpr double to_seconds(TimeNs t) { return static_cast<double>(t) / 1e9; }
+
+/// Converts simulated nanoseconds to milliseconds as a double (for reporting).
+constexpr double to_millis(TimeNs t) { return static_cast<double>(t) / 1e6; }
+
+/// Converts (whole) seconds to simulated nanoseconds.
+constexpr TimeNs seconds(double s) {
+  return static_cast<TimeNs>(s * 1e9);
+}
+
+/// Converts milliseconds to simulated nanoseconds.
+constexpr TimeNs millis(double ms) {
+  return static_cast<TimeNs>(ms * 1e6);
+}
+
+/// Converts microseconds to simulated nanoseconds.
+constexpr TimeNs micros(double us) {
+  return static_cast<TimeNs>(us * 1e3);
+}
+
+}  // namespace evolve::util

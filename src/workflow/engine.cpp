@@ -1,0 +1,121 @@
+#include "workflow/engine.hpp"
+
+#include <vector>
+
+namespace evolve::workflow {
+
+struct WorkflowEngine::RunState {
+  // Owns a copy: callers may pass a temporary Workflow whose lifetime
+  // ends long before the (asynchronous) run completes.
+  Workflow workflow;
+  std::function<void(const WorkflowResult&)> on_done;
+  WorkflowResult result;
+  util::TimeNs start_time = 0;
+  std::vector<int> pending_deps;   // per step
+  std::vector<bool> launched;
+  std::vector<bool> finished;
+  int in_flight = 0;
+  bool failed = false;
+  bool done_reported = false;
+
+  RunState(const Workflow& wf,
+           std::function<void(const WorkflowResult&)> cb)
+      : workflow(wf), on_done(std::move(cb)) {}
+};
+
+void WorkflowEngine::run(const Workflow& workflow,
+                         std::function<void(const WorkflowResult&)> on_done) {
+  auto run = std::make_shared<RunState>(workflow, std::move(on_done));
+  run->start_time = sim_.now();
+  const auto& steps = run->workflow.steps();
+  run->pending_deps.resize(steps.size());
+  run->launched.resize(steps.size(), false);
+  run->finished.resize(steps.size(), false);
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    run->pending_deps[i] = static_cast<int>(steps[i].depends_on.size());
+    run->result.steps[steps[i].name] = StepResult{};
+  }
+  if (steps.empty()) {
+    run->result.success = true;
+    run->on_done(run->result);
+    return;
+  }
+  launch_ready(run);
+}
+
+void WorkflowEngine::launch_ready(std::shared_ptr<RunState> run) {
+  if (run->failed) return;
+  const auto& steps = run->workflow.steps();
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (!run->launched[i] && run->pending_deps[i] == 0) {
+      run->launched[i] = true;
+      start_step(run, i);
+    }
+  }
+}
+
+void WorkflowEngine::start_step(std::shared_ptr<RunState> run,
+                                std::size_t index) {
+  const Step& step = run->workflow.steps()[index];
+  StepResult& result = run->result.steps[step.name];
+  if (result.start_time < 0) result.start_time = sim_.now();
+  ++result.attempts;
+  ++run->in_flight;
+  // An attempt's outcome is consumed exactly once: either the runner's
+  // callback or the timeout, whichever fires first for *this* attempt.
+  const int attempt = result.attempts;
+  auto outcome = [this, run, index, attempt](bool success) {
+    const Step& step = run->workflow.steps()[index];
+    const StepResult& r = run->result.steps.at(step.name);
+    if (run->finished[index] || r.attempts != attempt) return;  // stale
+    step_finished(run, index, success);
+  };
+  if (step.timeout > 0) {
+    sim_.after(step.timeout, [outcome] { outcome(false); });
+  }
+  runner_.run_step(step, outcome);
+}
+
+void WorkflowEngine::step_finished(std::shared_ptr<RunState> run,
+                                   std::size_t index, bool success) {
+  const Step& step = run->workflow.steps()[index];
+  StepResult& result = run->result.steps[step.name];
+  --run->in_flight;
+  if (!success && result.attempts <= step.max_retries) {
+    ++run->result.total_retries;
+    start_step(run, index);
+    return;
+  }
+  result.success = success;
+  result.finish_time = sim_.now();
+  run->finished[index] = true;
+  if (!success) {
+    run->failed = true;
+    maybe_finish(run);
+    return;
+  }
+  // Unblock dependents.
+  const auto& steps = run->workflow.steps();
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    for (const std::string& dep : steps[i].depends_on) {
+      if (dep == step.name) --run->pending_deps[i];
+    }
+  }
+  launch_ready(run);
+  maybe_finish(run);
+}
+
+void WorkflowEngine::maybe_finish(std::shared_ptr<RunState> run) {
+  if (run->done_reported || run->in_flight > 0) return;
+  if (!run->failed) {
+    for (std::size_t i = 0; i < run->finished.size(); ++i) {
+      if (!run->finished[i]) return;  // something still blocked/unlaunched
+    }
+  }
+  run->done_reported = true;
+  run->result.success = !run->failed;
+  run->result.duration = sim_.now() - run->start_time;
+  run->on_done(run->result);
+}
+
+}  // namespace evolve::workflow

@@ -1,0 +1,65 @@
+// Workflow execution: dependency-ordered step launches with retries.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sim/simulation.hpp"
+#include "workflow/workflow.hpp"
+
+namespace evolve::workflow {
+
+/// Implemented by the platform (evolve::core): executes one step and
+/// reports success/failure.
+class StepRunner {
+ public:
+  virtual ~StepRunner() = default;
+  virtual void run_step(const Step& step,
+                        std::function<void(bool)> on_done) = 0;
+};
+
+struct StepResult {
+  util::TimeNs start_time = -1;
+  util::TimeNs finish_time = -1;
+  int attempts = 0;
+  bool success = false;
+
+  util::TimeNs duration() const {
+    return (start_time >= 0 && finish_time >= 0) ? finish_time - start_time
+                                                 : 0;
+  }
+};
+
+struct WorkflowResult {
+  bool success = false;
+  util::TimeNs duration = 0;
+  std::map<std::string, StepResult> steps;
+  int total_retries = 0;
+};
+
+class WorkflowEngine {
+ public:
+  WorkflowEngine(sim::Simulation& sim, StepRunner& runner)
+      : sim_(sim), runner_(runner) {}
+
+  /// Runs `workflow`; independent steps execute concurrently. A step
+  /// failing beyond its retry budget fails the workflow (running steps
+  /// finish, no new ones launch).
+  void run(const Workflow& workflow,
+           std::function<void(const WorkflowResult&)> on_done);
+
+ private:
+  struct RunState;
+  void launch_ready(std::shared_ptr<RunState> run);
+  void start_step(std::shared_ptr<RunState> run, std::size_t index);
+  void step_finished(std::shared_ptr<RunState> run, std::size_t index,
+                     bool success);
+  void maybe_finish(std::shared_ptr<RunState> run);
+
+  sim::Simulation& sim_;
+  StepRunner& runner_;
+};
+
+}  // namespace evolve::workflow

@@ -1,0 +1,105 @@
+#include "workflow/workflow.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace evolve::workflow {
+
+const char* to_string(StepKind kind) {
+  switch (kind) {
+    case StepKind::kContainer: return "container";
+    case StepKind::kDataflow: return "dataflow";
+    case StepKind::kHpc: return "hpc";
+    case StepKind::kAccel: return "accel";
+    case StepKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+Step container_step(std::string name, orch::PodSpec pod,
+                    util::TimeNs duration) {
+  Step step;
+  step.name = std::move(name);
+  step.kind = StepKind::kContainer;
+  step.pod = std::move(pod);
+  step.pod_duration = duration;
+  return step;
+}
+
+Step dataflow_step(std::string name, dataflow::LogicalPlan plan,
+                   int executors, int slots) {
+  Step step;
+  step.name = std::move(name);
+  step.kind = StepKind::kDataflow;
+  step.plan = std::move(plan);
+  step.dataflow_executors = executors;
+  step.dataflow_slots = slots;
+  return step;
+}
+
+Step hpc_step(std::string name, hpc::MpiProgram program, int ranks) {
+  Step step;
+  step.name = std::move(name);
+  step.kind = StepKind::kHpc;
+  step.mpi = program;
+  step.hpc_ranks = ranks;
+  return step;
+}
+
+Step accel_step(std::string name, std::string kernel, util::TimeNs cpu_time) {
+  Step step;
+  step.name = std::move(name);
+  step.kind = StepKind::kAccel;
+  step.kernel = std::move(kernel);
+  step.accel_cpu_time = cpu_time;
+  return step;
+}
+
+Step custom_step(std::string name,
+                 std::function<void(std::function<void(bool)>)> action) {
+  Step step;
+  step.name = std::move(name);
+  step.kind = StepKind::kCustom;
+  step.custom = std::move(action);
+  return step;
+}
+
+Workflow& Workflow::add(Step step) {
+  if (step.name.empty()) throw std::invalid_argument("step needs a name");
+  if (index_.count(step.name) != 0) {
+    throw std::invalid_argument("duplicate step name: " + step.name);
+  }
+  for (const std::string& dep : step.depends_on) {
+    if (index_.count(dep) == 0) {
+      throw std::invalid_argument("step '" + step.name +
+                                  "' depends on unknown step '" + dep + "'");
+    }
+  }
+  index_[step.name] = steps_.size();
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+const Step& Workflow::step(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) throw std::out_of_range("unknown step: " + name);
+  return steps_[it->second];
+}
+
+bool Workflow::has_step(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+std::vector<std::string> Workflow::leaves() const {
+  std::set<std::string> has_dependent;
+  for (const Step& step : steps_) {
+    for (const std::string& dep : step.depends_on) has_dependent.insert(dep);
+  }
+  std::vector<std::string> out;
+  for (const Step& step : steps_) {
+    if (has_dependent.count(step.name) == 0) out.push_back(step.name);
+  }
+  return out;
+}
+
+}  // namespace evolve::workflow

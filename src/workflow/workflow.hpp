@@ -1,0 +1,96 @@
+// Workflow DAGs mixing cloud, big-data, HPC, and accelerator steps —
+// the converged-pipeline abstraction at the heart of EVOLVE.
+//
+// The workflow module is deliberately decoupled from the platform: steps
+// are descriptions, and a StepRunner (implemented by evolve::core) knows
+// how to execute each kind. This mirrors Argo driving Kubernetes/Spark/
+// MPI operators.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataflow/plan.hpp"
+#include "hpc/collectives.hpp"
+#include "hpc/job.hpp"
+#include "orch/pod.hpp"
+#include "util/types.hpp"
+
+namespace evolve::workflow {
+
+enum class StepKind { kContainer, kDataflow, kHpc, kAccel, kCustom };
+
+const char* to_string(StepKind kind);
+
+struct Step {
+  std::string name;
+  StepKind kind = StepKind::kContainer;
+  std::vector<std::string> depends_on;
+  int max_retries = 0;
+  /// Per-attempt deadline; 0 disables. A timed-out attempt counts as a
+  /// failure (and thus consumes a retry); its late result is ignored.
+  util::TimeNs timeout = 0;
+
+  /// Datasets the step reads. On the converged platform these live in
+  /// the shared store (no cost); a siloed platform must stage-copy them
+  /// into the executing silo's store first.
+  std::vector<std::string> input_datasets;
+
+  // kContainer: a pod that runs for `pod_duration`.
+  orch::PodSpec pod;
+  util::TimeNs pod_duration = 0;
+
+  // kDataflow: a logical plan plus executor sizing.
+  dataflow::LogicalPlan plan;
+  int dataflow_executors = 4;
+  int dataflow_slots = 4;
+
+  // kHpc: an iterative MPI program on `hpc_ranks` ranks.
+  hpc::MpiProgram mpi;
+  int hpc_ranks = 4;
+
+  // kAccel: offload `accel_cpu_time` of CPU work through `kernel`.
+  std::string kernel;
+  util::TimeNs accel_cpu_time = 0;
+
+  // kCustom: arbitrary async action; invoke the callback with success.
+  std::function<void(std::function<void(bool)>)> custom;
+};
+
+/// Convenience builders.
+Step container_step(std::string name, orch::PodSpec pod,
+                    util::TimeNs duration);
+Step dataflow_step(std::string name, dataflow::LogicalPlan plan,
+                   int executors = 4, int slots = 4);
+Step hpc_step(std::string name, hpc::MpiProgram program, int ranks);
+Step accel_step(std::string name, std::string kernel,
+                util::TimeNs cpu_time);
+Step custom_step(std::string name,
+                 std::function<void(std::function<void(bool)>)> action);
+
+class Workflow {
+ public:
+  explicit Workflow(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a step; its name must be unique and its dependencies must
+  /// already be present (this enforces acyclicity by construction).
+  Workflow& add(Step step);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Step>& steps() const { return steps_; }
+  int size() const { return static_cast<int>(steps_.size()); }
+  const Step& step(const std::string& name) const;
+  bool has_step(const std::string& name) const;
+
+  /// Step names with no dependents (workflow outputs).
+  std::vector<std::string> leaves() const;
+
+ private:
+  std::string name_;
+  std::vector<Step> steps_;
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace evolve::workflow

@@ -1,0 +1,59 @@
+#include "workloads/genomics.hpp"
+
+#include "cluster/resources.hpp"
+
+namespace evolve::workloads {
+
+void stage_genomics_inputs(storage::DatasetCatalog& catalog,
+                           const GenomicsScenario& scenario) {
+  catalog.define(storage::DatasetSpec{"raw-reads", scenario.read_partitions,
+                                      scenario.reads_bytes});
+  catalog.preload("raw-reads");
+}
+
+workflow::Workflow genomics_pipeline(const GenomicsScenario& scenario) {
+  workflow::Workflow wf("genomics");
+
+  // 1. Quality control: trim adapters, drop low-quality reads.
+  dataflow::LogicalPlan qc;
+  const int src = qc.add_source("raw-reads");
+  const int trimmed = qc.add_map(src, "trim-adapters", 0.95, 0.8);
+  const int filtered =
+      qc.add_filter(trimmed, "quality-filter", scenario.qc_keep_fraction, 0.5);
+  qc.add_sink(filtered, "clean-reads");
+  auto qc_step =
+      workflow::dataflow_step("qc", qc, scenario.qc_executors, 4);
+  qc_step.input_datasets = {"raw-reads"};
+  wf.add(qc_step);
+
+  // 2. FPGA-accelerated motif/pattern matching over the clean reads.
+  auto match = workflow::accel_step("pattern-match", "pattern-match",
+                                    scenario.pattern_match_cpu);
+  match.depends_on = {"qc"};
+  wf.add(match);
+
+  // 3. Iterative assembly/consensus on the HPC partition.
+  hpc::MpiProgram assembly;
+  assembly.iterations = scenario.assembly_iterations;
+  assembly.compute_per_iteration = scenario.assembly_compute;
+  assembly.allreduce_bytes = 16 * util::kMiB;  // contig exchange
+  assembly.algo = hpc::CollectiveAlgo::kRing;
+  auto assemble =
+      workflow::hpc_step("assembly", assembly, scenario.assembly_ranks);
+  assemble.depends_on = {"pattern-match"};
+  assemble.input_datasets = {"clean-reads"};
+  wf.add(assemble);
+
+  // 4. Publish results behind an API container.
+  orch::PodSpec api;
+  api.name = "genomics-api";
+  api.tenant = "genomics";
+  api.request = cluster::cpu_mem(2000, 4 * util::kGiB);
+  auto publish = workflow::container_step("publish", api, util::seconds(2));
+  publish.depends_on = {"assembly"};
+  wf.add(publish);
+
+  return wf;
+}
+
+}  // namespace evolve::workloads

@@ -1,0 +1,33 @@
+// The EVOLVE genomics use case: sequence-read QC, FPGA-accelerated
+// pattern matching, and HPC assembly/consensus.
+#pragma once
+
+#include <string>
+
+#include "storage/dataset.hpp"
+#include "util/types.hpp"
+#include "workflow/workflow.hpp"
+
+namespace evolve::workloads {
+
+struct GenomicsScenario {
+  util::Bytes reads_bytes = 8 * util::kGiB;  // raw sequencing reads
+  int read_partitions = 64;
+  int qc_executors = 6;
+  double qc_keep_fraction = 0.8;           // reads surviving QC
+  /// CPU-equivalent time of the pattern-matching scan (offloaded to the
+  /// "pattern-match" FPGA kernel).
+  util::TimeNs pattern_match_cpu = util::seconds(90);
+  int assembly_ranks = 8;
+  int assembly_iterations = 20;
+  util::TimeNs assembly_compute = util::millis(120);  // per rank per iter
+};
+
+/// Registers and preloads the raw-reads dataset.
+void stage_genomics_inputs(storage::DatasetCatalog& catalog,
+                           const GenomicsScenario& scenario);
+
+/// QC filter -> accelerated pattern match -> HPC assembly -> publish.
+workflow::Workflow genomics_pipeline(const GenomicsScenario& scenario);
+
+}  // namespace evolve::workloads

@@ -1,0 +1,20 @@
+#include "workloads/ml.hpp"
+
+#include <stdexcept>
+
+namespace evolve::workloads {
+
+hpc::MpiProgram sgd_program(const SgdModel& model, int workers,
+                            hpc::CollectiveAlgo algo, double accel_speedup) {
+  if (workers <= 0) throw std::invalid_argument("workers must be > 0");
+  if (accel_speedup <= 0) throw std::invalid_argument("bad accel speedup");
+  hpc::MpiProgram program;
+  program.iterations = model.epochs;
+  program.compute_per_iteration = model.epoch_compute / workers;
+  program.allreduce_bytes = model.parameters_bytes;
+  program.algo = algo;
+  program.compute_speedup = accel_speedup;
+  return program;
+}
+
+}  // namespace evolve::workloads

@@ -1,0 +1,24 @@
+// ML training workloads: distributed SGD shapes for the HPC runtime.
+#pragma once
+
+#include "hpc/collectives.hpp"
+#include "hpc/job.hpp"
+#include "util/types.hpp"
+
+namespace evolve::workloads {
+
+struct SgdModel {
+  util::Bytes parameters_bytes = 64 * util::kMiB;  // gradient payload
+  int epochs = 10;
+  /// CPU time per worker per epoch at parallelism 1 over the full data.
+  util::TimeNs epoch_compute = util::seconds(4);
+};
+
+/// Builds the per-iteration MPI program for `workers` data-parallel
+/// workers: compute shrinks with workers (data parallel), gradients are
+/// all-reduced each epoch.
+hpc::MpiProgram sgd_program(const SgdModel& model, int workers,
+                            hpc::CollectiveAlgo algo = hpc::CollectiveAlgo::kRing,
+                            double accel_speedup = 1.0);
+
+}  // namespace evolve::workloads

@@ -1,0 +1,66 @@
+#include "workloads/mobility.hpp"
+
+#include "cluster/resources.hpp"
+#include "workloads/tabular.hpp"
+
+namespace evolve::workloads {
+
+void stage_mobility_inputs(storage::DatasetCatalog& catalog,
+                           const MobilityScenario& scenario) {
+  catalog.define(storage::DatasetSpec{"gps-traces",
+                                      scenario.trace_partitions,
+                                      scenario.trace_bytes});
+  catalog.define(storage::DatasetSpec{"route-metadata",
+                                      scenario.routes_partitions,
+                                      scenario.routes_bytes});
+  catalog.preload("gps-traces");
+  catalog.preload("route-metadata");
+}
+
+workflow::Workflow mobility_pipeline(const MobilityScenario& scenario) {
+  workflow::Workflow wf("urban-mobility");
+
+  // 1. Validate & checkpoint incoming traces (cloud container).
+  orch::PodSpec validator;
+  validator.name = "trace-validator";
+  validator.tenant = "mobility";
+  validator.request = cluster::cpu_mem(2000, 4 * util::kGiB);
+  auto validate =
+      workflow::container_step("validate", validator, util::seconds(5));
+  wf.add(validate);
+
+  // 2. Analytics: join traces with route metadata, aggregate per route.
+  auto analytics = workflow::dataflow_step(
+      "route-analytics",
+      join_aggregate("gps-traces", "route-metadata", "route-stats",
+                     scenario.analytics_reducers),
+      scenario.analytics_executors, 4);
+  analytics.depends_on = {"validate"};
+  analytics.input_datasets = {"gps-traces", "route-metadata"};
+  wf.add(analytics);
+
+  // 3. HPC clustering of mobility patterns over the aggregates.
+  hpc::MpiProgram clustering;
+  clustering.iterations = scenario.clustering_iterations;
+  clustering.compute_per_iteration = scenario.clustering_compute;
+  clustering.allreduce_bytes = 8 * util::kMiB;  // centroid exchange
+  clustering.algo = hpc::CollectiveAlgo::kRing;
+  auto cluster_step = workflow::hpc_step("pattern-clustering", clustering,
+                                         scenario.clustering_ranks);
+  cluster_step.depends_on = {"route-analytics"};
+  cluster_step.input_datasets = {"route-stats"};
+  wf.add(cluster_step);
+
+  // 4. Publish results behind a serving container.
+  orch::PodSpec server;
+  server.name = "mobility-api";
+  server.tenant = "mobility";
+  server.request = cluster::cpu_mem(4000, 8 * util::kGiB);
+  auto serve = workflow::container_step("serve", server, util::seconds(2));
+  serve.depends_on = {"pattern-clustering"};
+  wf.add(serve);
+
+  return wf;
+}
+
+}  // namespace evolve::workloads

@@ -1,0 +1,38 @@
+// The EVOLVE urban-mobility use case: bus/fleet trace analytics.
+//
+// Pipeline shape: ingest GPS traces -> dataflow join with route metadata
+// and aggregation -> HPC clustering of mobility patterns -> publish a
+// serving container. The converged platform runs all steps against one
+// shared store; the siloed baseline must stage datasets between silos.
+#pragma once
+
+#include <string>
+
+#include "storage/dataset.hpp"
+#include "util/types.hpp"
+#include "workflow/workflow.hpp"
+
+namespace evolve::workloads {
+
+struct MobilityScenario {
+  util::Bytes trace_bytes = 2 * util::kGiB;  // raw GPS pings
+  int trace_partitions = 32;
+  util::Bytes routes_bytes = 64 * util::kMiB;  // route metadata
+  int routes_partitions = 8;
+  int analytics_reducers = 16;
+  int analytics_executors = 6;
+  int clustering_ranks = 8;
+  int clustering_iterations = 15;
+  util::TimeNs clustering_compute = util::millis(200);  // per rank per iter
+};
+
+/// Registers and preloads the scenario's input datasets into `catalog`.
+void stage_mobility_inputs(storage::DatasetCatalog& catalog,
+                           const MobilityScenario& scenario);
+
+/// Builds the four-step converged workflow for the scenario.
+/// `aggregated_name` is the dataset the analytics step produces and the
+/// clustering step consumes.
+workflow::Workflow mobility_pipeline(const MobilityScenario& scenario);
+
+}  // namespace evolve::workloads

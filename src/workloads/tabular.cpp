@@ -1,0 +1,59 @@
+#include "workloads/tabular.hpp"
+
+namespace evolve::workloads {
+
+dataflow::LogicalPlan scan_filter_aggregate(const std::string& input,
+                                            const std::string& output,
+                                            int reducers,
+                                            double filter_selectivity) {
+  dataflow::LogicalPlan plan;
+  const int src = plan.add_source(input);
+  const int parsed = plan.add_map(src, "parse", 0.9, 0.6);
+  const int filtered =
+      plan.add_filter(parsed, "predicate", filter_selectivity, 0.2);
+  const int reduced =
+      plan.add_reduce_by_key(filtered, "aggregate", reducers, 0.1, 1.0);
+  plan.add_sink(reduced, output);
+  return plan;
+}
+
+dataflow::LogicalPlan join_aggregate(const std::string& left,
+                                     const std::string& right,
+                                     const std::string& output,
+                                     int reducers) {
+  dataflow::LogicalPlan plan;
+  const int l = plan.add_source(left);
+  const int lp = plan.add_map(l, "project-left", 0.7, 0.4);
+  const int r = plan.add_source(right);
+  const int rp = plan.add_map(r, "project-right", 0.7, 0.4);
+  const int joined = plan.add_join(lp, rp, "key-join", reducers, 0.8, 1.5);
+  const int reduced =
+      plan.add_reduce_by_key(joined, "rollup", reducers, 0.05, 1.0);
+  plan.add_sink(reduced, output);
+  return plan;
+}
+
+dataflow::LogicalPlan sessionize(const std::string& input,
+                                 const std::string& output, int reducers) {
+  dataflow::LogicalPlan plan;
+  const int src = plan.add_source(input);
+  const int exploded = plan.add_flat_map(src, "explode-events", 1.6, 0.9);
+  const int grouped =
+      plan.add_group_by(exploded, "by-session", reducers, 0.9, 1.2);
+  const int mapped = plan.add_map(grouped, "summarize", 0.2, 0.8);
+  plan.add_sink(mapped, output);
+  return plan;
+}
+
+dataflow::LogicalPlan featurize(const std::string& input,
+                                const std::string& output,
+                                double cpu_ns_per_byte) {
+  dataflow::LogicalPlan plan;
+  const int src = plan.add_source(input);
+  const int features =
+      plan.add_map(src, "featurize", 0.3, cpu_ns_per_byte);
+  plan.add_sink(features, output);
+  return plan;
+}
+
+}  // namespace evolve::workloads

@@ -1,0 +1,33 @@
+// Canonical tabular-analytics plans (TPC-style scan/filter/join/
+// aggregate shapes) used across examples and benchmarks.
+#pragma once
+
+#include <string>
+
+#include "dataflow/plan.hpp"
+
+namespace evolve::workloads {
+
+/// scan -> parse -> filter -> reduceByKey -> sink.
+dataflow::LogicalPlan scan_filter_aggregate(const std::string& input,
+                                            const std::string& output,
+                                            int reducers = 16,
+                                            double filter_selectivity = 0.2);
+
+/// Two scans joined on a key, then aggregated.
+dataflow::LogicalPlan join_aggregate(const std::string& left,
+                                     const std::string& right,
+                                     const std::string& output,
+                                     int reducers = 16);
+
+/// flatMap explosion -> groupBy (sessionization shape; data grows).
+dataflow::LogicalPlan sessionize(const std::string& input,
+                                 const std::string& output,
+                                 int reducers = 16);
+
+/// Compute-heavy featurization: map with high cpu cost, no shuffle.
+dataflow::LogicalPlan featurize(const std::string& input,
+                                const std::string& output,
+                                double cpu_ns_per_byte = 12.0);
+
+}  // namespace evolve::workloads

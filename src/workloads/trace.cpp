@@ -1,0 +1,57 @@
+#include "workloads/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace evolve::workloads {
+
+std::vector<core::MixedJob> make_mixed_trace(util::Rng& rng,
+                                             const TraceParams& params) {
+  if (params.jobs <= 0) throw std::invalid_argument("trace needs jobs");
+  if (params.arrivals_per_second <= 0) {
+    throw std::invalid_argument("arrival rate must be > 0");
+  }
+  const std::vector<double> mix = {params.service_fraction,
+                                   params.batch_fraction,
+                                   params.gang_fraction};
+  std::vector<core::MixedJob> trace;
+  trace.reserve(static_cast<std::size_t>(params.jobs));
+  double clock_s = 0;
+  for (int i = 0; i < params.jobs; ++i) {
+    clock_s += rng.exponential(params.arrivals_per_second);
+    core::MixedJob job;
+    job.arrival = util::seconds(clock_s);
+    switch (rng.weighted_index(mix)) {
+      case 0: {
+        job.kind = core::MixedJob::Kind::kService;
+        job.pods = static_cast<int>(rng.uniform_int(1, 3));
+        job.per_pod = cluster::cpu_mem(2000, 4 * util::kGiB);
+        job.duration =
+            util::seconds(rng.lognormal(std::log(params.service_median_s), 0.5));
+        break;
+      }
+      case 1: {
+        job.kind = core::MixedJob::Kind::kBatch;
+        job.pods = static_cast<int>(rng.uniform_int(1, 4));
+        job.per_pod = cluster::cpu_mem(4000, 8 * util::kGiB);
+        job.duration =
+            util::seconds(rng.lognormal(std::log(params.batch_median_s), 0.8));
+        break;
+      }
+      default: {
+        job.kind = core::MixedJob::Kind::kGang;
+        job.pods = static_cast<int>(
+            rng.uniform_int(2, std::max(2, params.max_gang_width)));
+        job.per_pod = cluster::cpu_mem(8000, 16 * util::kGiB);
+        job.duration =
+            util::seconds(rng.lognormal(std::log(params.gang_median_s), 0.6));
+        break;
+      }
+    }
+    trace.push_back(job);
+  }
+  return trace;
+}
+
+}  // namespace evolve::workloads

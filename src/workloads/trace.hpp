@@ -1,0 +1,32 @@
+// Mixed-workload trace synthesis for the scheduling experiments:
+// Poisson/bursty arrivals of cloud services, batch analytics pods, and
+// HPC gangs with log-normal service times.
+#pragma once
+
+#include <vector>
+
+#include "core/unified_scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace evolve::workloads {
+
+struct TraceParams {
+  int jobs = 100;
+  double arrivals_per_second = 2.0;
+  /// Mix fractions (normalized internally).
+  double service_fraction = 0.3;
+  double batch_fraction = 0.5;
+  double gang_fraction = 0.2;
+  /// Service-time scale (log-normal median, seconds).
+  double batch_median_s = 20.0;
+  double service_median_s = 60.0;
+  double gang_median_s = 40.0;
+  int max_gang_width = 8;
+};
+
+/// Deterministic for a given rng seed.
+std::vector<core::MixedJob> make_mixed_trace(util::Rng& rng,
+                                             const TraceParams& params = {});
+
+}  // namespace evolve::workloads

@@ -1,0 +1,208 @@
+#include "accel/device.hpp"
+#include "accel/kernels.hpp"
+#include "accel/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "sim/simulation.hpp"
+
+namespace evolve::accel {
+namespace {
+
+TEST(AccelDevice, SingleTaskRunsAtFullSpeed) {
+  sim::Simulation sim;
+  DeviceConfig config;
+  config.reconfiguration_latency = 0;
+  AccelDevice device(sim, "fpga0", config);
+  util::TimeNs done = -1;
+  device.execute("k", util::millis(10), [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, util::millis(10));
+  EXPECT_EQ(device.completed(), 1);
+}
+
+TEST(AccelDevice, FirstLoadChargesReconfiguration) {
+  sim::Simulation sim;
+  AccelDevice device(sim, "fpga0");
+  util::TimeNs done = -1;
+  device.execute("k", util::millis(10), [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, util::millis(10) + DeviceConfig{}.reconfiguration_latency);
+  EXPECT_EQ(device.reconfigurations(), 1);
+}
+
+TEST(AccelDevice, SameKernelSkipsReconfiguration) {
+  sim::Simulation sim;
+  AccelDevice device(sim, "fpga0");
+  int completions = 0;
+  device.execute("k", util::millis(1), [&] {
+    ++completions;
+    device.execute("k", util::millis(1), [&] { ++completions; });
+  });
+  sim.run();
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(device.reconfigurations(), 1);
+}
+
+TEST(AccelDevice, KernelSwitchReconfigures) {
+  sim::Simulation sim;
+  AccelDevice device(sim, "fpga0");
+  device.execute("a", util::millis(1), [&] {
+    device.execute("b", util::millis(1), [] {});
+  });
+  sim.run();
+  EXPECT_EQ(device.reconfigurations(), 2);
+  EXPECT_EQ(device.loaded_kernel(), "b");
+}
+
+TEST(AccelDevice, TimeSharingDoublesWallTime) {
+  sim::Simulation sim;
+  DeviceConfig config;
+  config.reconfiguration_latency = 0;
+  AccelDevice device(sim, "fpga0", config);
+  std::vector<util::TimeNs> done;
+  device.execute("k", util::millis(10), [&] { done.push_back(sim.now()); });
+  device.execute("k", util::millis(10), [&] { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Two equal tasks sharing the device: both finish at ~2x solo time.
+  EXPECT_NEAR(static_cast<double>(done[1]),
+              static_cast<double>(util::millis(20)), 1e5);
+}
+
+TEST(AccelDevice, ConcurrencyCapRejects) {
+  sim::Simulation sim;
+  DeviceConfig config;
+  config.max_concurrency = 2;
+  config.reconfiguration_latency = 0;
+  AccelDevice device(sim, "fpga0", config);
+  EXPECT_GE(device.execute("k", util::millis(1), [] {}), 0);
+  EXPECT_GE(device.execute("k", util::millis(1), [] {}), 0);
+  EXPECT_EQ(device.execute("k", util::millis(1), [] {}), -1);
+  EXPECT_FALSE(device.has_capacity());
+  sim.run();
+  EXPECT_TRUE(device.has_capacity());
+}
+
+TEST(AccelDevice, ValidatesArguments) {
+  sim::Simulation sim;
+  AccelDevice device(sim, "fpga0");
+  EXPECT_THROW(device.execute("k", -1, [] {}), std::invalid_argument);
+  DeviceConfig bad;
+  bad.max_concurrency = 0;
+  EXPECT_THROW(AccelDevice(sim, "x", bad), std::invalid_argument);
+}
+
+TEST(KernelRegistry, StandardKernelsPresent) {
+  const auto registry = KernelRegistry::standard();
+  EXPECT_TRUE(registry.has("pattern-match"));
+  EXPECT_TRUE(registry.has("dnn-infer"));
+  EXPECT_TRUE(registry.has("fft"));
+  EXPECT_TRUE(registry.has("encrypt"));
+  EXPECT_FALSE(registry.has("nope"));
+  EXPECT_THROW(registry.profile("nope"), std::out_of_range);
+  EXPECT_GT(registry.profile("pattern-match").speedup, 1.0);
+}
+
+TEST(KernelRegistry, Validation) {
+  KernelRegistry registry;
+  EXPECT_THROW(registry.register_kernel({"", 2.0, 0}), std::invalid_argument);
+  EXPECT_THROW(registry.register_kernel({"k", 0.0, 0}), std::invalid_argument);
+  EXPECT_THROW(registry.register_kernel({"k", 1.0, -1}),
+               std::invalid_argument);
+  registry.register_kernel({"k", 2.0, 10});
+  EXPECT_EQ(registry.names(), std::vector<std::string>{"k"});
+}
+
+struct PoolFixture {
+  PoolFixture() : cluster(cluster::make_testbed(2, 0, 2)), pool(sim, cluster) {}
+  sim::Simulation sim;
+  cluster::Cluster cluster;
+  AccelPool pool;
+};
+
+TEST(AccelPool, DiscoversDevices) {
+  PoolFixture f;
+  EXPECT_EQ(f.pool.device_count(), 4);  // 2 accel nodes x 2 cards
+}
+
+TEST(AccelPool, OffloadAppliesSpeedup) {
+  PoolFixture f;
+  util::TimeNs done = -1;
+  // pattern-match: speedup 12, overhead 150us + reconfig 40ms.
+  f.pool.offload("pattern-match", util::seconds(12), cluster::kInvalidNode,
+                 [&] { done = f.sim.now(); });
+  f.sim.run();
+  const util::TimeNs expected = util::seconds(1) + util::micros(150) +
+                                DeviceConfig{}.reconfiguration_latency;
+  EXPECT_NEAR(static_cast<double>(done), static_cast<double>(expected), 1e6);
+}
+
+TEST(AccelPool, RejectsUnknownKernel) {
+  PoolFixture f;
+  EXPECT_THROW(f.pool.offload("nope", 1, cluster::kInvalidNode, [] {}),
+               std::invalid_argument);
+}
+
+TEST(AccelPool, ThrowsWithoutDevices) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(2, 0, 0);
+  AccelPool pool(sim, cluster);
+  EXPECT_EQ(pool.device_count(), 0);
+  EXPECT_THROW(pool.offload("fft", 1, cluster::kInvalidNode, [] {}),
+               std::logic_error);
+}
+
+TEST(AccelPool, QueuesBeyondTotalCapacity) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(0, 0, 1);  // 1 node, 2 cards
+  DeviceConfig config;
+  config.max_concurrency = 1;
+  config.reconfiguration_latency = 0;
+  AccelPool pool(sim, cluster, KernelRegistry::standard(), config);
+  int completions = 0;
+  for (int i = 0; i < 5; ++i) {
+    pool.offload("fft", util::seconds(6), cluster::kInvalidNode,
+                 [&] { ++completions; });
+  }
+  EXPECT_GT(pool.queued(), 0);
+  sim.run();
+  EXPECT_EQ(completions, 5);
+  EXPECT_EQ(pool.queued(), 0);
+}
+
+TEST(AccelPool, PrefersNearDevice) {
+  PoolFixture f;
+  const auto accel_nodes = f.cluster.nodes_with_label("role=accel");
+  ASSERT_EQ(accel_nodes.size(), 2u);
+  // Offload near the second accel node; its devices (2,3) should run it.
+  f.pool.offload("fft", util::seconds(1), accel_nodes[1], [] {});
+  EXPECT_EQ(f.pool.device(2).running() + f.pool.device(3).running(), 1);
+  EXPECT_EQ(f.pool.device(0).running() + f.pool.device(1).running(), 0);
+  f.sim.run();
+}
+
+TEST(AccelPool, AggregateThroughputSaturates) {
+  // 1 card, concurrency 4: up to 4 tasks keep per-task slowdown linear;
+  // beyond that tasks queue and total time grows.
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(0, 0, 1);
+  DeviceConfig config;
+  config.reconfiguration_latency = 0;
+  config.max_concurrency = 4;
+  AccelPool pool(sim, cluster, KernelRegistry::standard(), config);
+  // The node has 2 cards -> total 8 concurrent slots.
+  int completions = 0;
+  for (int i = 0; i < 16; ++i) {
+    pool.offload("fft", util::seconds(6), cluster::kInvalidNode,
+                 [&] { ++completions; });
+  }
+  sim.run();
+  EXPECT_EQ(completions, 16);
+  // 16 tasks of 1s device time over 2 cards -> >= 8s of wall time.
+  EXPECT_GE(sim.now(), util::seconds(8) - util::millis(1));
+}
+
+}  // namespace
+}  // namespace evolve::accel

@@ -1,0 +1,60 @@
+#include "cluster/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/types.hpp"
+
+namespace evolve::cluster {
+namespace {
+
+TEST(Resources, ArithmeticWorks) {
+  Resources a = cpu_mem(1000, util::kGiB);
+  Resources b = cpu_mem_accel(500, util::kGiB / 2, 1);
+  Resources sum = a + b;
+  EXPECT_EQ(sum.cpu_millicores, 1500);
+  EXPECT_EQ(sum.memory_bytes, util::kGiB + util::kGiB / 2);
+  EXPECT_EQ(sum.accel_slots, 1);
+  Resources diff = sum - b;
+  EXPECT_EQ(diff, a);
+}
+
+TEST(Resources, FitsChecksAllDimensions) {
+  Resources capacity = cpu_mem_accel(4000, 8 * util::kGiB, 2);
+  EXPECT_TRUE(capacity.fits(cpu_mem(4000, 8 * util::kGiB)));
+  EXPECT_TRUE(capacity.fits(cpu_mem_accel(1, 1, 2)));
+  EXPECT_FALSE(capacity.fits(cpu_mem(4001, 1)));
+  EXPECT_FALSE(capacity.fits(cpu_mem(1, 8 * util::kGiB + 1)));
+  EXPECT_FALSE(capacity.fits(cpu_mem_accel(1, 1, 3)));
+}
+
+TEST(Resources, ZeroFitsEverywhere) {
+  Resources capacity;
+  EXPECT_TRUE(capacity.fits(Resources{}));
+  EXPECT_TRUE(capacity.is_zero());
+}
+
+TEST(Resources, AnyNegativeDetectsUnderflow) {
+  Resources r = cpu_mem(100, 100);
+  EXPECT_FALSE(r.any_negative());
+  r -= cpu_mem(200, 0);
+  EXPECT_TRUE(r.any_negative());
+}
+
+TEST(Resources, DominantShare) {
+  Resources capacity = cpu_mem(1000, 1000);
+  EXPECT_DOUBLE_EQ(cpu_mem(500, 100).dominant_share(capacity), 0.5);
+  EXPECT_DOUBLE_EQ(cpu_mem(100, 900).dominant_share(capacity), 0.9);
+  EXPECT_DOUBLE_EQ(Resources{}.dominant_share(capacity), 0.0);
+  // Requesting a dimension the capacity lacks marks infeasible (>= 2).
+  EXPECT_GE(cpu_mem_accel(0, 0, 1).dominant_share(capacity), 2.0);
+}
+
+TEST(Resources, ToStringMentionsAllFields) {
+  const std::string text = cpu_mem_accel(1500, util::kGiB, 2).to_string();
+  EXPECT_NE(text.find("cpu=1500m"), std::string::npos);
+  EXPECT_NE(text.find("1.00 GiB"), std::string::npos);
+  EXPECT_NE(text.find("accel=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evolve::cluster

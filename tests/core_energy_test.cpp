@@ -1,0 +1,85 @@
+#include "core/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+#include "core/session.hpp"
+#include "workloads/tabular.hpp"
+
+namespace evolve::core {
+namespace {
+
+TEST(Energy, IdleOnlyCluster) {
+  PowerModel model;
+  const auto report =
+      estimate_energy(model, 10, util::seconds(100), 0.0);
+  EXPECT_DOUBLE_EQ(report.idle_joules, 120.0 * 10 * 100);
+  EXPECT_DOUBLE_EQ(report.cpu_joules, 0.0);
+  EXPECT_DOUBLE_EQ(report.accel_joules, 0.0);
+  EXPECT_DOUBLE_EQ(report.total_joules(), report.idle_joules);
+}
+
+TEST(Energy, ActiveCoresAddMarginalPower) {
+  PowerModel model;
+  // 8000 millicores active for 100 s at 5.5 W/core = 4400 J.
+  const auto report =
+      estimate_energy(model, 1, util::seconds(100), 8000.0);
+  EXPECT_DOUBLE_EQ(report.cpu_joules, 5.5 * 8.0 * 100);
+}
+
+TEST(Energy, AccelBlendsIdleAndActive) {
+  PowerModel model;
+  const auto idle = estimate_energy(model, 0, util::seconds(10), 0, 2, 0.0);
+  const auto busy = estimate_energy(model, 0, util::seconds(10), 0, 2, 1.0);
+  EXPECT_DOUBLE_EQ(idle.accel_joules, 8.0 * 2 * 10);
+  EXPECT_DOUBLE_EQ(busy.accel_joules, 28.0 * 2 * 10);
+  const auto half = estimate_energy(model, 0, util::seconds(10), 0, 2, 0.5);
+  EXPECT_DOUBLE_EQ(half.accel_joules, 18.0 * 2 * 10);
+}
+
+TEST(Energy, Validation) {
+  PowerModel model;
+  EXPECT_THROW(estimate_energy(model, -1, 1, 0), std::invalid_argument);
+  EXPECT_THROW(estimate_energy(model, 1, -1, 0), std::invalid_argument);
+  EXPECT_THROW(estimate_energy(model, 1, 1, -1), std::invalid_argument);
+  EXPECT_THROW(estimate_energy(model, 1, 1, 0, 1, 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(offload_energy_ratio(model, 0, 2.0), std::invalid_argument);
+  EXPECT_THROW(offload_energy_ratio(model, 1, 0.0), std::invalid_argument);
+}
+
+TEST(Energy, OffloadRatioGrowsWithSpeedup) {
+  PowerModel model;
+  const double r4 = offload_energy_ratio(model, util::seconds(1), 4.0);
+  const double r12 = offload_energy_ratio(model, util::seconds(1), 12.0);
+  EXPECT_GT(r12, r4);
+  // 12x speedup: cpu 5.5 J vs fpga 28/12 J -> ~2.36x efficiency.
+  EXPECT_NEAR(r12, 5.5 / (28.0 / 12.0), 1e-9);
+  // Multi-core CPU work makes offload look even better.
+  EXPECT_GT(offload_energy_ratio(model, util::seconds(1), 12.0, 8), r12);
+}
+
+TEST(Energy, SummaryMentionsComponents) {
+  PowerModel model;
+  const auto report = estimate_energy(model, 2, util::seconds(10), 1000.0);
+  EXPECT_NE(report.summary().find("kJ"), std::string::npos);
+  EXPECT_NE(report.summary().find("idle"), std::string::npos);
+}
+
+TEST(Energy, PlatformRunYieldsPlausibleEnergy) {
+  sim::Simulation sim;
+  Platform platform(sim);
+  Session session(platform);
+  session.create_dataset("d", 16, 256 * util::kMiB);
+  session.run_dataflow(workloads::scan_filter_aggregate("d", "o", 8), 4, 4);
+  const auto report = estimate_energy(
+      PowerModel{}, platform.cluster().size(), sim.now(),
+      platform.orchestrator().mean_cpu_millicores(),
+      platform.accel().device_count(), platform.accel().mean_utilization());
+  EXPECT_GT(report.total_joules(), 0.0);
+  EXPECT_GT(report.cpu_joules, 0.0);  // executors were billed
+  EXPECT_GT(report.idle_joules, report.cpu_joules);  // short run: idle-bound
+}
+
+}  // namespace
+}  // namespace evolve::core

@@ -1,0 +1,76 @@
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+#include "core/session.hpp"
+#include "workloads/tabular.hpp"
+
+namespace evolve::core {
+namespace {
+
+TEST(ClusterMonitor, ValidatesConstruction) {
+  sim::Simulation sim;
+  EXPECT_THROW(ClusterMonitor(sim, 0), std::invalid_argument);
+  ClusterMonitor monitor(sim, util::seconds(1));
+  EXPECT_THROW(monitor.add_probe("x", {}), std::invalid_argument);
+}
+
+TEST(ClusterMonitor, SamplesOnInterval) {
+  sim::Simulation sim;
+  ClusterMonitor monitor(sim, util::seconds(1));
+  double value = 0;
+  monitor.add_probe("load", [&value] { return value; });
+  monitor.start();
+  sim.at(util::millis(1500), [&] { value = 7.0; });
+  sim.run_until(util::millis(3500));
+  monitor.stop();
+  sim.run();
+  const auto& series = monitor.registry().series("load");
+  ASSERT_EQ(series.size(), 3u);  // t=1s, 2s, 3s
+  EXPECT_DOUBLE_EQ(series.samples()[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(series.samples()[1].value, 7.0);
+  EXPECT_EQ(monitor.samples_taken(), 3);
+}
+
+TEST(ClusterMonitor, StopHaltsSampling) {
+  sim::Simulation sim;
+  ClusterMonitor monitor(sim, util::seconds(1));
+  monitor.add_probe("x", [] { return 1.0; });
+  monitor.start();
+  sim.run_until(util::millis(2500));
+  monitor.stop();
+  sim.run();  // must drain: no perpetual events
+  EXPECT_EQ(monitor.samples_taken(), 2);
+}
+
+TEST(ClusterMonitor, WatchesARealPlatformRun) {
+  sim::Simulation sim;
+  Platform platform(sim);
+  ClusterMonitor monitor(sim, util::millis(200));
+  monitor.add_probe("running_pods", [&platform] {
+    return static_cast<double>(platform.orchestrator().running_count());
+  });
+  monitor.add_probe("active_flows", [&platform] {
+    return static_cast<double>(platform.fabric().active_flows());
+  });
+  monitor.start();
+
+  platform.catalog().define(storage::DatasetSpec{"d", 16, 256 * util::kMiB});
+  platform.catalog().preload("d");
+  bool done = false;
+  platform.run_dataflow(workloads::scan_filter_aggregate("d", "o", 8), 4, 4,
+                        [&](const dataflow::JobStats&) { done = true; });
+  sim.run_until(util::seconds(30));
+  monitor.stop();
+  sim.run();
+  ASSERT_TRUE(done);
+  // The monitor saw the executors while the job ran.
+  EXPECT_GT(monitor.registry().series("running_pods").max(), 0.0);
+  EXPECT_GT(monitor.registry().series("active_flows").max(), 0.0);
+  // And saw them released afterwards.
+  EXPECT_DOUBLE_EQ(monitor.registry().series("running_pods").last(), 0.0);
+}
+
+}  // namespace
+}  // namespace evolve::core

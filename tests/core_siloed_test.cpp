@@ -1,0 +1,157 @@
+#include "core/siloed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+#include "workloads/ml.hpp"
+#include "workloads/mobility.hpp"
+#include "workloads/tabular.hpp"
+
+namespace evolve::core {
+namespace {
+
+PlatformConfig small_config() {
+  PlatformConfig config;
+  config.compute_nodes = 6;
+  config.storage_nodes = 4;
+  config.accel_nodes = 2;
+  return config;
+}
+
+TEST(SiloedPlatform, PartitionsHardware) {
+  sim::Simulation sim;
+  SiloedPlatform silos(sim, small_config());
+  EXPECT_EQ(silos.silo_nodes(Silo::kCloud).size(), 2u);
+  EXPECT_EQ(silos.silo_nodes(Silo::kBigData).size(), 2u);
+  EXPECT_EQ(silos.silo_nodes(Silo::kHpc).size(), 2u + 2u);  // + accel nodes
+  EXPECT_EQ(silos.bigdata_store().servers().size(), 2u);
+  EXPECT_EQ(silos.hpc_store().servers().size(), 2u);
+}
+
+TEST(SiloedPlatform, RequiresEnoughNodes) {
+  sim::Simulation sim;
+  PlatformConfig tiny;
+  tiny.compute_nodes = 2;
+  tiny.storage_nodes = 2;
+  EXPECT_THROW(SiloedPlatform(sim, tiny), std::invalid_argument);
+}
+
+TEST(SiloedPlatform, StagingCopiesDataset) {
+  sim::Simulation sim;
+  SiloedPlatform silos(sim, small_config());
+  silos.bigdata_catalog().define(
+      storage::DatasetSpec{"features", 8, 64 * util::kMiB});
+  silos.bigdata_catalog().preload("features");
+  EXPECT_FALSE(silos.hpc_catalog().defined("features"));
+
+  bool done = false;
+  silos.stage_dataset("features", silos.hpc_catalog(), [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(silos.hpc_catalog().materialized("features"));
+  EXPECT_EQ(silos.staged_bytes(), 64 * util::kMiB);
+  EXPECT_EQ(silos.staging_operations(), 1);
+  EXPECT_GT(sim.now(), 0);  // staging took simulated time
+}
+
+TEST(SiloedPlatform, StagingIsIdempotent) {
+  sim::Simulation sim;
+  SiloedPlatform silos(sim, small_config());
+  silos.bigdata_catalog().define(storage::DatasetSpec{"d", 4, util::kMiB});
+  silos.bigdata_catalog().preload("d");
+  bool first = false, second = false;
+  silos.stage_dataset("d", silos.hpc_catalog(), [&] { first = true; });
+  sim.run();
+  silos.stage_dataset("d", silos.hpc_catalog(), [&] { second = true; });
+  sim.run();
+  EXPECT_TRUE(first);
+  EXPECT_TRUE(second);
+  EXPECT_EQ(silos.staging_operations(), 1);  // second call was a no-op
+}
+
+TEST(SiloedPlatform, StagingUnknownDatasetThrows) {
+  sim::Simulation sim;
+  SiloedPlatform silos(sim, small_config());
+  EXPECT_THROW(silos.stage_dataset("ghost", silos.hpc_catalog(), [] {}),
+               std::invalid_argument);
+}
+
+TEST(SiloedPlatform, MobilityWorkflowRunsWithStaging) {
+  sim::Simulation sim;
+  SiloedPlatform silos(sim, small_config());
+  workloads::MobilityScenario scenario;
+  scenario.trace_bytes = 256 * util::kMiB;
+  scenario.trace_partitions = 16;
+  scenario.analytics_executors = 2;
+  scenario.clustering_ranks = 2;
+  workloads::stage_mobility_inputs(silos.bigdata_catalog(), scenario);
+
+  workflow::WorkflowResult result;
+  silos.run_workflow(workloads::mobility_pipeline(scenario),
+                     [&](const workflow::WorkflowResult& r) { result = r; });
+  sim.run();
+  EXPECT_TRUE(result.success);
+  // The clustering step's input had to be staged into the HPC store.
+  EXPECT_GT(silos.staged_bytes(), 0);
+  EXPECT_TRUE(silos.hpc_catalog().materialized("route-stats"));
+}
+
+TEST(SiloedPlatform, ConvergedBeatsSiloedOnMobilityPipeline) {
+  workloads::MobilityScenario scenario;
+  scenario.trace_bytes = 512 * util::kMiB;
+  scenario.trace_partitions = 16;
+  scenario.analytics_executors = 2;
+  scenario.clustering_ranks = 2;
+
+  util::TimeNs converged_time = 0, siloed_time = 0;
+  {
+    sim::Simulation sim;
+    Platform platform(sim, small_config());
+    workloads::stage_mobility_inputs(platform.catalog(), scenario);
+    platform.run_workflow(
+        workloads::mobility_pipeline(scenario),
+        [&](const workflow::WorkflowResult& r) {
+          ASSERT_TRUE(r.success);
+          converged_time = r.duration;
+        });
+    sim.run();
+  }
+  {
+    sim::Simulation sim;
+    SiloedPlatform silos(sim, small_config());
+    workloads::stage_mobility_inputs(silos.bigdata_catalog(), scenario);
+    silos.run_workflow(workloads::mobility_pipeline(scenario),
+                       [&](const workflow::WorkflowResult& r) {
+                         ASSERT_TRUE(r.success);
+                         siloed_time = r.duration;
+                       });
+    sim.run();
+  }
+  EXPECT_GT(converged_time, 0);
+  // Converged avoids the cross-silo staging copies.
+  EXPECT_LT(converged_time, siloed_time);
+}
+
+TEST(SiloedPlatform, ContainerStepsRunInCloudSilo) {
+  sim::Simulation sim;
+  SiloedPlatform silos(sim, small_config());
+  orch::PodSpec pod;
+  pod.name = "web";
+  pod.request = cluster::cpu_mem(1000, util::kGiB);
+  workflow::Workflow wf("svc");
+  wf.add(workflow::container_step("svc", pod, util::seconds(1)));
+  workflow::WorkflowResult result;
+  silos.run_workflow(wf, [&](const workflow::WorkflowResult& r) {
+    result = r;
+  });
+  sim.run();
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(silos.orchestrator(Silo::kCloud).metrics().counter("pods_started"),
+            1);
+  EXPECT_EQ(
+      silos.orchestrator(Silo::kBigData).metrics().counter("pods_started"),
+      0);
+}
+
+}  // namespace
+}  // namespace evolve::core

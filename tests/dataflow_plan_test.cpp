@@ -1,0 +1,147 @@
+#include "dataflow/plan.hpp"
+#include "dataflow/stage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evolve::dataflow {
+namespace {
+
+LogicalPlan scan_filter_sink() {
+  LogicalPlan plan;
+  const int src = plan.add_source("events");
+  const int filtered = plan.add_filter(src, "keep-errors", 0.1);
+  plan.add_sink(filtered, "errors");
+  return plan;
+}
+
+TEST(LogicalPlan, BuildsOperators) {
+  const auto plan = scan_filter_sink();
+  EXPECT_EQ(plan.size(), 3);
+  EXPECT_EQ(plan.op(0).kind, OpKind::kSource);
+  EXPECT_EQ(plan.op(1).kind, OpKind::kFilter);
+  EXPECT_EQ(plan.op(2).kind, OpKind::kSink);
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_EQ(plan.sink(), 2);
+}
+
+TEST(LogicalPlan, ValidatesInputs) {
+  LogicalPlan plan;
+  EXPECT_THROW(plan.add_map(0, "m"), std::invalid_argument);  // no ops yet
+  const int src = plan.add_source("d");
+  EXPECT_THROW(plan.add_map(5, "m"), std::invalid_argument);
+  EXPECT_THROW(plan.add_source(""), std::invalid_argument);
+  EXPECT_THROW(plan.add_filter(src, "f", 1.5), std::invalid_argument);
+  EXPECT_THROW(plan.add_map(src, "m", -1.0), std::invalid_argument);
+}
+
+TEST(LogicalPlan, SinkCannotBeConsumed) {
+  LogicalPlan plan;
+  const int src = plan.add_source("d");
+  const int sink = plan.add_sink(src, "out");
+  EXPECT_THROW(plan.add_map(sink, "m"), std::invalid_argument);
+}
+
+TEST(LogicalPlan, ValidateRejectsDanglingOperators) {
+  LogicalPlan plan;
+  const int src = plan.add_source("d");
+  plan.add_map(src, "dangling");  // never consumed
+  plan.add_sink(plan.add_map(src, "other"), "out");
+  // "src" now consumed twice AND "dangling" unconsumed.
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(LogicalPlan, ValidateRequiresExactlyOneSink) {
+  LogicalPlan plan;
+  plan.add_source("d");
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(PhysicalPlan, NarrowChainIsOneStage) {
+  const auto physical = PhysicalPlan::compile(scan_filter_sink());
+  ASSERT_EQ(physical.size(), 1);
+  const StageDef& stage = physical.stage(0);
+  EXPECT_TRUE(stage.reads_source());
+  EXPECT_TRUE(stage.writes_sink());
+  EXPECT_EQ(stage.source_dataset, "events");
+  EXPECT_EQ(stage.sink_dataset, "errors");
+  EXPECT_EQ(stage.operators.size(), 3u);
+  EXPECT_TRUE(stage.parents.empty());
+}
+
+TEST(PhysicalPlan, GroupBySplitsStages) {
+  LogicalPlan plan;
+  const int src = plan.add_source("events");
+  const int mapped = plan.add_map(src, "extract");
+  const int grouped = plan.add_group_by(mapped, "by-user", 16);
+  plan.add_sink(grouped, "per-user");
+  const auto physical = PhysicalPlan::compile(plan);
+  ASSERT_EQ(physical.size(), 2);
+  EXPECT_TRUE(physical.stage(0).reads_source());
+  EXPECT_FALSE(physical.stage(0).writes_sink());
+  EXPECT_EQ(physical.stage(1).parents, std::vector<int>{0});
+  EXPECT_TRUE(physical.stage(1).writes_sink());
+  EXPECT_EQ(physical.stage(1).requested_partitions, 16);
+  EXPECT_EQ(physical.final_stage(), 1);
+}
+
+TEST(PhysicalPlan, JoinHasTwoParents) {
+  LogicalPlan plan;
+  const int left = plan.add_source("orders");
+  const int right = plan.add_source("users");
+  const int filtered = plan.add_filter(right, "active", 0.5);
+  const int joined = plan.add_join(left, filtered, "orders-x-users", 8);
+  plan.add_sink(joined, "enriched");
+  const auto physical = PhysicalPlan::compile(plan);
+  ASSERT_EQ(physical.size(), 3);
+  const StageDef& join_stage = physical.stage(2);
+  EXPECT_EQ(join_stage.parents.size(), 2u);
+  EXPECT_FALSE(join_stage.reads_source());
+  const auto children = physical.children();
+  EXPECT_EQ(children[0], std::vector<int>{2});
+  EXPECT_EQ(children[1], std::vector<int>{2});
+  EXPECT_TRUE(children[2].empty());
+}
+
+TEST(PhysicalPlan, CostModelAggregatesChain) {
+  LogicalPlan plan;
+  const int src = plan.add_source("d");       // cpu 0.05, sel 1
+  const int f = plan.add_filter(src, "f", 0.5, 0.2);
+  const int m = plan.add_map(f, "m", 2.0, 1.0);
+  plan.add_sink(m, "out");                     // cpu 0.05, sel 1
+  const auto physical = PhysicalPlan::compile(plan);
+  const StageDef& stage = physical.stage(0);
+  // ratio = 1 * 0.5 * 2 * 1 = 1.0
+  EXPECT_NEAR(stage.output_ratio, 1.0, 1e-12);
+  // cpu = 0.05 + 1*0.2 + 0.5*1.0 + 1.0*0.05
+  EXPECT_NEAR(stage.cpu_ns_per_byte, 0.05 + 0.2 + 0.5 + 0.05, 1e-12);
+}
+
+TEST(PhysicalPlan, DeepDagTopologicalOrder) {
+  LogicalPlan plan;
+  const int a = plan.add_source("a");
+  const int b = plan.add_source("b");
+  const int ga = plan.add_group_by(a, "ga", 4);
+  const int j = plan.add_join(ga, b, "j", 4);
+  const int r = plan.add_reduce_by_key(j, "r", 2);
+  plan.add_sink(r, "out");
+  const auto physical = PhysicalPlan::compile(plan);
+  ASSERT_EQ(physical.size(), 5);
+  // Parents always have smaller ids than children.
+  for (const StageDef& stage : physical.stages()) {
+    for (int parent : stage.parents) EXPECT_LT(parent, stage.id);
+  }
+  EXPECT_TRUE(physical.stage(physical.final_stage()).writes_sink());
+}
+
+TEST(OpKindHelpers, WideAndNames) {
+  EXPECT_TRUE(is_wide(OpKind::kGroupBy));
+  EXPECT_TRUE(is_wide(OpKind::kJoin));
+  EXPECT_TRUE(is_wide(OpKind::kUnion));
+  EXPECT_TRUE(is_wide(OpKind::kReduceByKey));
+  EXPECT_FALSE(is_wide(OpKind::kMap));
+  EXPECT_FALSE(is_wide(OpKind::kSource));
+  EXPECT_STREQ(to_string(OpKind::kJoin), "join");
+}
+
+}  // namespace
+}  // namespace evolve::dataflow

@@ -1,0 +1,71 @@
+#include "dataflow/shuffle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evolve::dataflow {
+namespace {
+
+TEST(ShuffleManager, RegisterAndComplete) {
+  ShuffleManager shuffle;
+  EXPECT_FALSE(shuffle.complete(0, 2));
+  shuffle.register_output(0, 0, 1, 1000);
+  shuffle.register_output(0, 1, 2, 500);
+  EXPECT_TRUE(shuffle.complete(0, 2));
+  EXPECT_EQ(shuffle.stage_output_bytes(0), 1500);
+}
+
+TEST(ShuffleManager, DuplicateRegistrationThrows) {
+  ShuffleManager shuffle;
+  shuffle.register_output(0, 0, 1, 10);
+  EXPECT_THROW(shuffle.register_output(0, 0, 1, 10), std::logic_error);
+  EXPECT_THROW(shuffle.register_output(0, 1, 1, -1), std::invalid_argument);
+}
+
+TEST(ShuffleManager, FetchPlanSplitsEvenly) {
+  ShuffleManager shuffle;
+  shuffle.register_output(0, 0, 3, 100);
+  shuffle.register_output(0, 1, 4, 100);
+  const auto plan0 = shuffle.fetch_plan(0, 0, 4);
+  const auto plan3 = shuffle.fetch_plan(0, 3, 4);
+  ASSERT_EQ(plan0.size(), 2u);
+  ASSERT_EQ(plan3.size(), 2u);
+  EXPECT_EQ(plan0[0].bytes, 25);
+  EXPECT_EQ(plan3[0].bytes, 25);
+  EXPECT_EQ(plan0[0].node, 3);
+  EXPECT_EQ(plan0[1].node, 4);
+}
+
+TEST(ShuffleManager, FetchSharesSumToTotal) {
+  ShuffleManager shuffle;
+  shuffle.register_output(7, 0, 0, 1003);  // not divisible by 4
+  util::Bytes total = 0;
+  for (int r = 0; r < 4; ++r) {
+    for (const auto& src : shuffle.fetch_plan(7, r, 4)) total += src.bytes;
+  }
+  EXPECT_EQ(total, 1003);
+}
+
+TEST(ShuffleManager, ZeroByteSharesDropped) {
+  ShuffleManager shuffle;
+  shuffle.register_output(0, 0, 1, 2);  // 2 bytes over 4 reducers
+  EXPECT_EQ(shuffle.fetch_plan(0, 0, 4).size(), 1u);
+  EXPECT_TRUE(shuffle.fetch_plan(0, 3, 4).empty());
+}
+
+TEST(ShuffleManager, FetchPlanValidatesArgs) {
+  ShuffleManager shuffle;
+  EXPECT_THROW(shuffle.fetch_plan(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(shuffle.fetch_plan(0, 2, 2), std::invalid_argument);
+  EXPECT_TRUE(shuffle.fetch_plan(9, 0, 2).empty());  // unknown stage
+}
+
+TEST(ShuffleManager, ReleaseDropsStage) {
+  ShuffleManager shuffle;
+  shuffle.register_output(1, 0, 0, 100);
+  shuffle.release(1);
+  EXPECT_EQ(shuffle.stage_output_bytes(1), 0);
+  EXPECT_FALSE(shuffle.complete(1, 1));
+}
+
+}  // namespace
+}  // namespace evolve::dataflow

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "dataflow/engine.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulation.hpp"
+
+namespace evolve::dataflow {
+namespace {
+
+struct SpecFixture {
+  explicit SpecFixture(DataflowConfig config)
+      : cluster(cluster::make_testbed(4, 4, 0)),
+        topology(cluster),
+        fabric(sim, topology),
+        io(sim, cluster),
+        store(sim, cluster, fabric, io,
+              cluster.nodes_with_label("role=storage")),
+        catalog(store),
+        engine(sim, cluster, fabric, io, catalog, config) {
+    catalog.define(storage::DatasetSpec{"in", 16, 64 * util::kMiB});
+    catalog.preload("in", /*warm_cache=*/true);
+  }
+
+  JobStats run_job() {
+    LogicalPlan plan;
+    const int src = plan.add_source("in");
+    const int heavy = plan.add_map(src, "heavy", 0.5, 10.0);
+    plan.add_sink(heavy, "out-" + std::to_string(++job_counter));
+    JobStats stats;
+    bool done = false;
+    std::vector<ExecutorSpec> execs;
+    for (auto node : cluster.nodes_with_label("role=compute")) {
+      execs.push_back(ExecutorSpec{node, 2});
+    }
+    engine.run(plan, execs, [&](const JobStats& s) {
+      stats = s;
+      done = true;
+    });
+    sim.run();
+    EXPECT_TRUE(done);
+    return stats;
+  }
+
+  sim::Simulation sim;
+  cluster::Cluster cluster;
+  net::Topology topology;
+  net::Fabric fabric;
+  storage::IoSubsystem io;
+  storage::ObjectStore store;
+  storage::DatasetCatalog catalog;
+  DataflowEngine engine;
+  int job_counter = 0;
+};
+
+DataflowConfig straggler_config(bool speculation) {
+  DataflowConfig config;
+  config.locality_wait = 0;
+  config.straggler_probability = 0.15;
+  config.straggler_slowdown = 10.0;
+  config.straggler_seed = 77;
+  config.speculation = speculation;
+  config.speculation_multiplier = 1.4;
+  config.speculation_quantile = 0.5;
+  return config;
+}
+
+TEST(Speculation, StragglersAreInjectedDeterministically) {
+  SpecFixture a(straggler_config(false));
+  SpecFixture b(straggler_config(false));
+  const auto sa = a.run_job();
+  const auto sb = b.run_job();
+  EXPECT_GT(sa.stragglers_injected, 0);
+  EXPECT_EQ(sa.stragglers_injected, sb.stragglers_injected);
+  EXPECT_EQ(sa.duration, sb.duration);
+}
+
+TEST(Speculation, NoStragglersWhenProbabilityZero) {
+  DataflowConfig config;
+  config.locality_wait = 0;
+  SpecFixture f(config);
+  const auto stats = f.run_job();
+  EXPECT_EQ(stats.stragglers_injected, 0);
+  EXPECT_EQ(stats.speculative_launched, 0);
+}
+
+TEST(Speculation, DisabledMeansNoBackups) {
+  SpecFixture f(straggler_config(false));
+  const auto stats = f.run_job();
+  EXPECT_GT(stats.stragglers_injected, 0);
+  EXPECT_EQ(stats.speculative_launched, 0);
+  EXPECT_EQ(stats.speculative_wins, 0);
+}
+
+TEST(Speculation, BackupsLaunchAndWin) {
+  SpecFixture f(straggler_config(true));
+  const auto stats = f.run_job();
+  EXPECT_GT(stats.speculative_launched, 0);
+  EXPECT_GT(stats.speculative_wins, 0);
+}
+
+TEST(Speculation, CutsJobDurationUnderStragglers) {
+  SpecFixture off(straggler_config(false));
+  SpecFixture on(straggler_config(true));
+  const auto slow = off.run_job();
+  const auto fast = on.run_job();
+  // Same stragglers injected; backups should trim the tail.
+  EXPECT_LT(fast.duration, slow.duration);
+}
+
+TEST(Speculation, TaskAccountingStaysConsistent) {
+  SpecFixture f(straggler_config(true));
+  const auto stats = f.run_job();
+  // Every logical task completed exactly once regardless of copies.
+  EXPECT_EQ(stats.tasks, 16);
+  int stage_tasks = 0;
+  for (const auto& stage : stats.stages) stage_tasks += stage.tasks;
+  EXPECT_EQ(stage_tasks, stats.tasks);
+  // Output integrity: the sink dataset matches the winner outputs only.
+  EXPECT_NEAR(static_cast<double>(stats.bytes_written),
+              64.0 * util::kMiB * 0.5, 4096.0);
+}
+
+TEST(Speculation, ValidatesConfig) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(1, 1, 0);
+  net::Topology topo(cluster);
+  net::Fabric fabric(sim, topo);
+  storage::IoSubsystem io(sim, cluster);
+  storage::ObjectStore store(sim, cluster, fabric, io,
+                             cluster.nodes_with_label("role=storage"));
+  storage::DatasetCatalog catalog(store);
+  DataflowConfig bad;
+  bad.straggler_probability = 1.5;
+  EXPECT_THROW(DataflowEngine(sim, cluster, fabric, io, catalog, bad),
+               std::invalid_argument);
+  DataflowConfig bad2;
+  bad2.straggler_slowdown = 0.5;
+  EXPECT_THROW(DataflowEngine(sim, cluster, fabric, io, catalog, bad2),
+               std::invalid_argument);
+  DataflowConfig bad3;
+  bad3.speculation_multiplier = 1.0;
+  EXPECT_THROW(DataflowEngine(sim, cluster, fabric, io, catalog, bad3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evolve::dataflow

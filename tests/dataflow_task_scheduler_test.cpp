@@ -1,0 +1,111 @@
+#include "dataflow/task_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/types.hpp"
+
+namespace evolve::dataflow {
+namespace {
+
+TEST(TaskScheduler, AssignsToFreeSlots) {
+  TaskScheduler sched(0);
+  sched.add_executor(0, 2);
+  sched.enqueue(1, {}, 0);
+  sched.enqueue(2, {}, 0);
+  sched.enqueue(3, {}, 0);
+  const auto assignments = sched.assign(0);
+  EXPECT_EQ(assignments.size(), 2u);
+  EXPECT_EQ(sched.pending(), 1);
+  EXPECT_EQ(sched.free_slots(), 0);
+}
+
+TEST(TaskScheduler, ReleaseFreesSlot) {
+  TaskScheduler sched(0);
+  sched.add_executor(0, 1);
+  sched.enqueue(1, {}, 0);
+  sched.enqueue(2, {}, 0);
+  auto first = sched.assign(0);
+  ASSERT_EQ(first.size(), 1u);
+  sched.release(first[0].executor);
+  const auto second = sched.assign(0);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].task, 2);
+}
+
+TEST(TaskScheduler, PrefersLocalExecutor) {
+  TaskScheduler sched(util::seconds(1));
+  sched.add_executor(5, 1);
+  sched.add_executor(7, 1);
+  sched.enqueue(1, {7}, 0);
+  const auto assignments = sched.assign(0);
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(sched.executor_node(assignments[0].executor), 7);
+  EXPECT_TRUE(assignments[0].local);
+  EXPECT_EQ(sched.local_assignments(), 1);
+}
+
+TEST(TaskScheduler, WaitsForLocalityUntilExpiry) {
+  TaskScheduler sched(util::seconds(1));
+  sched.add_executor(5, 1);  // not preferred
+  sched.enqueue(1, {7}, 0);
+  EXPECT_TRUE(sched.assign(0).empty());  // holds out for node 7
+  EXPECT_EQ(sched.next_expiry(), util::seconds(1));
+  const auto late = sched.assign(util::seconds(1));
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_FALSE(late[0].local);
+  EXPECT_EQ(sched.executor_node(late[0].executor), 5);
+}
+
+TEST(TaskScheduler, ZeroWaitFallsBackImmediately) {
+  TaskScheduler sched(0);
+  sched.add_executor(5, 1);
+  sched.enqueue(1, {7}, 0);
+  const auto assignments = sched.assign(0);
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_FALSE(assignments[0].local);
+}
+
+TEST(TaskScheduler, LocalSlotFreedDuringWaitGetsUsed) {
+  TaskScheduler sched(util::seconds(10));
+  const int preferred = sched.add_executor(7, 1);
+  sched.add_executor(5, 4);
+  // Occupy the preferred executor.
+  sched.enqueue(1, {7}, 0);
+  auto a1 = sched.assign(0);
+  ASSERT_EQ(a1.size(), 1u);
+  // Task 2 wants node 7; it waits rather than take node 5.
+  sched.enqueue(2, {7}, 0);
+  EXPECT_TRUE(sched.assign(util::millis(1)).empty());
+  sched.release(preferred);
+  const auto a2 = sched.assign(util::millis(2));
+  ASSERT_EQ(a2.size(), 1u);
+  EXPECT_TRUE(a2[0].local);
+}
+
+TEST(TaskScheduler, NoPreferenceHasNoExpiry) {
+  TaskScheduler sched(util::seconds(1));
+  sched.enqueue(1, {}, 0);
+  EXPECT_EQ(sched.next_expiry(), -1);
+}
+
+TEST(TaskScheduler, ValidatesExecutors) {
+  TaskScheduler sched(0);
+  EXPECT_THROW(sched.add_executor(0, 0), std::invalid_argument);
+}
+
+TEST(TaskScheduler, FifoOrderAmongEqualTasks) {
+  TaskScheduler sched(0);
+  sched.add_executor(0, 1);
+  for (TaskId t = 1; t <= 3; ++t) sched.enqueue(t, {}, 0);
+  std::vector<TaskId> order;
+  for (int i = 0; i < 3; ++i) {
+    auto a = sched.assign(0);
+    ASSERT_EQ(a.size(), 1u);
+    order.push_back(a[0].task);
+    sched.release(a[0].executor);
+  }
+  EXPECT_EQ(order, (std::vector<TaskId>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace evolve::dataflow

@@ -1,0 +1,166 @@
+#include "hpc/batch_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+#include "util/types.hpp"
+
+namespace evolve::hpc {
+namespace {
+
+using util::seconds;
+
+HpcJobSpec job(const std::string& name, int nodes, double runtime_s,
+               double walltime_s = 0) {
+  HpcJobSpec spec;
+  spec.name = name;
+  spec.nodes = nodes;
+  spec.runtime = seconds(runtime_s);
+  spec.walltime = walltime_s > 0 ? seconds(walltime_s) : spec.runtime;
+  return spec;
+}
+
+TEST(BatchQueue, ValidatesConstruction) {
+  sim::Simulation sim;
+  EXPECT_THROW(BatchQueue(sim, 0), std::invalid_argument);
+}
+
+TEST(BatchQueue, ValidatesJobs) {
+  sim::Simulation sim;
+  BatchQueue queue(sim, 4);
+  EXPECT_THROW(queue.submit(job("bad", 0, 1)), std::invalid_argument);
+  EXPECT_THROW(queue.submit(job("toobig", 5, 1)), std::invalid_argument);
+  HpcJobSpec neg = job("neg", 1, 1);
+  neg.runtime = -1;
+  EXPECT_THROW(queue.submit(neg), std::invalid_argument);
+}
+
+TEST(BatchQueue, RunsJobImmediatelyWhenFree) {
+  sim::Simulation sim;
+  BatchQueue queue(sim, 4);
+  std::vector<int> assigned;
+  bool finished = false;
+  queue.submit(job("a", 2, 10),
+               [&](JobId, const std::vector<int>& nodes) { assigned = nodes; },
+               [&](JobId) { finished = true; });
+  sim.run();
+  EXPECT_EQ(assigned.size(), 2u);
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(sim.now(), seconds(10));
+}
+
+TEST(BatchQueue, FcfsBlocksBehindBigHead) {
+  sim::Simulation sim;
+  BatchQueue queue(sim, 4, QueuePolicy::kFcfs);
+  std::vector<std::string> start_order;
+  auto track = [&](const std::string& name) {
+    return [&start_order, name](JobId, const std::vector<int>&) {
+      start_order.push_back(name);
+    };
+  };
+  queue.submit(job("running", 3, 100), track("running"));
+  queue.submit(job("bighead", 4, 10), track("bighead"));   // must wait
+  queue.submit(job("small", 1, 1), track("small"));        // could fit now
+  sim.run();
+  ASSERT_EQ(start_order.size(), 3u);
+  // Strict FCFS: small waits behind bighead even though a node is free.
+  EXPECT_EQ(start_order[1], "bighead");
+  EXPECT_EQ(start_order[2], "small");
+}
+
+TEST(BatchQueue, EasyBackfillsShortJob) {
+  sim::Simulation sim;
+  BatchQueue queue(sim, 4, QueuePolicy::kEasyBackfill);
+  std::vector<std::pair<std::string, util::TimeNs>> starts;
+  auto track = [&](const std::string& name) {
+    return [&starts, &sim, name](JobId, const std::vector<int>&) {
+      starts.emplace_back(name, sim.now());
+    };
+  };
+  queue.submit(job("running", 3, 100), track("running"));
+  queue.submit(job("bighead", 4, 10), track("bighead"));
+  // Short job fits in the free node and ends before the head's shadow
+  // time (t=100) -> backfills immediately.
+  queue.submit(job("short", 1, 5), track("short"));
+  sim.run();
+  ASSERT_EQ(starts.size(), 3u);
+  EXPECT_EQ(starts[1].first, "short");
+  EXPECT_LT(starts[1].second, seconds(1));
+  EXPECT_GT(queue.metrics().counter("backfilled_jobs"), 0);
+}
+
+TEST(BatchQueue, BackfillNeverDelaysHead) {
+  sim::Simulation sim;
+  BatchQueue queue(sim, 4, QueuePolicy::kEasyBackfill);
+  util::TimeNs head_start = -1;
+  queue.submit(job("running", 3, 100));
+  queue.submit(job("bighead", 4, 10),
+               [&](JobId, const std::vector<int>&) { head_start = sim.now(); });
+  // This job would end after the shadow (t=100) and uses the reserved
+  // node -> must NOT backfill.
+  queue.submit(job("long", 1, 500));
+  sim.run();
+  EXPECT_EQ(head_start, seconds(100));
+}
+
+TEST(BatchQueue, BackfillAllowedWhenSparingReservation) {
+  sim::Simulation sim;
+  BatchQueue queue(sim, 8, QueuePolicy::kEasyBackfill);
+  // 6 nodes busy until t=50; head needs 8; two nodes free now.
+  queue.submit(job("running", 6, 50));
+  util::TimeNs head_start = -1, long_start = -1;
+  queue.submit(job("head", 8, 10),
+               [&](JobId, const std::vector<int>&) { head_start = sim.now(); });
+  // Long 1-node job: runs past the shadow (t=50) BUT the shadow frees 6
+  // nodes; 2 free - 1 + 6 = 7 < 8 -> would delay head. Must wait.
+  queue.submit(job("long", 2, 500),
+               [&](JobId, const std::vector<int>&) { long_start = sim.now(); });
+  sim.run();
+  EXPECT_EQ(head_start, seconds(50));
+  EXPECT_GE(long_start, head_start);
+}
+
+TEST(BatchQueue, WaitTimesRecorded) {
+  sim::Simulation sim;
+  BatchQueue queue(sim, 2);
+  queue.submit(job("a", 2, 10));
+  queue.submit(job("b", 2, 10));
+  sim.run();
+  const auto& hist = queue.metrics().histogram("job_wait_s");
+  EXPECT_EQ(hist.count(), 2);
+  EXPECT_GE(hist.max(), 10);
+}
+
+TEST(BatchQueue, UtilizationReflectsLoad) {
+  sim::Simulation sim;
+  BatchQueue queue(sim, 4);
+  queue.submit(job("half", 2, 10));
+  sim.run();
+  EXPECT_NEAR(queue.utilization(), 0.5, 0.01);
+}
+
+TEST(BatchQueue, FreeNodesRestoredAfterCompletion) {
+  sim::Simulation sim;
+  BatchQueue queue(sim, 4);
+  queue.submit(job("a", 4, 1));
+  sim.run();
+  EXPECT_EQ(queue.free_nodes(), 4);
+  EXPECT_EQ(queue.running_jobs(), 0);
+  EXPECT_EQ(queue.queued_jobs(), 0);
+}
+
+TEST(BatchQueue, JobStatusLifecycle) {
+  sim::Simulation sim;
+  BatchQueue queue(sim, 2);
+  const JobId id = queue.submit(job("a", 1, 3));
+  EXPECT_FALSE(queue.job(id).started);
+  sim.run();
+  const auto& status = queue.job(id);
+  EXPECT_TRUE(status.started);
+  EXPECT_TRUE(status.finished);
+  EXPECT_EQ(status.finish_time - status.start_time, seconds(3));
+  EXPECT_THROW(queue.job(999), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace evolve::hpc

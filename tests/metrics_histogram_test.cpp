@@ -1,0 +1,145 @@
+#include "metrics/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace evolve::metrics {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0);
+}
+
+TEST(Histogram, SmallValuesExact) {
+  Histogram h;
+  for (int i = 0; i <= 10; ++i) h.record(i);
+  EXPECT_EQ(h.count(), 11);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 10);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_EQ(h.p50(), 5);
+}
+
+TEST(Histogram, PercentilesMonotonic) {
+  Histogram h;
+  util::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) h.record(rng.uniform_int(0, 1000000));
+  std::int64_t prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const auto v = h.percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(Histogram, LargeValueRelativeError) {
+  Histogram h;
+  const std::int64_t value = 123456789;
+  h.record(value);
+  const auto p = h.percentile(50);
+  EXPECT_NEAR(static_cast<double>(p), static_cast<double>(value),
+              static_cast<double>(value) * 0.02);
+}
+
+TEST(Histogram, NegativeClampsToZero) {
+  Histogram h;
+  h.record(-100);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.count(), 1);
+}
+
+TEST(Histogram, RecordNCounts) {
+  Histogram h;
+  h.record_n(7, 100);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_EQ(h.p50(), 7);
+  h.record_n(9, 0);   // no-op
+  h.record_n(9, -5);  // no-op
+  EXPECT_EQ(h.count(), 100);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_NEAR(a.mean(), 505.0, 1.0);
+}
+
+TEST(Histogram, MergeEmptyIsNoop) {
+  Histogram a, b;
+  a.record(5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_EQ(b.min(), 5);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, StddevOfConstantIsZero) {
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.record(9);
+  EXPECT_NEAR(h.stddev(), 0.0, 1e-9);
+}
+
+TEST(Histogram, StddevUniformApprox) {
+  Histogram h;
+  util::Rng rng(11);
+  for (int i = 0; i < 100000; ++i) h.record(rng.uniform_int(0, 1000));
+  // Uniform[0,1000] stddev ~= 1001/sqrt(12) ~= 289.
+  EXPECT_NEAR(h.stddev(), 289.0, 10.0);
+}
+
+TEST(Histogram, PercentileBoundedByMinMax) {
+  Histogram h;
+  h.record(100);
+  h.record(200);
+  for (double p : {0.0, 50.0, 100.0}) {
+    EXPECT_GE(h.percentile(p), 100);
+    EXPECT_LE(h.percentile(p), 200);
+  }
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+  Histogram h;
+  h.record(1);
+  EXPECT_NE(h.summary().find("n=1"), std::string::npos);
+}
+
+// Property sweep: quantile accuracy within ~2% relative error across
+// magnitudes.
+class HistogramAccuracy : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(HistogramAccuracy, SingleValueRoundTrips) {
+  Histogram h;
+  const std::int64_t value = GetParam();
+  h.record(value);
+  const auto back = h.percentile(50);
+  const double tolerance = std::max<double>(1.0, static_cast<double>(value) * 0.02);
+  EXPECT_NEAR(static_cast<double>(back), static_cast<double>(value), tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, HistogramAccuracy,
+                         ::testing::Values(0, 1, 63, 64, 65, 1000, 4095, 4096,
+                                           1 << 20, (std::int64_t{1} << 40) + 17));
+
+}  // namespace
+}  // namespace evolve::metrics

@@ -1,0 +1,70 @@
+#include "metrics/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evolve::metrics {
+namespace {
+
+TEST(Registry, CountersAccumulate) {
+  Registry reg;
+  EXPECT_EQ(reg.counter("a"), 0);
+  reg.count("a");
+  reg.count("a", 4);
+  EXPECT_EQ(reg.counter("a"), 5);
+  EXPECT_EQ(reg.counter("missing"), 0);
+}
+
+TEST(Registry, GaugesKeepLastValue) {
+  Registry reg;
+  reg.set_gauge("g", 1.5);
+  reg.set_gauge("g", 2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("g"), 2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("missing"), 0.0);
+}
+
+TEST(Registry, HistogramsObserve) {
+  Registry reg;
+  reg.observe("h", 10);
+  reg.observe("h", 20);
+  EXPECT_TRUE(reg.has_histogram("h"));
+  EXPECT_EQ(reg.histogram("h").count(), 2);
+  EXPECT_FALSE(reg.has_histogram("nope"));
+  EXPECT_EQ(reg.histogram("nope").count(), 0);
+}
+
+TEST(Registry, SeriesSample) {
+  Registry reg;
+  reg.sample("s", 0, 1.0);
+  reg.sample("s", 10, 2.0);
+  EXPECT_TRUE(reg.has_series("s"));
+  EXPECT_EQ(reg.series("s").size(), 2u);
+  EXPECT_DOUBLE_EQ(reg.series("missing").last(), 0.0);
+}
+
+TEST(Registry, RenderListsEverything) {
+  Registry reg;
+  reg.count("jobs_done", 3);
+  reg.set_gauge("util", 0.8);
+  reg.observe("latency", 100);
+  reg.sample("load", 0, 1.0);
+  const std::string text = reg.render();
+  EXPECT_NE(text.find("counter jobs_done = 3"), std::string::npos);
+  EXPECT_NE(text.find("gauge util"), std::string::npos);
+  EXPECT_NE(text.find("histogram latency"), std::string::npos);
+  EXPECT_NE(text.find("series load"), std::string::npos);
+}
+
+TEST(Registry, ResetClearsAll) {
+  Registry reg;
+  reg.count("c");
+  reg.set_gauge("g", 1);
+  reg.observe("h", 1);
+  reg.sample("s", 0, 1);
+  reg.reset();
+  EXPECT_EQ(reg.counter("c"), 0);
+  EXPECT_FALSE(reg.has_histogram("h"));
+  EXPECT_FALSE(reg.has_series("s"));
+}
+
+}  // namespace
+}  // namespace evolve::metrics

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "orch/controllers.hpp"
+#include "orch/scheduler.hpp"
+#include "sim/simulation.hpp"
+#include "util/types.hpp"
+
+namespace evolve::orch {
+namespace {
+
+using cluster::cpu_mem;
+
+PodSpec spread_pod(const std::string& name, const std::string& group) {
+  PodSpec spec;
+  spec.name = name;
+  spec.request = cpu_mem(1000, util::kGiB);
+  spec.anti_affinity_group = group;
+  return spec;
+}
+
+TEST(AntiAffinity, ReplicasLandOnDistinctNodes) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(4, 0, 0);
+  Orchestrator orch(sim, cluster, SchedulingPolicy::binpacking(cluster));
+  // Bin-packing would stack all pods on one node without anti-affinity.
+  std::set<cluster::NodeId> nodes;
+  for (int i = 0; i < 4; ++i) {
+    orch.submit(spread_pod("web-" + std::to_string(i), "web"), -1,
+                [&](PodId, cluster::NodeId n) { nodes.insert(n); });
+  }
+  sim.run();
+  EXPECT_EQ(nodes.size(), 4u);
+}
+
+TEST(AntiAffinity, FifthReplicaWaitsOnFourNodes) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(4, 0, 0);
+  Orchestrator orch(sim, cluster, SchedulingPolicy::spreading(cluster));
+  int started = 0;
+  for (int i = 0; i < 5; ++i) {
+    orch.submit(spread_pod("web-" + std::to_string(i), "web"), -1,
+                [&](PodId, cluster::NodeId) { ++started; });
+  }
+  sim.run();
+  EXPECT_EQ(started, 4);
+  EXPECT_EQ(orch.pending_count(), 1);
+}
+
+TEST(AntiAffinity, SlotFreesWhenReplicaDies) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(2, 0, 0);
+  Orchestrator orch(sim, cluster, SchedulingPolicy::spreading(cluster));
+  std::vector<PodId> pods;
+  int started = 0;
+  for (int i = 0; i < 3; ++i) {
+    pods.push_back(orch.submit(spread_pod("db-" + std::to_string(i), "db"),
+                               -1, [&](PodId, cluster::NodeId) { ++started; }));
+  }
+  sim.run();
+  EXPECT_EQ(started, 2);  // only two nodes
+  orch.finish(pods[0]);
+  sim.run();
+  EXPECT_EQ(started, 3);  // third replica takes the freed slot
+}
+
+TEST(AntiAffinity, DifferentGroupsCoexist) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(1, 0, 0);
+  Orchestrator orch(sim, cluster, SchedulingPolicy::spreading(cluster));
+  int started = 0;
+  orch.submit(spread_pod("a", "group-a"), -1,
+              [&](PodId, cluster::NodeId) { ++started; });
+  orch.submit(spread_pod("b", "group-b"), -1,
+              [&](PodId, cluster::NodeId) { ++started; });
+  PodSpec plain = spread_pod("c", "");
+  orch.submit(plain, -1, [&](PodId, cluster::NodeId) { ++started; });
+  sim.run();
+  EXPECT_EQ(started, 3);  // all on the single node: no conflicts
+}
+
+TEST(AntiAffinity, GangMembersSpread) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(4, 0, 0);
+  Orchestrator orch(sim, cluster, SchedulingPolicy::binpacking(cluster));
+  std::vector<PodSpec> gang;
+  for (int i = 0; i < 4; ++i) {
+    gang.push_back(spread_pod("rank-" + std::to_string(i), "ring"));
+  }
+  std::set<cluster::NodeId> nodes;
+  orch.submit_gang(gang, util::seconds(1),
+                   [&](PodId, cluster::NodeId n) { nodes.insert(n); });
+  sim.run();
+  EXPECT_EQ(nodes.size(), 4u);
+}
+
+TEST(AntiAffinity, GangTooWideForClusterHolds) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(2, 0, 0);
+  Orchestrator orch(sim, cluster, SchedulingPolicy::spreading(cluster));
+  std::vector<PodSpec> gang;
+  for (int i = 0; i < 3; ++i) {
+    gang.push_back(spread_pod("rank-" + std::to_string(i), "ring"));
+  }
+  int started = 0;
+  orch.submit_gang(gang, util::seconds(1),
+                   [&](PodId, cluster::NodeId) { ++started; });
+  sim.run();
+  EXPECT_EQ(started, 0);  // 3 spread-pods cannot fit 2 nodes: all held
+  EXPECT_EQ(orch.pending_count(), 3);
+}
+
+TEST(AntiAffinity, DeploymentSurvivesDrainWithSpreading) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(4, 0, 0);
+  Orchestrator orch(sim, cluster, SchedulingPolicy::spreading(cluster));
+  PodSpec pod = spread_pod("api", "api");
+  DeploymentController deploy(orch, "api", pod, 3);
+  sim.run();
+  EXPECT_EQ(deploy.live(), 3);
+  // Drain one node; the replica must move to the remaining empty node.
+  cluster::NodeId victim = cluster::kInvalidNode;
+  for (cluster::NodeId n = 0; n < cluster.size(); ++n) {
+    if (orch.node_status(n).pod_count() > 0) {
+      victim = n;
+      break;
+    }
+  }
+  orch.drain(victim);
+  sim.run();
+  EXPECT_EQ(orch.running_count(), 3);
+  EXPECT_EQ(orch.node_status(victim).pod_count(), 0);
+}
+
+}  // namespace
+}  // namespace evolve::orch

@@ -1,0 +1,130 @@
+#include "orch/controllers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "sim/simulation.hpp"
+#include "util/types.hpp"
+
+namespace evolve::orch {
+namespace {
+
+using cluster::cpu_mem;
+
+struct CtrlFixture {
+  explicit CtrlFixture(int compute = 2, OrchestratorConfig config = {})
+      : cluster(cluster::make_testbed(compute, 0, 0)),
+        orch(sim, cluster, SchedulingPolicy::spreading(cluster), config) {}
+
+  sim::Simulation sim;
+  cluster::Cluster cluster;
+  Orchestrator orch;
+};
+
+PodSpec web_pod() {
+  PodSpec spec;
+  spec.name = "web";
+  spec.request = cpu_mem(1000, util::kGiB);
+  return spec;
+}
+
+TEST(DeploymentController, MaintainsReplicas) {
+  CtrlFixture f;
+  DeploymentController deploy(f.orch, "web", web_pod(), 3);
+  f.sim.run();
+  EXPECT_EQ(deploy.live(), 3);
+  EXPECT_EQ(f.orch.running_count(), 3);
+}
+
+TEST(DeploymentController, ScaleUpAndDown) {
+  CtrlFixture f;
+  DeploymentController deploy(f.orch, "web", web_pod(), 2);
+  f.sim.run();
+  deploy.scale(5);
+  f.sim.run();
+  EXPECT_EQ(f.orch.running_count(), 5);
+  deploy.scale(1);
+  f.sim.run();
+  EXPECT_EQ(f.orch.running_count(), 1);
+  EXPECT_THROW(deploy.scale(-1), std::invalid_argument);
+}
+
+TEST(DeploymentController, RestartsEvictedReplica) {
+  OrchestratorConfig config;
+  config.enable_preemption = true;
+  CtrlFixture f(1, config);
+  PodSpec big = web_pod();
+  big.request = cpu_mem(16000, 32 * util::kGiB);
+  DeploymentController deploy(f.orch, "svc", big, 2);  // fills the node
+  f.sim.run();
+  EXPECT_EQ(deploy.live(), 2);
+  // A high-priority pod preempts one replica; the controller recreates it
+  // once the high-priority pod finishes.
+  PodSpec high = web_pod();
+  high.request = cpu_mem(16000, 32 * util::kGiB);
+  high.priority = 100;
+  f.orch.submit(high, util::seconds(1));
+  f.sim.run();
+  EXPECT_GT(deploy.restarts(), 0);
+  EXPECT_EQ(f.orch.running_count(), 2);  // both replicas live again
+}
+
+TEST(DeploymentController, StopTerminatesAll) {
+  CtrlFixture f;
+  DeploymentController deploy(f.orch, "web", web_pod(), 3);
+  f.sim.run();
+  deploy.stop();
+  f.sim.run();
+  EXPECT_EQ(deploy.live(), 0);
+  EXPECT_EQ(f.orch.running_count(), 0);
+}
+
+TEST(JobController, RunsAllCompletions) {
+  CtrlFixture f;
+  bool completed = false;
+  JobController job(f.orch, "batch", web_pod(), /*completions=*/6,
+                    /*parallelism=*/2, util::millis(100),
+                    [&] { completed = true; });
+  job.start();
+  f.sim.run();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(job.succeeded(), 6);
+  EXPECT_TRUE(job.done());
+}
+
+TEST(JobController, ParallelismBoundsInFlight) {
+  CtrlFixture f(1);
+  // Each pod uses 10 cores on a 32-core node; parallelism 2 means at most
+  // 20 cores ever used by this job.
+  PodSpec spec = web_pod();
+  spec.request = cpu_mem(10000, util::kGiB);
+  JobController job(f.orch, "batch", spec, 4, 2, util::millis(500));
+  job.start();
+  double peak_cores = 0;
+  // Sample allocation as the sim progresses.
+  for (int t = 1; t <= 40; ++t) {
+    f.sim.run_until(util::millis(t * 50));
+    peak_cores = std::max(
+        peak_cores,
+        static_cast<double>(f.orch.node_status(0).allocated().cpu_millicores));
+  }
+  f.sim.run();
+  EXPECT_EQ(job.succeeded(), 4);
+  EXPECT_LE(peak_cores, 20000.0);
+}
+
+TEST(JobController, ValidatesArguments) {
+  CtrlFixture f;
+  EXPECT_THROW(JobController(f.orch, "j", web_pod(), 0, 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW(JobController(f.orch, "j", web_pod(), 1, 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(JobController(f.orch, "j", web_pod(), 1, 1, -1),
+               std::invalid_argument);
+  JobController job(f.orch, "j", web_pod(), 1, 1, 0);
+  job.start();
+  EXPECT_THROW(job.start(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace evolve::orch

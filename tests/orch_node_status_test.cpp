@@ -1,0 +1,55 @@
+#include "orch/node_status.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/types.hpp"
+
+namespace evolve::orch {
+namespace {
+
+using cluster::cpu_mem;
+
+TEST(NodeStatus, BindTracksAllocation) {
+  NodeStatus node(0, cpu_mem(4000, 8 * util::kGiB));
+  node.bind(1, cpu_mem(1000, util::kGiB));
+  EXPECT_EQ(node.allocated(), cpu_mem(1000, util::kGiB));
+  EXPECT_EQ(node.free(), cpu_mem(3000, 7 * util::kGiB));
+  EXPECT_TRUE(node.has_pod(1));
+  EXPECT_EQ(node.pod_count(), 1);
+}
+
+TEST(NodeStatus, BindRejectsOvercommit) {
+  NodeStatus node(0, cpu_mem(1000, util::kGiB));
+  node.bind(1, cpu_mem(900, 0));
+  EXPECT_THROW(node.bind(2, cpu_mem(200, 0)), std::logic_error);
+}
+
+TEST(NodeStatus, BindRejectsDuplicatePod) {
+  NodeStatus node(0, cpu_mem(4000, util::kGiB));
+  node.bind(1, cpu_mem(100, 0));
+  EXPECT_THROW(node.bind(1, cpu_mem(100, 0)), std::logic_error);
+}
+
+TEST(NodeStatus, UnbindReleases) {
+  NodeStatus node(0, cpu_mem(1000, util::kGiB));
+  node.bind(1, cpu_mem(800, util::kGiB / 2));
+  node.unbind(1, cpu_mem(800, util::kGiB / 2));
+  EXPECT_TRUE(node.allocated().is_zero());
+  EXPECT_FALSE(node.has_pod(1));
+}
+
+TEST(NodeStatus, UnbindUnknownPodThrows) {
+  NodeStatus node(0, cpu_mem(1000, util::kGiB));
+  EXPECT_THROW(node.unbind(7, cpu_mem(1, 1)), std::logic_error);
+}
+
+TEST(NodeStatus, FitsConsidersCurrentLoad) {
+  NodeStatus node(0, cpu_mem(1000, 1000));
+  EXPECT_TRUE(node.fits(cpu_mem(1000, 1000)));
+  node.bind(1, cpu_mem(600, 100));
+  EXPECT_FALSE(node.fits(cpu_mem(500, 100)));
+  EXPECT_TRUE(node.fits(cpu_mem(400, 900)));
+}
+
+}  // namespace
+}  // namespace evolve::orch

@@ -1,0 +1,129 @@
+#include "orch/plugins.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "util/types.hpp"
+
+namespace evolve::orch {
+namespace {
+
+using cluster::cpu_mem;
+
+struct PluginFixture {
+  PluginFixture() : cluster(cluster::make_testbed(2, 1, 1)) {
+    for (cluster::NodeId n = 0; n < cluster.size(); ++n) {
+      nodes.emplace_back(n, cluster.node(n).allocatable());
+    }
+  }
+  cluster::Cluster cluster;
+  std::vector<NodeStatus> nodes;
+};
+
+TEST(ResourceFitFilter, ChecksFreeCapacity) {
+  PluginFixture f;
+  ResourceFitFilter filter;
+  PodSpec pod;
+  pod.request = cpu_mem(32000, util::kGiB);
+  EXPECT_TRUE(filter.feasible(pod, f.cluster.node(0), f.nodes[0]));
+  f.nodes[0].bind(1, cpu_mem(31000, 0));
+  EXPECT_FALSE(filter.feasible(pod, f.cluster.node(0), f.nodes[0]));
+}
+
+TEST(NodeSelectorFilter, MatchesLabels) {
+  PluginFixture f;
+  NodeSelectorFilter filter;
+  PodSpec pod;
+  pod.node_selector = {"role=accel"};
+  EXPECT_FALSE(filter.feasible(pod, f.cluster.node(0), f.nodes[0]));
+  const auto accel_nodes = f.cluster.nodes_with_label("role=accel");
+  ASSERT_EQ(accel_nodes.size(), 1u);
+  EXPECT_TRUE(filter.feasible(pod, f.cluster.node(accel_nodes[0]),
+                              f.nodes[static_cast<std::size_t>(accel_nodes[0])]));
+}
+
+TEST(NodeSelectorFilter, EmptySelectorMatchesAll) {
+  PluginFixture f;
+  NodeSelectorFilter filter;
+  PodSpec pod;
+  for (cluster::NodeId n = 0; n < f.cluster.size(); ++n) {
+    EXPECT_TRUE(filter.feasible(pod, f.cluster.node(n),
+                                f.nodes[static_cast<std::size_t>(n)]));
+  }
+}
+
+TEST(LeastAllocatedScore, PrefersEmptyNode) {
+  PluginFixture f;
+  LeastAllocatedScore score;
+  PodSpec pod;
+  pod.request = cpu_mem(1000, util::kGiB);
+  const double empty = score.score(pod, f.cluster.node(0), f.nodes[0]);
+  f.nodes[1].bind(1, cpu_mem(16000, 64 * util::kGiB));
+  const double busy = score.score(pod, f.cluster.node(1), f.nodes[1]);
+  EXPECT_GT(empty, busy);
+}
+
+TEST(MostAllocatedScore, PrefersBusyNode) {
+  PluginFixture f;
+  MostAllocatedScore score;
+  PodSpec pod;
+  pod.request = cpu_mem(1000, util::kGiB);
+  const double empty = score.score(pod, f.cluster.node(0), f.nodes[0]);
+  f.nodes[1].bind(1, cpu_mem(16000, 64 * util::kGiB));
+  const double busy = score.score(pod, f.cluster.node(1), f.nodes[1]);
+  EXPECT_LT(empty, busy);
+}
+
+TEST(BalancedAllocationScore, PenalizesSkew) {
+  PluginFixture f;
+  BalancedAllocationScore score;
+  PodSpec balanced;
+  balanced.request = cpu_mem(16000, 64 * util::kGiB);  // 50% cpu, 50% mem
+  PodSpec skewed;
+  skewed.request = cpu_mem(32000, 0);  // 100% cpu, 0% mem
+  EXPECT_GT(score.score(balanced, f.cluster.node(0), f.nodes[0]),
+            score.score(skewed, f.cluster.node(0), f.nodes[0]));
+}
+
+TEST(LocalityScore, ExactRackAndNone) {
+  PluginFixture f;
+  LocalityScore score(f.cluster);
+  PodSpec pod;
+  pod.preferred_nodes = {0};  // rack 0
+  EXPECT_DOUBLE_EQ(score.score(pod, f.cluster.node(0), f.nodes[0]), 1.0);
+  // Node 2 is in rack 0 (round-robin: 0->r0, 1->r1, 2->r0, 3->r1).
+  EXPECT_DOUBLE_EQ(score.score(pod, f.cluster.node(2), f.nodes[2]), 0.5);
+  EXPECT_DOUBLE_EQ(score.score(pod, f.cluster.node(1), f.nodes[1]), 0.0);
+}
+
+TEST(LocalityScore, NoPreferenceScoresZero) {
+  PluginFixture f;
+  LocalityScore score(f.cluster);
+  PodSpec pod;
+  EXPECT_DOUBLE_EQ(score.score(pod, f.cluster.node(0), f.nodes[0]), 0.0);
+}
+
+TEST(PodSpreadScore, DecaysWithPodCount) {
+  PluginFixture f;
+  PodSpreadScore score;
+  PodSpec pod;
+  const double empty = score.score(pod, f.cluster.node(0), f.nodes[0]);
+  f.nodes[0].bind(1, cpu_mem(1, 1));
+  f.nodes[0].bind(2, cpu_mem(1, 1));
+  const double busy = score.score(pod, f.cluster.node(0), f.nodes[0]);
+  EXPECT_GT(empty, busy);
+  EXPECT_DOUBLE_EQ(empty, 1.0);
+}
+
+TEST(SchedulingPolicy, FactoriesPopulatePlugins) {
+  PluginFixture f;
+  const auto spread = SchedulingPolicy::spreading(f.cluster);
+  EXPECT_EQ(spread.filters.size(), 2u);
+  EXPECT_GE(spread.scorers.size(), 3u);
+  const auto pack = SchedulingPolicy::binpacking(f.cluster);
+  EXPECT_EQ(pack.filters.size(), 2u);
+  EXPECT_GE(pack.scorers.size(), 2u);
+}
+
+}  // namespace
+}  // namespace evolve::orch

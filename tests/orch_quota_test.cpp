@@ -1,0 +1,61 @@
+#include "orch/quota.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/types.hpp"
+
+namespace evolve::orch {
+namespace {
+
+using cluster::cpu_mem;
+
+TEST(QuotaManager, UnlimitedByDefault) {
+  QuotaManager quotas;
+  EXPECT_TRUE(quotas.allows("anyone", cpu_mem(1'000'000, util::kGiB * 1000)));
+  EXPECT_FALSE(quotas.quota("anyone").has_value());
+}
+
+TEST(QuotaManager, EnforcesLimit) {
+  QuotaManager quotas;
+  quotas.set_quota("t", cpu_mem(1000, util::kGiB));
+  EXPECT_TRUE(quotas.allows("t", cpu_mem(1000, util::kGiB)));
+  EXPECT_FALSE(quotas.allows("t", cpu_mem(1001, 0)));
+  quotas.charge("t", cpu_mem(600, 0));
+  EXPECT_TRUE(quotas.allows("t", cpu_mem(400, 0)));
+  EXPECT_FALSE(quotas.allows("t", cpu_mem(401, 0)));
+}
+
+TEST(QuotaManager, ReleaseRestoresHeadroom) {
+  QuotaManager quotas;
+  quotas.set_quota("t", cpu_mem(1000, util::kGiB));
+  quotas.charge("t", cpu_mem(1000, 0));
+  EXPECT_FALSE(quotas.allows("t", cpu_mem(1, 0)));
+  quotas.release("t", cpu_mem(1000, 0));
+  EXPECT_TRUE(quotas.allows("t", cpu_mem(1000, 0)));
+}
+
+TEST(QuotaManager, ReleaseUnderflowThrows) {
+  QuotaManager quotas;
+  EXPECT_THROW(quotas.release("t", cpu_mem(1, 0)), std::logic_error);
+  quotas.charge("t", cpu_mem(1, 0));
+  EXPECT_THROW(quotas.release("t", cpu_mem(2, 0)), std::logic_error);
+}
+
+TEST(QuotaManager, ClearQuotaRemovesLimit) {
+  QuotaManager quotas;
+  quotas.set_quota("t", cpu_mem(1, 1));
+  EXPECT_FALSE(quotas.allows("t", cpu_mem(2, 0)));
+  quotas.clear_quota("t");
+  EXPECT_TRUE(quotas.allows("t", cpu_mem(2, 0)));
+}
+
+TEST(QuotaManager, TenantsIndependent) {
+  QuotaManager quotas;
+  quotas.set_quota("a", cpu_mem(100, 0));
+  quotas.charge("b", cpu_mem(1'000'000, 0));
+  EXPECT_TRUE(quotas.allows("a", cpu_mem(100, 0)));
+  EXPECT_EQ(quotas.usage("a"), cpu_mem(0, 0));
+}
+
+}  // namespace
+}  // namespace evolve::orch

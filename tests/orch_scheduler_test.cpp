@@ -1,0 +1,335 @@
+#include "orch/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "sim/simulation.hpp"
+#include "util/types.hpp"
+
+namespace evolve::orch {
+namespace {
+
+using cluster::cpu_mem;
+
+struct OrchFixture {
+  explicit OrchFixture(int compute = 2, OrchestratorConfig config = {})
+      : cluster(cluster::make_testbed(compute, 0, 0)),
+        orch(sim, cluster, SchedulingPolicy::spreading(cluster), config) {}
+
+  sim::Simulation sim;
+  cluster::Cluster cluster;
+  Orchestrator orch;
+};
+
+PodSpec small_pod(const std::string& name) {
+  PodSpec spec;
+  spec.name = name;
+  spec.request = cpu_mem(1000, util::kGiB);
+  return spec;
+}
+
+TEST(SelectNode, PicksFeasibleBestScore) {
+  OrchFixture f;
+  std::vector<NodeStatus> nodes;
+  for (cluster::NodeId n = 0; n < f.cluster.size(); ++n) {
+    nodes.emplace_back(n, f.cluster.node(n).allocatable());
+  }
+  const auto policy = SchedulingPolicy::spreading(f.cluster);
+  // Load node 0 heavily -> spreading should pick node 1.
+  nodes[0].bind(99, cpu_mem(30000, 100 * util::kGiB));
+  EXPECT_EQ(select_node(small_pod("p"), f.cluster, nodes, policy), 1);
+}
+
+TEST(SelectNode, ReturnsInvalidWhenNothingFits) {
+  OrchFixture f;
+  std::vector<NodeStatus> nodes;
+  for (cluster::NodeId n = 0; n < f.cluster.size(); ++n) {
+    nodes.emplace_back(n, f.cluster.node(n).allocatable());
+  }
+  PodSpec huge = small_pod("huge");
+  huge.request = cpu_mem(1'000'000, util::kGiB);
+  EXPECT_EQ(select_node(huge, f.cluster, nodes,
+                        SchedulingPolicy::spreading(f.cluster)),
+            cluster::kInvalidNode);
+}
+
+TEST(Orchestrator, PodRunsAndFinishes) {
+  OrchFixture f;
+  std::vector<std::string> events;
+  const PodId id = f.orch.submit(
+      small_pod("p"), util::seconds(1),
+      [&](PodId, cluster::NodeId) { events.push_back("start"); },
+      [&](PodId, PodPhase phase) {
+        events.push_back(std::string("finish:") + to_string(phase));
+      });
+  ASSERT_NE(id, kInvalidPod);
+  EXPECT_EQ(f.orch.pod(id).phase, PodPhase::kPending);
+  f.sim.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "start");
+  EXPECT_EQ(events[1], "finish:Succeeded");
+  EXPECT_EQ(f.orch.pod(id).phase, PodPhase::kSucceeded);
+  EXPECT_GE(f.orch.pod(id).finish_time,
+            f.orch.pod(id).start_time + util::seconds(1));
+}
+
+TEST(Orchestrator, ManualFinishForOpenEndedPod) {
+  OrchFixture f;
+  bool started = false;
+  const PodId id = f.orch.submit(
+      small_pod("svc"), /*duration=*/-1,
+      [&](PodId, cluster::NodeId) { started = true; });
+  f.sim.run();
+  EXPECT_TRUE(started);
+  EXPECT_EQ(f.orch.pod(id).phase, PodPhase::kRunning);
+  EXPECT_EQ(f.orch.running_count(), 1);
+  f.orch.finish(id);
+  EXPECT_EQ(f.orch.pod(id).phase, PodPhase::kSucceeded);
+  EXPECT_EQ(f.orch.running_count(), 0);
+}
+
+TEST(Orchestrator, ResourcesReleasedAfterFinish) {
+  OrchFixture f(1);
+  const auto capacity = f.cluster.node(0).allocatable();
+  const PodId id = f.orch.submit(small_pod("p"), util::seconds(1));
+  f.sim.run();
+  EXPECT_EQ(f.orch.pod(id).phase, PodPhase::kSucceeded);
+  EXPECT_TRUE(f.orch.node_status(0).allocated().is_zero());
+  EXPECT_EQ(f.orch.node_status(0).free(), capacity);
+}
+
+TEST(Orchestrator, QueuesWhenFullThenRunsLater) {
+  OrchFixture f(1);
+  // Node has 32 cores; each pod takes 20 -> only one fits at a time.
+  PodSpec big = small_pod("big");
+  big.request = cpu_mem(20000, util::kGiB);
+  std::vector<util::TimeNs> finish_times;
+  for (int i = 0; i < 2; ++i) {
+    f.orch.submit(big, util::seconds(1), {},
+                  [&](PodId, PodPhase) { finish_times.push_back(f.sim.now()); });
+  }
+  f.sim.run();
+  ASSERT_EQ(finish_times.size(), 2u);
+  // Second pod had to wait for the first to finish.
+  EXPECT_GE(finish_times[1] - finish_times[0], util::seconds(1));
+  EXPECT_GT(f.orch.metrics().histogram("pod_wait_ms").max(), 900);
+}
+
+TEST(Orchestrator, NodeSelectorRestrictsPlacement) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(2, 1, 0);
+  Orchestrator orch(sim, cluster, SchedulingPolicy::spreading(cluster));
+  PodSpec spec = small_pod("storage-only");
+  spec.node_selector = {"role=storage"};
+  cluster::NodeId placed = cluster::kInvalidNode;
+  orch.submit(spec, util::seconds(1),
+              [&](PodId, cluster::NodeId n) { placed = n; });
+  sim.run();
+  ASSERT_NE(placed, cluster::kInvalidNode);
+  EXPECT_TRUE(cluster.node(placed).has_label("role=storage"));
+}
+
+TEST(Orchestrator, CancelPendingPod) {
+  OrchFixture f(1);
+  PodSpec huge = small_pod("huge");
+  huge.request = cpu_mem(1'000'000, util::kGiB);  // never schedulable
+  PodPhase final_phase = PodPhase::kPending;
+  const PodId id = f.orch.submit(huge, util::seconds(1), {},
+                                 [&](PodId, PodPhase p) { final_phase = p; });
+  EXPECT_TRUE(f.orch.cancel(id));
+  EXPECT_FALSE(f.orch.cancel(id));
+  f.sim.run();
+  EXPECT_EQ(final_phase, PodPhase::kFailed);
+  EXPECT_EQ(f.orch.pending_count(), 0);
+}
+
+TEST(Orchestrator, CancelRunningPodFreesResources) {
+  OrchFixture f(1);
+  const PodId id = f.orch.submit(small_pod("svc"), -1);
+  f.sim.run();
+  EXPECT_EQ(f.orch.pod(id).phase, PodPhase::kRunning);
+  EXPECT_TRUE(f.orch.cancel(id));
+  EXPECT_EQ(f.orch.pod(id).phase, PodPhase::kFailed);
+  EXPECT_TRUE(f.orch.node_status(f.orch.pod(id).node).allocated().is_zero());
+}
+
+TEST(Orchestrator, GangSchedulesAllOrNothing) {
+  OrchFixture f(2);  // 2 nodes x 32 cores
+  // Gang of 4 pods x 20 cores cannot fit (needs 80 of 64 cores).
+  std::vector<PodSpec> gang;
+  for (int i = 0; i < 4; ++i) {
+    PodSpec spec = small_pod("gang-" + std::to_string(i));
+    spec.request = cpu_mem(20000, util::kGiB);
+    gang.push_back(spec);
+  }
+  int started = 0;
+  const auto ids = f.orch.submit_gang(gang, util::seconds(1),
+                                      [&](PodId, cluster::NodeId) { ++started; });
+  ASSERT_EQ(ids.size(), 4u);
+  f.sim.run();
+  EXPECT_EQ(started, 0);  // none started: all-or-nothing held
+  EXPECT_EQ(f.orch.pending_count(), 4);
+  EXPECT_GT(f.orch.metrics().counter("gang_placement_failures"), 0);
+}
+
+TEST(Orchestrator, GangRunsWhenItFits) {
+  OrchFixture f(2);
+  std::vector<PodSpec> gang;
+  for (int i = 0; i < 4; ++i) {
+    PodSpec spec = small_pod("gang-" + std::to_string(i));
+    spec.request = cpu_mem(10000, util::kGiB);
+    gang.push_back(spec);
+  }
+  int started = 0, finished = 0;
+  f.orch.submit_gang(gang, util::seconds(1),
+                     [&](PodId, cluster::NodeId) { ++started; },
+                     [&](PodId, PodPhase) { ++finished; });
+  f.sim.run();
+  EXPECT_EQ(started, 4);
+  EXPECT_EQ(finished, 4);
+}
+
+TEST(Orchestrator, GangWaitsForResourcesThenRuns) {
+  OrchFixture f(1);
+  // Fill the node with a 1-second blocker, then submit a gang that only
+  // fits once the blocker finishes.
+  PodSpec blocker = small_pod("blocker");
+  blocker.request = cpu_mem(30000, util::kGiB);
+  f.orch.submit(blocker, util::seconds(1));
+  std::vector<PodSpec> gang(2, small_pod("g"));
+  for (auto& spec : gang) spec.request = cpu_mem(15000, util::kGiB);
+  int started = 0;
+  f.orch.submit_gang(gang, util::seconds(1),
+                     [&](PodId, cluster::NodeId) { ++started; });
+  f.sim.run();
+  EXPECT_EQ(started, 2);
+}
+
+TEST(Orchestrator, QuotaRejectsOverLimitSubmit) {
+  OrchFixture f;
+  f.orch.quotas().set_quota("team-a", cpu_mem(1500, 2 * util::kGiB));
+  PodSpec spec = small_pod("a1");
+  spec.tenant = "team-a";
+  EXPECT_NE(f.orch.submit(spec, util::seconds(1)), kInvalidPod);
+  // Second pod exceeds the 1500m quota.
+  PodSpec spec2 = small_pod("a2");
+  spec2.tenant = "team-a";
+  EXPECT_EQ(f.orch.submit(spec2, util::seconds(1)), kInvalidPod);
+  EXPECT_EQ(f.orch.metrics().counter("admission_rejected"), 1);
+  // Other tenants are unaffected.
+  EXPECT_NE(f.orch.submit(small_pod("b1"), util::seconds(1)), kInvalidPod);
+}
+
+TEST(Orchestrator, QuotaReleasedOnFinish) {
+  OrchFixture f;
+  f.orch.quotas().set_quota("team-a", cpu_mem(1000, util::kGiB));
+  PodSpec spec = small_pod("a");
+  spec.tenant = "team-a";
+  f.orch.submit(spec, util::seconds(1));
+  f.sim.run();
+  // After the first finishes, quota allows another.
+  EXPECT_NE(f.orch.submit(spec, util::seconds(1)), kInvalidPod);
+}
+
+TEST(Orchestrator, PreemptionEvictsLowerPriority) {
+  OrchestratorConfig config;
+  config.enable_preemption = true;
+  OrchFixture f(1, config);
+  // Fill the node with low-priority pods.
+  PodSpec low = small_pod("low");
+  low.request = cpu_mem(16000, 32 * util::kGiB);
+  low.priority = 0;
+  std::vector<PodPhase> low_phases(2, PodPhase::kPending);
+  for (int i = 0; i < 2; ++i) {
+    f.orch.submit(low, /*duration=*/-1, {},
+                  [&low_phases, i](PodId, PodPhase p) { low_phases[static_cast<std::size_t>(i)] = p; });
+  }
+  f.sim.run();
+  // High-priority pod needs half the node.
+  PodSpec high = small_pod("high");
+  high.request = cpu_mem(16000, 32 * util::kGiB);
+  high.priority = 10;
+  bool high_started = false;
+  f.orch.submit(high, util::seconds(1),
+                [&](PodId, cluster::NodeId) { high_started = true; });
+  f.sim.run();
+  EXPECT_TRUE(high_started);
+  EXPECT_GT(f.orch.metrics().counter("preemptions"), 0);
+  const int failed = static_cast<int>(std::count(low_phases.begin(),
+                                                 low_phases.end(),
+                                                 PodPhase::kFailed));
+  EXPECT_EQ(failed, 1);  // minimal victim set
+}
+
+TEST(Orchestrator, NoPreemptionWhenDisabled) {
+  OrchFixture f(1);  // default config: preemption off
+  PodSpec low = small_pod("low");
+  low.request = cpu_mem(32000, 64 * util::kGiB);
+  f.orch.submit(low, /*duration=*/-1);
+  f.sim.run();
+  PodSpec high = small_pod("high");
+  high.request = cpu_mem(16000, 16 * util::kGiB);
+  high.priority = 10;
+  bool high_started = false;
+  f.orch.submit(high, util::seconds(1),
+                [&](PodId, cluster::NodeId) { high_started = true; });
+  f.sim.run();
+  EXPECT_FALSE(high_started);
+  EXPECT_EQ(f.orch.metrics().counter("preemptions"), 0);
+}
+
+TEST(Orchestrator, HigherPriorityScheduledFirst) {
+  OrchFixture f(1);
+  PodSpec filler = small_pod("filler");
+  filler.request = cpu_mem(30000, util::kGiB);
+  std::vector<std::string> start_order;
+  // Both pending behind the filler; high priority should start first.
+  f.orch.submit(filler, util::seconds(1));
+  PodSpec lo = small_pod("lo");
+  lo.request = cpu_mem(25000, util::kGiB);
+  PodSpec hi = small_pod("hi");
+  hi.request = cpu_mem(25000, util::kGiB);
+  hi.priority = 5;
+  f.orch.submit(lo, util::seconds(1),
+                [&](PodId, cluster::NodeId) { start_order.push_back("lo"); });
+  f.orch.submit(hi, util::seconds(1),
+                [&](PodId, cluster::NodeId) { start_order.push_back("hi"); });
+  f.sim.run();
+  ASSERT_EQ(start_order.size(), 2u);
+  EXPECT_EQ(start_order[0], "hi");
+}
+
+TEST(Orchestrator, UtilizationTracked) {
+  OrchFixture f(1);
+  PodSpec spec = small_pod("u");
+  spec.request = cpu_mem(16000, 64 * util::kGiB);  // half of everything
+  f.orch.submit(spec, util::seconds(10));
+  f.sim.run();
+  // Utilization should be near 0.5 over the pod's lifetime.
+  EXPECT_NEAR(f.orch.cpu_utilization(), 0.5, 0.05);
+  EXPECT_NEAR(f.orch.memory_utilization(), 0.5, 0.05);
+}
+
+TEST(Orchestrator, WaitTimeIncludesSchedulingDelay) {
+  OrchFixture f;
+  const PodId id = f.orch.submit(small_pod("p"), util::seconds(1));
+  f.sim.run();
+  const auto& status = f.orch.pod(id);
+  EXPECT_GE(status.start_time - status.submit_time,
+            OrchestratorConfig{}.scheduling_interval);
+}
+
+TEST(Orchestrator, MetricsCountLifecycle) {
+  OrchFixture f;
+  f.orch.submit(small_pod("a"), util::seconds(1));
+  f.orch.submit(small_pod("b"), util::seconds(1));
+  f.sim.run();
+  EXPECT_EQ(f.orch.metrics().counter("pods_submitted"), 2);
+  EXPECT_EQ(f.orch.metrics().counter("pods_started"), 2);
+  EXPECT_EQ(f.orch.metrics().counter("pods_succeeded"), 2);
+}
+
+}  // namespace
+}  // namespace evolve::orch

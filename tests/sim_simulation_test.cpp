@@ -1,0 +1,124 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace evolve::sim {
+namespace {
+
+TEST(Simulation, ClockAdvancesToEventTime) {
+  Simulation sim;
+  util::TimeNs observed = -1;
+  sim.at(100, [&] { observed = sim.now(); });
+  sim.run();
+  EXPECT_EQ(observed, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulation, AfterIsRelative) {
+  Simulation sim;
+  std::vector<util::TimeNs> times;
+  sim.at(50, [&] {
+    sim.after(25, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 75);
+}
+
+TEST(Simulation, RejectsPastAndNegative) {
+  Simulation sim;
+  sim.at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.after(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.after(1, chain);
+  };
+  sim.after(1, chain);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.at(10, [&] { ++fired; });
+  sim.at(20, [&] { ++fired; });
+  sim.at(30, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulation sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(Simulation, StopHaltsRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.at(1, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.at(2, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  int fired = 0;
+  const EventId id = sim.at(10, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulation, DeferRunsAfterQueuedSameTimeEvents) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(5, [&] {
+    sim.defer([&] { order.push_back(2); });
+    order.push_back(1);
+  });
+  sim.at(5, [&] { order.push_back(0); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 0, 2}));
+}
+
+TEST(Simulation, CountsExecutedEvents) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Simulation, SameTimeEventsRunInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    sim.at(42, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace evolve::sim

@@ -1,0 +1,112 @@
+#include "storage/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulation.hpp"
+
+namespace evolve::storage {
+namespace {
+
+struct CatalogFixture {
+  CatalogFixture()
+      : cluster(cluster::make_testbed(2, 3, 0)),
+        topology(cluster),
+        fabric(sim, topology),
+        io(sim, cluster),
+        store(sim, cluster, fabric, io,
+              cluster.nodes_with_label("role=storage")),
+        catalog(store) {}
+
+  sim::Simulation sim;
+  cluster::Cluster cluster;
+  net::Topology topology;
+  net::Fabric fabric;
+  IoSubsystem io;
+  ObjectStore store;
+  DatasetCatalog catalog;
+};
+
+TEST(DatasetSpec, PartitionBytesSumToTotal) {
+  DatasetSpec spec{"d", 7, 1000};
+  util::Bytes sum = 0;
+  for (int i = 0; i < spec.partitions; ++i) sum += spec.partition_bytes(i);
+  EXPECT_EQ(sum, 1000);
+}
+
+TEST(DatasetSpec, PartitionBytesNearlyEqual) {
+  DatasetSpec spec{"d", 3, 100};
+  EXPECT_EQ(spec.partition_bytes(0), 34);
+  EXPECT_EQ(spec.partition_bytes(1), 33);
+  EXPECT_EQ(spec.partition_bytes(2), 33);
+  EXPECT_THROW(spec.partition_bytes(3), std::out_of_range);
+  EXPECT_THROW(spec.partition_bytes(-1), std::out_of_range);
+}
+
+TEST(PartitionKey, StableNaming) {
+  DatasetSpec spec{"traces", 100, 1000};
+  EXPECT_EQ(partition_key(spec, 0).full(), "traces/part-00000");
+  EXPECT_EQ(partition_key(spec, 42).full(), "traces/part-00042");
+}
+
+TEST(DatasetCatalog, DefineValidates) {
+  CatalogFixture f;
+  EXPECT_THROW(f.catalog.define(DatasetSpec{"", 1, 1}), std::invalid_argument);
+  EXPECT_THROW(f.catalog.define(DatasetSpec{"x", 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(f.catalog.define(DatasetSpec{"x", 1, -1}),
+               std::invalid_argument);
+  f.catalog.define(DatasetSpec{"ok", 4, 100});
+  EXPECT_TRUE(f.catalog.defined("ok"));
+  EXPECT_FALSE(f.catalog.defined("nope"));
+  EXPECT_THROW(f.catalog.spec("nope"), std::out_of_range);
+}
+
+TEST(DatasetCatalog, PreloadMaterializesInstantly) {
+  CatalogFixture f;
+  f.catalog.define(DatasetSpec{"logs", 8, 8 * util::kMiB});
+  EXPECT_FALSE(f.catalog.materialized("logs"));
+  f.catalog.preload("logs");
+  EXPECT_TRUE(f.catalog.materialized("logs"));
+  EXPECT_EQ(f.sim.now(), 0);  // no simulated time passed
+  EXPECT_EQ(f.store.list("logs").size(), 8u);
+}
+
+TEST(DatasetCatalog, IngestTakesSimulatedTime) {
+  CatalogFixture f;
+  f.catalog.define(DatasetSpec{"in", 4, 64 * util::kMiB});
+  bool done = false;
+  f.catalog.ingest(0, "in", [&] { done = true; });
+  f.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(f.catalog.materialized("in"));
+  EXPECT_GT(f.sim.now(), 0);
+}
+
+TEST(DatasetCatalog, LocationsCoverEveryPartition) {
+  CatalogFixture f;
+  f.catalog.define(DatasetSpec{"d", 16, util::kMiB});
+  f.catalog.preload("d");
+  const auto locations = f.catalog.locations("d");
+  ASSERT_EQ(locations.size(), 16u);
+  for (const auto& replicas : locations) {
+    EXPECT_EQ(replicas.size(), 2u);
+    for (auto node : replicas) {
+      EXPECT_TRUE(f.cluster.node(node).has_label("role=storage"));
+    }
+  }
+}
+
+TEST(DatasetCatalog, NamesSorted) {
+  CatalogFixture f;
+  f.catalog.define(DatasetSpec{"b", 1, 1});
+  f.catalog.define(DatasetSpec{"a", 1, 1});
+  const auto names = f.catalog.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+}  // namespace
+}  // namespace evolve::storage

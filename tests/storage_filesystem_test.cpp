@@ -1,0 +1,232 @@
+#include "storage/filesystem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulation.hpp"
+
+namespace evolve::storage {
+namespace {
+
+struct FsFixture {
+  FsFixture()
+      : cluster(cluster::make_testbed(2, 2, 0)),
+        topology(cluster),
+        fabric(sim, topology),
+        io(sim, cluster),
+        store(sim, cluster, fabric, io,
+              cluster.nodes_with_label("role=storage")),
+        fs(store) {}
+
+  sim::Simulation sim;
+  cluster::Cluster cluster;
+  net::Topology topology;
+  net::Fabric fabric;
+  storage::IoSubsystem io;
+  ObjectStore store;
+  FileSystem fs;
+};
+
+TEST(FsNormalize, CanonicalForms) {
+  EXPECT_EQ(FileSystem::normalize("/"), "/");
+  EXPECT_EQ(FileSystem::normalize("/a"), "/a");
+  EXPECT_EQ(FileSystem::normalize("/a/"), "/a");
+  EXPECT_EQ(FileSystem::normalize("//a//b//"), "/a/b");
+}
+
+TEST(FsNormalize, RejectsBadPaths) {
+  EXPECT_THROW(FileSystem::normalize(""), std::invalid_argument);
+  EXPECT_THROW(FileSystem::normalize("relative"), std::invalid_argument);
+  EXPECT_THROW(FileSystem::normalize("/a/../b"), std::invalid_argument);
+  EXPECT_THROW(FileSystem::normalize("/a/./b"), std::invalid_argument);
+}
+
+TEST(FileSystem, RootExists) {
+  FsFixture f;
+  EXPECT_TRUE(f.fs.exists("/"));
+  EXPECT_TRUE(f.fs.is_dir("/"));
+  EXPECT_FALSE(f.fs.is_file("/"));
+  EXPECT_TRUE(f.fs.list("/").empty());
+}
+
+TEST(FileSystem, MkdirAndNesting) {
+  FsFixture f;
+  f.fs.mkdir("/data");
+  f.fs.mkdir("/data/raw");
+  EXPECT_TRUE(f.fs.is_dir("/data/raw"));
+  EXPECT_THROW(f.fs.mkdir("/data"), std::invalid_argument);   // exists
+  EXPECT_THROW(f.fs.mkdir("/a/b/c"), std::invalid_argument);  // no parent
+  EXPECT_NO_THROW(f.fs.mkdir("/"));                           // root: no-op
+}
+
+TEST(FileSystem, MkdirsCreatesAncestors) {
+  FsFixture f;
+  f.fs.mkdirs("/a/b/c/d");
+  EXPECT_TRUE(f.fs.is_dir("/a"));
+  EXPECT_TRUE(f.fs.is_dir("/a/b/c/d"));
+  f.fs.mkdirs("/a/b");  // idempotent
+}
+
+TEST(FileSystem, WriteAndReadRoundTrip) {
+  FsFixture f;
+  f.fs.mkdir("/data");
+  bool written = false;
+  f.fs.write_file(0, "/data/file.bin", util::kMiB, [&] { written = true; });
+  f.sim.run();
+  EXPECT_TRUE(written);
+  EXPECT_TRUE(f.fs.is_file("/data/file.bin"));
+  EXPECT_EQ(f.fs.stat("/data/file.bin"), util::kMiB);
+
+  GetResult result;
+  f.fs.read_file(0, "/data/file.bin",
+                 [&](const GetResult& r) { result = r; });
+  f.sim.run();
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.size, util::kMiB);
+}
+
+TEST(FileSystem, WriteRequiresParent) {
+  FsFixture f;
+  EXPECT_THROW(f.fs.write_file(0, "/missing/file", 1, [] {}),
+               std::invalid_argument);
+}
+
+TEST(FileSystem, OverwriteUpdatesSize) {
+  FsFixture f;
+  f.fs.write_file(0, "/f", 100, [] {});
+  f.sim.run();
+  f.fs.write_file(0, "/f", 500, [] {});
+  f.sim.run();
+  EXPECT_EQ(f.fs.stat("/f"), 500);
+  EXPECT_EQ(f.fs.file_count(), 1u);
+}
+
+TEST(FileSystem, CannotWriteOverDirectory) {
+  FsFixture f;
+  f.fs.mkdir("/d");
+  EXPECT_THROW(f.fs.write_file(0, "/d", 1, [] {}), std::invalid_argument);
+}
+
+TEST(FileSystem, ListImmediateChildrenSorted) {
+  FsFixture f;
+  f.fs.mkdirs("/data/sub");
+  f.fs.write_file(0, "/data/b.txt", 1, [] {});
+  f.fs.write_file(0, "/data/a.txt", 1, [] {});
+  f.fs.write_file(0, "/data/sub/deep.txt", 1, [] {});
+  f.sim.run();
+  const auto children = f.fs.list("/data");
+  ASSERT_EQ(children.size(), 3u);
+  EXPECT_EQ(children[0], "a.txt");
+  EXPECT_EQ(children[1], "b.txt");
+  EXPECT_EQ(children[2], "sub");  // no deep entries
+  EXPECT_THROW(f.fs.list("/data/a.txt"), std::invalid_argument);
+}
+
+TEST(FileSystem, ReadMissingThrows) {
+  FsFixture f;
+  EXPECT_THROW(f.fs.read_file(0, "/nope", [](const GetResult&) {}),
+               std::invalid_argument);
+  f.fs.mkdir("/d");
+  EXPECT_THROW(f.fs.read_file(0, "/d", [](const GetResult&) {}),
+               std::invalid_argument);
+}
+
+TEST(FileSystem, RenameFileIsMetadataOnly) {
+  FsFixture f;
+  f.fs.write_file(0, "/old", util::kMiB, [] {});
+  f.sim.run();
+  const util::TimeNs before = f.sim.now();
+  f.fs.rename("/old", "/new");
+  EXPECT_EQ(f.sim.now(), before);  // no simulated time consumed
+  EXPECT_FALSE(f.fs.exists("/old"));
+  EXPECT_EQ(f.fs.stat("/new"), util::kMiB);
+  // Data still readable under the new name.
+  GetResult result;
+  f.fs.read_file(0, "/new", [&](const GetResult& r) { result = r; });
+  f.sim.run();
+  EXPECT_TRUE(result.found);
+}
+
+TEST(FileSystem, RenameDirectoryMovesSubtree) {
+  FsFixture f;
+  f.fs.mkdirs("/a/b");
+  f.fs.write_file(0, "/a/b/f1", 10, [] {});
+  f.fs.write_file(0, "/a/top", 20, [] {});
+  f.sim.run();
+  f.fs.rename("/a", "/z");
+  EXPECT_TRUE(f.fs.is_file("/z/b/f1"));
+  EXPECT_TRUE(f.fs.is_file("/z/top"));
+  EXPECT_FALSE(f.fs.exists("/a"));
+}
+
+TEST(FileSystem, RenameValidation) {
+  FsFixture f;
+  f.fs.mkdir("/a");
+  f.fs.mkdir("/b");
+  EXPECT_THROW(f.fs.rename("/missing", "/x"), std::invalid_argument);
+  EXPECT_THROW(f.fs.rename("/a", "/b"), std::invalid_argument);  // exists
+  EXPECT_THROW(f.fs.rename("/a", "/a/inside"), std::invalid_argument);
+  EXPECT_THROW(f.fs.rename("/", "/x"), std::invalid_argument);
+  EXPECT_THROW(f.fs.rename("/a", "/no/parent/x"), std::invalid_argument);
+}
+
+TEST(FileSystem, RemoveFileFreesStoreObject) {
+  FsFixture f;
+  f.fs.write_file(0, "/f", util::kMiB, [] {});
+  f.sim.run();
+  util::Bytes durable_before = 0;
+  for (auto s : f.store.servers()) durable_before += f.store.durable_bytes(s);
+  EXPECT_GT(durable_before, 0);
+  f.fs.remove("/f");
+  f.sim.run();
+  util::Bytes durable_after = 0;
+  for (auto s : f.store.servers()) durable_after += f.store.durable_bytes(s);
+  EXPECT_EQ(durable_after, 0);
+  EXPECT_FALSE(f.fs.exists("/f"));
+}
+
+TEST(FileSystem, RemoveDirectoryNeedsRecursive) {
+  FsFixture f;
+  f.fs.mkdir("/d");
+  f.fs.write_file(0, "/d/f", 10, [] {});
+  f.sim.run();
+  EXPECT_THROW(f.fs.remove("/d"), std::invalid_argument);
+  f.fs.remove("/d", /*recursive=*/true);
+  EXPECT_FALSE(f.fs.exists("/d"));
+  EXPECT_EQ(f.fs.file_count(), 0u);
+  EXPECT_THROW(f.fs.remove("/"), std::invalid_argument);
+  EXPECT_THROW(f.fs.remove("/ghost"), std::invalid_argument);
+}
+
+TEST(FileSystem, RemoveEmptyDirWithoutRecursive) {
+  FsFixture f;
+  f.fs.mkdir("/empty");
+  f.fs.remove("/empty");
+  EXPECT_FALSE(f.fs.exists("/empty"));
+}
+
+TEST(FileSystem, TotalsTrackFiles) {
+  FsFixture f;
+  f.fs.mkdir("/d");
+  f.fs.write_file(0, "/d/a", 100, [] {});
+  f.fs.write_file(0, "/d/b", 200, [] {});
+  f.sim.run();
+  EXPECT_EQ(f.fs.total_bytes(), 300);
+  EXPECT_EQ(f.fs.file_count(), 2u);
+}
+
+TEST(FileSystem, SimilarPrefixesAreNotSubtrees) {
+  FsFixture f;
+  f.fs.mkdir("/ab");
+  f.fs.mkdir("/abc");
+  f.fs.write_file(0, "/abc/f", 1, [] {});
+  f.sim.run();
+  f.fs.remove("/ab");  // must not take /abc with it
+  EXPECT_TRUE(f.fs.exists("/abc/f"));
+  f.fs.rename("/abc", "/xyz");
+  EXPECT_TRUE(f.fs.exists("/xyz/f"));
+}
+
+}  // namespace
+}  // namespace evolve::storage

@@ -1,0 +1,110 @@
+#include "storage/io_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "sim/simulation.hpp"
+
+namespace evolve::storage {
+namespace {
+
+cluster::StorageDeviceSpec test_device() {
+  return cluster::StorageDeviceSpec{
+      .name = "nvme",
+      .capacity = util::kGiB,
+      .read_bw_bytes_per_s = 1e9,
+      .write_bw_bytes_per_s = 5e8,
+      .access_latency = util::micros(100),
+  };
+}
+
+TEST(ServiceTime, ReadFormula) {
+  const auto dev = test_device();
+  // 1e9 bytes at 1e9 B/s = 1s + 100us latency.
+  EXPECT_EQ(service_time(dev, IoKind::kRead, 1'000'000'000),
+            util::seconds(1) + util::micros(100));
+}
+
+TEST(ServiceTime, WriteUsesWriteBandwidth) {
+  const auto dev = test_device();
+  EXPECT_EQ(service_time(dev, IoKind::kWrite, 500'000'000),
+            util::seconds(1) + util::micros(100));
+}
+
+TEST(ServiceTime, ZeroBytesIsJustLatency) {
+  const auto dev = test_device();
+  EXPECT_EQ(service_time(dev, IoKind::kRead, 0), util::micros(100));
+}
+
+TEST(ServiceTime, RejectsNegative) {
+  EXPECT_THROW(service_time(test_device(), IoKind::kRead, -1),
+               std::invalid_argument);
+}
+
+TEST(DeviceQueue, SingleRequestLatency) {
+  sim::Simulation sim;
+  DeviceQueue queue(sim, test_device());
+  util::TimeNs done = -1;
+  queue.submit(IoKind::kRead, 1'000'000, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, util::millis(1) + util::micros(100));
+  EXPECT_EQ(queue.completed_requests(), 1);
+}
+
+TEST(DeviceQueue, RequestsSerialize) {
+  sim::Simulation sim;
+  DeviceQueue queue(sim, test_device());
+  std::vector<util::TimeNs> done;
+  for (int i = 0; i < 3; ++i) {
+    queue.submit(IoKind::kRead, 1'000'000, [&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  const util::TimeNs unit = util::millis(1) + util::micros(100);
+  EXPECT_EQ(done[0], unit);
+  EXPECT_EQ(done[1], 2 * unit);
+  EXPECT_EQ(done[2], 3 * unit);
+}
+
+TEST(DeviceQueue, IdleGapsDoNotAccumulate) {
+  sim::Simulation sim;
+  DeviceQueue queue(sim, test_device());
+  std::vector<util::TimeNs> done;
+  queue.submit(IoKind::kRead, 1'000'000, [&] { done.push_back(sim.now()); });
+  sim.at(util::seconds(10), [&] {
+    queue.submit(IoKind::kRead, 1'000'000, [&] { done.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Second request starts fresh at t=10s, not back-to-back.
+  EXPECT_EQ(done[1], util::seconds(10) + util::millis(1) + util::micros(100));
+}
+
+TEST(IoSubsystem, FindsClusterDevices) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(1, 1, 0);
+  IoSubsystem io(sim, cluster);
+  EXPECT_TRUE(io.has_device(0, "nvme"));
+  EXPECT_TRUE(io.has_device(0, "dram"));
+  EXPECT_FALSE(io.has_device(0, "hdd"));  // compute node lacks HDD
+  EXPECT_TRUE(io.has_device(1, "hdd"));   // storage node has one
+  EXPECT_NO_THROW(io.device(1, "hdd"));
+  EXPECT_THROW(io.device(0, "hdd"), std::out_of_range);
+}
+
+TEST(IoSubsystem, QueuesAreIndependentPerNode) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(2, 0, 0);
+  IoSubsystem io(sim, cluster);
+  util::TimeNs done0 = -1, done1 = -1;
+  io.device(0, "nvme").submit(IoKind::kRead, 3'000'000'000,
+                              [&] { done0 = sim.now(); });
+  io.device(1, "nvme").submit(IoKind::kRead, 3'000'000'000,
+                              [&] { done1 = sim.now(); });
+  sim.run();
+  // Both finish at the same time: no cross-node serialization.
+  EXPECT_EQ(done0, done1);
+}
+
+}  // namespace
+}  // namespace evolve::storage

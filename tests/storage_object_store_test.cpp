@@ -1,0 +1,277 @@
+#include "storage/object_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulation.hpp"
+
+namespace evolve::storage {
+namespace {
+
+struct StoreFixture {
+  explicit StoreFixture(int compute = 2, int storage = 3,
+                        ObjectStoreConfig config = {})
+      : cluster(cluster::make_testbed(compute, storage, 0)),
+        topology(cluster),
+        fabric(sim, topology),
+        io(sim, cluster),
+        store(sim, cluster, fabric, io,
+              cluster.nodes_with_label("role=storage"), config) {
+    store.create_bucket("data");
+  }
+
+  sim::Simulation sim;
+  cluster::Cluster cluster;
+  net::Topology topology;
+  net::Fabric fabric;
+  IoSubsystem io;
+  ObjectStore store;
+};
+
+TEST(ObjectStore, RequiresServers) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(1, 1, 0);
+  net::Topology topo(cluster);
+  net::Fabric fabric(sim, topo);
+  IoSubsystem io(sim, cluster);
+  EXPECT_THROW(ObjectStore(sim, cluster, fabric, io, {}),
+               std::invalid_argument);
+}
+
+TEST(ObjectStore, PutThenGetRoundTrips) {
+  StoreFixture f;
+  const ObjectKey key{"data", "obj1"};
+  bool put_done = false;
+  f.store.put(0, key, util::kMiB, [&] { put_done = true; });
+  f.sim.run();
+  ASSERT_TRUE(put_done);
+  EXPECT_TRUE(f.store.exists(key));
+  EXPECT_EQ(f.store.object_size(key), util::kMiB);
+
+  GetResult result;
+  f.store.get(0, key, [&](const GetResult& r) { result = r; });
+  f.sim.run();
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.size, util::kMiB);
+  EXPECT_NE(result.served_by, cluster::kInvalidNode);
+}
+
+TEST(ObjectStore, PutRequiresBucket) {
+  StoreFixture f;
+  EXPECT_THROW(f.store.put(0, ObjectKey{"nope", "x"}, 1, [] {}),
+               std::invalid_argument);
+}
+
+TEST(ObjectStore, GetMissingObjectReportsNotFound) {
+  StoreFixture f;
+  GetResult result;
+  result.found = true;
+  f.store.get(0, ObjectKey{"data", "ghost"}, [&](const GetResult& r) {
+    result = r;
+  });
+  f.sim.run();
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(f.store.metrics().counter("get_misses"), 1);
+}
+
+TEST(ObjectStore, ReplicationPlacesOnDistinctServers) {
+  StoreFixture f;
+  const ObjectKey key{"data", "replicated"};
+  const auto replicas = f.store.locate(key);
+  ASSERT_EQ(replicas.size(), 2u);
+  EXPECT_NE(replicas[0], replicas[1]);
+}
+
+TEST(ObjectStore, LocateIsDeterministic) {
+  StoreFixture f;
+  const ObjectKey key{"data", "stable"};
+  EXPECT_EQ(f.store.locate(key), f.store.locate(key));
+}
+
+TEST(ObjectStore, DurableBytesTrackedOnAllReplicas) {
+  StoreFixture f;
+  const ObjectKey key{"data", "acct"};
+  f.store.put(0, key, 1000, [] {});
+  f.sim.run();
+  const auto replicas = f.store.locate(key);
+  for (auto r : replicas) EXPECT_EQ(f.store.durable_bytes(r), 1000);
+  util::Bytes elsewhere = 0;
+  for (auto s : f.store.servers()) {
+    if (s != replicas[0] && s != replicas[1]) {
+      elsewhere += f.store.durable_bytes(s);
+    }
+  }
+  EXPECT_EQ(elsewhere, 0);
+}
+
+TEST(ObjectStore, OverwriteReclaimsOldBytes) {
+  StoreFixture f;
+  const ObjectKey key{"data", "rewrite"};
+  f.store.put(0, key, 1000, [] {});
+  f.sim.run();
+  f.store.put(0, key, 500, [] {});
+  f.sim.run();
+  for (auto r : f.store.locate(key)) {
+    EXPECT_EQ(f.store.durable_bytes(r), 500);
+  }
+}
+
+TEST(ObjectStore, RemoveFreesSpaceAndMetadata) {
+  StoreFixture f;
+  const ObjectKey key{"data", "temp"};
+  f.store.put(0, key, 1000, [] {});
+  f.sim.run();
+  bool removed = false;
+  f.store.remove(0, key, [&] { removed = true; });
+  f.sim.run();
+  EXPECT_TRUE(removed);
+  EXPECT_FALSE(f.store.exists(key));
+  for (auto s : f.store.servers()) EXPECT_EQ(f.store.durable_bytes(s), 0);
+}
+
+TEST(ObjectStore, ListFiltersByBucketAndPrefix) {
+  StoreFixture f;
+  f.store.create_bucket("other");
+  f.store.preload(ObjectKey{"data", "a/1"}, 10);
+  f.store.preload(ObjectKey{"data", "a/2"}, 10);
+  f.store.preload(ObjectKey{"data", "b/1"}, 10);
+  f.store.preload(ObjectKey{"other", "a/9"}, 10);
+  EXPECT_EQ(f.store.list("data").size(), 3u);
+  EXPECT_EQ(f.store.list("data", "a/").size(), 2u);
+  EXPECT_EQ(f.store.list("other").size(), 1u);
+  EXPECT_TRUE(f.store.list("missing").empty());
+}
+
+TEST(ObjectStore, SecondGetHitsFasterTier) {
+  StoreFixture f;
+  const ObjectKey key{"data", "hot"};
+  f.store.preload(key, util::kMiB, /*warm_cache=*/false);
+  GetResult first, second;
+  f.store.get(0, key, [&](const GetResult& r) { first = r; });
+  f.sim.run();
+  f.store.get(0, key, [&](const GetResult& r) { second = r; });
+  f.sim.run();
+  EXPECT_EQ(first.tier, "hdd");   // cold read from durable home
+  EXPECT_EQ(second.tier, "dram");  // admitted on first read
+}
+
+TEST(ObjectStore, WarmPreloadServesFromDram) {
+  StoreFixture f;
+  const ObjectKey key{"data", "warm"};
+  f.store.preload(key, util::kMiB, /*warm_cache=*/true);
+  GetResult result;
+  f.store.get(0, key, [&](const GetResult& r) { result = r; });
+  f.sim.run();
+  EXPECT_EQ(result.tier, "dram");
+}
+
+TEST(ObjectStore, CacheDisabledAlwaysReadsDurable) {
+  ObjectStoreConfig config;
+  config.cache_on_get = false;
+  config.cache_on_put = false;
+  StoreFixture f(2, 3, config);
+  const ObjectKey key{"data", "cold"};
+  f.store.preload(key, util::kMiB);
+  for (int i = 0; i < 2; ++i) {
+    GetResult result;
+    f.store.get(0, key, [&](const GetResult& r) { result = r; });
+    f.sim.run();
+    EXPECT_EQ(result.tier, "hdd");
+  }
+}
+
+TEST(ObjectStore, LargerObjectsTakeLonger) {
+  StoreFixture f;
+  f.store.preload(ObjectKey{"data", "small"}, 64 * util::kKiB);
+  f.store.preload(ObjectKey{"data", "large"}, 256 * util::kMiB);
+  util::TimeNs t_small = 0, t_large = 0;
+  const util::TimeNs start = f.sim.now();
+  f.store.get(0, ObjectKey{"data", "small"},
+              [&](const GetResult&) { t_small = f.sim.now() - start; });
+  f.sim.run();
+  const util::TimeNs start2 = f.sim.now();
+  f.store.get(0, ObjectKey{"data", "large"},
+              [&](const GetResult&) { t_large = f.sim.now() - start2; });
+  f.sim.run();
+  EXPECT_GT(t_large, 10 * t_small);
+}
+
+TEST(ObjectStore, GetLatencyRecorded) {
+  StoreFixture f;
+  f.store.preload(ObjectKey{"data", "m"}, util::kMiB);
+  f.store.get(0, ObjectKey{"data", "m"}, [](const GetResult&) {});
+  f.sim.run();
+  EXPECT_EQ(f.store.metrics().histogram("get_latency_us").count(), 1);
+  EXPECT_GT(f.store.metrics().histogram("get_latency_us").max(), 0);
+}
+
+TEST(ObjectStore, PreloadRejectsDuplicates) {
+  StoreFixture f;
+  f.store.preload(ObjectKey{"data", "dup"}, 1);
+  EXPECT_THROW(f.store.preload(ObjectKey{"data", "dup"}, 1),
+               std::invalid_argument);
+}
+
+TEST(ObjectStore, MultipartAssemblesObject) {
+  StoreFixture f;
+  const ObjectKey key{"data", "big"};
+  const auto id = f.store.initiate_multipart(key);
+  int parts_done = 0;
+  f.store.upload_part(0, id, 1, 10 * util::kMiB, [&] { ++parts_done; });
+  f.store.upload_part(0, id, 2, 10 * util::kMiB, [&] { ++parts_done; });
+  f.sim.run();
+  EXPECT_EQ(parts_done, 2);
+  EXPECT_FALSE(f.store.exists(key));  // not visible until complete
+  bool completed = false;
+  f.store.complete_multipart(id, [&] { completed = true; });
+  f.sim.run();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(f.store.object_size(key), 20 * util::kMiB);
+}
+
+TEST(ObjectStore, MultipartRejectsDuplicateParts) {
+  StoreFixture f;
+  const auto id = f.store.initiate_multipart(ObjectKey{"data", "big"});
+  f.store.upload_part(0, id, 1, 10, [] {});
+  EXPECT_THROW(f.store.upload_part(0, id, 1, 10, [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(f.store.upload_part(0, 999, 1, 10, [] {}),
+               std::invalid_argument);
+}
+
+TEST(ObjectStore, ReplicaChoicePrefersLocalServer) {
+  StoreFixture f;
+  // Find an object whose replica set contains a specific server, then GET
+  // from that very node; it must serve locally.
+  for (int i = 0; i < 32; ++i) {
+    const ObjectKey key{"data", "probe" + std::to_string(i)};
+    f.store.preload(key, 1000);
+    const auto replicas = f.store.locate(key);
+    GetResult result;
+    f.store.get(replicas[1], key, [&](const GetResult& r) { result = r; });
+    f.sim.run();
+    EXPECT_EQ(result.served_by, replicas[1]);
+  }
+}
+
+// Placement balance: many objects spread roughly evenly over servers.
+TEST(ObjectStore, PlacementIsBalanced) {
+  StoreFixture f(2, 5);
+  std::map<cluster::NodeId, int> primary_count;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const auto replicas =
+        f.store.locate(ObjectKey{"data", "obj" + std::to_string(i)});
+    ++primary_count[replicas[0]];
+  }
+  for (auto server : f.store.servers()) {
+    EXPECT_GT(primary_count[server], n / 5 / 2) << "server " << server;
+    EXPECT_LT(primary_count[server], n / 5 * 2) << "server " << server;
+  }
+}
+
+}  // namespace
+}  // namespace evolve::storage

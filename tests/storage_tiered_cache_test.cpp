@@ -1,0 +1,168 @@
+#include "storage/tiered_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace evolve::storage {
+namespace {
+
+TieredCache three_tier(util::Bytes dram = 100, util::Bytes nvme = 1000,
+                       util::Bytes hdd = 10000) {
+  return TieredCache({TierConfig{"dram", dram}, TierConfig{"nvme", nvme},
+                      TierConfig{"hdd", hdd}});
+}
+
+TEST(TieredCache, RejectsEmptyTiers) {
+  EXPECT_THROW(TieredCache({}), std::invalid_argument);
+}
+
+TEST(TieredCache, PutLandsInTierZero) {
+  auto cache = three_tier();
+  EXPECT_TRUE(cache.put("a", 50));
+  EXPECT_EQ(cache.peek("a"), 0);
+  EXPECT_EQ(cache.used(0), 50);
+}
+
+TEST(TieredCache, GetHitReportsTierAndPromotes) {
+  auto cache = three_tier();
+  cache.put("a", 60);
+  cache.put("b", 60);  // evicts "a" to nvme
+  EXPECT_EQ(cache.peek("a"), 1);
+  const auto hit = cache.get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 1);            // found in nvme...
+  EXPECT_EQ(cache.peek("a"), 0);  // ...now promoted to dram
+}
+
+TEST(TieredCache, MissCounts) {
+  auto cache = three_tier();
+  EXPECT_FALSE(cache.get("nope").has_value());
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(TieredCache, EvictionCascadesDown) {
+  auto cache = three_tier(100, 100, 100);
+  cache.put("a", 100);
+  cache.put("b", 100);  // a -> nvme
+  cache.put("c", 100);  // b -> nvme evicts a -> hdd
+  EXPECT_EQ(cache.peek("c"), 0);
+  EXPECT_EQ(cache.peek("b"), 1);
+  EXPECT_EQ(cache.peek("a"), 2);
+  cache.put("d", 100);  // c->nvme, b->hdd, a dropped
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_EQ(cache.drops(), 1);
+  EXPECT_EQ(cache.peek("b"), 2);
+}
+
+TEST(TieredCache, LruOrderWithinTier) {
+  auto cache = three_tier(100, 1000, 10000);
+  cache.put("a", 40);
+  cache.put("b", 40);
+  ASSERT_TRUE(cache.get("a").has_value());  // refresh a
+  cache.put("c", 40);                       // evicts b (LRU), not a
+  EXPECT_EQ(cache.peek("a"), 0);
+  EXPECT_EQ(cache.peek("b"), 1);
+  EXPECT_EQ(cache.peek("c"), 0);
+}
+
+TEST(TieredCache, ObjectTooBigForAnyTierDrops) {
+  auto cache = three_tier(100, 1000, 10000);
+  EXPECT_FALSE(cache.put("huge", 20000));
+  EXPECT_FALSE(cache.contains("huge"));
+  EXPECT_EQ(cache.drops(), 1);
+}
+
+TEST(TieredCache, ObjectTooBigForTierZeroLandsLower) {
+  auto cache = three_tier(100, 1000, 10000);
+  EXPECT_TRUE(cache.put("mid", 500));
+  EXPECT_EQ(cache.peek("mid"), 1);
+  EXPECT_TRUE(cache.put("big", 5000));
+  EXPECT_EQ(cache.peek("big"), 2);
+}
+
+TEST(TieredCache, BigObjectStaysInItsTierOnHit) {
+  auto cache = three_tier(100, 1000, 10000);
+  cache.put("big", 500);
+  const auto hit = cache.get("big");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 1);
+  EXPECT_EQ(cache.peek("big"), 1);  // can never fit dram; stays in nvme
+}
+
+TEST(TieredCache, EraseFreesSpace) {
+  auto cache = three_tier();
+  cache.put("a", 100);
+  EXPECT_TRUE(cache.erase("a"));
+  EXPECT_FALSE(cache.erase("a"));
+  EXPECT_EQ(cache.used(0), 0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TieredCache, PutOverwriteReplacesSize) {
+  auto cache = three_tier();
+  cache.put("a", 30);
+  cache.put("a", 70);
+  EXPECT_EQ(cache.used(0), 70);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TieredCache, StatsTrackHitsAndDemotions) {
+  auto cache = three_tier(100, 100, 100);
+  cache.put("a", 100);
+  cache.put("b", 100);
+  ASSERT_TRUE(cache.get("b").has_value());
+  EXPECT_EQ(cache.stats(0).hits, 1);
+  EXPECT_EQ(cache.stats(0).inserts, 2);
+  EXPECT_EQ(cache.stats(0).demotions_out, 1);
+  EXPECT_EQ(cache.stats(1).demotions_in, 1);
+}
+
+TEST(TieredCache, ZeroSizeObjectsAllowed) {
+  auto cache = three_tier();
+  EXPECT_TRUE(cache.put("empty", 0));
+  EXPECT_TRUE(cache.get("empty").has_value());
+}
+
+TEST(TieredCache, NegativeSizeRejected) {
+  auto cache = three_tier();
+  EXPECT_THROW(cache.put("bad", -1), std::invalid_argument);
+}
+
+// Invariant sweep: usage never exceeds capacity under random workloads.
+class TieredCacheInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(TieredCacheInvariants, UsageNeverExceedsCapacity) {
+  auto cache = three_tier(500, 2000, 5000);
+  const int seed = GetParam();
+  // Deterministic pseudo-random workload from the seed.
+  std::uint64_t state = static_cast<std::uint64_t>(seed);
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "k" + std::to_string(next() % 100);
+    switch (next() % 3) {
+      case 0:
+        cache.put(key, static_cast<util::Bytes>(next() % 600));
+        break;
+      case 1:
+        cache.get(key);
+        break;
+      default:
+        cache.erase(key);
+        break;
+    }
+    for (int t = 0; t < cache.tier_count(); ++t) {
+      ASSERT_LE(cache.used(t), cache.config(t).capacity);
+      ASSERT_GE(cache.used(t), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TieredCacheInvariants,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99));
+
+}  // namespace
+}  // namespace evolve::storage

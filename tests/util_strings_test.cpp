@@ -1,0 +1,67 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/types.hpp"
+
+namespace evolve::util {
+namespace {
+
+TEST(HumanBytes, Units) {
+  EXPECT_EQ(human_bytes(0), "0 B");
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(1024), "1.00 KiB");
+  EXPECT_EQ(human_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(human_bytes(kMiB), "1.00 MiB");
+  EXPECT_EQ(human_bytes(3 * kGiB), "3.00 GiB");
+}
+
+TEST(HumanBytes, Negative) { EXPECT_EQ(human_bytes(-1024), "-1.00 KiB"); }
+
+TEST(HumanTime, Units) {
+  EXPECT_EQ(human_time(500), "500 ns");
+  EXPECT_EQ(human_time(1500), "1.50 us");
+  EXPECT_EQ(human_time(millis(2.5)), "2.50 ms");
+  EXPECT_EQ(human_time(seconds(3)), "3.00 s");
+  EXPECT_EQ(human_time(seconds(90)), "1.50 min");
+}
+
+TEST(Fixed, Digits) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(3.0, 0), "3");
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("evolve/core", "evolve"));
+  EXPECT_FALSE(starts_with("evo", "evolve"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(Split, Basic) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Split, NoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(TimeConversions, RoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_millis(millis(7)), 7.0);
+  EXPECT_EQ(micros(1), 1000);
+}
+
+}  // namespace
+}  // namespace evolve::util

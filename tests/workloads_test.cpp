@@ -1,0 +1,116 @@
+// Tests for the workload builders: plan validity, cost-model sanity,
+// and end-to-end runs of the use-case pipelines on the platform.
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+#include "core/session.hpp"
+#include "dataflow/stage.hpp"
+#include "workloads/genomics.hpp"
+#include "workloads/ml.hpp"
+#include "workloads/mobility.hpp"
+#include "workloads/tabular.hpp"
+
+namespace evolve::workloads {
+namespace {
+
+TEST(TabularPlans, AllCompile) {
+  for (const auto& plan :
+       {scan_filter_aggregate("a", "o1"), join_aggregate("a", "b", "o2"),
+        sessionize("a", "o3"), featurize("a", "o4")}) {
+    EXPECT_NO_THROW(plan.validate());
+    EXPECT_NO_THROW(dataflow::PhysicalPlan::compile(plan));
+  }
+}
+
+TEST(TabularPlans, StageShapes) {
+  EXPECT_EQ(dataflow::PhysicalPlan::compile(scan_filter_aggregate("a", "o"))
+                .size(),
+            2);
+  EXPECT_EQ(dataflow::PhysicalPlan::compile(join_aggregate("a", "b", "o"))
+                .size(),
+            4);  // 2 scans + join + reduce... join and reduce are stages
+  EXPECT_EQ(dataflow::PhysicalPlan::compile(featurize("a", "o")).size(), 1);
+}
+
+TEST(TabularPlans, SessionizeGrowsThenShrinks) {
+  const auto physical = dataflow::PhysicalPlan::compile(sessionize("a", "o"));
+  ASSERT_EQ(physical.size(), 2);
+  EXPECT_GT(physical.stage(0).output_ratio, 1.0);  // flatMap explodes
+  EXPECT_LT(physical.stage(1).output_ratio, 1.0);  // summaries shrink
+}
+
+TEST(SgdProgram, ComputeShrinksWithWorkers) {
+  SgdModel model;
+  model.epoch_compute = util::seconds(8);
+  const auto p1 = sgd_program(model, 1);
+  const auto p8 = sgd_program(model, 8);
+  EXPECT_EQ(p1.compute_per_iteration, util::seconds(8));
+  EXPECT_EQ(p8.compute_per_iteration, util::seconds(1));
+  EXPECT_EQ(p8.allreduce_bytes, model.parameters_bytes);
+  EXPECT_THROW(sgd_program(model, 0), std::invalid_argument);
+  EXPECT_THROW(sgd_program(model, 4, hpc::CollectiveAlgo::kRing, 0),
+               std::invalid_argument);
+}
+
+TEST(MobilityPipeline, ShapeAndDependencies) {
+  MobilityScenario scenario;
+  const auto wf = mobility_pipeline(scenario);
+  EXPECT_EQ(wf.size(), 4);
+  EXPECT_EQ(wf.step("route-analytics").depends_on,
+            std::vector<std::string>{"validate"});
+  EXPECT_EQ(wf.step("pattern-clustering").kind, workflow::StepKind::kHpc);
+  EXPECT_EQ(wf.leaves(), std::vector<std::string>{"serve"});
+}
+
+TEST(GenomicsPipeline, ShapeAndDependencies) {
+  GenomicsScenario scenario;
+  const auto wf = genomics_pipeline(scenario);
+  EXPECT_EQ(wf.size(), 4);
+  EXPECT_EQ(wf.step("pattern-match").kind, workflow::StepKind::kAccel);
+  EXPECT_EQ(wf.step("pattern-match").kernel, "pattern-match");
+  EXPECT_EQ(wf.step("assembly").input_datasets,
+            std::vector<std::string>{"clean-reads"});
+  EXPECT_EQ(wf.leaves(), std::vector<std::string>{"publish"});
+}
+
+TEST(GenomicsPipeline, RunsEndToEndOnPlatform) {
+  sim::Simulation sim;
+  core::PlatformConfig config;
+  config.compute_nodes = 6;
+  config.storage_nodes = 4;
+  config.accel_nodes = 2;
+  core::Platform platform(sim, config);
+  GenomicsScenario scenario;
+  scenario.reads_bytes = 512 * util::kMiB;
+  scenario.read_partitions = 16;
+  scenario.qc_executors = 2;
+  scenario.assembly_ranks = 4;
+  stage_genomics_inputs(platform.catalog(), scenario);
+  workflow::WorkflowResult result;
+  platform.run_workflow(genomics_pipeline(scenario),
+                        [&](const workflow::WorkflowResult& r) {
+                          result = r;
+                        });
+  sim.run();
+  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(platform.catalog().materialized("clean-reads"));
+  // QC output ~= 0.95 * keep_fraction of the input.
+  const auto clean = platform.catalog().spec("clean-reads").total_bytes;
+  EXPECT_NEAR(static_cast<double>(clean),
+              512.0 * util::kMiB * 0.95 * scenario.qc_keep_fraction,
+              512.0 * util::kMiB * 0.02);
+}
+
+TEST(MobilityInputs, StagedDatasetsMaterialized) {
+  sim::Simulation sim;
+  core::Platform platform(sim);
+  MobilityScenario scenario;
+  stage_mobility_inputs(platform.catalog(), scenario);
+  EXPECT_TRUE(platform.catalog().materialized("gps-traces"));
+  EXPECT_TRUE(platform.catalog().materialized("route-metadata"));
+  EXPECT_EQ(platform.catalog().spec("gps-traces").partitions,
+            scenario.trace_partitions);
+}
+
+}  // namespace
+}  // namespace evolve::workloads
