@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_gang.dir/bench_a2_gang.cpp.o"
+  "CMakeFiles/bench_a2_gang.dir/bench_a2_gang.cpp.o.d"
+  "bench_a2_gang"
+  "bench_a2_gang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_gang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

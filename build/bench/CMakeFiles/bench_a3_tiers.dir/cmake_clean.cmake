@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_tiers.dir/bench_a3_tiers.cpp.o"
+  "CMakeFiles/bench_a3_tiers.dir/bench_a3_tiers.cpp.o.d"
+  "bench_a3_tiers"
+  "bench_a3_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

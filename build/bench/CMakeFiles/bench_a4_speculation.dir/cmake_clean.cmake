@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_speculation.dir/bench_a4_speculation.cpp.o"
+  "CMakeFiles/bench_a4_speculation.dir/bench_a4_speculation.cpp.o.d"
+  "bench_a4_speculation"
+  "bench_a4_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_redundancy.dir/bench_a5_redundancy.cpp.o"
+  "CMakeFiles/bench_a5_redundancy.dir/bench_a5_redundancy.cpp.o.d"
+  "bench_a5_redundancy"
+  "bench_a5_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_optimizer.dir/bench_a6_optimizer.cpp.o"
+  "CMakeFiles/bench_a6_optimizer.dir/bench_a6_optimizer.cpp.o.d"
+  "bench_a6_optimizer"
+  "bench_a6_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_scaling.dir/bench_f1_scaling.cpp.o"
+  "CMakeFiles/bench_f1_scaling.dir/bench_f1_scaling.cpp.o.d"
+  "bench_f1_scaling"
+  "bench_f1_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

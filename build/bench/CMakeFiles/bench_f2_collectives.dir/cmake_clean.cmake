@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_collectives.dir/bench_f2_collectives.cpp.o"
+  "CMakeFiles/bench_f2_collectives.dir/bench_f2_collectives.cpp.o.d"
+  "bench_f2_collectives"
+  "bench_f2_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

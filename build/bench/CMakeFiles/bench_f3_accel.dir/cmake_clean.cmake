@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_accel.dir/bench_f3_accel.cpp.o"
+  "CMakeFiles/bench_f3_accel.dir/bench_f3_accel.cpp.o.d"
+  "bench_f3_accel"
+  "bench_f3_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_sched.dir/bench_f4_sched.cpp.o"
+  "CMakeFiles/bench_f4_sched.dir/bench_f4_sched.cpp.o.d"
+  "bench_f4_sched"
+  "bench_f4_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_autoscale.dir/bench_f7_autoscale.cpp.o"
+  "CMakeFiles/bench_f7_autoscale.dir/bench_f7_autoscale.cpp.o.d"
+  "bench_f7_autoscale"
+  "bench_f7_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

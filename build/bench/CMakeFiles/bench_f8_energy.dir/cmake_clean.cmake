@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_energy.dir/bench_f8_energy.cpp.o"
+  "CMakeFiles/bench_f8_energy.dir/bench_f8_energy.cpp.o.d"
+  "bench_f8_energy"
+  "bench_f8_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_batch.dir/hpc_batch.cpp.o"
+  "CMakeFiles/hpc_batch.dir/hpc_batch.cpp.o.d"
+  "hpc_batch"
+  "hpc_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

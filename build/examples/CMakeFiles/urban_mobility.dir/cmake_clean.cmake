@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urban_mobility.dir/urban_mobility.cpp.o"
+  "CMakeFiles/urban_mobility.dir/urban_mobility.cpp.o.d"
+  "urban_mobility"
+  "urban_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urban_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/device.cpp" "src/CMakeFiles/evolve.dir/accel/device.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/accel/device.cpp.o.d"
+  "/root/repo/src/accel/kernels.cpp" "src/CMakeFiles/evolve.dir/accel/kernels.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/accel/kernels.cpp.o.d"
+  "/root/repo/src/accel/pool.cpp" "src/CMakeFiles/evolve.dir/accel/pool.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/accel/pool.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/evolve.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/CMakeFiles/evolve.dir/cluster/node.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/cluster/node.cpp.o.d"
+  "/root/repo/src/cluster/resources.cpp" "src/CMakeFiles/evolve.dir/cluster/resources.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/cluster/resources.cpp.o.d"
+  "/root/repo/src/core/energy.cpp" "src/CMakeFiles/evolve.dir/core/energy.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/core/energy.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/CMakeFiles/evolve.dir/core/monitor.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/core/monitor.cpp.o.d"
+  "/root/repo/src/core/platform.cpp" "src/CMakeFiles/evolve.dir/core/platform.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/core/platform.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/evolve.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/CMakeFiles/evolve.dir/core/session.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/core/session.cpp.o.d"
+  "/root/repo/src/core/siloed.cpp" "src/CMakeFiles/evolve.dir/core/siloed.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/core/siloed.cpp.o.d"
+  "/root/repo/src/core/unified_scheduler.cpp" "src/CMakeFiles/evolve.dir/core/unified_scheduler.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/core/unified_scheduler.cpp.o.d"
+  "/root/repo/src/dataflow/engine.cpp" "src/CMakeFiles/evolve.dir/dataflow/engine.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/dataflow/engine.cpp.o.d"
+  "/root/repo/src/dataflow/optimizer.cpp" "src/CMakeFiles/evolve.dir/dataflow/optimizer.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/dataflow/optimizer.cpp.o.d"
+  "/root/repo/src/dataflow/plan.cpp" "src/CMakeFiles/evolve.dir/dataflow/plan.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/dataflow/plan.cpp.o.d"
+  "/root/repo/src/dataflow/shuffle.cpp" "src/CMakeFiles/evolve.dir/dataflow/shuffle.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/dataflow/shuffle.cpp.o.d"
+  "/root/repo/src/dataflow/stage.cpp" "src/CMakeFiles/evolve.dir/dataflow/stage.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/dataflow/stage.cpp.o.d"
+  "/root/repo/src/dataflow/task_scheduler.cpp" "src/CMakeFiles/evolve.dir/dataflow/task_scheduler.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/dataflow/task_scheduler.cpp.o.d"
+  "/root/repo/src/hpc/batch_queue.cpp" "src/CMakeFiles/evolve.dir/hpc/batch_queue.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/hpc/batch_queue.cpp.o.d"
+  "/root/repo/src/hpc/collectives.cpp" "src/CMakeFiles/evolve.dir/hpc/collectives.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/hpc/collectives.cpp.o.d"
+  "/root/repo/src/hpc/communicator.cpp" "src/CMakeFiles/evolve.dir/hpc/communicator.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/hpc/communicator.cpp.o.d"
+  "/root/repo/src/hpc/job.cpp" "src/CMakeFiles/evolve.dir/hpc/job.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/hpc/job.cpp.o.d"
+  "/root/repo/src/metrics/histogram.cpp" "src/CMakeFiles/evolve.dir/metrics/histogram.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/metrics/histogram.cpp.o.d"
+  "/root/repo/src/metrics/registry.cpp" "src/CMakeFiles/evolve.dir/metrics/registry.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/metrics/registry.cpp.o.d"
+  "/root/repo/src/metrics/timeseries.cpp" "src/CMakeFiles/evolve.dir/metrics/timeseries.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/metrics/timeseries.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/CMakeFiles/evolve.dir/net/fabric.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/net/fabric.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/evolve.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/net/topology.cpp.o.d"
+  "/root/repo/src/orch/autoscaler.cpp" "src/CMakeFiles/evolve.dir/orch/autoscaler.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/orch/autoscaler.cpp.o.d"
+  "/root/repo/src/orch/controllers.cpp" "src/CMakeFiles/evolve.dir/orch/controllers.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/orch/controllers.cpp.o.d"
+  "/root/repo/src/orch/node_status.cpp" "src/CMakeFiles/evolve.dir/orch/node_status.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/orch/node_status.cpp.o.d"
+  "/root/repo/src/orch/plugins.cpp" "src/CMakeFiles/evolve.dir/orch/plugins.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/orch/plugins.cpp.o.d"
+  "/root/repo/src/orch/pod.cpp" "src/CMakeFiles/evolve.dir/orch/pod.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/orch/pod.cpp.o.d"
+  "/root/repo/src/orch/quota.cpp" "src/CMakeFiles/evolve.dir/orch/quota.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/orch/quota.cpp.o.d"
+  "/root/repo/src/orch/scheduler.cpp" "src/CMakeFiles/evolve.dir/orch/scheduler.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/orch/scheduler.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/evolve.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/evolve.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/sim/simulation.cpp.o.d"
+  "/root/repo/src/storage/dataset.cpp" "src/CMakeFiles/evolve.dir/storage/dataset.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/storage/dataset.cpp.o.d"
+  "/root/repo/src/storage/filesystem.cpp" "src/CMakeFiles/evolve.dir/storage/filesystem.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/storage/filesystem.cpp.o.d"
+  "/root/repo/src/storage/io_model.cpp" "src/CMakeFiles/evolve.dir/storage/io_model.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/storage/io_model.cpp.o.d"
+  "/root/repo/src/storage/object_store.cpp" "src/CMakeFiles/evolve.dir/storage/object_store.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/storage/object_store.cpp.o.d"
+  "/root/repo/src/storage/tiered_cache.cpp" "src/CMakeFiles/evolve.dir/storage/tiered_cache.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/storage/tiered_cache.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/evolve.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/evolve.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/evolve.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/util/strings.cpp.o.d"
+  "/root/repo/src/workflow/engine.cpp" "src/CMakeFiles/evolve.dir/workflow/engine.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/workflow/engine.cpp.o.d"
+  "/root/repo/src/workflow/workflow.cpp" "src/CMakeFiles/evolve.dir/workflow/workflow.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/workflow/workflow.cpp.o.d"
+  "/root/repo/src/workloads/genomics.cpp" "src/CMakeFiles/evolve.dir/workloads/genomics.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/workloads/genomics.cpp.o.d"
+  "/root/repo/src/workloads/ml.cpp" "src/CMakeFiles/evolve.dir/workloads/ml.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/workloads/ml.cpp.o.d"
+  "/root/repo/src/workloads/mobility.cpp" "src/CMakeFiles/evolve.dir/workloads/mobility.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/workloads/mobility.cpp.o.d"
+  "/root/repo/src/workloads/tabular.cpp" "src/CMakeFiles/evolve.dir/workloads/tabular.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/workloads/tabular.cpp.o.d"
+  "/root/repo/src/workloads/trace.cpp" "src/CMakeFiles/evolve.dir/workloads/trace.cpp.o" "gcc" "src/CMakeFiles/evolve.dir/workloads/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accel_test.cpp" "tests/CMakeFiles/evolve_tests.dir/accel_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/accel_test.cpp.o.d"
+  "/root/repo/tests/cluster_cluster_test.cpp" "tests/CMakeFiles/evolve_tests.dir/cluster_cluster_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/cluster_cluster_test.cpp.o.d"
+  "/root/repo/tests/cluster_resources_test.cpp" "tests/CMakeFiles/evolve_tests.dir/cluster_resources_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/cluster_resources_test.cpp.o.d"
+  "/root/repo/tests/core_energy_test.cpp" "tests/CMakeFiles/evolve_tests.dir/core_energy_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/core_energy_test.cpp.o.d"
+  "/root/repo/tests/core_monitor_test.cpp" "tests/CMakeFiles/evolve_tests.dir/core_monitor_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/core_monitor_test.cpp.o.d"
+  "/root/repo/tests/core_platform_test.cpp" "tests/CMakeFiles/evolve_tests.dir/core_platform_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/core_platform_test.cpp.o.d"
+  "/root/repo/tests/core_siloed_test.cpp" "tests/CMakeFiles/evolve_tests.dir/core_siloed_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/core_siloed_test.cpp.o.d"
+  "/root/repo/tests/core_unified_sched_test.cpp" "tests/CMakeFiles/evolve_tests.dir/core_unified_sched_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/core_unified_sched_test.cpp.o.d"
+  "/root/repo/tests/dataflow_engine_test.cpp" "tests/CMakeFiles/evolve_tests.dir/dataflow_engine_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/dataflow_engine_test.cpp.o.d"
+  "/root/repo/tests/dataflow_optimizer_test.cpp" "tests/CMakeFiles/evolve_tests.dir/dataflow_optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/dataflow_optimizer_test.cpp.o.d"
+  "/root/repo/tests/dataflow_plan_test.cpp" "tests/CMakeFiles/evolve_tests.dir/dataflow_plan_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/dataflow_plan_test.cpp.o.d"
+  "/root/repo/tests/dataflow_shuffle_test.cpp" "tests/CMakeFiles/evolve_tests.dir/dataflow_shuffle_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/dataflow_shuffle_test.cpp.o.d"
+  "/root/repo/tests/dataflow_speculation_test.cpp" "tests/CMakeFiles/evolve_tests.dir/dataflow_speculation_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/dataflow_speculation_test.cpp.o.d"
+  "/root/repo/tests/dataflow_task_scheduler_test.cpp" "tests/CMakeFiles/evolve_tests.dir/dataflow_task_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/dataflow_task_scheduler_test.cpp.o.d"
+  "/root/repo/tests/hpc_batch_queue_test.cpp" "tests/CMakeFiles/evolve_tests.dir/hpc_batch_queue_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/hpc_batch_queue_test.cpp.o.d"
+  "/root/repo/tests/hpc_collectives_test.cpp" "tests/CMakeFiles/evolve_tests.dir/hpc_collectives_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/hpc_collectives_test.cpp.o.d"
+  "/root/repo/tests/hpc_communicator_test.cpp" "tests/CMakeFiles/evolve_tests.dir/hpc_communicator_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/hpc_communicator_test.cpp.o.d"
+  "/root/repo/tests/hpc_extended_test.cpp" "tests/CMakeFiles/evolve_tests.dir/hpc_extended_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/hpc_extended_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/evolve_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/metrics_histogram_test.cpp" "tests/CMakeFiles/evolve_tests.dir/metrics_histogram_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/metrics_histogram_test.cpp.o.d"
+  "/root/repo/tests/metrics_registry_test.cpp" "tests/CMakeFiles/evolve_tests.dir/metrics_registry_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/metrics_registry_test.cpp.o.d"
+  "/root/repo/tests/metrics_timeseries_test.cpp" "tests/CMakeFiles/evolve_tests.dir/metrics_timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/metrics_timeseries_test.cpp.o.d"
+  "/root/repo/tests/net_fabric_test.cpp" "tests/CMakeFiles/evolve_tests.dir/net_fabric_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/net_fabric_test.cpp.o.d"
+  "/root/repo/tests/net_maxmin_property_test.cpp" "tests/CMakeFiles/evolve_tests.dir/net_maxmin_property_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/net_maxmin_property_test.cpp.o.d"
+  "/root/repo/tests/net_topology_test.cpp" "tests/CMakeFiles/evolve_tests.dir/net_topology_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/net_topology_test.cpp.o.d"
+  "/root/repo/tests/orch_antiaffinity_test.cpp" "tests/CMakeFiles/evolve_tests.dir/orch_antiaffinity_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/orch_antiaffinity_test.cpp.o.d"
+  "/root/repo/tests/orch_autoscaler_test.cpp" "tests/CMakeFiles/evolve_tests.dir/orch_autoscaler_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/orch_autoscaler_test.cpp.o.d"
+  "/root/repo/tests/orch_controllers_test.cpp" "tests/CMakeFiles/evolve_tests.dir/orch_controllers_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/orch_controllers_test.cpp.o.d"
+  "/root/repo/tests/orch_node_status_test.cpp" "tests/CMakeFiles/evolve_tests.dir/orch_node_status_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/orch_node_status_test.cpp.o.d"
+  "/root/repo/tests/orch_plugins_test.cpp" "tests/CMakeFiles/evolve_tests.dir/orch_plugins_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/orch_plugins_test.cpp.o.d"
+  "/root/repo/tests/orch_quota_test.cpp" "tests/CMakeFiles/evolve_tests.dir/orch_quota_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/orch_quota_test.cpp.o.d"
+  "/root/repo/tests/orch_scheduler_test.cpp" "tests/CMakeFiles/evolve_tests.dir/orch_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/orch_scheduler_test.cpp.o.d"
+  "/root/repo/tests/sim_event_queue_test.cpp" "tests/CMakeFiles/evolve_tests.dir/sim_event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/sim_event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim_simulation_test.cpp" "tests/CMakeFiles/evolve_tests.dir/sim_simulation_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/sim_simulation_test.cpp.o.d"
+  "/root/repo/tests/storage_dataset_test.cpp" "tests/CMakeFiles/evolve_tests.dir/storage_dataset_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/storage_dataset_test.cpp.o.d"
+  "/root/repo/tests/storage_erasure_test.cpp" "tests/CMakeFiles/evolve_tests.dir/storage_erasure_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/storage_erasure_test.cpp.o.d"
+  "/root/repo/tests/storage_filesystem_test.cpp" "tests/CMakeFiles/evolve_tests.dir/storage_filesystem_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/storage_filesystem_test.cpp.o.d"
+  "/root/repo/tests/storage_io_model_test.cpp" "tests/CMakeFiles/evolve_tests.dir/storage_io_model_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/storage_io_model_test.cpp.o.d"
+  "/root/repo/tests/storage_object_store_test.cpp" "tests/CMakeFiles/evolve_tests.dir/storage_object_store_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/storage_object_store_test.cpp.o.d"
+  "/root/repo/tests/storage_tiered_cache_test.cpp" "tests/CMakeFiles/evolve_tests.dir/storage_tiered_cache_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/storage_tiered_cache_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/evolve_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_strings_test.cpp" "tests/CMakeFiles/evolve_tests.dir/util_strings_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/util_strings_test.cpp.o.d"
+  "/root/repo/tests/workflow_test.cpp" "tests/CMakeFiles/evolve_tests.dir/workflow_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/workflow_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/evolve_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/evolve_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/evolve.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
