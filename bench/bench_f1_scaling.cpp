@@ -32,11 +32,12 @@ util::TimeNs run_job(bool locality, int executors) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   core::Table table(
       "F1: analytics strong scaling (4 GiB scan/filter/aggregate)",
       {"executors", "converged (local)", "disaggregated", "speedup vs 1",
        "local/remote ratio"});
+  core::MetricsReport report("f1_scaling");
   util::TimeNs base_local = 0;
   for (int executors : {1, 2, 4, 8, 16}) {
     const auto local = run_job(true, executors);
@@ -52,10 +53,18 @@ int main() {
                                    static_cast<double>(local),
                                2) +
                        "x"});
+    const std::string width = std::to_string(executors);
+    report.set("local_ns_" + width, static_cast<std::int64_t>(local));
+    report.set("remote_ns_" + width, static_cast<std::int64_t>(remote));
+    report.set("speedup_" + width, static_cast<double>(base_local) /
+                                       static_cast<double>(local));
   }
   table.print();
   std::cout << "\nShape check: runtime falls with executors until the "
                "storage substrate\nsaturates; locality-aware placement wins "
                "at every width.\n";
+  if (core::json_mode(argc, argv)) {
+    std::cout << "wrote " << report.write() << "\n";
+  }
   return 0;
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI-style check: configure, build, run the full test suite, then run the
+# simulation-kernel churn bench in --json mode. Run from the repo root:
+#
+#   scripts/check.sh [build-dir]
+#
+# The churn bench writes BENCH_f9_churn.json into the build directory;
+# compare it against the tracked baseline at the repo root to spot kernel
+# perf regressions.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+
+(cd "$BUILD_DIR" && ./bench/bench_f9_churn --json)
+echo
+echo "check.sh: all tests passed; churn bench metrics in $BUILD_DIR/BENCH_f9_churn.json"

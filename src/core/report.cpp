@@ -1,6 +1,9 @@
 #include "core/report.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -43,5 +46,59 @@ std::string Table::to_string() const {
 }
 
 void Table::print(std::ostream& out) const { out << to_string(); }
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsReport::MetricsReport(std::string bench_name)
+    : name_(std::move(bench_name)) {
+  if (name_.empty()) throw std::invalid_argument("bench name required");
+}
+
+void MetricsReport::set(const std::string& metric, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  metrics_.emplace_back(metric, buffer);
+}
+
+void MetricsReport::set(const std::string& metric, std::int64_t value) {
+  metrics_.emplace_back(metric, std::to_string(value));
+}
+
+std::string MetricsReport::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"" << json_escape(name_) << "\"";
+  for (const auto& [metric, value] : metrics_) {
+    out << ",\n  \"" << json_escape(metric) << "\": " << value;
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string MetricsReport::write() const {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << to_json();
+  return path;
+}
+
+bool json_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return true;
+  }
+  return false;
+}
 
 }  // namespace evolve::core

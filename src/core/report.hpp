@@ -1,8 +1,12 @@
-// Plain-text table rendering for benchmark and example output.
+// Plain-text table rendering for benchmark and example output, plus a
+// machine-readable metric reporter (BENCH_<name>.json) so the perf
+// trajectory of the simulation kernel can be tracked across PRs.
 #pragma once
 
+#include <cstdint>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace evolve::core {
@@ -25,5 +29,31 @@ class Table {
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Flat metric-name → value report. Benches build one of these and, when
+/// invoked with `--json`, write it as `BENCH_<name>.json` in the working
+/// directory. Insertion order is preserved in the output.
+class MetricsReport {
+ public:
+  explicit MetricsReport(std::string bench_name);
+
+  void set(const std::string& metric, double value);
+  void set(const std::string& metric, std::int64_t value);
+  void set(const std::string& metric, int value) {
+    set(metric, static_cast<std::int64_t>(value));
+  }
+
+  std::string to_json() const;
+
+  /// Writes `BENCH_<name>.json`; returns the file path.
+  std::string write() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+};
+
+/// True when the command line contains `--json` (bench reporter mode).
+bool json_mode(int argc, char** argv);
 
 }  // namespace evolve::core

@@ -4,10 +4,20 @@
 // assigns a task to a preferred executor immediately; a task with
 // preferences only falls back to a non-preferred executor after waiting
 // `locality_wait` (0 disables delay scheduling: immediate fallback).
+//
+// Hot-path layout: executors with free slots are indexed per node and
+// globally (ordered by executor index, preserving the deterministic
+// lowest-index-wins tie break), and waiting tasks are indexed by preferred
+// node, so assign() never rescans the whole queue after a release() — it
+// walks only nodes that have both a free executor and a waiter.
+//
+// Precondition: `now` passed to enqueue()/assign() is non-decreasing (it
+// is simulation time), so tasks expire their locality wait in FIFO order.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <map>
+#include <set>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -34,7 +44,7 @@ class TaskScheduler {
 
   cluster::NodeId executor_node(int executor) const;
   int executor_count() const { return static_cast<int>(executors_.size()); }
-  int free_slots() const;
+  int free_slots() const { return free_total_; }
 
   /// Queues a task; `preferred` may be empty (no locality preference).
   void enqueue(TaskId task, std::vector<cluster::NodeId> preferred,
@@ -43,7 +53,8 @@ class TaskScheduler {
   /// Frees one slot on `executor` (its task finished).
   void release(int executor);
 
-  /// Assigns as many queued tasks as possible at time `now`.
+  /// Assigns as many queued tasks as possible at time `now`, in FIFO
+  /// order among the currently assignable tasks.
   std::vector<Assignment> assign(util::TimeNs now);
 
   /// Earliest time a waiting preferred task becomes eligible for remote
@@ -65,12 +76,24 @@ class TaskScheduler {
     util::TimeNs enqueued;
   };
 
+  /// Lowest free executor index on any of the given nodes; -1 if none.
   int find_free_preferred(const std::vector<cluster::NodeId>& preferred) const;
-  int find_any_free() const;
+  void take_slot(int executor);
+  void remove_task(std::int64_t seq, const Pending& task);
 
   util::TimeNs locality_wait_;
   std::vector<Executor> executors_;
-  std::deque<Pending> queue_;
+  /// FIFO queue: monotonically increasing sequence number -> task.
+  std::map<std::int64_t, Pending> queue_;
+  std::int64_t next_seq_ = 0;
+  // Waiting-task indexes.
+  std::set<std::int64_t> no_pref_;    // seqs of tasks without preference
+  std::set<std::int64_t> with_pref_;  // seqs of tasks with preference
+  std::map<cluster::NodeId, std::set<std::int64_t>> waiting_by_node_;
+  // Free-slot indexes (executor indices with free > 0).
+  std::map<cluster::NodeId, std::set<int>> free_by_node_;
+  std::set<int> free_execs_;
+  int free_total_ = 0;
   std::int64_t local_ = 0;
   std::int64_t total_ = 0;
 };

@@ -11,8 +11,14 @@ namespace {
 constexpr double kDrainEpsilon = 1e-6;  // bytes
 }
 
-Fabric::Fabric(sim::Simulation& sim, const Topology& topology)
-    : sim_(sim), topology_(topology), last_settle_(sim.now()) {}
+Fabric::Fabric(sim::Simulation& sim, const Topology& topology,
+               FabricConfig config)
+    : sim_(sim),
+      topology_(topology),
+      config_(config),
+      last_settle_(sim.now()) {
+  link_flow_count_.assign(static_cast<std::size_t>(topology_.link_count()), 0);
+}
 
 FlowId Fabric::transfer(cluster::NodeId src, cluster::NodeId dst,
                         util::Bytes bytes, FlowCallback on_complete) {
@@ -20,42 +26,129 @@ FlowId Fabric::transfer(cluster::NodeId src, cluster::NodeId dst,
   const util::TimeNs latency = topology_.latency(src, dst);
   const FlowId id = next_id_++;
   ++stats_.flows_started;
+  ++stats_.flows_in_flight;
   if (bytes == 0) {
-    ++stats_.flows_completed;
-    sim_.after(latency, std::move(on_complete));
+    // Completion is counted when the latency-deferred callback actually
+    // fires, so stats never report completions that have not happened yet.
+    sim_.after(latency, [this, cb = std::move(on_complete)]() mutable {
+      ++stats_.flows_completed;
+      --stats_.flows_in_flight;
+      cb();
+    });
     return id;
   }
+  std::vector<LinkId> path = topology_.path(src, dst);
+  if (config_.use_reference_solver) {
+    return ref_transfer(id, std::move(path), bytes, latency,
+                        std::move(on_complete));
+  }
+
   settle_progress();
-  Flow flow;
+  const int slot = [&] {
+    if (!free_slots_.empty()) {
+      const int s = free_slots_.back();
+      free_slots_.pop_back();
+      return s;
+    }
+    slots_.emplace_back();
+    return static_cast<int>(slots_.size()) - 1;
+  }();
+  const int gi = group_for_path(std::move(path));
+  Group& group = groups_[static_cast<std::size_t>(gi)];
+  FlowSlot& flow = slots_[static_cast<std::size_t>(slot)];
   flow.id = id;
-  flow.path = topology_.path(src, dst);
-  flow.remaining = static_cast<double>(bytes);
-  // Completion callback is deferred by the propagation latency so short
-  // messages still pay the base RTT contribution.
-  const bool remote = !flow.path.empty();
-  flow.on_complete = [this, latency, cb = std::move(on_complete), bytes,
-                      remote]() mutable {
-    stats_.bytes_delivered += bytes;
-    if (remote) stats_.bytes_remote += bytes;
-    sim_.after(latency, std::move(cb));
-  };
-  flows_.emplace(id, std::move(flow));
-  recompute();
+  flow.group = gi;
+  flow.bytes = bytes;
+  flow.latency = latency;
+  flow.finish_drain = group.drain_total + static_cast<double>(bytes);
+  flow.on_complete = std::move(on_complete);
+  group.members.push(Member{flow.finish_drain, id, slot});
+  ++group.size;
+  for (LinkId l : group.path) ++link_flow_count_[static_cast<std::size_t>(l)];
+  slot_of_.emplace(id, slot);
+  ++active_flows_;
+  mark_dirty();
   return id;
 }
 
 bool Fabric::cancel(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return false;
+  if (config_.use_reference_solver) return ref_cancel(id);
+  auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return false;
   settle_progress();
-  flows_.erase(it);
-  recompute();
+  const int slot = it->second;
+  FlowSlot& flow = slots_[static_cast<std::size_t>(slot)];
+  leave_group(flow.group);
+  flow.id = 0;
+  flow.group = -1;
+  flow.on_complete = nullptr;
+  free_slots_.push_back(slot);
+  slot_of_.erase(it);
+  ++stats_.flows_cancelled;
+  --stats_.flows_in_flight;
+  --active_flows_;
+  mark_dirty();
   return true;
 }
 
 double Fabric::flow_rate(FlowId id) const {
-  auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate;
+  if (config_.use_reference_solver) {
+    auto it = ref_flows_.find(id);
+    return it == ref_flows_.end() ? 0.0 : it->second.rate;
+  }
+  // Rates may be stale inside a same-timestamp churn batch; flush first.
+  const_cast<Fabric*>(this)->flush_if_dirty();
+  auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return 0.0;
+  const FlowSlot& flow = slots_[static_cast<std::size_t>(it->second)];
+  return groups_[static_cast<std::size_t>(flow.group)].rate;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental grouped engine
+// ---------------------------------------------------------------------------
+
+int Fabric::group_for_path(std::vector<LinkId> path) {
+  auto it = group_of_path_.find(path);
+  if (it != group_of_path_.end()) return it->second;
+  int gi;
+  if (!free_groups_.empty()) {
+    gi = free_groups_.back();
+    free_groups_.pop_back();
+  } else {
+    gi = static_cast<int>(groups_.size());
+    groups_.emplace_back();
+  }
+  Group& group = groups_[static_cast<std::size_t>(gi)];
+  group.path = std::move(path);
+  group.rate =
+      group.path.empty() ? topology_.config().loopback_bytes_per_s : 0.0;
+  group.drain_total = 0.0;
+  group.size = 0;
+  group_of_path_.emplace(group.path, gi);
+  return gi;
+}
+
+void Fabric::leave_group(int group_index) {
+  Group& group = groups_[static_cast<std::size_t>(group_index)];
+  for (LinkId l : group.path) --link_flow_count_[static_cast<std::size_t>(l)];
+  --group.size;
+  if (group.size == 0) {
+    group_of_path_.erase(group.path);
+    group.path.clear();
+    group.members = {};
+    group.rate = 0.0;
+    group.drain_total = 0.0;
+    free_groups_.push_back(group_index);
+  }
+}
+
+void Fabric::purge_dead_members(Group& group) {
+  while (!group.members.empty()) {
+    const Member& m = group.members.top();
+    if (slots_[static_cast<std::size_t>(m.slot)].id == m.id) return;
+    group.members.pop();  // cancelled flow; its slot moved on
+  }
 }
 
 void Fabric::settle_progress() {
@@ -63,12 +156,191 @@ void Fabric::settle_progress() {
   if (now == last_settle_) return;
   const double dt = util::to_seconds(now - last_settle_);
   last_settle_ = now;
-  for (auto& [id, flow] : flows_) {
+  for (Group& group : groups_) {
+    if (group.size > 0) group.drain_total += group.rate * dt;
+  }
+}
+
+void Fabric::mark_dirty() {
+  dirty_ = true;
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  // One recompute per timestamp batch: every same-time arrival/cancel
+  // (e.g. a whole shuffle wave) shares this deferred flush.
+  sim_.defer([this] {
+    flush_scheduled_ = false;
+    flush_if_dirty();
+  });
+}
+
+void Fabric::flush_if_dirty() {
+  if (!dirty_) return;
+  dirty_ = false;
+  settle_progress();
+  clear_pending_event();
+  if (active_flows_ == 0) return;
+  solve_grouped();
+  double earliest_s = std::numeric_limits<double>::infinity();
+  for (Group& group : groups_) {
+    if (group.size == 0) continue;
+    if (group.rate <= 0) {
+      throw std::logic_error("flow with zero rate would never complete");
+    }
+    purge_dead_members(group);
+    earliest_s = std::min(
+        earliest_s,
+        (group.members.top().finish_drain - group.drain_total) / group.rate);
+  }
+  schedule_completion(earliest_s);
+}
+
+void Fabric::solve_grouped() {
+  ++stats_.rate_recomputations;
+  const auto link_count = static_cast<std::size_t>(topology_.link_count());
+  cap_scratch_.resize(link_count);
+  for (std::size_t l = 0; l < link_count; ++l) {
+    cap_scratch_[l] = topology_.link(static_cast<LinkId>(l)).capacity_bytes_per_s;
+  }
+  unfixed_scratch_ = link_flow_count_;
+
+  pending_scratch_.clear();
+  std::int64_t remaining = 0;
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    Group& group = groups_[gi];
+    if (group.size == 0 || group.path.empty()) continue;
+    group.rate = -1.0;  // unfixed marker
+    pending_scratch_.push_back(static_cast<int>(gi));
+    remaining += group.size;
+  }
+
+  while (remaining > 0) {
+    // Find the bottleneck: the link with the smallest fair share.
+    double best_share = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < link_count; ++l) {
+      if (unfixed_scratch_[l] == 0) continue;
+      const double share =
+          std::max(0.0, cap_scratch_[l]) / unfixed_scratch_[l];
+      best_share = std::min(best_share, share);
+    }
+    if (!std::isfinite(best_share)) {
+      throw std::logic_error("max-min: unfixed flows but no loaded link");
+    }
+    // Fix every unfixed group crossing a link at the bottleneck share. The
+    // residual capacity is drained with one subtraction per member flow so
+    // the arithmetic matches the per-flow reference solver bit for bit.
+    bool fixed_any = false;
+    for (int gi : pending_scratch_) {
+      Group& group = groups_[static_cast<std::size_t>(gi)];
+      if (group.rate >= 0) continue;
+      bool at_bottleneck = false;
+      for (LinkId l : group.path) {
+        const auto idx = static_cast<std::size_t>(l);
+        const double share =
+            std::max(0.0, cap_scratch_[idx]) / unfixed_scratch_[idx];
+        if (share <= best_share * (1 + 1e-12)) {
+          at_bottleneck = true;
+          break;
+        }
+      }
+      if (!at_bottleneck) continue;
+      group.rate = best_share;
+      fixed_any = true;
+      remaining -= group.size;
+      for (LinkId l : group.path) {
+        const auto idx = static_cast<std::size_t>(l);
+        for (int k = 0; k < group.size; ++k) cap_scratch_[idx] -= best_share;
+        unfixed_scratch_[idx] -= group.size;
+      }
+    }
+    if (!fixed_any) {
+      throw std::logic_error("max-min: made no progress");
+    }
+  }
+}
+
+void Fabric::on_completion_event() {
+  has_pending_event_ = false;
+  settle_progress();
+  done_scratch_.clear();
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    Group& group = groups_[gi];
+    if (group.size == 0) continue;
+    const bool remote = !group.path.empty();
+    for (;;) {
+      purge_dead_members(group);
+      if (group.members.empty()) break;
+      const Member m = group.members.top();
+      if (m.finish_drain > group.drain_total + kDrainEpsilon) break;
+      group.members.pop();
+      FlowSlot& flow = slots_[static_cast<std::size_t>(m.slot)];
+      done_scratch_.push_back(DoneFlow{m.id, flow.bytes, remote, flow.latency,
+                                       std::move(flow.on_complete)});
+      flow.id = 0;
+      flow.group = -1;
+      flow.on_complete = nullptr;
+      free_slots_.push_back(m.slot);
+      slot_of_.erase(m.id);
+      ++stats_.flows_completed;
+      --stats_.flows_in_flight;
+      --active_flows_;
+      leave_group(static_cast<int>(gi));
+      if (group.size == 0) break;  // group recycled; its heap was cleared
+    }
+  }
+  // Completion callbacks fire in flow-id order — the determinism contract.
+  std::sort(done_scratch_.begin(), done_scratch_.end(),
+            [](const DoneFlow& a, const DoneFlow& b) { return a.id < b.id; });
+  dirty_ = true;
+  flush_if_dirty();
+  for (DoneFlow& d : done_scratch_) {
+    deliver(d.bytes, d.remote, d.latency, std::move(d.cb));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reference (debug) engine — the original from-scratch implementation
+// ---------------------------------------------------------------------------
+
+FlowId Fabric::ref_transfer(FlowId id, std::vector<LinkId> path,
+                            util::Bytes bytes, util::TimeNs latency,
+                            FlowCallback on_complete) {
+  ref_settle_progress();
+  RefFlow flow;
+  flow.id = id;
+  flow.path = std::move(path);
+  flow.remaining = static_cast<double>(bytes);
+  flow.bytes = bytes;
+  flow.latency = latency;
+  flow.on_complete = std::move(on_complete);
+  ref_flows_.emplace(id, std::move(flow));
+  ++active_flows_;
+  ref_recompute();
+  return id;
+}
+
+bool Fabric::ref_cancel(FlowId id) {
+  auto it = ref_flows_.find(id);
+  if (it == ref_flows_.end()) return false;
+  ref_settle_progress();
+  ref_flows_.erase(it);
+  ++stats_.flows_cancelled;
+  --stats_.flows_in_flight;
+  --active_flows_;
+  ref_recompute();
+  return true;
+}
+
+void Fabric::ref_settle_progress() {
+  const util::TimeNs now = sim_.now();
+  if (now == last_settle_) return;
+  const double dt = util::to_seconds(now - last_settle_);
+  last_settle_ = now;
+  for (auto& [id, flow] : ref_flows_) {
     flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
   }
 }
 
-void Fabric::solve_max_min() {
+void Fabric::ref_solve_max_min() {
   ++stats_.rate_recomputations;
   const int link_count = topology_.link_count();
   std::vector<double> capacity(static_cast<std::size_t>(link_count));
@@ -78,9 +350,9 @@ void Fabric::solve_max_min() {
         topology_.link(l).capacity_bytes_per_s;
   }
 
-  std::vector<Flow*> pending;
-  pending.reserve(flows_.size());
-  for (auto& [id, flow] : flows_) {
+  std::vector<RefFlow*> pending;
+  pending.reserve(ref_flows_.size());
+  for (auto& [id, flow] : ref_flows_) {
     if (flow.path.empty()) {
       flow.rate = topology_.config().loopback_bytes_per_s;
       continue;
@@ -92,7 +364,6 @@ void Fabric::solve_max_min() {
 
   std::size_t remaining = pending.size();
   while (remaining > 0) {
-    // Find the bottleneck: the link with the smallest fair share.
     double best_share = std::numeric_limits<double>::infinity();
     for (int l = 0; l < link_count; ++l) {
       const auto idx = static_cast<std::size_t>(l);
@@ -103,9 +374,8 @@ void Fabric::solve_max_min() {
     if (!std::isfinite(best_share)) {
       throw std::logic_error("max-min: unfixed flows but no loaded link");
     }
-    // Fix every unfixed flow crossing a link at the bottleneck share.
     bool fixed_any = false;
-    for (Flow* flow : pending) {
+    for (RefFlow* flow : pending) {
       if (flow->rate >= 0) continue;
       bool at_bottleneck = false;
       for (LinkId l : flow->path) {
@@ -132,41 +402,74 @@ void Fabric::solve_max_min() {
   }
 }
 
-void Fabric::recompute() {
-  if (has_pending_event_) {
-    sim_.cancel(pending_event_);
-    has_pending_event_ = false;
-  }
-  if (flows_.empty()) return;
-  solve_max_min();
+void Fabric::ref_recompute() {
+  clear_pending_event();
+  if (ref_flows_.empty()) return;
+  ref_solve_max_min();
   double earliest_s = std::numeric_limits<double>::infinity();
-  for (const auto& [id, flow] : flows_) {
+  for (const auto& [id, flow] : ref_flows_) {
     if (flow.rate <= 0) {
       throw std::logic_error("flow with zero rate would never complete");
     }
     earliest_s = std::min(earliest_s, flow.remaining / flow.rate);
   }
-  const auto delay = static_cast<util::TimeNs>(std::ceil(earliest_s * 1e9));
-  pending_event_ = sim_.after(std::max<util::TimeNs>(delay, 0),
-                              [this] { on_completion_event(); });
-  has_pending_event_ = true;
+  schedule_completion(earliest_s);
 }
 
-void Fabric::on_completion_event() {
+void Fabric::ref_on_completion_event() {
   has_pending_event_ = false;
-  settle_progress();
-  std::vector<FlowCallback> done;
-  for (auto it = flows_.begin(); it != flows_.end();) {
+  ref_settle_progress();
+  struct Done {
+    util::Bytes bytes;
+    bool remote;
+    util::TimeNs latency;
+    FlowCallback cb;
+  };
+  std::vector<Done> done;
+  for (auto it = ref_flows_.begin(); it != ref_flows_.end();) {
     if (it->second.remaining <= kDrainEpsilon) {
-      done.push_back(std::move(it->second.on_complete));
-      it = flows_.erase(it);
+      RefFlow& flow = it->second;
+      done.push_back(Done{flow.bytes, !flow.path.empty(), flow.latency,
+                          std::move(flow.on_complete)});
+      it = ref_flows_.erase(it);
       ++stats_.flows_completed;
+      --stats_.flows_in_flight;
+      --active_flows_;
     } else {
       ++it;
     }
   }
-  recompute();
-  for (auto& cb : done) cb();
+  ref_recompute();
+  for (Done& d : done) deliver(d.bytes, d.remote, d.latency, std::move(d.cb));
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+void Fabric::deliver(util::Bytes bytes, bool remote, util::TimeNs latency,
+                     FlowCallback cb) {
+  stats_.bytes_delivered += bytes;
+  if (remote) stats_.bytes_remote += bytes;
+  sim_.after(latency, std::move(cb));
+}
+
+void Fabric::schedule_completion(double earliest_s) {
+  const auto delay = static_cast<util::TimeNs>(std::ceil(earliest_s * 1e9));
+  pending_event_ = sim_.after(std::max<util::TimeNs>(delay, 0), [this] {
+    if (config_.use_reference_solver) {
+      ref_on_completion_event();
+    } else {
+      on_completion_event();
+    }
+  });
+  has_pending_event_ = true;
+}
+
+void Fabric::clear_pending_event() {
+  if (!has_pending_event_) return;
+  sim_.cancel(pending_event_);
+  has_pending_event_ = false;
 }
 
 }  // namespace evolve::net

@@ -5,11 +5,34 @@
 // (water-filling over bottleneck links) and reschedules the earliest flow
 // completion. This reproduces the bandwidth contention behaviour that
 // drives shuffle, collective, and storage-transfer times in EVOLVE.
+//
+// Scale design (see DESIGN.md "Simulation kernel performance"):
+//  * Flows are grouped by path signature — all flows sharing a path have
+//    identical max-min rates, so the water-filling solver iterates groups,
+//    not flows: O(groups · links) per solve instead of O(flows · links).
+//  * Progress settling is lazy: each group keeps a cumulative
+//    "bytes drained per member flow" counter; a flow records the counter
+//    value when it joins and completes when the counter passes
+//    join_value + bytes. Churn events therefore touch O(groups) state,
+//    never O(flows).
+//  * Same-timestamp churn (a shuffle wave, a collective fan-out) is
+//    batched: transfer()/cancel() only mark the fabric dirty and a
+//    deferred same-time event runs a single recompute for the whole wave.
+//  * Flow state lives in a flat slot vector with a free list (no
+//    std::map node churn); solver scratch buffers are reused across
+//    recomputes.
+//
+// Determinism invariants (preserved from the original implementation):
+// completion callbacks within one event fire in flow-id order, and rates
+// follow the exact same water-filling arithmetic as the reference solver,
+// so simulation outputs are unchanged.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -24,15 +47,28 @@ using FlowCallback = std::function<void()>;
 struct FlowStats {
   std::int64_t flows_started = 0;
   std::int64_t flows_completed = 0;
+  std::int64_t flows_cancelled = 0;
+  /// Flows accepted but not yet completed or cancelled (includes zero-byte
+  /// transfers still waiting out their propagation latency).
+  std::int64_t flows_in_flight = 0;
   util::Bytes bytes_delivered = 0;
   /// Bytes that actually crossed network links (excludes loopback).
   util::Bytes bytes_remote = 0;
   std::int64_t rate_recomputations = 0;
 };
 
+struct FabricConfig {
+  /// Debug/verification switch: run the original from-scratch per-flow
+  /// solver with eager settling instead of the incremental grouped solver.
+  /// The churn-equivalence tests and bench_f9_churn drive both paths over
+  /// identical schedules.
+  bool use_reference_solver = false;
+};
+
 class Fabric {
  public:
-  Fabric(sim::Simulation& sim, const Topology& topology);
+  Fabric(sim::Simulation& sim, const Topology& topology,
+         FabricConfig config = {});
 
   /// Starts a transfer of `bytes` from host `src` to host `dst`;
   /// `on_complete` fires (as a simulation event) when the last byte lands.
@@ -47,40 +83,135 @@ class Fabric {
   /// Current max-min rate of a flow in bytes/s (0 if unknown/finished).
   double flow_rate(FlowId id) const;
 
-  int active_flows() const { return static_cast<int>(flows_.size()); }
+  int active_flows() const { return active_flows_; }
   const FlowStats& stats() const { return stats_; }
   const Topology& topology() const { return topology_; }
 
  private:
-  struct Flow {
-    FlowId id = 0;
-    std::vector<LinkId> path;   // empty = loopback
-    double remaining = 0;       // bytes still to deliver
-    double rate = 0;            // bytes/s, from the last max-min solve
+  // ---- incremental grouped engine ----
+
+  struct FlowSlot {
+    FlowId id = 0;  // 0 marks a free slot
+    int group = -1;
+    util::Bytes bytes = 0;
+    util::TimeNs latency = 0;
+    double finish_drain = 0;  // group drain_total at which this flow is done
     FlowCallback on_complete;
   };
+  struct Member {
+    double finish_drain;
+    FlowId id;
+    int slot;
+  };
+  struct MemberLater {
+    bool operator()(const Member& a, const Member& b) const {
+      if (a.finish_drain != b.finish_drain) {
+        return a.finish_drain > b.finish_drain;
+      }
+      return a.id > b.id;  // deterministic pop order for identical finishes
+    }
+  };
+  struct Group {
+    std::vector<LinkId> path;  // empty = loopback
+    double rate = 0;           // bytes/s per member flow
+    double drain_total = 0;    // cumulative bytes drained per member flow
+    int size = 0;              // live member count
+    // Min-heap of members by finish_drain; cancelled members are skipped
+    // lazily (slot id mismatch).
+    std::priority_queue<Member, std::vector<Member>, MemberLater> members;
+  };
 
-  /// Folds elapsed time into every flow's `remaining`.
+  /// Data captured for a completed flow before its slot is recycled;
+  /// callbacks fire in flow-id order after the post-completion recompute.
+  struct DoneFlow {
+    FlowId id;
+    util::Bytes bytes;
+    bool remote;
+    util::TimeNs latency;
+    FlowCallback cb;
+  };
+
+  int group_for_path(std::vector<LinkId> path);
+  void leave_group(int group_index);
+  /// Drops cancelled members off a group's heap top.
+  void purge_dead_members(Group& group);
+
+  /// Folds elapsed time into every group's drain counter — O(groups).
   void settle_progress();
 
-  /// Recomputes max-min rates and schedules the next completion event.
-  void recompute();
+  /// Marks rates stale and schedules a single same-time recompute event
+  /// for the current timestamp batch.
+  void mark_dirty();
+
+  /// Runs the solver and reschedules the next completion if dirty.
+  void flush_if_dirty();
 
   /// Completion event body: completes all flows that have drained.
   void on_completion_event();
 
-  void solve_max_min();
+  /// Grouped water-filling: identical arithmetic to the reference solver,
+  /// but iterates path groups instead of flows.
+  void solve_grouped();
+
+  // ---- reference (debug) engine: the original per-flow implementation ----
+
+  struct RefFlow {
+    FlowId id = 0;
+    std::vector<LinkId> path;
+    double remaining = 0;
+    double rate = 0;
+    util::Bytes bytes = 0;
+    util::TimeNs latency = 0;
+    FlowCallback on_complete;
+  };
+
+  FlowId ref_transfer(FlowId id, std::vector<LinkId> path, util::Bytes bytes,
+                      util::TimeNs latency, FlowCallback on_complete);
+  bool ref_cancel(FlowId id);
+  void ref_settle_progress();
+  void ref_recompute();
+  void ref_solve_max_min();
+  void ref_on_completion_event();
+
+  // ---- shared ----
+
+  void deliver(util::Bytes bytes, bool remote, util::TimeNs latency,
+               FlowCallback cb);
+  void schedule_completion(double earliest_s);
+  void clear_pending_event();
 
   sim::Simulation& sim_;
   const Topology& topology_;
-  // std::map keeps iteration order deterministic (flow-id order), which
-  // makes completion-callback ordering reproducible across platforms.
-  std::map<FlowId, Flow> flows_;
+  FabricConfig config_;
+
   FlowId next_id_ = 1;
+  int active_flows_ = 0;
   util::TimeNs last_settle_ = 0;
   sim::EventId pending_event_ = 0;
   bool has_pending_event_ = false;
   FlowStats stats_;
+
+  // Incremental-engine state.
+  std::vector<FlowSlot> slots_;
+  std::vector<int> free_slots_;
+  std::unordered_map<FlowId, int> slot_of_;
+  std::vector<Group> groups_;
+  std::vector<int> free_groups_;
+  std::map<std::vector<LinkId>, int> group_of_path_;
+  /// Live (non-loopback) flows crossing each link; kept incrementally so
+  /// the solver never iterates flows to build link state.
+  std::vector<int> link_flow_count_;
+  bool dirty_ = false;
+  bool flush_scheduled_ = false;
+  // Reusable solver scratch (avoids per-recompute allocation).
+  std::vector<double> cap_scratch_;
+  std::vector<int> unfixed_scratch_;
+  std::vector<int> pending_scratch_;
+  std::vector<DoneFlow> done_scratch_;
+
+  // Reference-engine state. std::map keeps iteration order deterministic
+  // (flow-id order), which makes completion-callback ordering reproducible.
+  std::map<FlowId, RefFlow> ref_flows_;
 };
 
 }  // namespace evolve::net

@@ -1,54 +1,95 @@
 #include "sim/event_queue.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace evolve::sim {
 
 EventId EventQueue::push(util::TimeNs time, EventFn fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{time, id});
-  callbacks_.emplace(id, std::move(fn));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(Slot{});
+  }
+  Slot& s = slots_[slot];
+  ++s.gen;
+  s.live = true;
+
+  heap_.push_back(Entry{time, next_seq_++, slot, std::move(fn)});
+  sift_up(heap_.size() - 1);
   ++live_count_;
-  return id;
+  return make_id(slot, s.gen);
 }
 
 bool EventQueue::cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (s.gen != gen || !s.live) return false;
+  s.live = false;  // entry is dropped lazily when it reaches the heap top
   --live_count_;
   return true;
 }
 
-void EventQueue::drop_cancelled_head() const {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) return;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
   }
 }
 
-bool EventQueue::empty() const {
-  drop_cancelled_head();
-  return heap_.empty();
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = i;
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    if (left < n && before(heap_[left], heap_[best])) best = left;
+    if (right < n && before(heap_[right], heap_[best])) best = right;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+void EventQueue::remove_top() {
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::drop_dead_head() const {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.front();
+    if (slots_[top.slot].live) return;
+    free_slots_.push_back(top.slot);
+    // const_cast mirrors the mutable members: reclamation does not change
+    // the observable queue state.
+    const_cast<EventQueue*>(this)->remove_top();
+  }
 }
 
 util::TimeNs EventQueue::next_time() const {
-  drop_cancelled_head();
+  drop_dead_head();
   if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty");
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 Event EventQueue::pop() {
-  drop_cancelled_head();
+  drop_dead_head();
   if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty");
-  const Entry entry = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(entry.id);
-  Event event{entry.time, entry.id, std::move(it->second)};
-  callbacks_.erase(it);
+  Entry& top = heap_.front();
+  Slot& s = slots_[top.slot];
+  Event event{top.time, make_id(top.slot, s.gen), std::move(top.fn)};
+  s.live = false;
+  free_slots_.push_back(top.slot);
+  remove_top();
   --live_count_;
   return event;
 }

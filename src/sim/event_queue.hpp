@@ -1,12 +1,15 @@
 // Priority queue of timestamped events with stable FIFO ordering for ties
-// and O(log n) cancellation via tombstones.
+// and O(log n) cancellation.
+//
+// Hot-path layout: callbacks live inline in the heap entries (no separate
+// callback map), and cancellation is a generation-counted slot vector with
+// a free list — cancel() flips one flag, pop() skips dead entries as they
+// surface. push/pop perform no per-event node allocation beyond whatever
+// the std::function itself owns.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "util/types.hpp"
@@ -16,9 +19,9 @@ namespace evolve::sim {
 using EventId = std::uint64_t;
 using EventFn = std::function<void()>;
 
-/// One scheduled callback. Ordering: earlier time first, then lower sequence
-/// number (schedule order) so same-time events run FIFO — this makes the
-/// whole simulation deterministic.
+/// One scheduled callback. Ordering: earlier time first, then schedule
+/// order, so same-time events run FIFO — this makes the whole simulation
+/// deterministic.
 struct Event {
   util::TimeNs time = 0;
   EventId id = 0;
@@ -35,7 +38,7 @@ class EventQueue {
   bool cancel(EventId id);
 
   /// True when no live (non-cancelled) events remain.
-  bool empty() const;
+  bool empty() const { return live_count_ == 0; }
 
   /// Number of live events.
   std::size_t size() const { return live_count_; }
@@ -49,21 +52,39 @@ class EventQueue {
  private:
   struct Entry {
     util::TimeNs time;
-    EventId id;
+    std::uint64_t seq;   // monotonic schedule order; breaks time ties FIFO
+    std::uint32_t slot;  // index into slots_
+    EventFn fn;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
-    }
+  // A slot is owned by exactly one heap entry from push() until that entry
+  // physically leaves the heap; only then is it recycled (generation bump +
+  // free list), so a stale EventId can never alias a newer event.
+  struct Slot {
+    std::uint32_t gen = 0;
+    bool live = false;
   };
 
-  void drop_cancelled_head() const;
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<EventId, EventFn> callbacks_;
-  mutable std::unordered_set<EventId> cancelled_;
-  EventId next_id_ = 1;
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void remove_top();
+  /// Pops cancelled entries off the heap top; recycles their slots.
+  void drop_dead_head() const;
+
+  // `mutable` so the const observers (next_time) can lazily reclaim
+  // cancelled entries, mirroring the old tombstone-draining design.
+  mutable std::vector<Entry> heap_;  // binary min-heap by (time, seq)
+  mutable std::vector<Slot> slots_;
+  mutable std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 1;
   std::size_t live_count_ = 0;
 };
 

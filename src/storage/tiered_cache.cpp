@@ -103,28 +103,31 @@ std::optional<int> TieredCache::get(const std::string& key) {
   }
   const int found_tier = it->second.tier;
   ++tiers_[static_cast<std::size_t>(found_tier)].stats.hits;
-  Entry entry = *it->second.it;
+  const std::list<Entry>::iterator entry_it = it->second.it;
   if (found_tier == 0) {
-    // Refresh LRU position in place.
+    // DRAM hit: refresh the LRU position by splicing in place — the index
+    // entry stays untouched, so a hit performs zero rehashing.
     Tier& tier = tiers_[0];
-    tier.lru.erase(it->second.it);
-    tier.stats.used -= entry.size;
-    index_.erase(it);
-    tier.stats.used += entry.size;
-    tier.lru.push_front(std::move(entry));
-    index_[tier.lru.front().key] = Location{0, tier.lru.begin()};
+    tier.lru.splice(tier.lru.begin(), tier.lru, entry_it);
     return found_tier;
   }
   // Promote to tier 0 when it can ever fit there; otherwise refresh here.
+  // The entry is spliced through a holding list so the eviction cascade in
+  // make_room can never select it, and its Location stays valid in place
+  // (list iterators survive splice; the map value survives any rehash that
+  // demotion-driven index inserts cause).
   Tier& old_tier = tiers_[static_cast<std::size_t>(found_tier)];
-  old_tier.lru.erase(it->second.it);
-  old_tier.stats.used -= entry.size;
-  index_.erase(it);
-  if (entry.size <= tiers_[0].config.capacity) {
-    insert_into(0, std::move(entry), /*demotion=*/false);
-  } else {
-    insert_into(found_tier, std::move(entry), /*demotion=*/false);
-  }
+  const util::Bytes size = entry_it->size;
+  const int target = size <= tiers_[0].config.capacity ? 0 : found_tier;
+  std::list<Entry> holding;
+  holding.splice(holding.begin(), old_tier.lru, entry_it);
+  old_tier.stats.used -= size;
+  it->second = Location{target, entry_it};  // `it` must not be used below
+  make_room(target, size);
+  Tier& dst = tiers_[static_cast<std::size_t>(target)];
+  dst.lru.splice(dst.lru.begin(), holding, entry_it);
+  dst.stats.used += size;
+  ++dst.stats.inserts;
   return found_tier;
 }
 

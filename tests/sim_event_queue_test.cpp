@@ -87,5 +87,60 @@ TEST(EventQueue, CancelAllLeavesEmpty) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, StaleHandleAfterSlotReuseFails) {
+  EventQueue q;
+  // Run an event to recycle its slot, then push a new event that reuses it.
+  const EventId old_id = q.push(1, [] {});
+  q.pop();
+  const EventId fresh = q.push(2, [] {});
+  // The stale handle must not cancel the new occupant of the slot.
+  EXPECT_FALSE(q.cancel(old_id));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(fresh));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, HeavyChurnKeepsFifoOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      ids.push_back(q.push(100, [&order, round, i] {
+        order.push_back(round * 4 + i);
+      }));
+    }
+    // Cancel one of this round's events; its slot gets recycled next round.
+    EXPECT_TRUE(q.cancel(ids[ids.size() - 2]));
+  }
+  while (!q.empty()) q.pop().fn();
+  // Same-time events run in schedule order even across slot reuse.
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1], order[i]);
+  }
+  EXPECT_EQ(order.size(), 150u);
+}
+
+TEST(EventQueue, InterleavedPushPopCancelStaysConsistent) {
+  EventQueue q;
+  int fired = 0;
+  std::vector<EventId> live;
+  for (int t = 0; t < 200; ++t) {
+    live.push_back(q.push(t, [&] { ++fired; }));
+    if (t % 3 == 0 && !live.empty()) {
+      q.cancel(live.front());
+      live.erase(live.begin());
+    }
+    if (t % 5 == 0 && !q.empty()) q.pop().fn();
+  }
+  std::size_t remaining = q.size();
+  while (!q.empty()) {
+    q.pop().fn();
+    --remaining;
+  }
+  EXPECT_EQ(remaining, 0u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
 }  // namespace
 }  // namespace evolve::sim
