@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # CI-style check: configure, build, run the full test suite, then run the
-# simulation-kernel churn bench in --json mode. Run from the repo root:
+# simulation-kernel churn and fault-recovery benches in --json mode, and
+# finally rebuild + retest under ASan/UBSan. Run from the repo root:
 #
 #   scripts/check.sh [build-dir]
 #
-# The churn bench writes BENCH_f9_churn.json into the build directory;
-# compare it against the tracked baseline at the repo root to spot kernel
-# perf regressions.
+# The benches write BENCH_f9_churn.json and BENCH_f10_faults.json into the
+# build directory; compare them against the tracked baselines at the repo
+# root to spot regressions. Set EVOLVE_SKIP_SANITIZERS=1 to skip the
+# (slower) sanitizer pass; the sanitizer build lives in <build-dir>-asan.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,5 +19,16 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 
 (cd "$BUILD_DIR" && ./bench/bench_f9_churn --json)
+(cd "$BUILD_DIR" && ./bench/bench_f10_faults --json)
+
+if [[ "${EVOLVE_SKIP_SANITIZERS:-0}" != "1" ]]; then
+  SAN_DIR="${BUILD_DIR}-asan"
+  cmake -B "$SAN_DIR" -S . -DEVOLVE_SANITIZE=address,undefined
+  cmake --build "$SAN_DIR" -j "$(nproc)"
+  (cd "$SAN_DIR" && ctest --output-on-failure -j "$(nproc)")
+  echo
+  echo "check.sh: sanitizer (ASan/UBSan) test pass clean in $SAN_DIR"
+fi
+
 echo
-echo "check.sh: all tests passed; churn bench metrics in $BUILD_DIR/BENCH_f9_churn.json"
+echo "check.sh: all tests passed; bench metrics in $BUILD_DIR/BENCH_f9_churn.json and $BUILD_DIR/BENCH_f10_faults.json"

@@ -25,6 +25,7 @@ struct DataflowEngine::RunState {
     int done_tasks = 0;
     int pending_parents = 0;
     int children_remaining = 0;  // for shuffle-output release
+    bool finished_once = false;  // children already started / released
     std::vector<util::TimeNs> durations;  // completed task durations
     StageStats stats;
   };
@@ -38,15 +39,30 @@ struct DataflowEngine::RunState {
     bool winner_decided = false;  // a copy finished its compute phase
     bool completed = false;       // winner finished its output phase
     bool speculated = false;      // a backup copy was launched
+    bool retry_pending = false;   // a fault-driven re-enqueue is armed
     int copies_running = 0;
+    int fault_retries = 0;        // re-executions consumed by failures
     util::TimeNs first_start = -1;
+    util::TimeNs killed_at = -1;  // when the task was last lost
+    TaskId winner_copy = -1;      // which copy won the compute race
     std::vector<cluster::NodeId> preferred;
+  };
+  /// Where each in-flight copy runs. A copy's continuations stay valid
+  /// exactly while its entry exists: killing a copy erases it, so late
+  /// io/fabric/timer callbacks become no-ops.
+  struct CopyState {
+    int executor = -1;
+    cluster::NodeId node = cluster::kInvalidNode;
   };
   std::map<TaskId, TaskDef> tasks;       // logical task id -> state
   std::map<TaskId, TaskId> copy_owner;   // scheduler copy id -> task id
+  std::map<TaskId, CopyState> running_copies;
+  std::vector<std::vector<TaskId>> stage_task_ids;  // stage -> index -> id
   TaskId next_id = 1;
   int stages_done = 0;
   bool expiry_armed = false;
+  bool aborted = false;        // fail_job ran; drop all in-flight work
+  bool done_reported = false;  // on_done already called
 
   RunState(PhysicalPlan physical, util::TimeNs locality_wait,
            std::uint64_t seed, Callback cb)
@@ -88,6 +104,12 @@ DataflowEngine::DataflowEngine(sim::Simulation& sim,
   if (config_.speculation_multiplier <= 1.0) {
     throw std::invalid_argument("speculation_multiplier must be > 1");
   }
+  if (config_.max_task_retries < 0) {
+    throw std::invalid_argument("max_task_retries must be >= 0");
+  }
+  if (config_.retry_backoff <= 0) {
+    throw std::invalid_argument("retry_backoff must be > 0");
+  }
 }
 
 void DataflowEngine::run(const LogicalPlan& plan,
@@ -109,6 +131,7 @@ void DataflowEngine::run(const LogicalPlan& plan,
 
   run->children = run->plan.children();
   run->stage_runs.resize(static_cast<std::size_t>(run->plan.size()));
+  run->stage_task_ids.resize(static_cast<std::size_t>(run->plan.size()));
   for (const StageDef& stage : run->plan.stages()) {
     auto& sr = run->stage_runs[static_cast<std::size_t>(stage.id)];
     sr.pending_parents = static_cast<int>(stage.parents.size());
@@ -127,6 +150,8 @@ void DataflowEngine::run(const LogicalPlan& plan,
     }
   }
   metrics_.count("jobs_started");
+  prune_runs();
+  runs_.push_back(run);
   for (const StageDef& stage : run->plan.stages()) {
     if (stage.parents.empty()) start_stage(run, stage.id);
   }
@@ -147,6 +172,7 @@ void DataflowEngine::start_stage(std::shared_ptr<RunState> run,
   sr.stats.tasks = sr.num_tasks;
   run->stats.tasks += sr.num_tasks;
 
+  auto& ids = run->stage_task_ids[static_cast<std::size_t>(stage_id)];
   for (int i = 0; i < sr.num_tasks; ++i) {
     const TaskId id = run->next_id++;
     RunState::TaskDef task;
@@ -158,6 +184,7 @@ void DataflowEngine::start_stage(std::shared_ptr<RunState> run,
       task.preferred = catalog_.store().locate(key);
     }
     run->copy_owner[id] = id;  // the original copy is its own task
+    ids.push_back(id);
     auto preferred = task.preferred;
     run->tasks.emplace(id, std::move(task));
     run->scheduler.enqueue(id, std::move(preferred), sim_.now());
@@ -166,6 +193,7 @@ void DataflowEngine::start_stage(std::shared_ptr<RunState> run,
 }
 
 void DataflowEngine::pump_tasks(std::shared_ptr<RunState> run) {
+  if (run->aborted) return;
   const auto assignments = run->scheduler.assign(sim_.now());
   for (const Assignment& a : assignments) {
     execute_copy(run, a.task, a.executor, a.local);
@@ -195,6 +223,7 @@ void DataflowEngine::release_copy(std::shared_ptr<RunState> run,
 
 void DataflowEngine::execute_copy(std::shared_ptr<RunState> run, TaskId copy,
                                   int executor, bool local) {
+  if (run->aborted) return;
   const TaskId task_id = run->copy_owner.at(copy);
   RunState::TaskDef& task = run->tasks.at(task_id);
   const bool is_backup = (copy != task_id);
@@ -204,7 +233,7 @@ void DataflowEngine::execute_copy(std::shared_ptr<RunState> run, TaskId copy,
   auto& sr = run->stage_runs[static_cast<std::size_t>(stage_id)];
 
   // The race may already be over by the time a backup gets a slot.
-  if (task.winner_decided) {
+  if (task.winner_decided || task.completed) {
     release_copy(run, executor);
     return;
   }
@@ -215,11 +244,18 @@ void DataflowEngine::execute_copy(std::shared_ptr<RunState> run, TaskId copy,
     ++run->stats.local_tasks;
   }
   const cluster::NodeId node = run->scheduler.executor_node(executor);
+  run->running_copies[copy] = RunState::CopyState{executor, node};
+  if (task.killed_at >= 0) {
+    metrics_.observe("reschedule_latency_ms",
+                     (sim_.now() - task.killed_at) / util::kMillisecond);
+    task.killed_at = -1;
+  }
 
   // Phases 3+4 (compute then output), once input has landed.
   auto compute_and_output = [this, run, task_id, copy, executor, stage_id,
                              index, node, is_backup, &def,
                              &sr](util::Bytes input_bytes) {
+    if (run->running_copies.count(copy) == 0) return;  // killed mid-input
     sr.stats.input_bytes += input_bytes;
     const double speed =
         config_.executor_core_speed * cluster_.node(node).core_speed;
@@ -240,16 +276,19 @@ void DataflowEngine::execute_copy(std::shared_ptr<RunState> run, TaskId copy,
                                                                   is_backup,
                                                                   &def, &sr,
                                                                   input_bytes] {
-      (void)copy;
+      auto it = run->running_copies.find(copy);
+      if (it == run->running_copies.end()) return;  // killed mid-compute
       RunState::TaskDef& task = run->tasks.at(task_id);
       if (task.winner_decided) {
         // Lost the race: the work is discarded.
+        run->running_copies.erase(it);
         --task.copies_running;
         metrics_.count("speculative_losses");
         release_copy(run, executor);
         return;
       }
       task.winner_decided = true;
+      task.winner_copy = copy;
       if (is_backup) {
         ++run->stats.speculative_wins;
         metrics_.count("speculative_wins");
@@ -257,7 +296,10 @@ void DataflowEngine::execute_copy(std::shared_ptr<RunState> run, TaskId copy,
       const auto output = static_cast<util::Bytes>(std::llround(
           static_cast<double>(input_bytes) * def.output_ratio));
       sr.stats.output_bytes += output;
-      auto complete = [this, run, task_id, executor] {
+      auto complete = [this, run, task_id, copy, executor] {
+        auto it = run->running_copies.find(copy);
+        if (it == run->running_copies.end()) return;  // killed mid-output
+        run->running_copies.erase(it);
         RunState::TaskDef& task = run->tasks.at(task_id);
         --task.copies_running;
         task.completed = true;
@@ -278,28 +320,71 @@ void DataflowEngine::execute_copy(std::shared_ptr<RunState> run, TaskId copy,
     });
   };
 
-  sim_.after(config_.task_launch_overhead, [this, run, task_id, node,
-                                            stage_id, index, &def,
-                                            compute_and_output] {
-    (void)task_id;
+  sim_.after(config_.task_launch_overhead, [this, run, task_id, copy,
+                                            executor, node, stage_id, index,
+                                            &def, compute_and_output] {
+    if (run->running_copies.count(copy) == 0) return;  // killed on launch
     if (def.reads_source()) {
       const auto key =
           storage::partition_key(catalog_.spec(def.source_dataset), index);
-      catalog_.store().get(node, key,
-                           [this, run, compute_and_output](
-                               const storage::GetResult& result) {
-                             if (!result.found) {
-                               throw std::logic_error(
-                                   "source partition vanished");
-                             }
-                             run->stats.bytes_read += result.size;
-                             compute_and_output(result.size);
-                           });
+      catalog_.store().get(
+          node, key,
+          [this, run, task_id, copy, executor,
+           compute_and_output](const storage::GetResult& result) {
+            if (run->running_copies.count(copy) == 0) return;
+            if (!result.found) {
+              // Source partition unreadable (all replicas down). Back
+              // off on the task's fault budget; the store may repair
+              // the partition before the budget runs out.
+              run->running_copies.erase(copy);
+              RunState::TaskDef& task = run->tasks.at(task_id);
+              --task.copies_running;
+              if (task.winner_copy == copy) {
+                task.winner_decided = false;
+                task.winner_copy = -1;
+              }
+              task.killed_at = sim_.now();
+              metrics_.count("source_read_failures");
+              retry_task(run, task_id);
+              if (!run->aborted) release_copy(run, executor);
+              return;
+            }
+            run->stats.bytes_read += result.size;
+            compute_and_output(result.size);
+          });
       return;
     }
     // Shuffle read: pull this reducer's share of every parent map output.
-    std::vector<FetchSource> plan;
     const auto& sr = run->stage_runs[static_cast<std::size_t>(stage_id)];
+    bool parents_ready = true;
+    for (int parent : def.parents) {
+      const auto& pr = run->stage_runs[static_cast<std::size_t>(parent)];
+      if (!run->shuffle.complete(parent, pr.num_tasks)) {
+        parents_ready = false;
+        break;
+      }
+    }
+    if (!parents_ready) {
+      // A parent map output is being rebuilt after a node crash. Park
+      // this copy and retry later without consuming the fault budget.
+      run->running_copies.erase(copy);
+      RunState::TaskDef& task = run->tasks.at(task_id);
+      --task.copies_running;
+      metrics_.count("reducer_input_waits");
+      sim_.after(config_.retry_backoff, [this, run, copy] {
+        if (run->aborted) return;
+        const TaskId task_id = run->copy_owner.at(copy);
+        RunState::TaskDef& task = run->tasks.at(task_id);
+        if (task.completed || task.winner_decided || task.copies_running > 0) {
+          return;
+        }
+        run->scheduler.enqueue(copy, task.preferred, sim_.now());
+        pump_tasks(run);
+      });
+      release_copy(run, executor);
+      return;
+    }
+    std::vector<FetchSource> plan;
     for (int parent : def.parents) {
       const auto part = run->shuffle.fetch_plan(parent, index, sr.num_tasks);
       plan.insert(plan.end(), part.begin(), part.end());
@@ -370,10 +455,140 @@ void DataflowEngine::maybe_speculate(std::shared_ptr<RunState> run,
   pump_tasks(run);
 }
 
+void DataflowEngine::retry_task(std::shared_ptr<RunState> run,
+                                TaskId task_id) {
+  RunState::TaskDef& task = run->tasks.at(task_id);
+  // A surviving copy (e.g. a speculative backup on a live node) is still
+  // racing; it will finish the task without a re-enqueue.
+  if (task.copies_running > 0 || task.retry_pending) return;
+  if (!config_.fault_recovery ||
+      task.fault_retries >= config_.max_task_retries) {
+    fail_job(run);
+    return;
+  }
+  ++task.fault_retries;
+  ++run->stats.task_retries;
+  metrics_.count("task_retries");
+  task.winner_decided = false;
+  task.winner_copy = -1;
+  task.speculated = false;
+  task.first_start = -1;
+  task.retry_pending = true;
+  // Exponential backoff with seeded jitter: 1x, 2x, 4x, ... of the base,
+  // each stretched by up to +25% so synchronized losses fan back out.
+  util::TimeNs delay = config_.retry_backoff << (task.fault_retries - 1);
+  delay += static_cast<util::TimeNs>(run->rng.uniform(0.0, 0.25) *
+                                     static_cast<double>(delay));
+  sim_.after(delay, [this, run, task_id] {
+    RunState::TaskDef& task = run->tasks.at(task_id);
+    task.retry_pending = false;
+    if (run->aborted) return;
+    if (task.completed || task.winner_decided || task.copies_running > 0) {
+      return;
+    }
+    run->scheduler.enqueue(task_id, task.preferred, sim_.now());
+    pump_tasks(run);
+  });
+}
+
+void DataflowEngine::fail_job(std::shared_ptr<RunState> run) {
+  if (run->done_reported) return;
+  run->aborted = true;
+  run->done_reported = true;
+  run->stats.failed = true;
+  run->stats.duration = sim_.now() - run->start_time;
+  for (const auto& stage_run : run->stage_runs) {
+    run->stats.stages.push_back(stage_run.stats);
+  }
+  metrics_.count("jobs_failed");
+  // Invalidate every in-flight continuation in one sweep.
+  run->running_copies.clear();
+  if (run->on_done) run->on_done(run->stats);
+}
+
+void DataflowEngine::handle_node_failure(cluster::NodeId node) {
+  for (const auto& weak : runs_) {
+    auto run = weak.lock();
+    if (!run || run->done_reported) continue;
+    run->scheduler.set_node_alive(node, false);
+    // 1. Kill running copies placed on the dead node.
+    std::vector<TaskId> killed;
+    for (const auto& [copy, cs] : run->running_copies) {
+      if (cs.node == node) killed.push_back(copy);
+    }
+    for (TaskId copy : killed) {
+      const RunState::CopyState cs = run->running_copies.at(copy);
+      run->running_copies.erase(copy);
+      const TaskId task_id = run->copy_owner.at(copy);
+      RunState::TaskDef& task = run->tasks.at(task_id);
+      --task.copies_running;
+      if (task.winner_copy == copy) {
+        task.winner_decided = false;
+        task.winner_copy = -1;
+      }
+      task.killed_at = sim_.now();
+      ++run->stats.tasks_killed;
+      metrics_.count("tasks_killed");
+      // Dead-aware release: the slot is parked until the node revives.
+      run->scheduler.release(cs.executor);
+      retry_task(run, task_id);
+      if (run->aborted) break;
+    }
+    if (run->aborted) continue;
+    // 2. Lost shuffle map outputs force re-execution of completed tasks.
+    const auto lost = run->shuffle.drop_outputs_on(node);
+    for (const auto& [stage, index] : lost) {
+      const TaskId task_id =
+          run->stage_task_ids[static_cast<std::size_t>(stage)]
+                             [static_cast<std::size_t>(index)];
+      RunState::TaskDef& task = run->tasks.at(task_id);
+      ++run->stats.map_outputs_lost;
+      metrics_.count("map_outputs_lost");
+      // A not-yet-completed owner was handled by the kill sweep above
+      // (its copy ran on the dead node), or a surviving copy will
+      // re-register the output when it wins.
+      if (!task.completed) continue;
+      task.completed = false;
+      task.winner_decided = false;
+      task.winner_copy = -1;
+      task.killed_at = sim_.now();
+      --run->stage_runs[static_cast<std::size_t>(task.stage)].done_tasks;
+      ++run->stats.tasks_reexecuted;
+      metrics_.count("tasks_reexecuted");
+      retry_task(run, task_id);
+      if (run->aborted) break;
+    }
+    if (!run->aborted) pump_tasks(run);
+  }
+  prune_runs();
+}
+
+void DataflowEngine::handle_node_recovery(cluster::NodeId node) {
+  for (const auto& weak : runs_) {
+    auto run = weak.lock();
+    if (!run || run->done_reported) continue;
+    run->scheduler.set_node_alive(node, true);
+    pump_tasks(run);
+  }
+  prune_runs();
+}
+
+void DataflowEngine::prune_runs() {
+  runs_.erase(std::remove_if(runs_.begin(), runs_.end(),
+                             [](const std::weak_ptr<RunState>& w) {
+                               return w.expired();
+                             }),
+              runs_.end());
+}
+
 void DataflowEngine::finish_stage(std::shared_ptr<RunState> run,
                                   int stage_id) {
   auto& sr = run->stage_runs[static_cast<std::size_t>(stage_id)];
   sr.stats.finish_time = sim_.now();
+  // A stage can re-finish after fault-driven re-execution of a task
+  // whose map output was lost; children were already started then.
+  if (sr.finished_once) return;
+  sr.finished_once = true;
   ++run->stages_done;
   metrics_.count("stages_completed");
 
@@ -404,6 +619,7 @@ void DataflowEngine::finish_stage(std::shared_ptr<RunState> run,
       run->stats.stages.push_back(stage_run.stats);
     }
     metrics_.count("jobs_completed");
+    run->done_reported = true;
     if (run->on_done) run->on_done(run->stats);
   }
 }

@@ -49,6 +49,15 @@ struct DataflowConfig {
   double speculation_multiplier = 1.5;
   /// Fraction of a stage that must be complete before speculating.
   double speculation_quantile = 0.5;
+
+  // -- Fault recovery (node crashes) ---------------------------------
+  /// When false, any task lost to a node failure fails the whole job.
+  bool fault_recovery = true;
+  /// Per-task budget of fault-driven re-executions before the job fails.
+  int max_task_retries = 4;
+  /// Base delay before a lost task is re-enqueued; doubles per retry,
+  /// with up to +25% seeded jitter to de-synchronize retry storms.
+  util::TimeNs retry_backoff = util::millis(200);
 };
 
 struct StageStats {
@@ -71,6 +80,11 @@ struct JobStats {
   int stragglers_injected = 0;
   int speculative_launched = 0;
   int speculative_wins = 0;  // backup copy finished first
+  bool failed = false;       // aborted (retry budget exhausted)
+  int tasks_killed = 0;      // running copies lost to node crashes
+  int tasks_reexecuted = 0;  // completed tasks redone (lost map output)
+  int map_outputs_lost = 0;  // shuffle outputs dropped by node crashes
+  int task_retries = 0;      // fault-driven re-enqueues
   std::vector<StageStats> stages;
 
   double locality_ratio() const {
@@ -99,6 +113,15 @@ class DataflowEngine {
   const DataflowConfig& config() const { return config_; }
   metrics::Registry& metrics() { return metrics_; }
 
+  /// Node crash: kills every running task copy on `node` across live
+  /// jobs, drops its shuffle map outputs (re-executing the owning map
+  /// tasks), and withholds its executor slots. Retries are bounded by
+  /// `max_task_retries` per task with exponential backoff; past the
+  /// budget the job fails cleanly (stats.failed, `on_done` still runs).
+  void handle_node_failure(cluster::NodeId node);
+  /// Node recovery: returns the node's executor slots to every live job.
+  void handle_node_recovery(cluster::NodeId node);
+
  private:
   struct RunState;
 
@@ -110,6 +133,9 @@ class DataflowEngine {
   void task_won(std::shared_ptr<RunState> run, TaskId task);
   void maybe_speculate(std::shared_ptr<RunState> run, int stage_id);
   void finish_stage(std::shared_ptr<RunState> run, int stage_id);
+  void retry_task(std::shared_ptr<RunState> run, TaskId task_id);
+  void fail_job(std::shared_ptr<RunState> run);
+  void prune_runs();
 
   sim::Simulation& sim_;
   const cluster::Cluster& cluster_;
@@ -118,6 +144,8 @@ class DataflowEngine {
   storage::DatasetCatalog& catalog_;
   DataflowConfig config_;
   metrics::Registry metrics_;
+  /// Live jobs, for failure fan-out; expired entries pruned lazily.
+  std::vector<std::weak_ptr<RunState>> runs_;
 };
 
 }  // namespace evolve::dataflow

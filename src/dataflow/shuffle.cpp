@@ -48,6 +48,24 @@ util::Bytes ShuffleManager::stage_output_bytes(int stage) const {
   return total;
 }
 
+std::vector<std::pair<int, int>> ShuffleManager::drop_outputs_on(
+    cluster::NodeId node) {
+  std::vector<std::pair<int, int>> lost;
+  for (auto stage_it = outputs_.begin(); stage_it != outputs_.end();) {
+    auto& [stage, stage_outputs] = *stage_it;
+    for (auto it = stage_outputs.begin(); it != stage_outputs.end();) {
+      if (it->second.node == node) {
+        lost.emplace_back(stage, it->first);
+        it = stage_outputs.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    stage_it = stage_outputs.empty() ? outputs_.erase(stage_it) : ++stage_it;
+  }
+  return lost;
+}
+
 void ShuffleManager::release(int stage) { outputs_.erase(stage); }
 
 }  // namespace evolve::dataflow

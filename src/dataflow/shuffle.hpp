@@ -43,6 +43,11 @@ class ShuffleManager {
   /// Frees a stage's outputs (all consumers done).
   void release(int stage);
 
+  /// Drops every registered output living on `node` (node crash) and
+  /// returns the (stage, task) pairs that lost data. Released stages are
+  /// gone already and thus never reported.
+  std::vector<std::pair<int, int>> drop_outputs_on(cluster::NodeId node);
+
  private:
   std::map<int, std::map<int, MapOutput>> outputs_;  // stage -> task -> out
 };

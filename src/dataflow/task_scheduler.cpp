@@ -39,10 +39,37 @@ void TaskScheduler::enqueue(TaskId task,
 void TaskScheduler::release(int executor) {
   Executor& e = executors_.at(static_cast<std::size_t>(executor));
   ++e.free;
+  if (dead_nodes_.count(e.node) != 0) return;  // slot returns on revival
   ++free_total_;
   if (e.free == 1) {
     free_by_node_[e.node].insert(executor);
     free_execs_.insert(executor);
+  }
+}
+
+void TaskScheduler::set_node_alive(cluster::NodeId node, bool alive) {
+  if (alive) {
+    if (dead_nodes_.erase(node) == 0) return;
+    for (std::size_t i = 0; i < executors_.size(); ++i) {
+      const Executor& e = executors_[i];
+      if (e.node != node || e.free <= 0) continue;
+      free_total_ += e.free;
+      free_by_node_[node].insert(static_cast<int>(i));
+      free_execs_.insert(static_cast<int>(i));
+    }
+    return;
+  }
+  if (!dead_nodes_.insert(node).second) return;
+  for (std::size_t i = 0; i < executors_.size(); ++i) {
+    const Executor& e = executors_[i];
+    if (e.node != node || e.free <= 0) continue;
+    free_total_ -= e.free;
+    auto it = free_by_node_.find(node);
+    if (it != free_by_node_.end()) {
+      it->second.erase(static_cast<int>(i));
+      if (it->second.empty()) free_by_node_.erase(it);
+    }
+    free_execs_.erase(static_cast<int>(i));
   }
 }
 

@@ -53,6 +53,14 @@ class TaskScheduler {
   /// Frees one slot on `executor` (its task finished).
   void release(int executor);
 
+  /// Marks every executor on `node` dead (alive = false): they receive
+  /// no assignments and their slots leave the free pool. Marking a node
+  /// alive again returns its free slots to the pool. Idempotent.
+  void set_node_alive(cluster::NodeId node, bool alive);
+  bool node_alive(cluster::NodeId node) const {
+    return dead_nodes_.count(node) == 0;
+  }
+
   /// Assigns as many queued tasks as possible at time `now`, in FIFO
   /// order among the currently assignable tasks.
   std::vector<Assignment> assign(util::TimeNs now);
@@ -90,9 +98,10 @@ class TaskScheduler {
   std::set<std::int64_t> no_pref_;    // seqs of tasks without preference
   std::set<std::int64_t> with_pref_;  // seqs of tasks with preference
   std::map<cluster::NodeId, std::set<std::int64_t>> waiting_by_node_;
-  // Free-slot indexes (executor indices with free > 0).
+  // Free-slot indexes (executor indices with free > 0 on live nodes).
   std::map<cluster::NodeId, std::set<int>> free_by_node_;
   std::set<int> free_execs_;
+  std::set<cluster::NodeId> dead_nodes_;
   int free_total_ = 0;
   std::int64_t local_ = 0;
   std::int64_t total_ = 0;

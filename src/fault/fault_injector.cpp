@@ -1,0 +1,94 @@
+#include "fault/fault_injector.hpp"
+
+#include <stdexcept>
+
+namespace evolve::fault {
+
+void FaultInjector::schedule_failure(cluster::NodeId node, util::TimeNs at) {
+  sim_.at(at, [this, node] { kill(node); });
+}
+
+void FaultInjector::schedule_recovery(cluster::NodeId node, util::TimeNs at) {
+  sim_.at(at, [this, node] { restore(node); });
+}
+
+void FaultInjector::schedule_outage(cluster::NodeId node, util::TimeNs at,
+                                    util::TimeNs downtime) {
+  if (downtime <= 0) throw std::invalid_argument("outage needs downtime > 0");
+  schedule_failure(node, at);
+  schedule_recovery(node, at + downtime);
+}
+
+void FaultInjector::random_process(const std::vector<cluster::NodeId>& nodes,
+                                   double mtbf_s, double mttr_s,
+                                   util::TimeNs until) {
+  if (mtbf_s <= 0 || mttr_s <= 0) {
+    throw std::invalid_argument("MTBF and MTTR must be > 0");
+  }
+  for (cluster::NodeId node : nodes) {
+    processes_.push_back(Process{node, mtbf_s, mttr_s, until, rng_.fork()});
+    arm_failure(processes_.size() - 1);
+  }
+}
+
+void FaultInjector::arm_failure(std::size_t process) {
+  Process& p = processes_[process];
+  const auto ttf =
+      static_cast<util::TimeNs>(p.rng.exponential(1.0 / p.mtbf_s) * 1e9);
+  const util::TimeNs when = sim_.now() + ttf;
+  if (when > p.until) return;  // process expires: no more failures initiated
+  sim_.at(when, [this, process] {
+    const cluster::NodeId node = processes_[process].node;
+    if (!is_down(node)) {
+      kill(node);
+      arm_recovery(process);
+    } else {
+      // Someone else downed the node; try again after it comes back.
+      arm_failure(process);
+    }
+  });
+}
+
+void FaultInjector::arm_recovery(std::size_t process) {
+  Process& p = processes_[process];
+  const auto ttr =
+      static_cast<util::TimeNs>(p.rng.exponential(1.0 / p.mttr_s) * 1e9);
+  sim_.after(ttr, [this, process] {
+    const cluster::NodeId node = processes_[process].node;
+    if (is_down(node)) restore(node);
+    arm_failure(process);
+  });
+}
+
+void FaultInjector::kill(cluster::NodeId node) {
+  if (!down_.insert(node).second) return;
+  down_since_[node] = sim_.now();
+  ++failures_;
+  metrics_.count("node_failures");
+  metrics_.set_gauge("nodes_down", static_cast<double>(down_.size()));
+  for (const FaultFn& fn : failure_subs_) fn(node, sim_.now());
+}
+
+void FaultInjector::restore(cluster::NodeId node) {
+  if (down_.erase(node) == 0) return;
+  const auto it = down_since_.find(node);
+  downtime_ns_ += sim_.now() - it->second;
+  metrics_.observe("downtime_ms", (sim_.now() - it->second) / util::kMillisecond);
+  down_since_.erase(it);
+  ++recoveries_;
+  metrics_.count("node_recoveries");
+  metrics_.set_gauge("nodes_down", static_cast<double>(down_.size()));
+  for (const FaultFn& fn : recovery_subs_) fn(node, sim_.now());
+}
+
+void FaultInjector::restore_all() {
+  while (!down_.empty()) restore(*down_.begin());
+}
+
+double FaultInjector::downtime_node_seconds() const {
+  util::TimeNs open = 0;
+  for (const auto& [node, since] : down_since_) open += sim_.now() - since;
+  return util::to_seconds(downtime_ns_ + open);
+}
+
+}  // namespace evolve::fault

@@ -1,0 +1,105 @@
+// Cluster-wide fault injection driven by the shared simulation clock.
+//
+// A FaultInjector kills and restores whole nodes, either on a
+// deterministic schedule or through a seeded MTBF/MTTR renewal process
+// per node class. It knows nothing about the layers above it: subscribers
+// (orchestrator, dataflow engine, object store, batch queue — see
+// fault/wiring.hpp) register callbacks and translate a node death into
+// their own recovery actions, so one crash propagates coherently through
+// every subsystem that shares the clock.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "metrics/registry.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace evolve::fault {
+
+struct FaultInjectorConfig {
+  std::uint64_t seed = 1;  // drives every MTBF/MTTR process
+};
+
+class FaultInjector {
+ public:
+  /// Called with the node and the simulated time of the transition.
+  using FaultFn = std::function<void(cluster::NodeId, util::TimeNs)>;
+
+  explicit FaultInjector(sim::Simulation& sim, FaultInjectorConfig config = {})
+      : sim_(sim), config_(config), rng_(config.seed) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Registers a subscriber; callbacks fire in registration order.
+  void on_failure(FaultFn fn) { failure_subs_.push_back(std::move(fn)); }
+  void on_recovery(FaultFn fn) { recovery_subs_.push_back(std::move(fn)); }
+
+  // -- Deterministic schedules ---------------------------------------
+  void schedule_failure(cluster::NodeId node, util::TimeNs at);
+  void schedule_recovery(cluster::NodeId node, util::TimeNs at);
+  /// Failure at `at`, recovery at `at + downtime`.
+  void schedule_outage(cluster::NodeId node, util::TimeNs at,
+                       util::TimeNs downtime);
+
+  // -- Seeded random process -----------------------------------------
+  /// Starts an independent MTBF/MTTR renewal process on each node:
+  /// exponential time-to-failure with mean `mtbf_s` seconds, exponential
+  /// repair with mean `mttr_s` seconds. No failures are *initiated* after
+  /// `until`, so the fabric can drain (a node down at `until` still
+  /// recovers). Deterministic for a given config seed.
+  void random_process(const std::vector<cluster::NodeId>& nodes,
+                      double mtbf_s, double mttr_s, util::TimeNs until);
+
+  // -- Immediate transitions (also used by the schedulers above) ------
+  /// Kills a node now. No-op if it is already down.
+  void kill(cluster::NodeId node);
+  /// Restores a node now. No-op if it is up.
+  void restore(cluster::NodeId node);
+  /// Restores every downed node now (end-of-experiment drain).
+  void restore_all();
+
+  bool is_down(cluster::NodeId node) const { return down_.count(node) != 0; }
+  int down_count() const { return static_cast<int>(down_.size()); }
+
+  std::int64_t failures_injected() const { return failures_; }
+  std::int64_t recoveries() const { return recoveries_; }
+  /// Accumulated node-seconds of downtime (downed intervals only; open
+  /// intervals are charged up to `now`).
+  double downtime_node_seconds() const;
+
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
+
+ private:
+  struct Process {
+    cluster::NodeId node;
+    double mtbf_s;
+    double mttr_s;
+    util::TimeNs until;
+    util::Rng rng;
+  };
+
+  void arm_failure(std::size_t process);
+  void arm_recovery(std::size_t process);
+
+  sim::Simulation& sim_;
+  FaultInjectorConfig config_;
+  util::Rng rng_;
+  std::vector<FaultFn> failure_subs_;
+  std::vector<FaultFn> recovery_subs_;
+  std::vector<Process> processes_;
+  std::set<cluster::NodeId> down_;
+  std::map<cluster::NodeId, util::TimeNs> down_since_;
+  std::int64_t failures_ = 0;
+  std::int64_t recoveries_ = 0;
+  util::TimeNs downtime_ns_ = 0;
+  metrics::Registry metrics_;
+};
+
+}  // namespace evolve::fault

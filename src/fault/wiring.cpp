@@ -1,0 +1,58 @@
+#include "fault/wiring.hpp"
+
+#include <algorithm>
+
+#include "dataflow/engine.hpp"
+#include "hpc/batch_queue.hpp"
+#include "orch/scheduler.hpp"
+#include "storage/object_store.hpp"
+
+namespace evolve::fault {
+
+void connect(FaultInjector& injector, orch::Orchestrator& orch) {
+  injector.on_failure([&orch](cluster::NodeId node, util::TimeNs) {
+    if (orch.manages(node)) orch.fail_node(node);
+  });
+  injector.on_recovery([&orch](cluster::NodeId node, util::TimeNs) {
+    if (orch.manages(node)) orch.recover_node(node);
+  });
+}
+
+void connect(FaultInjector& injector, dataflow::DataflowEngine& engine) {
+  injector.on_failure([&engine](cluster::NodeId node, util::TimeNs) {
+    engine.handle_node_failure(node);
+  });
+  injector.on_recovery([&engine](cluster::NodeId node, util::TimeNs) {
+    engine.handle_node_recovery(node);
+  });
+}
+
+void connect(FaultInjector& injector, storage::ObjectStore& store) {
+  injector.on_failure([&store](cluster::NodeId node, util::TimeNs) {
+    store.handle_node_failure(node);
+  });
+  injector.on_recovery([&store](cluster::NodeId node, util::TimeNs) {
+    store.handle_node_recovery(node);
+  });
+}
+
+void connect(FaultInjector& injector, hpc::BatchQueue& queue,
+             std::vector<cluster::NodeId> queue_nodes) {
+  auto index_of = [queue_nodes](cluster::NodeId node) {
+    const auto it =
+        std::find(queue_nodes.begin(), queue_nodes.end(), node);
+    return it == queue_nodes.end()
+               ? -1
+               : static_cast<int>(it - queue_nodes.begin());
+  };
+  injector.on_failure([&queue, index_of](cluster::NodeId node, util::TimeNs) {
+    const int idx = index_of(node);
+    if (idx >= 0) queue.handle_node_failure(idx);
+  });
+  injector.on_recovery([&queue, index_of](cluster::NodeId node, util::TimeNs) {
+    const int idx = index_of(node);
+    if (idx >= 0) queue.handle_node_recovery(idx);
+  });
+}
+
+}  // namespace evolve::fault

@@ -6,13 +6,18 @@
 namespace evolve::hpc {
 
 BatchQueue::BatchQueue(sim::Simulation& sim, int total_nodes,
-                       QueuePolicy policy, util::TimeNs aging_interval)
+                       QueuePolicy policy, util::TimeNs aging_interval,
+                       BatchFaultConfig fault)
     : sim_(sim),
       policy_(policy),
       aging_interval_(aging_interval),
+      fault_(fault),
       usage_(static_cast<double>(total_nodes)) {
   if (total_nodes <= 0) {
     throw std::invalid_argument("batch queue needs nodes");
+  }
+  if (fault_.checkpoint_interval < 0 || fault_.restart_cost < 0) {
+    throw std::invalid_argument("negative fault-config time");
   }
   for (int n = 0; n < total_nodes; ++n) free_.insert(n);
 }
@@ -37,6 +42,7 @@ JobId BatchQueue::submit(HpcJobSpec spec, StartFn on_start,
   rec.status.id = id;
   rec.status.spec = std::move(spec);
   rec.status.submit_time = sim_.now();
+  rec.remaining = rec.status.spec.runtime;
   rec.on_start = std::move(on_start);
   rec.on_finish = std::move(on_finish);
   jobs_.emplace(id, std::move(rec));
@@ -66,12 +72,16 @@ void BatchQueue::start_job(JobRecord& rec) {
                    (sim_.now() - rec.status.submit_time) / util::kSecond);
   const JobId id = rec.status.id;
   if (rec.on_start) rec.on_start(id, rec.status.assigned_nodes);
-  sim_.after(rec.status.spec.runtime, [this, id] { finish_job(id); });
+  const std::int64_t incarnation = rec.incarnation;
+  sim_.after(rec.remaining,
+             [this, id, incarnation] { finish_job(id, incarnation); });
 }
 
-void BatchQueue::finish_job(JobId id) {
+void BatchQueue::finish_job(JobId id, std::int64_t incarnation) {
   auto it = jobs_.find(id);
   if (it == jobs_.end() || it->second.status.finished) return;
+  // A stale timer from an incarnation that was aborted by a node crash.
+  if (it->second.incarnation != incarnation) return;
   JobRecord& rec = it->second;
   rec.status.finished = true;
   rec.status.finish_time = sim_.now();
@@ -179,6 +189,58 @@ void BatchQueue::schedule_pass() {
     }
   }
   metrics_.set_gauge("queued_jobs", static_cast<double>(queue_.size()));
+}
+
+void BatchQueue::handle_node_failure(int node) {
+  if (node < 0 || node >= static_cast<int>(usage_.capacity())) return;
+  if (!down_.insert(node).second) return;
+  free_.erase(node);
+  metrics_.count("node_failures");
+
+  // Exclusive allocation: at most one running job touches the node.
+  JobId victim = kInvalidJob;
+  for (JobId id : running_) {
+    const auto& assigned = jobs_.at(id).status.assigned_nodes;
+    if (std::find(assigned.begin(), assigned.end(), node) != assigned.end()) {
+      victim = id;
+      break;
+    }
+  }
+  if (victim == kInvalidJob) return;  // the node was idle
+
+  JobRecord& rec = jobs_.at(victim);
+  ++rec.incarnation;  // disarm the in-flight finish timer
+  const util::TimeNs elapsed = sim_.now() - rec.status.start_time;
+  util::TimeNs checkpointed = 0;
+  if (fault_.checkpoint_interval > 0) {
+    checkpointed =
+        (elapsed / fault_.checkpoint_interval) * fault_.checkpoint_interval;
+    checkpointed = std::min(checkpointed, rec.remaining);
+  }
+  // Gang abort: surviving members stop too; their nodes free up.
+  for (int n : rec.status.assigned_nodes) {
+    if (down_.count(n) == 0) free_.insert(n);
+  }
+  running_.erase(victim);
+  usage_.add(sim_.now(), -static_cast<double>(rec.status.spec.nodes));
+  rec.status.started = false;
+  rec.status.start_time = -1;
+  rec.status.assigned_nodes.clear();
+  ++rec.status.restarts;
+  rec.remaining = rec.remaining - checkpointed + fault_.restart_cost;
+  queue_.push_front(victim);  // restarts take queue priority
+  metrics_.count("gang_aborts");
+  metrics_.count("jobs_restarted");
+  metrics_.observe("work_lost_ms",
+                   (elapsed - checkpointed) / util::kMillisecond);
+  schedule_pass();
+}
+
+void BatchQueue::handle_node_recovery(int node) {
+  if (down_.erase(node) == 0) return;
+  free_.insert(node);
+  metrics_.count("node_recoveries");
+  schedule_pass();
 }
 
 double BatchQueue::utilization() const { return usage_.utilization(sim_.now()); }

@@ -44,6 +44,19 @@ struct HpcJobStatus {
   std::vector<int> assigned_nodes;
   bool started = false;
   bool finished = false;
+  int restarts = 0;  // times the job was requeued by a node failure
+};
+
+/// Failure semantics for gang (whole-node) jobs. A node crash aborts
+/// every job touching it; aborted jobs requeue at the head and restart
+/// from their last checkpoint.
+struct BatchFaultConfig {
+  /// Jobs checkpoint every interval; progress since the last checkpoint
+  /// is lost on failure. 0 = no checkpointing (restart from scratch).
+  util::TimeNs checkpoint_interval = 0;
+  /// Fixed cost added to the remaining runtime on each restart
+  /// (checkpoint load + re-initialization).
+  util::TimeNs restart_cost = 0;
 };
 
 class BatchQueue {
@@ -55,7 +68,7 @@ class BatchQueue {
   /// interval (0 disables aging; ordering is then priority, then FIFO).
   BatchQueue(sim::Simulation& sim, int total_nodes,
              QueuePolicy policy = QueuePolicy::kFcfs,
-             util::TimeNs aging_interval = 0);
+             util::TimeNs aging_interval = 0, BatchFaultConfig fault = {});
 
   JobId submit(HpcJobSpec spec, StartFn on_start = {},
                FinishFn on_finish = {});
@@ -71,11 +84,22 @@ class BatchQueue {
   /// Node-level utilization since t=0.
   double utilization() const;
 
+  /// Node crash: the node leaves the free pool and any gang job running
+  /// on it aborts — surviving members' nodes free up, the job requeues
+  /// at the head and will restart from its last checkpoint. Idempotent.
+  void handle_node_failure(int node);
+  /// Recovery: the node rejoins the free pool and the queue re-pumps.
+  void handle_node_recovery(int node);
+  bool node_alive(int node) const { return down_.count(node) == 0; }
+  int down_nodes() const { return static_cast<int>(down_.size()); }
+
  private:
   struct JobRecord {
     HpcJobStatus status;
     StartFn on_start;
     FinishFn on_finish;
+    util::TimeNs remaining = 0;     // runtime left (restarts shrink it)
+    std::int64_t incarnation = 0;   // invalidates stale finish timers
   };
 
   void schedule_pass();
@@ -84,7 +108,7 @@ class BatchQueue {
   std::vector<JobId> eligible_order() const;
   bool dependencies_met(const JobRecord& rec) const;
   void start_job(JobRecord& rec);
-  void finish_job(JobId id);
+  void finish_job(JobId id, std::int64_t incarnation);
   /// Earliest time the head job could start, from running jobs' walltime
   /// estimates (the EASY "shadow time").
   util::TimeNs shadow_time(int needed) const;
@@ -92,7 +116,9 @@ class BatchQueue {
   sim::Simulation& sim_;
   QueuePolicy policy_;
   util::TimeNs aging_interval_;
+  BatchFaultConfig fault_;
   std::set<int> free_;
+  std::set<int> down_;
   std::map<JobId, JobRecord> jobs_;
   std::deque<JobId> queue_;
   std::set<JobId> running_;

@@ -37,19 +37,23 @@ cluster::NodeId select_node(const PodSpec& pod,
 
 namespace {
 
-/// Excludes cordoned nodes; appended to every orchestrator's policy.
+/// Excludes cordoned and NotReady (crashed) nodes; appended to every
+/// orchestrator's policy.
 class CordonFilter : public FilterPlugin {
  public:
-  explicit CordonFilter(const std::set<cluster::NodeId>* cordoned)
-      : cordoned_(cordoned) {}
+  CordonFilter(const std::set<cluster::NodeId>* cordoned,
+               const std::set<cluster::NodeId>* not_ready)
+      : cordoned_(cordoned), not_ready_(not_ready) {}
   std::string name() const override { return "Cordon"; }
   bool feasible(const PodSpec&, const cluster::NodeSpec&,
                 const NodeStatus& node) const override {
-    return cordoned_->count(node.id()) == 0;
+    return cordoned_->count(node.id()) == 0 &&
+           not_ready_->count(node.id()) == 0;
   }
 
  private:
   const std::set<cluster::NodeId>* cordoned_;
+  const std::set<cluster::NodeId>* not_ready_;
 };
 
 /// Hard anti-affinity: a node may host at most one pod per group.
@@ -79,7 +83,8 @@ Orchestrator::Orchestrator(sim::Simulation& sim,
       cluster_(cluster),
       policy_(std::move(policy)),
       config_(config) {
-  policy_.filters.push_back(std::make_shared<CordonFilter>(&cordoned_));
+  policy_.filters.push_back(
+      std::make_shared<CordonFilter>(&cordoned_, &not_ready_));
   policy_.filters.push_back(
       std::make_shared<AntiAffinityFilter>(&affinity_counts_));
   std::vector<cluster::NodeId> managed = config_.nodes;
@@ -129,7 +134,11 @@ const NodeStatus& Orchestrator::node_status(cluster::NodeId node) const {
 
 void Orchestrator::enqueue(PodId id) {
   queue_.push_back(id);
-  if (!pump_scheduled_ && !shutdown_) {
+  kick_pump();
+}
+
+void Orchestrator::kick_pump() {
+  if (!queue_.empty() && !pump_scheduled_ && !shutdown_) {
     pump_scheduled_ = true;
     sim_.after(config_.scheduling_interval, [this] { pump(); });
   }
@@ -255,10 +264,25 @@ void Orchestrator::complete(PodId id, PodPhase phase) {
   metrics_.count(phase == PodPhase::kSucceeded ? "pods_succeeded"
                                                : "pods_failed");
   if (rec.on_finish) rec.on_finish(id, phase);
-  if (!queue_.empty() && !pump_scheduled_ && !shutdown_) {
-    pump_scheduled_ = true;
-    sim_.after(config_.scheduling_interval, [this] { pump(); });
+  if (phase == PodPhase::kFailed) fail_gang_of(rec);
+  kick_pump();
+}
+
+void Orchestrator::fail_gang_of(const PodRecord& rec) {
+  const GangId gang = rec.status.spec.gang;
+  if (gang == 0) return;
+  if (!gangs_failing_.insert(gang).second) return;  // cascade in progress
+  std::vector<PodId> members;
+  for (const auto& [pid, other] : pods_) {
+    if (other.status.spec.gang == gang && !other.status.is_terminal()) {
+      members.push_back(pid);
+    }
   }
+  for (PodId pid : members) {
+    metrics_.count("gang_kills");
+    complete(pid, PodPhase::kFailed);
+  }
+  gangs_failing_.erase(gang);
 }
 
 void Orchestrator::finish(PodId id) { complete(id, PodPhase::kSucceeded); }
@@ -400,24 +424,49 @@ void Orchestrator::cordon(cluster::NodeId node) {
 }
 
 void Orchestrator::uncordon(cluster::NodeId node) {
-  if (cordoned_.erase(node) > 0 && !queue_.empty() && !pump_scheduled_ &&
-      !shutdown_) {
-    pump_scheduled_ = true;
-    sim_.after(config_.scheduling_interval, [this] { pump(); });
-  }
+  if (cordoned_.erase(node) > 0) kick_pump();
 }
 
 bool Orchestrator::is_cordoned(cluster::NodeId node) const {
   return cordoned_.count(node) != 0;
 }
 
-void Orchestrator::drain(cluster::NodeId node) {
-  cordon(node);
+void Orchestrator::evict_pods(cluster::NodeId node) {
   const std::set<PodId> victims = status_for(node).pods();
   for (PodId pod : victims) {
     metrics_.count("evictions");
     complete(pod, PodPhase::kFailed);
   }
+}
+
+void Orchestrator::drain(cluster::NodeId node) {
+  cordon(node);
+  evict_pods(node);
+}
+
+bool Orchestrator::manages(cluster::NodeId node) const {
+  return node_index_.count(node) != 0;
+}
+
+void Orchestrator::fail_node(cluster::NodeId node) {
+  (void)status_for(node);  // validate it is managed here
+  if (!not_ready_.insert(node).second) return;
+  not_ready_since_[node] = sim_.now();
+  metrics_.count("node_failures");
+  evict_pods(node);
+}
+
+void Orchestrator::recover_node(cluster::NodeId node) {
+  if (not_ready_.erase(node) == 0) return;
+  metrics_.count("node_recoveries");
+  metrics_.observe("node_downtime_ms", (sim_.now() - not_ready_since_[node]) /
+                                           util::kMillisecond);
+  not_ready_since_.erase(node);
+  kick_pump();
+}
+
+bool Orchestrator::is_ready(cluster::NodeId node) const {
+  return not_ready_.count(node) == 0;
 }
 
 double Orchestrator::cpu_utilization() const {

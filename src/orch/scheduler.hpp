@@ -88,8 +88,18 @@ class Orchestrator {
   void uncordon(cluster::NodeId node);
   bool is_cordoned(cluster::NodeId node) const;
   /// Cordons the node and evicts every pod on it (phase -> Failed, so
-  /// controllers recreate them elsewhere). Models node failure/maintenance.
+  /// controllers recreate them elsewhere). Models planned maintenance.
   void drain(cluster::NodeId node);
+
+  /// True when this orchestrator manages `node`.
+  bool manages(cluster::NodeId node) const;
+  /// Node crash: marks the node NotReady (unschedulable until recovery)
+  /// and evicts every pod on it. Distinct from cordon() so a manual
+  /// cordon survives a failure/recovery cycle.
+  void fail_node(cluster::NodeId node);
+  /// Crash recovery: the node becomes schedulable and the queue re-pumps.
+  void recover_node(cluster::NodeId node);
+  bool is_ready(cluster::NodeId node) const;
 
   /// Runs one scheduling pass immediately (also runs periodically).
   void schedule_now();
@@ -109,8 +119,13 @@ class Orchestrator {
   PodRecord& record(PodId id);
   NodeStatus& status_for(cluster::NodeId node);
   void enqueue(PodId id);
+  void kick_pump();
   void place(PodRecord& rec, cluster::NodeId node);
   void complete(PodId id, PodPhase phase);
+  void evict_pods(cluster::NodeId node);
+  /// A gang member failed: the surviving members are killed too
+  /// (all-or-nothing gangs have all-or-nothing lifetimes).
+  void fail_gang_of(const PodRecord& rec);
   bool try_schedule_gang(GangId gang, std::vector<PodId>& gang_pods);
   bool try_preempt_for(const PodRecord& rec);
   void pump();
@@ -122,6 +137,9 @@ class Orchestrator {
   std::vector<NodeStatus> nodes_;
   std::map<cluster::NodeId, std::size_t> node_index_;
   std::set<cluster::NodeId> cordoned_;
+  std::set<cluster::NodeId> not_ready_;  // crashed, awaiting recovery
+  std::map<cluster::NodeId, util::TimeNs> not_ready_since_;
+  std::set<GangId> gangs_failing_;  // re-entrancy guard for gang kills
   /// Live pod count per (node, anti-affinity group).
   std::map<std::pair<cluster::NodeId, std::string>, int> affinity_counts_;
   std::map<PodId, PodRecord> pods_;

@@ -112,26 +112,48 @@ bool ObjectStore::bucket_exists(const std::string& bucket) const {
   return buckets_.count(bucket) != 0;
 }
 
-std::vector<cluster::NodeId> ObjectStore::locate(const ObjectKey& key) const {
-  // Rendezvous hashing: rank servers by hash(key, server), take top R.
+std::vector<cluster::NodeId> ObjectStore::ranked_servers(
+    const ObjectKey& key) const {
+  // Rendezvous hashing: rank live servers by hash(key, server).
   std::vector<std::pair<std::uint64_t, cluster::NodeId>> ranked;
   ranked.reserve(servers_.size());
   const std::uint64_t kh = string_hash(key.full());
   for (cluster::NodeId node : servers_) {
+    if (dead_servers_.count(node) != 0) continue;
     ranked.emplace_back(mix_hash(kh ^ (0x9e3779b97f4a7c15ULL *
                                        static_cast<std::uint64_t>(node + 1))),
                         node);
   }
   std::sort(ranked.begin(), ranked.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<cluster::NodeId> out;
+  out.reserve(ranked.size());
+  for (const auto& [hash, node] : ranked) out.push_back(node);
+  return out;
+}
+
+int ObjectStore::placed_copies() const {
   const int wanted = config_.redundancy == Redundancy::kReplication
                          ? config_.replicas
                          : config_.ec_data + config_.ec_parity;
-  const int count = std::min<int>(wanted, static_cast<int>(ranked.size()));
-  std::vector<cluster::NodeId> out;
-  out.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) out.push_back(ranked[static_cast<std::size_t>(i)].second);
-  return out;
+  return std::min<int>(wanted, static_cast<int>(servers_.size()));
+}
+
+ObjectStore::Health ObjectStore::health(const ObjectMeta& meta) const {
+  const int live = static_cast<int>(meta.replicas.size());
+  const int min_live =
+      config_.redundancy == Redundancy::kReplication ? 1 : config_.ec_data;
+  if (live < min_live) return Health::kLost;
+  if (live < placed_copies()) return Health::kDegraded;
+  return Health::kFull;
+}
+
+std::vector<cluster::NodeId> ObjectStore::locate(const ObjectKey& key) const {
+  auto ranked = ranked_servers(key);
+  const int count =
+      std::min<int>(placed_copies(), static_cast<int>(ranked.size()));
+  ranked.resize(static_cast<std::size_t>(count));
+  return ranked;
 }
 
 cluster::NodeId ObjectStore::choose_replica(
@@ -150,6 +172,22 @@ cluster::NodeId ObjectStore::choose_replica(
 void ObjectStore::write_durable(cluster::NodeId server, const ObjectKey& key,
                                 util::Bytes size,
                                 std::function<void()> on_done) {
+  // A write that raced a crash lands nowhere: the crash handler already
+  // dropped this server from the object's replica set (and wiped its
+  // accounting), so skipping keeps durable_used consistent even if the
+  // server has since recovered empty.
+  if (dead_servers_.count(server) != 0) {
+    sim_.defer(std::move(on_done));
+    return;
+  }
+  if (auto it = objects_.find(key); it != objects_.end()) {
+    const auto& replicas = it->second.replicas;
+    if (std::find(replicas.begin(), replicas.end(), server) ==
+        replicas.end()) {
+      sim_.defer(std::move(on_done));
+      return;
+    }
+  }
   ServerState& state = server_state(server);
   io_.device(server, state.durable_device)
       .submit(IoKind::kWrite, size, std::move(on_done));
@@ -171,20 +209,35 @@ void ObjectStore::put(cluster::NodeId client, const ObjectKey& key,
   }
   if (size < 0) throw std::invalid_argument("put: negative size");
   const auto replicas = locate(key);
+  const std::size_t min_live =
+      config_.redundancy == Redundancy::kReplication
+          ? 1
+          : static_cast<std::size_t>(config_.ec_data);
+  if (replicas.size() < min_live) {
+    throw std::runtime_error("put: not enough live storage servers");
+  }
   const util::TimeNs start = sim_.now();
   metrics_.count("put_requests");
   metrics_.count("put_bytes", size);
 
   // If overwriting, reclaim the old durable bytes first.
+  int version = 0;
   if (auto it = objects_.find(key); it != objects_.end()) {
     for (cluster::NodeId r : it->second.replicas) {
       ServerState& state = server_state(r);
       state.durable_used -= it->second.per_server_bytes;
       state.cache->erase(key.full());
     }
+    if (health(it->second) == Health::kDegraded) shift_underrep(-1);
+    version = it->second.version + 1;
   }
   const util::Bytes per_server = per_server_bytes(size);
-  objects_[key] = ObjectMeta{size, per_server, replicas};
+  objects_[key] = ObjectMeta{size, per_server, replicas, version};
+  // Born degraded when live servers cannot host every copy.
+  if (health(objects_[key]) == Health::kDegraded) {
+    shift_underrep(+1);
+    enqueue_repair(key);
+  }
 
   auto remaining = std::make_shared<int>(static_cast<int>(replicas.size()));
   auto finish = [this, remaining, start,
@@ -251,6 +304,17 @@ void ObjectStore::get(cluster::NodeId client, const ObjectKey& key,
     sim_.after(config_.metadata_latency,
                [cb = std::move(on_done)] { cb(GetResult{}); });
     return;
+  }
+  if (health(it->second) == Health::kLost) {
+    // Every replica (or too many fragments) died with its node: the
+    // object is unreadable until someone re-writes it.
+    metrics_.count("get_lost");
+    sim_.after(config_.metadata_latency,
+               [cb = std::move(on_done)] { cb(GetResult{}); });
+    return;
+  }
+  if (health(it->second) == Health::kDegraded) {
+    metrics_.count("degraded_reads");
   }
   const util::Bytes size = it->second.size;
   if (config_.redundancy == Redundancy::kErasure) {
@@ -386,6 +450,10 @@ void ObjectStore::preload(const ObjectKey& key, util::Bytes size,
     state.durable_used += per_server;
     if (warm_cache) state.cache->put(key.full(), per_server);
   }
+  if (health(objects_[key]) == Health::kDegraded) {
+    shift_underrep(+1);
+    enqueue_repair(key);
+  }
 }
 
 void ObjectStore::remove(cluster::NodeId /*client*/, const ObjectKey& key,
@@ -397,6 +465,7 @@ void ObjectStore::remove(cluster::NodeId /*client*/, const ObjectKey& key,
       state.durable_used -= it->second.per_server_bytes;
       state.cache->erase(key.full());
     }
+    if (health(it->second) == Health::kDegraded) shift_underrep(-1);
     objects_.erase(it);
     metrics_.count("delete_requests");
   }
@@ -466,7 +535,16 @@ void ObjectStore::complete_multipart(std::int64_t upload_id,
   const auto replicas = locate(key);
   uploads_.erase(it);
   const util::Bytes per_server = per_server_bytes(total);
-  objects_[key] = ObjectMeta{total, per_server, replicas};
+  int version = 0;
+  if (auto old = objects_.find(key); old != objects_.end()) {
+    if (health(old->second) == Health::kDegraded) shift_underrep(-1);
+    version = old->second.version + 1;
+  }
+  objects_[key] = ObjectMeta{total, per_server, replicas, version};
+  if (health(objects_[key]) == Health::kDegraded) {
+    shift_underrep(+1);
+    enqueue_repair(key);
+  }
 
   // Assembly: parts already live on the primary, which persists its
   // share and fans out full copies (replication) or fragments (EC).
@@ -493,6 +571,190 @@ void ObjectStore::complete_multipart(std::int64_t upload_id,
                      });
                }
              });
+}
+
+void ObjectStore::shift_underrep(int delta) {
+  underrep_ns_ += static_cast<double>(underrep_count_) *
+                  static_cast<double>(sim_.now() - underrep_last_);
+  underrep_last_ = sim_.now();
+  underrep_count_ += delta;
+  metrics_.set_gauge("under_replicated_objects", underrep_count_);
+}
+
+double ObjectStore::under_replicated_object_seconds() const {
+  const double pending = static_cast<double>(underrep_count_) *
+                         static_cast<double>(sim_.now() - underrep_last_);
+  return (underrep_ns_ + pending) / 1e9;
+}
+
+util::Bytes ObjectStore::expected_durable_bytes(cluster::NodeId server) const {
+  util::Bytes total = 0;
+  for (const auto& [key, meta] : objects_) {
+    for (cluster::NodeId r : meta.replicas) {
+      if (r == server) total += meta.per_server_bytes;
+    }
+  }
+  return total;
+}
+
+void ObjectStore::handle_node_failure(cluster::NodeId node) {
+  auto state_it = server_states_.find(node);
+  if (state_it == server_states_.end()) return;  // not a storage server
+  if (!dead_servers_.insert(node).second) return;
+  metrics_.count("server_failures");
+  // Media loss: everything the server held is gone, cache included.
+  state_it->second.durable_used = 0;
+  state_it->second.cache->clear();
+  for (auto& [key, meta] : objects_) {
+    auto rep = std::find(meta.replicas.begin(), meta.replicas.end(), node);
+    if (rep == meta.replicas.end()) continue;
+    const Health before = health(meta);
+    meta.replicas.erase(rep);
+    ++meta.version;
+    const Health after = health(meta);
+    if (before == Health::kDegraded && after != Health::kDegraded) {
+      shift_underrep(-1);
+    } else if (before != Health::kDegraded && after == Health::kDegraded) {
+      shift_underrep(+1);
+    }
+    if (after == Health::kLost && before != Health::kLost) {
+      ++lost_objects_;
+      metrics_.count("objects_lost");
+      metrics_.count("bytes_lost", meta.size);
+    }
+    if (after == Health::kDegraded) enqueue_repair(key);
+  }
+}
+
+void ObjectStore::handle_node_recovery(cluster::NodeId node) {
+  if (server_states_.count(node) == 0) return;
+  if (dead_servers_.erase(node) == 0) return;
+  metrics_.count("server_recoveries");
+  // The node rejoins empty; repairs that had no live target re-arm.
+  for (const ObjectKey& key : repair_stalled_) enqueue_repair(key);
+  repair_stalled_.clear();
+  pump_repairs();
+}
+
+void ObjectStore::enqueue_repair(const ObjectKey& key) {
+  if (!config_.repair) return;
+  if (!repair_queued_.insert(key).second) return;
+  repair_queue_.push_back(key);
+  // Detection + scheduling grace before the repair traffic starts.
+  sim_.after(config_.repair_delay, [this] { pump_repairs(); });
+}
+
+void ObjectStore::pump_repairs() {
+  while (repairs_in_flight_ < config_.repair_concurrency &&
+         !repair_queue_.empty()) {
+    const ObjectKey key = repair_queue_.front();
+    repair_queue_.pop_front();
+    repair_queued_.erase(key);
+    start_repair(key);
+  }
+}
+
+void ObjectStore::start_repair(const ObjectKey& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return;  // deleted while queued
+  ObjectMeta& meta = it->second;
+  if (health(meta) != Health::kDegraded) return;  // repaired or lost
+  // Target: the best-ranked live server not already holding a copy.
+  cluster::NodeId target = cluster::kInvalidNode;
+  for (cluster::NodeId node : ranked_servers(key)) {
+    if (std::find(meta.replicas.begin(), meta.replicas.end(), node) ==
+        meta.replicas.end()) {
+      target = node;
+      break;
+    }
+  }
+  if (target == cluster::kInvalidNode) {
+    repair_stalled_.insert(key);  // every live server already holds one
+    return;
+  }
+  const int version = meta.version;
+  const util::Bytes fragment = meta.per_server_bytes;
+  ++repairs_in_flight_;
+  metrics_.count("repairs_started");
+
+  if (config_.redundancy == Redundancy::kReplication) {
+    // Stream one surviving copy to the target.
+    const cluster::NodeId source = choose_replica(meta.replicas, target);
+    io_.device(source, server_state(source).durable_device)
+        .submit(IoKind::kRead, fragment,
+                [this, key, source, target, fragment, version] {
+                  fabric_.transfer(source, target, fragment,
+                                   [this, key, target, version] {
+                                     finish_repair(key, target, version);
+                                   });
+                });
+    return;
+  }
+  // Erasure coding: rebuild the fragment from k survivors, decode at
+  // the target, then persist.
+  const int k = config_.ec_data;
+  std::vector<cluster::NodeId> sources = meta.replicas;
+  const auto& topo = fabric_.topology();
+  std::stable_sort(sources.begin(), sources.end(),
+                   [&](cluster::NodeId a, cluster::NodeId b) {
+                     auto rank = [&](cluster::NodeId n) {
+                       if (n == target) return 0;
+                       return topo.same_rack(n, target) ? 1 : 2;
+                     };
+                     return rank(a) < rank(b);
+                   });
+  sources.resize(static_cast<std::size_t>(k));
+  const auto decode_ns = static_cast<util::TimeNs>(std::ceil(
+      static_cast<double>(meta.size) * config_.ec_ns_per_byte));
+  auto remaining = std::make_shared<int>(k);
+  for (cluster::NodeId source : sources) {
+    io_.device(source, server_state(source).durable_device)
+        .submit(IoKind::kRead, fragment,
+                [this, key, source, target, fragment, version, remaining,
+                 decode_ns] {
+                  fabric_.transfer(
+                      source, target, fragment,
+                      [this, key, target, version, remaining, decode_ns] {
+                        if (--*remaining > 0) return;
+                        sim_.after(decode_ns, [this, key, target, version] {
+                          finish_repair(key, target, version);
+                        });
+                      });
+                });
+  }
+}
+
+void ObjectStore::finish_repair(const ObjectKey& key, cluster::NodeId target,
+                                int version) {
+  --repairs_in_flight_;
+  auto it = objects_.find(key);
+  const bool valid =
+      it != objects_.end() && it->second.version == version &&
+      dead_servers_.count(target) == 0 &&
+      std::find(it->second.replicas.begin(), it->second.replicas.end(),
+                target) == it->second.replicas.end();
+  if (!valid) {
+    // The replica set moved (another failure, overwrite, delete) or the
+    // target died mid-repair; whoever moved it re-queued as needed.
+    metrics_.count("repairs_abandoned");
+    if (it != objects_.end() && health(it->second) == Health::kDegraded) {
+      enqueue_repair(key);
+    }
+    pump_repairs();
+    return;
+  }
+  ObjectMeta& meta = it->second;
+  const Health before = health(meta);
+  meta.replicas.push_back(target);
+  ++meta.version;
+  write_durable(target, key, meta.per_server_bytes, [] {});
+  const Health after = health(meta);
+  if (before == Health::kDegraded && after != Health::kDegraded) {
+    shift_underrep(-1);
+  }
+  metrics_.count("objects_repaired");
+  if (after == Health::kDegraded) enqueue_repair(key);  // more copies lost
+  pump_repairs();
 }
 
 util::Bytes ObjectStore::durable_bytes(cluster::NodeId server) const {

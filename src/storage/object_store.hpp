@@ -12,10 +12,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -57,6 +59,15 @@ struct ObjectStoreConfig {
   // Fraction of each cache device actually granted to the store
   // (the rest is left to co-located applications).
   double cache_capacity_fraction = 1.0;
+
+  // -- Failure handling / background repair --------------------------
+  /// Re-replicate degraded objects onto surviving servers after a crash.
+  bool repair = true;
+  /// Concurrent repair transfers.
+  int repair_concurrency = 2;
+  /// Grace delay between detecting a degraded object and repairing it
+  /// (models failure-detection + repair-scheduling lag).
+  util::TimeNs repair_delay = util::millis(500);
 
   /// Storage overhead factor: durable bytes per logical byte.
   double storage_overhead() const {
@@ -136,14 +147,45 @@ class ObjectStore {
   /// The cache of one server (tests/benchmarks inspect hit ratios).
   const TieredCache& cache(cluster::NodeId server) const;
 
+  // -- Failure handling ------------------------------------------------
+  /// Server crash with media loss: its replicas vanish, its cache is
+  /// wiped, and every degraded-but-readable object is queued for
+  /// background re-replication onto surviving servers. Objects whose
+  /// last replica (or k-th fragment) died are permanently lost: GETs
+  /// return not-found, but metadata stays so callers can observe it.
+  /// No-op for nodes that are not storage servers.
+  void handle_node_failure(cluster::NodeId node);
+  /// Recovery: the server rejoins EMPTY (cold cache, no replicas) and
+  /// becomes a repair target again; stalled repairs re-arm.
+  void handle_node_recovery(cluster::NodeId node);
+  bool server_alive(cluster::NodeId node) const {
+    return dead_servers_.count(node) == 0;
+  }
+
+  /// Objects currently holding fewer live replicas/fragments than
+  /// placed, but still readable.
+  int under_replicated_objects() const { return underrep_count_; }
+  /// Objects that became permanently unreadable (cumulative).
+  int lost_objects() const { return lost_objects_; }
+  /// Time-weighted integral of under-replicated objects (object·s).
+  double under_replicated_object_seconds() const;
+  /// Durable bytes `server` should hold according to live metadata —
+  /// conservation check for tests (valid once transfers have drained).
+  util::Bytes expected_durable_bytes(cluster::NodeId server) const;
+
  private:
   struct ObjectMeta {
     util::Bytes size = 0;
     /// Durable bytes held per server (== size for replication, the
     /// fragment size for erasure coding).
     util::Bytes per_server_bytes = 0;
-    std::vector<cluster::NodeId> replicas;  // primary first
+    std::vector<cluster::NodeId> replicas;  // live holders, primary first
+    /// Bumped on every replica-set change; in-flight repairs abandon
+    /// their result when the version moved under them.
+    int version = 0;
   };
+
+  enum class Health { kFull, kDegraded, kLost };
 
   /// Durable bytes one server holds for an object of `size`.
   util::Bytes per_server_bytes(util::Bytes size) const;
@@ -177,6 +219,20 @@ class ObjectStore {
                    const ObjectMeta& meta, util::TimeNs start,
                    GetCallback on_done);
 
+  /// Replicas/fragments the object should hold (capped by server count).
+  int placed_copies() const;
+  Health health(const ObjectMeta& meta) const;
+  /// All live servers ranked by rendezvous hash for `key`.
+  std::vector<cluster::NodeId> ranked_servers(const ObjectKey& key) const;
+  /// Folds the running under-replication integral up to now, then
+  /// applies `delta` to the current count.
+  void shift_underrep(int delta);
+  void enqueue_repair(const ObjectKey& key);
+  void pump_repairs();
+  void start_repair(const ObjectKey& key);
+  void finish_repair(const ObjectKey& key, cluster::NodeId target,
+                     int version);
+
   sim::Simulation& sim_;
   const cluster::Cluster& cluster_;
   net::Fabric& fabric_;
@@ -188,6 +244,16 @@ class ObjectStore {
   std::map<cluster::NodeId, ServerState> server_states_;
   std::map<std::int64_t, MultipartUpload> uploads_;
   std::int64_t next_upload_id_ = 1;
+  // Failure/repair state.
+  std::set<cluster::NodeId> dead_servers_;
+  std::deque<ObjectKey> repair_queue_;
+  std::set<ObjectKey> repair_queued_;   // dedupes queue membership
+  std::set<ObjectKey> repair_stalled_;  // no live target; retry on recovery
+  int repairs_in_flight_ = 0;
+  int lost_objects_ = 0;
+  int underrep_count_ = 0;
+  util::TimeNs underrep_last_ = 0;
+  double underrep_ns_ = 0;  // object·ns integral up to underrep_last_
   metrics::Registry metrics_;
 };
 

@@ -52,6 +52,16 @@ class TieredCache {
   /// Removes an object from whatever tier holds it.
   bool erase(const std::string& key);
 
+  /// Drops every cached object (node crash: volatile tiers are gone and
+  /// restart starts cold). Cumulative hit/miss counters are preserved.
+  void clear() {
+    for (Tier& tier : tiers_) {
+      tier.lru.clear();
+      tier.stats.used = 0;
+    }
+    index_.clear();
+  }
+
   bool contains(const std::string& key) const;
 
   int tier_count() const { return static_cast<int>(tiers_.size()); }

@@ -83,7 +83,19 @@ void WorkflowEngine::step_finished(std::shared_ptr<RunState> run,
   --run->in_flight;
   if (!success && result.attempts <= step.max_retries) {
     ++run->result.total_retries;
-    start_step(run, index);
+    if (step.retry_backoff <= 0) {
+      start_step(run, index);  // legacy: immediate retry
+      return;
+    }
+    // Exponential backoff: base * 2^(n-1) for retry n, stretched by up
+    // to +25% seeded jitter so co-failing steps fan back out.
+    util::TimeNs delay = step.retry_backoff << (result.attempts - 1);
+    delay += static_cast<util::TimeNs>(rng_.uniform(0.0, 0.25) *
+                                       static_cast<double>(delay));
+    sim_.after(delay, [this, run, index] {
+      if (run->failed || run->done_reported || run->finished[index]) return;
+      start_step(run, index);
+    });
     return;
   }
   result.success = success;

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "sim/simulation.hpp"
+#include "util/rng.hpp"
 #include "workflow/workflow.hpp"
 
 namespace evolve::workflow {
@@ -41,8 +42,10 @@ struct WorkflowResult {
 
 class WorkflowEngine {
  public:
-  WorkflowEngine(sim::Simulation& sim, StepRunner& runner)
-      : sim_(sim), runner_(runner) {}
+  /// `seed` drives the retry-backoff jitter (deterministic per engine).
+  WorkflowEngine(sim::Simulation& sim, StepRunner& runner,
+                 std::uint64_t seed = 1)
+      : sim_(sim), runner_(runner), rng_(seed) {}
 
   /// Runs `workflow`; independent steps execute concurrently. A step
   /// failing beyond its retry budget fails the workflow (running steps
@@ -60,6 +63,7 @@ class WorkflowEngine {
 
   sim::Simulation& sim_;
   StepRunner& runner_;
+  util::Rng rng_;
 };
 
 }  // namespace evolve::workflow

@@ -32,6 +32,10 @@ struct Step {
   /// Per-attempt deadline; 0 disables. A timed-out attempt counts as a
   /// failure (and thus consumes a retry); its late result is ignored.
   util::TimeNs timeout = 0;
+  /// Base delay before retry n doubles to `retry_backoff * 2^(n-1)`,
+  /// plus up to +25% seeded jitter (see WorkflowEngine). 0 retries
+  /// immediately (legacy behavior).
+  util::TimeNs retry_backoff = 0;
 
   /// Datasets the step reads. On the converged platform these live in
   /// the shared store (no cost); a siloed platform must stage-copy them

@@ -1,0 +1,101 @@
+#include "fault/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "util/types.hpp"
+
+namespace evolve::fault {
+namespace {
+
+TEST(FaultInjector, ScheduledOutageFiresSubscribersInOrder) {
+  sim::Simulation sim;
+  FaultInjector injector(sim);
+  std::vector<std::pair<std::string, util::TimeNs>> events;
+  injector.on_failure([&](cluster::NodeId node, util::TimeNs at) {
+    events.emplace_back("fail-a:" + std::to_string(node), at);
+  });
+  injector.on_failure([&](cluster::NodeId node, util::TimeNs at) {
+    events.emplace_back("fail-b:" + std::to_string(node), at);
+  });
+  injector.on_recovery([&](cluster::NodeId node, util::TimeNs at) {
+    events.emplace_back("up:" + std::to_string(node), at);
+  });
+  injector.schedule_outage(3, util::seconds(1), util::seconds(2));
+  sim.run();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], std::make_pair(std::string("fail-a:3"),
+                                      util::seconds(1)));
+  EXPECT_EQ(events[1], std::make_pair(std::string("fail-b:3"),
+                                      util::seconds(1)));
+  EXPECT_EQ(events[2], std::make_pair(std::string("up:3"),
+                                      util::seconds(3)));
+  EXPECT_EQ(injector.failures_injected(), 1);
+  EXPECT_EQ(injector.recoveries(), 1);
+  EXPECT_EQ(injector.down_count(), 0);
+}
+
+TEST(FaultInjector, KillAndRestoreAreIdempotent) {
+  sim::Simulation sim;
+  FaultInjector injector(sim);
+  int failures = 0;
+  int recoveries = 0;
+  injector.on_failure([&](cluster::NodeId, util::TimeNs) { ++failures; });
+  injector.on_recovery([&](cluster::NodeId, util::TimeNs) { ++recoveries; });
+  injector.kill(0);
+  injector.kill(0);  // already down: no-op
+  EXPECT_TRUE(injector.is_down(0));
+  EXPECT_EQ(failures, 1);
+  injector.restore(0);
+  injector.restore(0);  // already up: no-op
+  EXPECT_FALSE(injector.is_down(0));
+  EXPECT_EQ(recoveries, 1);
+}
+
+TEST(FaultInjector, DowntimeAccountingIncludesOpenIntervals) {
+  sim::Simulation sim;
+  FaultInjector injector(sim);
+  injector.schedule_outage(0, util::seconds(1), util::seconds(2));
+  injector.schedule_failure(1, util::seconds(2));
+  sim.run_until(util::seconds(5));
+  // Node 0: down [1s, 3s) = 2 node-s. Node 1: down [2s, now=5s) = 3 node-s.
+  EXPECT_NEAR(injector.downtime_node_seconds(), 5.0, 1e-9);
+  EXPECT_EQ(injector.down_count(), 1);
+  injector.restore_all();
+  EXPECT_EQ(injector.down_count(), 0);
+  EXPECT_NEAR(injector.downtime_node_seconds(), 5.0, 1e-9);
+}
+
+TEST(FaultInjector, RandomProcessIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Simulation sim;
+    FaultInjector injector(sim, FaultInjectorConfig{seed});
+    injector.random_process({0, 1, 2, 3}, /*mtbf_s=*/3.0, /*mttr_s=*/1.0,
+                            util::seconds(60));
+    sim.run();
+    return std::make_pair(injector.failures_injected(),
+                          injector.downtime_node_seconds());
+  };
+  const auto a = run_once(7);
+  const auto b = run_once(7);
+  const auto c = run_once(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_GT(a.first, 0);
+}
+
+TEST(FaultInjector, RandomProcessDrainsAfterHorizon) {
+  sim::Simulation sim;
+  FaultInjector injector(sim, FaultInjectorConfig{42});
+  injector.random_process({0, 1, 2}, /*mtbf_s=*/2.0, /*mttr_s=*/0.5,
+                          util::seconds(30));
+  sim.run();  // no failures initiated past the horizon => queue drains
+  EXPECT_EQ(injector.down_count(), 0);
+  EXPECT_EQ(injector.failures_injected(), injector.recoveries());
+}
+
+}  // namespace
+}  // namespace evolve::fault
