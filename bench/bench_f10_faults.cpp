@@ -13,8 +13,13 @@
 //                 from scratch
 //
 // `--json` writes BENCH_f10_faults.json for cross-PR tracking.
+// `--trace` span-traces all three scenarios into TRACE_f10_faults.json
+// (Perfetto / chrome://tracing), showing retries, re-replication and
+// gang restarts as they interleave with the fault schedule.
 #include <algorithm>
+#include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +32,8 @@
 #include "net/fabric.hpp"
 #include "sim/simulation.hpp"
 #include "storage/object_store.hpp"
+#include "trace/export.hpp"
+#include "trace/tracer.hpp"
 #include "util/strings.hpp"
 #include "util/types.hpp"
 
@@ -73,7 +80,8 @@ struct ScenarioResult {
 };
 
 ScenarioResult run_scenario(const std::string& name, bool faults,
-                            bool recovery) {
+                            bool recovery,
+                            std::unique_ptr<trace::Tracer>* tracer_out) {
   sim::Simulation sim;
   auto cluster = cluster::make_testbed(kComputeNodes, kStorageNodes, 0);
   net::Topology topology(cluster);
@@ -110,6 +118,15 @@ ScenarioResult run_scenario(const std::string& name, bool faults,
   fault::connect(injector, engine);
   fault::connect(injector, store);
   fault::connect(injector, queue, compute);
+
+  std::unique_ptr<trace::Tracer> tracer;
+  if (tracer_out) {
+    tracer = std::make_unique<trace::Tracer>(sim);
+    fabric.set_tracer(tracer.get());
+    store.set_tracer(tracer.get());
+    engine.set_tracer(tracer.get());
+    queue.set_tracer(tracer.get());
+  }
 
   // -- Workload: cold objects, dataflow jobs, HPC gangs ----------------
   store.create_bucket("cold");
@@ -182,15 +199,27 @@ ScenarioResult run_scenario(const std::string& name, bool faults,
   result.lost_objects = store.lost_objects();
   result.failures_injected = injector.failures_injected();
   result.downtime_node_s = injector.downtime_node_seconds();
+  if (tracer) {
+    tracer->close_open_spans();
+    *tracer_out = std::move(tracer);
+  }
   return result;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const ScenarioResult base = run_scenario("fault-free", false, true);
-  const ScenarioResult rec = run_scenario("recovery-on", true, true);
-  const ScenarioResult off = run_scenario("recovery-off", true, false);
+  bool tracing = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) tracing = true;
+  }
+  std::unique_ptr<trace::Tracer> base_tr, rec_tr, off_tr;
+  const ScenarioResult base =
+      run_scenario("fault-free", false, true, tracing ? &base_tr : nullptr);
+  const ScenarioResult rec =
+      run_scenario("recovery-on", true, true, tracing ? &rec_tr : nullptr);
+  const ScenarioResult off =
+      run_scenario("recovery-off", true, false, tracing ? &off_tr : nullptr);
 
   core::Table table("F10: node failures across dataflow + HPC + storage",
                     {"scenario", "makespan", "jobs ok/fail", "killed",
@@ -260,6 +289,15 @@ int main(int argc, char** argv) {
   report.set("recovery_makespan_overhead",
              base.makespan_s > 0 ? rec.makespan_s / base.makespan_s : 0.0);
 
+  if (tracing) {
+    std::cout << "wrote "
+              << trace::write_chrome_trace(
+                     "f10_faults",
+                     {{"f10/fault-free", base_tr.get()},
+                      {"f10/recovery-on", rec_tr.get()},
+                      {"f10/recovery-off", off_tr.get()}})
+              << "\n";
+  }
   if (core::json_mode(argc, argv)) {
     std::cout << "wrote " << report.write() << "\n";
   }

@@ -1,11 +1,21 @@
 // T1 — Use-case end-to-end times: converged EVOLVE platform vs siloed
 // baseline, for three pipelines (urban mobility, ML training, analytics
 // chain). Reproduces the paper's headline "convergence pays" table.
+//
+// With `--trace`, each converged run is span-traced end to end; the
+// bench prints a per-layer critical-path attribution table (rows sum to
+// the end-to-end time) and writes TRACE_t1_endtoend.json, loadable in
+// Perfetto / chrome://tracing.
+#include <cstring>
 #include <iostream>
+#include <memory>
 
 #include "core/platform.hpp"
 #include "core/report.hpp"
 #include "core/siloed.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/export.hpp"
+#include "trace/tracer.hpp"
 #include "util/strings.hpp"
 #include "workloads/genomics.hpp"
 #include "workloads/ml.hpp"
@@ -114,10 +124,22 @@ std::vector<UseCase> use_cases() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool tracing = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) tracing = true;
+  }
+
   core::Table table(
       "T1: end-to-end use-case time, converged vs siloed (same hardware)",
       {"use case", "converged", "siloed", "staged", "speedup"});
+  core::MetricsReport report("t1_endtoend");
+
+  // Tracers outlive their simulations: spans are exported after the
+  // loop, once every scenario has drained.
+  std::vector<std::unique_ptr<trace::Tracer>> tracers;
+  std::vector<trace::TraceProcess> processes;
+  std::vector<std::pair<std::string, trace::CriticalPath>> paths;
 
   for (const UseCase& uc : use_cases()) {
     util::TimeNs converged = 0, siloed_time = 0;
@@ -125,12 +147,30 @@ int main() {
     {
       sim::Simulation sim;
       core::Platform platform(sim);
+      trace::Tracer* tracer = nullptr;
+      if (tracing) {
+        tracers.push_back(std::make_unique<trace::Tracer>(sim));
+        tracer = tracers.back().get();
+        platform.set_tracer(tracer);
+      }
       uc.stage(platform.catalog());
       platform.run_workflow(uc.build(),
                             [&](const workflow::WorkflowResult& r) {
                               converged = r.success ? r.duration : -1;
                             });
       sim.run();
+      if (tracer) {
+        tracer->close_open_spans();
+        processes.push_back(
+            trace::TraceProcess{"t1/" + uc.name + " converged", tracer});
+        for (trace::SpanId root : trace::root_spans(*tracer)) {
+          // The workflow run is the only root with children.
+          if (tracer->span(root).name == "wf.run") {
+            paths.emplace_back(uc.name, trace::critical_path(*tracer, root));
+            break;
+          }
+        }
+      }
     }
     {
       sim::Simulation sim;
@@ -148,9 +188,28 @@ int main() {
                                    static_cast<double>(converged),
                                2) +
                        "x"});
+    report.set(uc.name + "_converged_ns", converged);
+    report.set(uc.name + "_siloed_ns", siloed_time);
+    report.set(uc.name + "_staged_bytes", staged);
   }
   table.print();
   std::cout << "\nShape check: converged < siloed on every use case; the gap"
                "\ngrows with the volume of cross-silo data staged.\n";
+
+  if (tracing) {
+    std::cout << "\n";
+    trace::critical_path_table(
+        "T1 critical path: end-to-end latency by layer (converged)", paths)
+        .print();
+    std::cout << "\nwrote " << trace::write_chrome_trace("t1_endtoend",
+                                                         processes)
+              << "\n";
+    for (const auto& [name, path] : paths) {
+      trace::report_critical_path(report, name, path);
+    }
+  }
+  if (core::json_mode(argc, argv)) {
+    std::cout << "wrote " << report.write() << "\n";
+  }
   return 0;
 }

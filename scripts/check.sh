@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
-# CI-style check: configure, build, run the full test suite, then run the
-# simulation-kernel churn and fault-recovery benches in --json mode, and
-# finally rebuild + retest under ASan/UBSan. Run from the repo root:
+# CI-style check: configure, build, run the full test suite, run the
+# simulation-kernel churn and fault-recovery benches in --json mode and
+# diff their deterministic metrics against the tracked repo-root
+# baselines, run the traced benches and strictly validate every emitted
+# BENCH_*.json / TRACE_*.json, then rebuild + retest under ASan/UBSan.
+# Run from the repo root:
 #
 #   scripts/check.sh [build-dir]
 #
-# The benches write BENCH_f9_churn.json and BENCH_f10_faults.json into the
-# build directory; compare them against the tracked baselines at the repo
-# root to spot regressions. Set EVOLVE_SKIP_SANITIZERS=1 to skip the
-# (slower) sanitizer pass; the sanitizer build lives in <build-dir>-asan.
+# Set EVOLVE_SKIP_SANITIZERS=1 to skip the (slower) sanitizer pass; the
+# sanitizer build lives in <build-dir>-asan.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,6 +22,25 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ./bench/bench_f9_churn --json)
 (cd "$BUILD_DIR" && ./bench/bench_f10_faults --json)
 
+# -- Baseline diffs (before any --trace run touches the reports) -------
+# F9 mixes simulated metrics with host wall-clock timings; only the
+# simulated lines are expected to be bit-identical. F10 is fully
+# simulation-deterministic, so it must match exactly.
+filter_host_timing() {
+  grep -vE '"(incremental|reference)_(wall_s|us_per_flow|us_per_event)"|"speedup_per_flow"' "$1"
+}
+diff <(filter_host_timing "$BUILD_DIR/BENCH_f9_churn.json") \
+     <(filter_host_timing BENCH_f9_churn.json) \
+  || { echo "check.sh: BENCH_f9_churn.json deviates from baseline"; exit 1; }
+diff "$BUILD_DIR/BENCH_f10_faults.json" BENCH_f10_faults.json \
+  || { echo "check.sh: BENCH_f10_faults.json deviates from baseline"; exit 1; }
+echo "check.sh: bench metrics match the tracked baselines"
+
+# -- Traced runs + strict JSON validation ------------------------------
+(cd "$BUILD_DIR" && ./bench/bench_t1_endtoend --trace --json)
+(cd "$BUILD_DIR" && ./bench/bench_f10_faults --trace --json)
+(cd "$BUILD_DIR" && ./tools/json_check BENCH_*.json TRACE_*.json)
+
 if [[ "${EVOLVE_SKIP_SANITIZERS:-0}" != "1" ]]; then
   SAN_DIR="${BUILD_DIR}-asan"
   cmake -B "$SAN_DIR" -S . -DEVOLVE_SANITIZE=address,undefined
@@ -31,4 +51,4 @@ if [[ "${EVOLVE_SKIP_SANITIZERS:-0}" != "1" ]]; then
 fi
 
 echo
-echo "check.sh: all tests passed; bench metrics in $BUILD_DIR/BENCH_f9_churn.json and $BUILD_DIR/BENCH_f10_faults.json"
+echo "check.sh: all tests passed; reports in $BUILD_DIR/BENCH_*.json, traces in $BUILD_DIR/TRACE_*.json"

@@ -37,6 +37,15 @@ void Platform::run_workflow(
   workflow_engine_->run(wf, std::move(cb));
 }
 
+void Platform::set_tracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  fabric_->set_tracer(tracer);
+  store_->set_tracer(tracer);
+  orchestrator_->set_tracer(tracer);
+  dataflow_->set_tracer(tracer);
+  workflow_engine_->set_tracer(tracer);
+}
+
 std::vector<cluster::NodeId> Platform::executor_preferences(
     const dataflow::LogicalPlan& plan) const {
   if (!config_.locality_placement) return {};
@@ -91,14 +100,21 @@ void Platform::run_dataflow(
       cluster::cpu_mem(config_.executor_millicores, config_.executor_memory);
   pod.preferred_nodes = preferred;
 
+  // Executor pods start from a scheduler event where the submitter's
+  // trace context is gone; capture it now so the dataflow job span
+  // still parents under e.g. the workflow step that launched it.
+  const trace::SpanId trace_parent =
+      tracer_ ? tracer_->current() : trace::kNoSpan;
   for (int i = 0; i < executors; ++i) {
     orch::PodSpec spec = pod;
     spec.name = "dataflow-exec-" + std::to_string(i);
     const orch::PodId id = orchestrator_->submit(
         spec, /*duration=*/-1,
-        [this, acquire, slots, plan, cb](orch::PodId, cluster::NodeId node) {
+        [this, acquire, slots, plan, cb,
+         trace_parent](orch::PodId, cluster::NodeId node) {
           acquire->specs.push_back(dataflow::ExecutorSpec{node, slots});
           if (--acquire->remaining > 0) return;
+          trace::ScopedContext tctx(tracer_, trace_parent);
           dataflow_->run(plan, acquire->specs,
                          [this, acquire, cb](const dataflow::JobStats& stats) {
                            for (orch::PodId pod_id : acquire->pods) {
@@ -142,21 +158,28 @@ void Platform::run_hpc(const hpc::MpiProgram& program, int ranks,
   }
 
   // submit_gang reports starts per pod; recover the rank from the pod id.
-  auto on_start = [this, gang, program, cb](orch::PodId id,
-                                            cluster::NodeId node) {
+  // As in run_dataflow, capture the submitter's trace context so the MPI
+  // phase spans parent under the launching step.
+  const trace::SpanId trace_parent =
+      tracer_ ? tracer_->current() : trace::kNoSpan;
+  auto on_start = [this, gang, program, cb, trace_parent](
+                      orch::PodId id, cluster::NodeId node) {
     const auto it = std::find(gang->pods.begin(), gang->pods.end(), id);
     const auto rank = static_cast<std::size_t>(it - gang->pods.begin());
     gang->rank_nodes[rank] = node;
     if (--gang->remaining > 0) return;
     gang->comm = std::make_shared<hpc::Communicator>(
         sim_, *fabric_, gang->rank_nodes, config_.comm);
-    hpc::run_mpi_program(sim_, *gang->comm, program,
-                         [this, gang, cb](const hpc::MpiRunStats& stats) {
-                           for (orch::PodId pod_id : gang->pods) {
-                             orchestrator_->finish(pod_id);
-                           }
-                           cb(stats);
-                         });
+    trace::ScopedContext tctx(tracer_, trace_parent);
+    hpc::run_mpi_program(
+        sim_, *gang->comm, program,
+        [this, gang, cb](const hpc::MpiRunStats& stats) {
+          for (orch::PodId pod_id : gang->pods) {
+            orchestrator_->finish(pod_id);
+          }
+          cb(stats);
+        },
+        tracer_);
   };
 
   gang->pods = orchestrator_->submit_gang(specs, /*duration=*/-1, on_start);
@@ -187,10 +210,19 @@ void Platform::run_step(const workflow::Step& step,
         run_hpc(step.mpi, step.hpc_ranks,
                 [on_done](const hpc::MpiRunStats&) { on_done(true); });
         return;
-      case StepKind::kAccel:
+      case StepKind::kAccel: {
+        const trace::SpanId span = trace::begin_span(
+            tracer_, trace::Layer::kAccel, "accel.offload");
+        if (span != trace::kNoSpan) {
+          tracer_->annotate(span, "kernel", step.kernel);
+        }
         accel_->offload(step.kernel, step.accel_cpu_time,
-                        cluster::kInvalidNode, [on_done] { on_done(true); });
+                        cluster::kInvalidNode, [this, span, on_done] {
+                          trace::end_span(tracer_, span);
+                          on_done(true);
+                        });
         return;
+      }
       case StepKind::kCustom:
         if (!step.custom) throw std::invalid_argument("custom step w/o body");
         step.custom(on_done);

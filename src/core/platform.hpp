@@ -24,6 +24,7 @@
 #include "sim/simulation.hpp"
 #include "storage/dataset.hpp"
 #include "storage/object_store.hpp"
+#include "trace/tracer.hpp"
 #include "workflow/engine.hpp"
 
 namespace evolve::core {
@@ -84,6 +85,11 @@ class Platform : public workflow::StepRunner {
   void run_hpc(const hpc::MpiProgram& program, int ranks,
                std::function<void(const hpc::MpiRunStats&)> cb);
 
+  /// Attaches a span tracer to every subsystem (workflow steps, pods,
+  /// dataflow jobs, HPC phases, storage ops, network transfers, accel
+  /// offloads). Null detaches; tracing off costs nothing.
+  void set_tracer(trace::Tracer* tracer);
+
  private:
   std::vector<cluster::NodeId> executor_preferences(
       const dataflow::LogicalPlan& plan) const;
@@ -100,6 +106,7 @@ class Platform : public workflow::StepRunner {
   std::unique_ptr<dataflow::DataflowEngine> dataflow_;
   std::unique_ptr<accel::AccelPool> accel_;
   std::unique_ptr<workflow::WorkflowEngine> workflow_engine_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace evolve::core

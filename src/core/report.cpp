@@ -1,6 +1,7 @@
 #include "core/report.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -67,6 +68,13 @@ MetricsReport::MetricsReport(std::string bench_name)
 }
 
 void MetricsReport::set(const std::string& metric, double value) {
+  // JSON has no NaN/Infinity; %g would print them verbatim and corrupt
+  // the whole document. Emit null so the file stays parseable and the
+  // missing value is visible downstream.
+  if (!std::isfinite(value)) {
+    metrics_.emplace_back(metric, "null");
+    return;
+  }
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.17g", value);
   metrics_.emplace_back(metric, buffer);

@@ -6,6 +6,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "util/backoff.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -28,6 +29,7 @@ struct DataflowEngine::RunState {
     bool finished_once = false;  // children already started / released
     std::vector<util::TimeNs> durations;  // completed task durations
     StageStats stats;
+    trace::SpanId span = trace::kNoSpan;
   };
   std::vector<StageRun> stage_runs;
   std::vector<std::vector<int>> children;
@@ -53,6 +55,7 @@ struct DataflowEngine::RunState {
   struct CopyState {
     int executor = -1;
     cluster::NodeId node = cluster::kInvalidNode;
+    trace::SpanId span = trace::kNoSpan;
   };
   std::map<TaskId, TaskDef> tasks;       // logical task id -> state
   std::map<TaskId, TaskId> copy_owner;   // scheduler copy id -> task id
@@ -63,6 +66,7 @@ struct DataflowEngine::RunState {
   bool expiry_armed = false;
   bool aborted = false;        // fail_job ran; drop all in-flight work
   bool done_reported = false;  // on_done already called
+  trace::SpanId job_span = trace::kNoSpan;
 
   RunState(PhysicalPlan physical, util::TimeNs locality_wait,
            std::uint64_t seed, Callback cb)
@@ -152,6 +156,13 @@ void DataflowEngine::run(const LogicalPlan& plan,
   metrics_.count("jobs_started");
   prune_runs();
   runs_.push_back(run);
+  if (tracer_) {
+    // Parented by the caller's context (e.g. a workflow step span).
+    run->job_span = tracer_->begin(trace::Layer::kDataflow, "df.job");
+    tracer_->set_job(run->job_span, next_trace_job_++);
+    tracer_->annotate(run->job_span, "stages",
+                      std::to_string(run->plan.size()));
+  }
   for (const StageDef& stage : run->plan.stages()) {
     if (stage.parents.empty()) start_stage(run, stage.id);
   }
@@ -162,6 +173,11 @@ void DataflowEngine::start_stage(std::shared_ptr<RunState> run,
   const StageDef& def = run->plan.stage(stage_id);
   auto& sr = run->stage_runs[static_cast<std::size_t>(stage_id)];
   sr.stats.start_time = sim_.now();
+  if (tracer_) {
+    sr.span =
+        tracer_->begin(trace::Layer::kDataflow, "df.stage", run->job_span);
+    tracer_->annotate(sr.span, "stage", std::to_string(stage_id));
+  }
 
   if (def.reads_source()) {
     sr.num_tasks = catalog_.spec(def.source_dataset).partitions;
@@ -244,7 +260,18 @@ void DataflowEngine::execute_copy(std::shared_ptr<RunState> run, TaskId copy,
     ++run->stats.local_tasks;
   }
   const cluster::NodeId node = run->scheduler.executor_node(executor);
-  run->running_copies[copy] = RunState::CopyState{executor, node};
+  trace::SpanId copy_span = trace::kNoSpan;
+  if (tracer_) {
+    copy_span = tracer_->begin(trace::Layer::kDataflow, "df.task", sr.span);
+    tracer_->set_task(copy_span, index);
+    tracer_->annotate(copy_span, "node", std::to_string(node));
+    if (is_backup) tracer_->annotate(copy_span, "backup", "1");
+    if (task.fault_retries > 0) {
+      tracer_->annotate(copy_span, "attempt",
+                        std::to_string(task.fault_retries));
+    }
+  }
+  run->running_copies[copy] = RunState::CopyState{executor, node, copy_span};
   if (task.killed_at >= 0) {
     metrics_.observe("reschedule_latency_ms",
                      (sim_.now() - task.killed_at) / util::kMillisecond);
@@ -252,8 +279,8 @@ void DataflowEngine::execute_copy(std::shared_ptr<RunState> run, TaskId copy,
   }
 
   // Phases 3+4 (compute then output), once input has landed.
-  auto compute_and_output = [this, run, task_id, copy, executor, stage_id,
-                             index, node, is_backup, &def,
+  auto compute_and_output = [this, run, task_id, copy, copy_span, executor,
+                             stage_id, index, node, is_backup, &def,
                              &sr](util::Bytes input_bytes) {
     if (run->running_copies.count(copy) == 0) return;  // killed mid-input
     sr.stats.input_bytes += input_bytes;
@@ -267,20 +294,27 @@ void DataflowEngine::execute_copy(std::shared_ptr<RunState> run, TaskId copy,
       ++run->stats.stragglers_injected;
       metrics_.count("stragglers_injected");
     }
+    const trace::SpanId compute_span = trace::begin_span(
+        tracer_, trace::Layer::kDataflow, "df.compute", copy_span);
     sim_.after(static_cast<util::TimeNs>(std::ceil(compute_ns)), [this, run,
                                                                   task_id,
                                                                   copy,
+                                                                  copy_span,
+                                                                  compute_span,
                                                                   executor,
                                                                   stage_id,
                                                                   index, node,
                                                                   is_backup,
                                                                   &def, &sr,
                                                                   input_bytes] {
+      trace::end_span(tracer_, compute_span);
       auto it = run->running_copies.find(copy);
       if (it == run->running_copies.end()) return;  // killed mid-compute
       RunState::TaskDef& task = run->tasks.at(task_id);
       if (task.winner_decided) {
         // Lost the race: the work is discarded.
+        if (tracer_) tracer_->annotate(copy_span, "outcome", "lost_race");
+        trace::end_span(tracer_, copy_span);
         run->running_copies.erase(it);
         --task.copies_running;
         metrics_.count("speculative_losses");
@@ -296,9 +330,10 @@ void DataflowEngine::execute_copy(std::shared_ptr<RunState> run, TaskId copy,
       const auto output = static_cast<util::Bytes>(std::llround(
           static_cast<double>(input_bytes) * def.output_ratio));
       sr.stats.output_bytes += output;
-      auto complete = [this, run, task_id, copy, executor] {
+      auto complete = [this, run, task_id, copy, copy_span, executor] {
         auto it = run->running_copies.find(copy);
         if (it == run->running_copies.end()) return;  // killed mid-output
+        trace::end_span(tracer_, copy_span);
         run->running_copies.erase(it);
         RunState::TaskDef& task = run->tasks.at(task_id);
         --task.copies_running;
@@ -310,32 +345,47 @@ void DataflowEngine::execute_copy(std::shared_ptr<RunState> run, TaskId copy,
         run->stats.bytes_written += output;
         char name[32];
         std::snprintf(name, sizeof(name), "part-%05d", index);
+        // The store's put span parents under this copy's span.
+        trace::ScopedContext tctx(tracer_, copy_span);
         catalog_.store().put(node, {def.sink_dataset, name}, output,
                              std::move(complete));
       } else {
         run->shuffle.register_output(stage_id, index, node, output);
+        const trace::SpanId spill_span = trace::begin_span(
+            tracer_, trace::Layer::kShuffle, "df.spill", copy_span);
         io_.device(node, config_.shuffle_device)
-            .submit(storage::IoKind::kWrite, output, std::move(complete));
+            .submit(storage::IoKind::kWrite, output,
+                    [this, spill_span, complete = std::move(complete)] {
+                      trace::end_span(tracer_, spill_span);
+                      complete();
+                    });
       }
     });
   };
 
   sim_.after(config_.task_launch_overhead, [this, run, task_id, copy,
-                                            executor, node, stage_id, index,
-                                            &def, compute_and_output] {
+                                            copy_span, executor, node,
+                                            stage_id, index, &def,
+                                            compute_and_output] {
     if (run->running_copies.count(copy) == 0) return;  // killed on launch
     if (def.reads_source()) {
       const auto key =
           storage::partition_key(catalog_.spec(def.source_dataset), index);
+      // The store's get span parents under this copy's span.
+      trace::ScopedContext tctx(tracer_, copy_span);
       catalog_.store().get(
           node, key,
-          [this, run, task_id, copy, executor,
+          [this, run, task_id, copy, copy_span, executor,
            compute_and_output](const storage::GetResult& result) {
             if (run->running_copies.count(copy) == 0) return;
             if (!result.found) {
               // Source partition unreadable (all replicas down). Back
               // off on the task's fault budget; the store may repair
               // the partition before the budget runs out.
+              if (tracer_) {
+                tracer_->annotate(copy_span, "outcome", "read_failure");
+              }
+              trace::end_span(tracer_, copy_span);
               run->running_copies.erase(copy);
               RunState::TaskDef& task = run->tasks.at(task_id);
               --task.copies_running;
@@ -367,6 +417,8 @@ void DataflowEngine::execute_copy(std::shared_ptr<RunState> run, TaskId copy,
     if (!parents_ready) {
       // A parent map output is being rebuilt after a node crash. Park
       // this copy and retry later without consuming the fault budget.
+      if (tracer_) tracer_->annotate(copy_span, "outcome", "parked");
+      trace::end_span(tracer_, copy_span);
       run->running_copies.erase(copy);
       RunState::TaskDef& task = run->tasks.at(task_id);
       --task.copies_running;
@@ -396,16 +448,26 @@ void DataflowEngine::execute_copy(std::shared_ptr<RunState> run, TaskId copy,
       compute_and_output(0);
       return;
     }
+    const trace::SpanId fetch_span = trace::begin_span(
+        tracer_, trace::Layer::kShuffle, "df.fetch", copy_span);
+    if (fetch_span != trace::kNoSpan) {
+      tracer_->annotate(fetch_span, "bytes", std::to_string(total));
+      tracer_->annotate(fetch_span, "sources", std::to_string(plan.size()));
+    }
     auto remaining = std::make_shared<int>(static_cast<int>(plan.size()));
     for (const FetchSource& src : plan) {
       // Map-side disk read, then the network hop to this executor.
       io_.device(src.node, config_.shuffle_device)
           .submit(storage::IoKind::kRead, src.bytes,
-                  [this, run, src, node, remaining, total,
+                  [this, run, src, node, remaining, total, fetch_span,
                    compute_and_output] {
+                    // The fabric's transfer span parents under the fetch.
+                    trace::ScopedContext tctx(tracer_, fetch_span);
                     fabric_.transfer(src.node, node, src.bytes,
-                                     [remaining, total, compute_and_output] {
+                                     [this, remaining, total, fetch_span,
+                                      compute_and_output] {
                                        if (--*remaining == 0) {
+                                         trace::end_span(tracer_, fetch_span);
                                          compute_and_output(total);
                                        }
                                      });
@@ -476,10 +538,23 @@ void DataflowEngine::retry_task(std::shared_ptr<RunState> run,
   task.retry_pending = true;
   // Exponential backoff with seeded jitter: 1x, 2x, 4x, ... of the base,
   // each stretched by up to +25% so synchronized losses fan back out.
-  util::TimeNs delay = config_.retry_backoff << (task.fault_retries - 1);
+  // Saturates rather than shifting past 63 bits (signed-shift UB that
+  // wraps to a delay in the past).
+  util::TimeNs delay =
+      util::saturating_backoff(config_.retry_backoff, task.fault_retries);
   delay += static_cast<util::TimeNs>(run->rng.uniform(0.0, 0.25) *
                                      static_cast<double>(delay));
-  sim_.after(delay, [this, run, task_id] {
+  trace::SpanId retry_span = trace::kNoSpan;
+  if (tracer_) {
+    retry_span = tracer_->begin(
+        trace::Layer::kScheduler, "df.retry_wait",
+        run->stage_runs[static_cast<std::size_t>(task.stage)].span);
+    tracer_->set_task(retry_span, task.index);
+    tracer_->annotate(retry_span, "attempt",
+                      std::to_string(task.fault_retries));
+  }
+  sim_.after(delay, [this, run, task_id, retry_span] {
+    trace::end_span(tracer_, retry_span);
     RunState::TaskDef& task = run->tasks.at(task_id);
     task.retry_pending = false;
     if (run->aborted) return;
@@ -501,6 +576,17 @@ void DataflowEngine::fail_job(std::shared_ptr<RunState> run) {
     run->stats.stages.push_back(stage_run.stats);
   }
   metrics_.count("jobs_failed");
+  if (tracer_) {
+    for (const auto& [copy, cs] : run->running_copies) {
+      tracer_->annotate(cs.span, "outcome", "job_failed");
+      tracer_->end(cs.span);
+    }
+    for (const auto& stage_run : run->stage_runs) {
+      tracer_->end(stage_run.span);  // idempotent; unstarted stages are
+    }                                // kNoSpan and ignored
+    tracer_->annotate(run->job_span, "outcome", "failed");
+    tracer_->end(run->job_span);
+  }
   // Invalidate every in-flight continuation in one sweep.
   run->running_copies.clear();
   if (run->on_done) run->on_done(run->stats);
@@ -518,6 +604,10 @@ void DataflowEngine::handle_node_failure(cluster::NodeId node) {
     }
     for (TaskId copy : killed) {
       const RunState::CopyState cs = run->running_copies.at(copy);
+      if (tracer_) {
+        tracer_->annotate(cs.span, "outcome", "node_failure");
+        tracer_->end(cs.span);
+      }
       run->running_copies.erase(copy);
       const TaskId task_id = run->copy_owner.at(copy);
       RunState::TaskDef& task = run->tasks.at(task_id);
@@ -589,6 +679,7 @@ void DataflowEngine::finish_stage(std::shared_ptr<RunState> run,
   // whose map output was lost; children were already started then.
   if (sr.finished_once) return;
   sr.finished_once = true;
+  trace::end_span(tracer_, sr.span);
   ++run->stages_done;
   metrics_.count("stages_completed");
 
@@ -620,6 +711,7 @@ void DataflowEngine::finish_stage(std::shared_ptr<RunState> run,
     }
     metrics_.count("jobs_completed");
     run->done_reported = true;
+    trace::end_span(tracer_, run->job_span);
     if (run->on_done) run->on_done(run->stats);
   }
 }

@@ -22,6 +22,7 @@
 #include "sim/simulation.hpp"
 #include "storage/dataset.hpp"
 #include "storage/io_model.hpp"
+#include "trace/tracer.hpp"
 
 namespace evolve::dataflow {
 
@@ -122,6 +123,11 @@ class DataflowEngine {
   /// Node recovery: returns the node's executor slots to every live job.
   void handle_node_recovery(cluster::NodeId node);
 
+  /// Attaches a span tracer: jobs/stages/task copies become kDataflow
+  /// spans, shuffle fetches and spills kShuffle spans, and retry waits
+  /// kScheduler spans. Null disables (the default, zero overhead).
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct RunState;
 
@@ -144,6 +150,8 @@ class DataflowEngine {
   storage::DatasetCatalog& catalog_;
   DataflowConfig config_;
   metrics::Registry metrics_;
+  trace::Tracer* tracer_ = nullptr;
+  std::int64_t next_trace_job_ = 1;  // job id stamped on trace spans
   /// Live jobs, for failure fan-out; expired entries pruned lazily.
   std::vector<std::weak_ptr<RunState>> runs_;
 };

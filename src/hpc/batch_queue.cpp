@@ -45,6 +45,14 @@ JobId BatchQueue::submit(HpcJobSpec spec, StartFn on_start,
   rec.remaining = rec.status.spec.runtime;
   rec.on_start = std::move(on_start);
   rec.on_finish = std::move(on_finish);
+  if (tracer_) {
+    rec.trace_parent = tracer_->current();
+    rec.wait_span = tracer_->begin(trace::Layer::kScheduler, "hpc.wait",
+                                   rec.trace_parent);
+    tracer_->annotate(rec.wait_span, "job", rec.status.spec.name);
+    tracer_->annotate(rec.wait_span, "nodes",
+                      std::to_string(rec.status.spec.nodes));
+  }
   jobs_.emplace(id, std::move(rec));
   queue_.push_back(id);
   metrics_.count("jobs_submitted");
@@ -70,8 +78,23 @@ void BatchQueue::start_job(JobRecord& rec) {
   metrics_.count("jobs_started");
   metrics_.observe("job_wait_s",
                    (sim_.now() - rec.status.submit_time) / util::kSecond);
+  if (tracer_) {
+    tracer_->end(rec.wait_span);
+    rec.run_span = tracer_->begin(trace::Layer::kHpc, "hpc.run",
+                                  rec.trace_parent);
+    tracer_->annotate(rec.run_span, "job", rec.status.spec.name);
+    if (rec.status.restarts > 0) {
+      tracer_->annotate(rec.run_span, "restart",
+                        std::to_string(rec.status.restarts));
+    }
+  }
   const JobId id = rec.status.id;
-  if (rec.on_start) rec.on_start(id, rec.status.assigned_nodes);
+  {
+    // on_start launches the job body (e.g. run_mpi_program); parent its
+    // spans under this incarnation's run span.
+    trace::ScopedContext tctx(tracer_, rec.run_span);
+    if (rec.on_start) rec.on_start(id, rec.status.assigned_nodes);
+  }
   const std::int64_t incarnation = rec.incarnation;
   sim_.after(rec.remaining,
              [this, id, incarnation] { finish_job(id, incarnation); });
@@ -89,6 +112,7 @@ void BatchQueue::finish_job(JobId id, std::int64_t incarnation) {
   running_.erase(id);
   usage_.add(sim_.now(), -static_cast<double>(rec.status.spec.nodes));
   metrics_.count("jobs_finished");
+  if (tracer_) tracer_->end(rec.run_span);
   if (rec.on_finish) rec.on_finish(id);
   schedule_pass();
 }
@@ -228,6 +252,16 @@ void BatchQueue::handle_node_failure(int node) {
   rec.status.assigned_nodes.clear();
   ++rec.status.restarts;
   rec.remaining = rec.remaining - checkpointed + fault_.restart_cost;
+  if (tracer_) {
+    if (rec.run_span != trace::kNoSpan) {
+      tracer_->annotate(rec.run_span, "outcome", "gang_abort");
+    }
+    tracer_->end(rec.run_span);
+    // New incarnation: queue-wait span for the requeued job.
+    rec.wait_span = tracer_->begin(trace::Layer::kScheduler, "hpc.requeue",
+                                   rec.trace_parent);
+    tracer_->annotate(rec.wait_span, "job", rec.status.spec.name);
+  }
   queue_.push_front(victim);  // restarts take queue priority
   metrics_.count("gang_aborts");
   metrics_.count("jobs_restarted");

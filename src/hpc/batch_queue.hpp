@@ -17,6 +17,7 @@
 #include "metrics/registry.hpp"
 #include "metrics/timeseries.hpp"
 #include "sim/simulation.hpp"
+#include "trace/tracer.hpp"
 #include "util/types.hpp"
 
 namespace evolve::hpc {
@@ -93,6 +94,11 @@ class BatchQueue {
   bool node_alive(int node) const { return down_.count(node) == 0; }
   int down_nodes() const { return static_cast<int>(down_.size()); }
 
+  /// Attaches a span tracer: jobs get kScheduler queue-wait spans and
+  /// kHpc run spans (one per incarnation; gang aborts requeue). Null
+  /// disables.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct JobRecord {
     HpcJobStatus status;
@@ -100,6 +106,9 @@ class BatchQueue {
     FinishFn on_finish;
     util::TimeNs remaining = 0;     // runtime left (restarts shrink it)
     std::int64_t incarnation = 0;   // invalidates stale finish timers
+    trace::SpanId wait_span = trace::kNoSpan;
+    trace::SpanId run_span = trace::kNoSpan;
+    trace::SpanId trace_parent = trace::kNoSpan;  // submitter's context
   };
 
   void schedule_pass();
@@ -125,6 +134,7 @@ class BatchQueue {
   JobId next_id_ = 1;
   metrics::Registry metrics_;
   metrics::UsageTracker usage_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace evolve::hpc

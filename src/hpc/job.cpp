@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace evolve::hpc {
 
@@ -15,6 +16,8 @@ struct RunState {
   MpiRunStats stats;
   util::TimeNs started = 0;
   util::TimeNs compute_step = 0;
+  trace::Tracer* tracer = nullptr;
+  trace::SpanId parent = trace::kNoSpan;
 
   void iterate(std::shared_ptr<RunState> self) {
     if (stats.iterations_completed >= program.iterations) {
@@ -24,12 +27,23 @@ struct RunState {
     }
     // Compute phase: ranks run in parallel, so wall time advances by one
     // per-rank compute step.
-    sim.after(compute_step, [this, self] {
+    const trace::SpanId compute_span =
+        trace::begin_span(tracer, trace::Layer::kHpc, "mpi.compute", parent);
+    sim.after(compute_step, [this, self, compute_span] {
       stats.compute_time += compute_step;
-      comm.allreduce(program.allreduce_bytes, program.algo, [this, self] {
-        ++stats.iterations_completed;
-        iterate(self);
-      });
+      trace::end_span(tracer, compute_span);
+      const trace::SpanId reduce_span = trace::begin_span(
+          tracer, trace::Layer::kHpc, "mpi.allreduce", parent);
+      if (reduce_span != trace::kNoSpan) {
+        tracer->annotate(reduce_span, "bytes",
+                         std::to_string(program.allreduce_bytes));
+      }
+      comm.allreduce(program.allreduce_bytes, program.algo,
+                     [this, self, reduce_span] {
+                       trace::end_span(tracer, reduce_span);
+                       ++stats.iterations_completed;
+                       iterate(self);
+                     });
     });
   }
 };
@@ -38,7 +52,8 @@ struct RunState {
 
 void run_mpi_program(sim::Simulation& sim, Communicator& comm,
                      const MpiProgram& program,
-                     std::function<void(const MpiRunStats&)> on_done) {
+                     std::function<void(const MpiRunStats&)> on_done,
+                     trace::Tracer* tracer) {
   if (program.iterations < 0) {
     throw std::invalid_argument("negative iteration count");
   }
@@ -46,7 +61,8 @@ void run_mpi_program(sim::Simulation& sim, Communicator& comm,
     throw std::invalid_argument("compute_speedup must be > 0");
   }
   auto state = std::make_shared<RunState>(RunState{
-      sim, comm, program, std::move(on_done), {}, sim.now(), 0});
+      sim, comm, program, std::move(on_done), {}, sim.now(), 0, tracer,
+      tracer ? tracer->current() : trace::kNoSpan});
   state->compute_step = static_cast<util::TimeNs>(
       std::llround(static_cast<double>(program.compute_per_iteration) /
                    program.compute_speedup));

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "hpc/communicator.hpp"
+#include "trace/tracer.hpp"
 #include "util/types.hpp"
 
 namespace evolve::hpc {
@@ -28,9 +29,12 @@ struct MpiRunStats {
 };
 
 /// Runs `program` on `comm`; `on_done` receives the run stats.
-/// The communicator must stay alive until completion.
+/// The communicator must stay alive until completion. With a tracer,
+/// each iteration's compute and allreduce phases become kHpc spans
+/// parented by the caller's current trace context.
 void run_mpi_program(sim::Simulation& sim, Communicator& comm,
                      const MpiProgram& program,
-                     std::function<void(const MpiRunStats&)> on_done);
+                     std::function<void(const MpiRunStats&)> on_done,
+                     trace::Tracer* tracer = nullptr);
 
 }  // namespace evolve::hpc

@@ -51,10 +51,16 @@ void Histogram::record_n(std::int64_t value, std::int64_t count) {
     min_ = std::min(min_, value);
     max_ = std::max(max_, value);
   }
+  // Chan's batch update: `count` identical samples form a block with
+  // mean `value` and zero internal variance.
+  const double prior = static_cast<double>(count_);
+  const double block = static_cast<double>(count);
+  const double total = prior + block;
+  const double delta = static_cast<double>(value) - welford_mean_;
+  welford_mean_ += delta * block / total;
+  m2_ += delta * delta * prior * block / total;
   count_ += count;
   sum_ += static_cast<double>(value) * static_cast<double>(count);
-  sum_sq_ += static_cast<double>(value) * static_cast<double>(value) *
-             static_cast<double>(count);
 }
 
 std::int64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
@@ -66,8 +72,7 @@ double Histogram::mean() const {
 
 double Histogram::stddev() const {
   if (count_ == 0) return 0.0;
-  const double m = mean();
-  const double var = sum_sq_ / static_cast<double>(count_) - m * m;
+  const double var = m2_ / static_cast<double>(count_);
   return var <= 0 ? 0.0 : std::sqrt(var);
 }
 
@@ -101,16 +106,22 @@ void Histogram::merge(const Histogram& other) {
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
   }
+  // Chan's parallel combination of the two (mean, M2) pairs.
+  const double prior = static_cast<double>(count_);
+  const double block = static_cast<double>(other.count_);
+  const double total = prior + block;
+  const double delta = other.welford_mean_ - welford_mean_;
+  welford_mean_ += delta * block / total;
+  m2_ += other.m2_ + delta * delta * prior * block / total;
   count_ += other.count_;
   sum_ += other.sum_;
-  sum_sq_ += other.sum_sq_;
 }
 
 void Histogram::reset() {
   buckets_.clear();
   count_ = 0;
   min_ = max_ = 0;
-  sum_ = sum_sq_ = 0;
+  sum_ = welford_mean_ = m2_ = 0;
 }
 
 std::string Histogram::summary() const {

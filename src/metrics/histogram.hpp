@@ -52,7 +52,11 @@ class Histogram {
   std::int64_t min_ = 0;
   std::int64_t max_ = 0;
   double sum_ = 0;
-  double sum_sq_ = 0;
+  // Welford/Chan accumulators for the variance: mean and the centred
+  // sum of squares M2 = sum((x - mean)^2). The naive E[x^2] - E[x]^2
+  // form cancels catastrophically for large offsets (ns timestamps).
+  double welford_mean_ = 0;
+  double m2_ = 0;
 };
 
 }  // namespace evolve::metrics

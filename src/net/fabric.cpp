@@ -27,6 +27,20 @@ FlowId Fabric::transfer(cluster::NodeId src, cluster::NodeId dst,
   const FlowId id = next_id_++;
   ++stats_.flows_started;
   ++stats_.flows_in_flight;
+  if (tracer_) {
+    // Span covers the whole flow lifetime including propagation latency;
+    // it ends inside the wrapped completion callback or on cancel.
+    const trace::SpanId span =
+        tracer_->begin(trace::Layer::kNetwork, "net.transfer");
+    tracer_->annotate(span, "bytes", std::to_string(bytes));
+    tracer_->annotate(span, "src", std::to_string(src));
+    tracer_->annotate(span, "dst", std::to_string(dst));
+    span_of_.emplace(id, span);
+    on_complete = [this, id, cb = std::move(on_complete)]() mutable {
+      end_flow_span(id);
+      if (cb) cb();
+    };
+  }
   if (bytes == 0) {
     // Completion is counted when the latency-deferred callback actually
     // fires, so stats never report completions that have not happened yet.
@@ -72,9 +86,14 @@ FlowId Fabric::transfer(cluster::NodeId src, cluster::NodeId dst,
 }
 
 bool Fabric::cancel(FlowId id) {
-  if (config_.use_reference_solver) return ref_cancel(id);
+  if (config_.use_reference_solver) {
+    const bool cancelled = ref_cancel(id);
+    if (cancelled) end_flow_span(id);
+    return cancelled;
+  }
   auto it = slot_of_.find(id);
   if (it == slot_of_.end()) return false;
+  end_flow_span(id);
   settle_progress();
   const int slot = it->second;
   FlowSlot& flow = slots_[static_cast<std::size_t>(slot)];
@@ -446,6 +465,14 @@ void Fabric::ref_on_completion_event() {
 // ---------------------------------------------------------------------------
 // Shared helpers
 // ---------------------------------------------------------------------------
+
+void Fabric::end_flow_span(FlowId id) {
+  if (!tracer_) return;
+  const auto it = span_of_.find(id);
+  if (it == span_of_.end()) return;
+  tracer_->end(it->second);
+  span_of_.erase(it);
+}
 
 void Fabric::deliver(util::Bytes bytes, bool remote, util::TimeNs latency,
                      FlowCallback cb) {

@@ -37,6 +37,7 @@
 
 #include "net/topology.hpp"
 #include "sim/simulation.hpp"
+#include "trace/tracer.hpp"
 #include "util/types.hpp"
 
 namespace evolve::net {
@@ -86,6 +87,10 @@ class Fabric {
   int active_flows() const { return active_flows_; }
   const FlowStats& stats() const { return stats_; }
   const Topology& topology() const { return topology_; }
+
+  /// Attaches a span tracer; every transfer becomes a kNetwork span
+  /// parented by the caller's current trace context. Null disables.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
  private:
   // ---- incremental grouped engine ----
@@ -179,6 +184,8 @@ class Fabric {
                FlowCallback cb);
   void schedule_completion(double earliest_s);
   void clear_pending_event();
+  /// Closes a cancelled/completed flow's span (no-op when untraced).
+  void end_flow_span(FlowId id);
 
   sim::Simulation& sim_;
   const Topology& topology_;
@@ -212,6 +219,10 @@ class Fabric {
   // Reference-engine state. std::map keeps iteration order deterministic
   // (flow-id order), which makes completion-callback ordering reproducible.
   std::map<FlowId, RefFlow> ref_flows_;
+
+  // Tracing (observational only; empty when no tracer is attached).
+  trace::Tracer* tracer_ = nullptr;
+  std::unordered_map<FlowId, trace::SpanId> span_of_;
 };
 
 }  // namespace evolve::net

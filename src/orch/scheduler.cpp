@@ -165,7 +165,8 @@ PodId Orchestrator::submit(PodSpec spec, util::TimeNs duration,
   rec.duration = duration;
   rec.on_start = std::move(on_start);
   rec.on_finish = std::move(on_finish);
-  pods_.emplace(id, std::move(rec));
+  auto [it, inserted] = pods_.emplace(id, std::move(rec));
+  trace_submit(it->second);
   metrics_.count("pods_submitted");
   enqueue(id);
   return id;
@@ -199,12 +200,22 @@ std::vector<PodId> Orchestrator::submit_gang(std::vector<PodSpec> specs,
     rec.duration = duration;
     rec.on_start = on_start;
     rec.on_finish = on_finish;
-    pods_.emplace(id, std::move(rec));
+    auto [it, inserted] = pods_.emplace(id, std::move(rec));
+    trace_submit(it->second);
     metrics_.count("pods_submitted");
     enqueue(id);
     ids.push_back(id);
   }
   return ids;
+}
+
+void Orchestrator::trace_submit(PodRecord& rec) {
+  if (!tracer_) return;
+  rec.wait_span =
+      tracer_->begin(trace::Layer::kScheduler, "pod.wait");
+  tracer_->annotate(rec.wait_span, "pod", rec.status.spec.name.empty()
+                                              ? std::to_string(rec.status.id)
+                                              : rec.status.spec.name);
 }
 
 void Orchestrator::place(PodRecord& rec, cluster::NodeId node) {
@@ -223,6 +234,20 @@ void Orchestrator::place(PodRecord& rec, cluster::NodeId node) {
   metrics_.count("pods_started");
   metrics_.observe("pod_wait_ms",
                    (sim_.now() - rec.status.submit_time) / util::kMillisecond);
+  if (tracer_) {
+    tracer_->end(rec.wait_span);
+    // Service pods (negative duration: executors, rank holders) get no
+    // run span — they would shadow the work the run actually does.
+    if (rec.duration >= 0) {
+      const trace::SpanId parent =
+          rec.wait_span != trace::kNoSpan
+              ? tracer_->span(rec.wait_span).parent
+              : trace::kNoSpan;
+      rec.run_span =
+          tracer_->begin(trace::Layer::kCloud, "pod.run", parent);
+      tracer_->annotate(rec.run_span, "node", std::to_string(node));
+    }
+  }
 
   const PodId id = rec.status.id;
   const util::TimeNs duration = rec.duration;
@@ -261,6 +286,13 @@ void Orchestrator::complete(PodId id, PodPhase phase) {
   quotas_.release(rec.status.spec.tenant, rec.status.spec.request);
   rec.status.phase = phase;
   rec.status.finish_time = sim_.now();
+  if (tracer_) {
+    if (phase == PodPhase::kFailed && rec.run_span != trace::kNoSpan) {
+      tracer_->annotate(rec.run_span, "outcome", "failed");
+    }
+    tracer_->end(rec.wait_span);  // no-op unless cancelled while pending
+    tracer_->end(rec.run_span);
+  }
   metrics_.count(phase == PodPhase::kSucceeded ? "pods_succeeded"
                                                : "pods_failed");
   if (rec.on_finish) rec.on_finish(id, phase);

@@ -19,6 +19,7 @@
 #include "orch/pod.hpp"
 #include "orch/quota.hpp"
 #include "sim/simulation.hpp"
+#include "trace/tracer.hpp"
 
 namespace evolve::orch {
 
@@ -101,6 +102,11 @@ class Orchestrator {
   void recover_node(cluster::NodeId node);
   bool is_ready(cluster::NodeId node) const;
 
+  /// Attaches a span tracer: each pod gets a kScheduler wait span
+  /// (submit -> placed) and, for auto-finishing pods, a kCloud run span
+  /// (placed -> terminal). Null disables.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
   /// Runs one scheduling pass immediately (also runs periodically).
   void schedule_now();
 
@@ -114,7 +120,12 @@ class Orchestrator {
     util::TimeNs duration = -1;
     StartFn on_start;
     FinishFn on_finish;
+    trace::SpanId wait_span = trace::kNoSpan;
+    trace::SpanId run_span = trace::kNoSpan;
   };
+
+  /// Opens the kScheduler wait span for a just-submitted pod.
+  void trace_submit(PodRecord& rec);
 
   PodRecord& record(PodId id);
   NodeStatus& status_for(cluster::NodeId node);
@@ -153,6 +164,7 @@ class Orchestrator {
   int running_count_ = 0;
   bool pump_scheduled_ = false;
   bool shutdown_ = false;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace evolve::orch

@@ -219,6 +219,12 @@ void ObjectStore::put(cluster::NodeId client, const ObjectKey& key,
   const util::TimeNs start = sim_.now();
   metrics_.count("put_requests");
   metrics_.count("put_bytes", size);
+  const trace::SpanId span =
+      trace::begin_span(tracer_, trace::Layer::kStorage, "store.put");
+  if (span != trace::kNoSpan) {
+    tracer_->annotate(span, "key", key.full());
+    tracer_->annotate(span, "bytes", std::to_string(size));
+  }
 
   // If overwriting, reclaim the old durable bytes first.
   int version = 0;
@@ -240,11 +246,12 @@ void ObjectStore::put(cluster::NodeId client, const ObjectKey& key,
   }
 
   auto remaining = std::make_shared<int>(static_cast<int>(replicas.size()));
-  auto finish = [this, remaining, start,
+  auto finish = [this, remaining, start, span,
                  cb = std::move(on_done)]() mutable {
     if (--*remaining > 0) return;
     metrics_.observe("put_latency_us",
                      (sim_.now() - start) / util::kMicrosecond);
+    trace::end_span(tracer_, span);
     cb();
   };
   const cluster::NodeId primary = replicas.front();
@@ -253,10 +260,13 @@ void ObjectStore::put(cluster::NodeId client, const ObjectKey& key,
     // Metadata round, then client -> primary transfer, then fan-out
     // replication in parallel. Done when every replica is durable.
     sim_.after(config_.metadata_latency, [this, client, primary, key, size,
-                                          replicas, finish]() mutable {
+                                          replicas, span, finish]() mutable {
+      trace::ScopedContext tctx(tracer_, span);
       fabric_.transfer(client, primary, size, [this, primary, key, size,
-                                               replicas, finish]() mutable {
+                                               replicas, span,
+                                               finish]() mutable {
         write_durable(primary, key, size, finish);
+        trace::ScopedContext tctx(tracer_, span);
         for (std::size_t i = 1; i < replicas.size(); ++i) {
           const cluster::NodeId replica = replicas[i];
           fabric_.transfer(primary, replica, size,
@@ -275,13 +285,15 @@ void ObjectStore::put(cluster::NodeId client, const ObjectKey& key,
       std::ceil(static_cast<double>(size) * config_.ec_ns_per_byte));
   sim_.after(config_.metadata_latency, [this, client, primary, key, size,
                                         per_server, encode_ns, replicas,
-                                        finish]() mutable {
+                                        span, finish]() mutable {
+    trace::ScopedContext tctx(tracer_, span);
     fabric_.transfer(client, primary, size, [this, primary, key, per_server,
-                                             encode_ns, replicas,
+                                             encode_ns, replicas, span,
                                              finish]() mutable {
-      sim_.after(encode_ns, [this, primary, key, per_server, replicas,
+      sim_.after(encode_ns, [this, primary, key, per_server, replicas, span,
                              finish]() mutable {
         write_durable(primary, key, per_server, finish);
+        trace::ScopedContext tctx(tracer_, span);
         for (std::size_t i = 1; i < replicas.size(); ++i) {
           const cluster::NodeId peer = replicas[i];
           fabric_.transfer(primary, peer, per_server,
@@ -298,27 +310,39 @@ void ObjectStore::get(cluster::NodeId client, const ObjectKey& key,
                       GetCallback on_done) {
   const util::TimeNs start = sim_.now();
   metrics_.count("get_requests");
+  const trace::SpanId span =
+      trace::begin_span(tracer_, trace::Layer::kStorage, "store.get");
+  if (span != trace::kNoSpan) tracer_->annotate(span, "key", key.full());
   auto it = objects_.find(key);
   if (it == objects_.end()) {
     metrics_.count("get_misses");
+    if (span != trace::kNoSpan) tracer_->annotate(span, "result", "miss");
     sim_.after(config_.metadata_latency,
-               [cb = std::move(on_done)] { cb(GetResult{}); });
+               [this, span, cb = std::move(on_done)] {
+                 trace::end_span(tracer_, span);
+                 cb(GetResult{});
+               });
     return;
   }
   if (health(it->second) == Health::kLost) {
     // Every replica (or too many fragments) died with its node: the
     // object is unreadable until someone re-writes it.
     metrics_.count("get_lost");
+    if (span != trace::kNoSpan) tracer_->annotate(span, "result", "lost");
     sim_.after(config_.metadata_latency,
-               [cb = std::move(on_done)] { cb(GetResult{}); });
+               [this, span, cb = std::move(on_done)] {
+                 trace::end_span(tracer_, span);
+                 cb(GetResult{});
+               });
     return;
   }
   if (health(it->second) == Health::kDegraded) {
     metrics_.count("degraded_reads");
+    if (span != trace::kNoSpan) tracer_->annotate(span, "degraded", "1");
   }
   const util::Bytes size = it->second.size;
   if (config_.redundancy == Redundancy::kErasure) {
-    get_erasure(client, key, it->second, start, std::move(on_done));
+    get_erasure(client, key, it->second, start, span, std::move(on_done));
     return;
   }
   const cluster::NodeId server =
@@ -343,6 +367,10 @@ void ObjectStore::get(cluster::NodeId client, const ObjectKey& key,
   }
   metrics_.count("get_tier_" + tier_name);
   metrics_.count("get_bytes", size);
+  if (span != trace::kNoSpan) {
+    tracer_->annotate(span, "tier", tier_name);
+    tracer_->annotate(span, "bytes", std::to_string(size));
+  }
 
   GetResult result;
   result.found = true;
@@ -351,18 +379,21 @@ void ObjectStore::get(cluster::NodeId client, const ObjectKey& key,
   result.tier = tier_name;
 
   sim_.after(config_.metadata_latency, [this, server, client, size, tier_name,
-                                        start, result,
+                                        start, result, span,
                                         cb = std::move(on_done)]() mutable {
     io_.device(server, tier_name)
         .submit(IoKind::kRead, size,
-                [this, server, client, size, start, result,
+                [this, server, client, size, start, result, span,
                  cb = std::move(cb)]() mutable {
+                  trace::ScopedContext tctx(tracer_, span);
                   fabric_.transfer(
                       server, client, size,
-                      [this, start, result, cb = std::move(cb)]() mutable {
+                      [this, start, result, span,
+                       cb = std::move(cb)]() mutable {
                         metrics_.observe(
                             "get_latency_us",
                             (sim_.now() - start) / util::kMicrosecond);
+                        trace::end_span(tracer_, span);
                         cb(result);
                       });
                 });
@@ -371,7 +402,7 @@ void ObjectStore::get(cluster::NodeId client, const ObjectKey& key,
 
 void ObjectStore::get_erasure(cluster::NodeId client, const ObjectKey& key,
                               const ObjectMeta& meta, util::TimeNs start,
-                              GetCallback on_done) {
+                              trace::SpanId span, GetCallback on_done) {
   // Rank fragment holders by proximity to the client; read the k nearest.
   std::vector<cluster::NodeId> ranked = meta.replicas;
   const auto& topo = fabric_.topology();
@@ -397,14 +428,16 @@ void ObjectStore::get_erasure(cluster::NodeId client, const ObjectKey& key,
   // Tier is reported for the nearest fragment; all fragment reads go
   // through their server's cache independently.
   auto remaining = std::make_shared<int>(k);
-  auto finish = [this, remaining, start, decode_ns, result,
+  auto finish = [this, remaining, start, decode_ns, result, span,
                  cb = std::move(on_done)]() mutable {
     if (--*remaining > 0) return;
-    sim_.after(decode_ns, [this, start, result, cb = std::move(cb)]() mutable {
-      metrics_.observe("get_latency_us",
-                       (sim_.now() - start) / util::kMicrosecond);
-      cb(*result);
-    });
+    sim_.after(decode_ns,
+               [this, start, result, span, cb = std::move(cb)]() mutable {
+                 metrics_.observe("get_latency_us",
+                                  (sim_.now() - start) / util::kMicrosecond);
+                 trace::end_span(tracer_, span);
+                 cb(*result);
+               });
   };
   for (int i = 0; i < k; ++i) {
     const cluster::NodeId server = ranked[static_cast<std::size_t>(i)];
@@ -424,10 +457,11 @@ void ObjectStore::get_erasure(cluster::NodeId client, const ObjectKey& key,
     metrics_.count("get_bytes", fragment);
     if (i == 0) result->tier = tier_name;
     sim_.after(config_.metadata_latency, [this, server, client, fragment,
-                                          tier_name, finish]() mutable {
+                                          tier_name, span, finish]() mutable {
       io_.device(server, tier_name)
           .submit(IoKind::kRead, fragment,
-                  [this, server, client, fragment, finish]() mutable {
+                  [this, server, client, fragment, span, finish]() mutable {
+                    trace::ScopedContext tctx(tracer_, span);
                     fabric_.transfer(server, client, fragment, finish);
                   });
     });
@@ -676,15 +710,25 @@ void ObjectStore::start_repair(const ObjectKey& key) {
   const util::Bytes fragment = meta.per_server_bytes;
   ++repairs_in_flight_;
   metrics_.count("repairs_started");
+  // Re-replication runs in the background, so the span is a root.
+  const trace::SpanId span =
+      trace::begin_span(tracer_, trace::Layer::kStorage, "store.repair",
+                        trace::kNoSpan);
+  if (span != trace::kNoSpan) {
+    tracer_->annotate(span, "key", key.full());
+    tracer_->annotate(span, "target", std::to_string(target));
+  }
 
   if (config_.redundancy == Redundancy::kReplication) {
     // Stream one surviving copy to the target.
     const cluster::NodeId source = choose_replica(meta.replicas, target);
     io_.device(source, server_state(source).durable_device)
         .submit(IoKind::kRead, fragment,
-                [this, key, source, target, fragment, version] {
+                [this, key, source, target, fragment, version, span] {
+                  trace::ScopedContext tctx(tracer_, span);
                   fabric_.transfer(source, target, fragment,
-                                   [this, key, target, version] {
+                                   [this, key, target, version, span] {
+                                     trace::end_span(tracer_, span);
                                      finish_repair(key, target, version);
                                    });
                 });
@@ -711,14 +755,18 @@ void ObjectStore::start_repair(const ObjectKey& key) {
     io_.device(source, server_state(source).durable_device)
         .submit(IoKind::kRead, fragment,
                 [this, key, source, target, fragment, version, remaining,
-                 decode_ns] {
+                 decode_ns, span] {
+                  trace::ScopedContext tctx(tracer_, span);
                   fabric_.transfer(
                       source, target, fragment,
-                      [this, key, target, version, remaining, decode_ns] {
+                      [this, key, target, version, remaining, decode_ns,
+                       span] {
                         if (--*remaining > 0) return;
-                        sim_.after(decode_ns, [this, key, target, version] {
-                          finish_repair(key, target, version);
-                        });
+                        sim_.after(decode_ns,
+                                   [this, key, target, version, span] {
+                                     trace::end_span(tracer_, span);
+                                     finish_repair(key, target, version);
+                                   });
                       });
                 });
   }

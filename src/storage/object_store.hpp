@@ -27,6 +27,7 @@
 #include "sim/simulation.hpp"
 #include "storage/io_model.hpp"
 #include "storage/tiered_cache.hpp"
+#include "trace/tracer.hpp"
 #include "util/types.hpp"
 
 namespace evolve::storage {
@@ -119,6 +120,10 @@ class ObjectStore {
 
   bool exists(const ObjectKey& key) const;
   std::optional<util::Bytes> object_size(const ObjectKey& key) const;
+
+  /// Attaches a span tracer: GET/PUT/repair become kStorage spans (with
+  /// the serving tier as an attribute). Null disables.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
   /// Names of objects in a bucket with the given prefix, sorted.
   std::vector<std::string> list(const std::string& bucket,
@@ -217,7 +222,7 @@ class ObjectStore {
   /// holders in parallel, then decode at the client.
   void get_erasure(cluster::NodeId client, const ObjectKey& key,
                    const ObjectMeta& meta, util::TimeNs start,
-                   GetCallback on_done);
+                   trace::SpanId span, GetCallback on_done);
 
   /// Replicas/fragments the object should hold (capped by server count).
   int placed_copies() const;
@@ -255,6 +260,7 @@ class ObjectStore {
   util::TimeNs underrep_last_ = 0;
   double underrep_ns_ = 0;  // object·ns integral up to underrep_last_
   metrics::Registry metrics_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace evolve::storage

@@ -1,0 +1,109 @@
+#include "trace/critical_path.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace evolve::trace {
+namespace {
+
+// Child span lists, built once per extraction. Children are sorted by
+// ascending end time so the walk can scan backwards for "latest child
+// still running before t".
+struct Tree {
+  const Tracer* tracer;
+  util::TimeNs horizon;  // substitute end for open spans
+  std::vector<std::vector<SpanId>> children;  // children[id-1]
+
+  util::TimeNs end_of(SpanId id) const {
+    const Span& s = tracer->span(id);
+    return s.open() ? horizon : s.end;
+  }
+};
+
+Tree build_tree(const Tracer& tracer, util::TimeNs horizon) {
+  Tree tree;
+  tree.tracer = &tracer;
+  tree.horizon = horizon;
+  tree.children.resize(tracer.spans().size());
+  for (const Span& span : tracer.spans()) {
+    if (span.parent != kNoSpan) {
+      tree.children[static_cast<std::size_t>(span.parent) - 1].push_back(
+          span.id);
+    }
+  }
+  for (auto& kids : tree.children) {
+    std::sort(kids.begin(), kids.end(), [&](SpanId a, SpanId b) {
+      const util::TimeNs ea = tree.end_of(a);
+      const util::TimeNs eb = tree.end_of(b);
+      return ea != eb ? ea < eb : a < b;
+    });
+  }
+  return tree;
+}
+
+// Attributes [lo, hi] under `node`: find the child that was running
+// latest within the window (last finisher), charge the gap after it to
+// `node` itself, recurse into the child, and continue leftwards from the
+// child's start until `lo` is reached.
+void walk(const Tree& tree, SpanId node, util::TimeNs lo, util::TimeNs hi,
+          std::vector<PathSegment>& out) {
+  const Span& span = tree.tracer->span(node);
+  const auto& kids = tree.children[static_cast<std::size_t>(node) - 1];
+  util::TimeNs t = hi;
+  while (t > lo) {
+    // Last finisher active before t. Scanning by decreasing end time,
+    // the effective end min(end, t) is non-increasing, so the first
+    // child that started before t wins, and once effective ends drop to
+    // lo no later child can contribute.
+    SpanId pick = kNoSpan;
+    util::TimeNs pick_end = 0;
+    for (auto rit = kids.rbegin(); rit != kids.rend(); ++rit) {
+      const util::TimeNs eff = std::min(t, tree.end_of(*rit));
+      if (eff <= lo) break;
+      if (tree.tracer->span(*rit).start >= t) continue;
+      pick = *rit;
+      pick_end = eff;
+      break;
+    }
+    if (pick == kNoSpan) break;
+    if (pick_end < t) {
+      // Nobody ran in (pick_end, t]: the parent itself was the critical
+      // work (scheduler gap, compute between I/O phases, ...).
+      out.push_back({node, span.layer, span.name, pick_end, t});
+    }
+    const util::TimeNs pick_start =
+        std::max(lo, tree.tracer->span(pick).start);
+    walk(tree, pick, pick_start, pick_end, out);
+    t = pick_start;
+  }
+  if (t > lo) out.push_back({node, span.layer, span.name, lo, t});
+}
+
+}  // namespace
+
+CriticalPath critical_path(const Tracer& tracer, SpanId root) {
+  const Span& span = tracer.span(root);
+  assert(!span.open() && "critical_path requires a closed root span");
+  CriticalPath path;
+  path.root = root;
+  path.total = span.end - span.start;
+
+  const Tree tree = build_tree(tracer, span.end);
+  walk(tree, root, span.start, span.end, path.segments);
+  std::reverse(path.segments.begin(), path.segments.end());
+
+  for (const PathSegment& seg : path.segments) {
+    path.by_layer[static_cast<int>(seg.layer)] += seg.duration();
+  }
+  return path;
+}
+
+std::vector<SpanId> root_spans(const Tracer& tracer) {
+  std::vector<SpanId> roots;
+  for (const Span& span : tracer.spans()) {
+    if (span.parent == kNoSpan) roots.push_back(span.id);
+  }
+  return roots;
+}
+
+}  // namespace evolve::trace

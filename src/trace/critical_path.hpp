@@ -1,0 +1,53 @@
+// Per-job critical-path extraction over a span tree.
+//
+// Given a root span (e.g. one end-to-end job), walks the tree backwards
+// from the root's end time, always descending into the child span that
+// was still running latest (CRISP-style last-finisher attribution).
+// Time inside a child is charged to the child's layer (recursively);
+// gaps where no child was running are charged to the parent's own layer.
+// The resulting segments partition [root.start, root.end] exactly, so
+// the per-layer sums always add up to the end-to-end latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/tracer.hpp"
+#include "util/types.hpp"
+
+namespace evolve::trace {
+
+/// One contiguous stretch of the critical path, charged to one span.
+struct PathSegment {
+  SpanId span = kNoSpan;
+  Layer layer = Layer::kWorkflow;
+  std::string name;  // name of the charged span
+  util::TimeNs start = 0;
+  util::TimeNs end = 0;
+
+  util::TimeNs duration() const { return end - start; }
+};
+
+struct CriticalPath {
+  SpanId root = kNoSpan;
+  util::TimeNs total = 0;  // root end - root start
+  std::vector<PathSegment> segments;  // ordered by start, gap-free
+  util::TimeNs by_layer[kLayerCount] = {};  // sums exactly to `total`
+
+  double layer_fraction(Layer layer) const {
+    return total > 0 ? static_cast<double>(
+                           by_layer[static_cast<int>(layer)]) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// Extracts the critical path under `root`. Open spans are treated as
+/// ending at the root's end. Requires the root span to be closed.
+CriticalPath critical_path(const Tracer& tracer, SpanId root);
+
+/// Roots (spans with no parent) in span-id order.
+std::vector<SpanId> root_spans(const Tracer& tracer);
+
+}  // namespace evolve::trace

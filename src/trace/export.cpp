@@ -1,0 +1,227 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <queue>
+#include <utility>
+
+#include "util/strings.hpp"
+
+namespace evolve::trace {
+namespace {
+
+constexpr int kLaneBand = 1000;  // tids per layer band within a process
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string micros(util::TimeNs t) {
+  // Trace-event ts/dur are microseconds; keep ns resolution as
+  // fractions. Format with three decimals and strip the trailing zeros
+  // to keep files compact.
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.3f",
+                static_cast<double>(t) / 1e3);
+  std::string out = buffer;
+  while (out.size() > 1 && out.back() == '0') out.pop_back();
+  if (!out.empty() && out.back() == '.') out.pop_back();
+  return out;
+}
+
+// Packs spans of one layer into lanes so slices on a tid never overlap
+// (Perfetto draws same-tid overlaps on top of each other). Greedy
+// first-fit by start time against a min-heap of lane end times.
+std::vector<int> assign_lanes(const Tracer& tracer,
+                              std::vector<SpanId>& spans,
+                              util::TimeNs horizon) {
+  std::sort(spans.begin(), spans.end(), [&](SpanId a, SpanId b) {
+    const Span& sa = tracer.span(a);
+    const Span& sb = tracer.span(b);
+    return sa.start != sb.start ? sa.start < sb.start : a < b;
+  });
+  std::vector<int> lanes(spans.size());
+  using LaneEnd = std::pair<util::TimeNs, int>;  // (end, lane)
+  std::priority_queue<LaneEnd, std::vector<LaneEnd>, std::greater<>> heap;
+  int next_lane = 0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& span = tracer.span(spans[i]);
+    const util::TimeNs end = span.open() ? horizon : span.end;
+    int lane;
+    if (!heap.empty() && heap.top().first <= span.start) {
+      lane = heap.top().second;
+      heap.pop();
+    } else {
+      lane = next_lane++;
+    }
+    lanes[i] = lane;
+    heap.emplace(end, lane);
+  }
+  return lanes;
+}
+
+void emit_event(std::string& out, bool& first, const std::string& body) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "  " + body;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceProcess>& processes) {
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  int pid = 0;
+  for (const TraceProcess& process : processes) {
+    ++pid;
+    if (!process.tracer) continue;
+    const Tracer& tracer = *process.tracer;
+    emit_event(out, first,
+               "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " +
+                   std::to_string(pid) +
+                   ", \"args\": {\"name\": \"" + escape(process.name) +
+                   "\"}}");
+
+    // Horizon for open spans: the latest closed end (or latest start).
+    util::TimeNs horizon = 0;
+    for (const Span& span : tracer.spans()) {
+      horizon = std::max(horizon, span.open() ? span.start : span.end);
+    }
+
+    std::vector<SpanId> by_layer[kLayerCount];
+    for (const Span& span : tracer.spans()) {
+      by_layer[static_cast<int>(span.layer)].push_back(span.id);
+    }
+    for (int layer = 0; layer < kLayerCount; ++layer) {
+      auto& spans = by_layer[layer];
+      if (spans.empty()) continue;
+      const std::vector<int> lanes = assign_lanes(tracer, spans, horizon);
+      int max_lane = 0;
+      for (std::size_t i = 0; i < spans.size(); ++i) {
+        const Span& span = tracer.span(spans[i]);
+        const int tid = layer * kLaneBand + lanes[i];
+        max_lane = std::max(max_lane, lanes[i]);
+        const util::TimeNs end = span.open() ? horizon : span.end;
+        std::string body = "{\"ph\": \"X\", \"pid\": " +
+                           std::to_string(pid) +
+                           ", \"tid\": " + std::to_string(tid) +
+                           ", \"name\": \"" + escape(span.name) +
+                           "\", \"cat\": \"" +
+                           layer_name(static_cast<Layer>(layer)) +
+                           "\", \"ts\": " + micros(span.start) +
+                           ", \"dur\": " + micros(end - span.start) +
+                           ", \"args\": {\"span\": " +
+                           std::to_string(span.id) +
+                           ", \"parent\": " + std::to_string(span.parent);
+        if (span.job >= 0) body += ", \"job\": " + std::to_string(span.job);
+        if (span.task >= 0)
+          body += ", \"task\": " + std::to_string(span.task);
+        for (const auto& [key, value] : span.attrs) {
+          body += ", \"" + escape(key) + "\": \"" + escape(value) + "\"";
+        }
+        body += "}}";
+        emit_event(out, first, body);
+      }
+      for (int lane = 0; lane <= max_lane; ++lane) {
+        std::string label = layer_name(static_cast<Layer>(layer));
+        if (lane > 0) {
+          label += '/';
+          label += std::to_string(lane);
+        }
+        emit_event(
+            out, first,
+            "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " +
+                std::to_string(pid) +
+                ", \"tid\": " + std::to_string(layer * kLaneBand + lane) +
+                ", \"args\": {\"name\": \"" + escape(label) + "\"}}");
+      }
+    }
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+std::string write_chrome_trace(const std::string& name,
+                               const std::vector<TraceProcess>& processes) {
+  const std::string path = "TRACE_" + name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  out << chrome_trace_json(processes);
+  return path;
+}
+
+core::Table critical_path_table(
+    const std::string& title,
+    const std::vector<std::pair<std::string, CriticalPath>>& paths) {
+  bool used[kLayerCount] = {};
+  for (const auto& [label, path] : paths) {
+    for (int layer = 0; layer < kLayerCount; ++layer) {
+      if (path.by_layer[layer] > 0) used[layer] = true;
+    }
+  }
+  std::vector<std::string> columns = {"job", "total"};
+  for (int layer = 0; layer < kLayerCount; ++layer) {
+    if (used[layer]) columns.push_back(layer_name(static_cast<Layer>(layer)));
+  }
+  core::Table table(title, columns);
+  for (const auto& [label, path] : paths) {
+    std::vector<std::string> row = {label, util::human_time(path.total)};
+    for (int layer = 0; layer < kLayerCount; ++layer) {
+      if (!used[layer]) continue;
+      const util::TimeNs t = path.by_layer[layer];
+      if (t <= 0) {
+        row.push_back("-");
+      } else {
+        const double pct =
+            path.total > 0 ? 100.0 * static_cast<double>(t) /
+                                 static_cast<double>(path.total)
+                           : 0.0;
+        row.push_back(util::human_time(t) + " (" + util::fixed(pct, 1) +
+                      "%)");
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void report_critical_path(core::MetricsReport& report,
+                          const std::string& prefix,
+                          const CriticalPath& path) {
+  report.set(prefix + "_crit_total_ns", path.total);
+  for (int layer = 0; layer < kLayerCount; ++layer) {
+    if (path.by_layer[layer] <= 0) continue;
+    report.set(prefix + "_crit_" +
+                   layer_name(static_cast<Layer>(layer)) + "_ns",
+               path.by_layer[layer]);
+  }
+}
+
+}  // namespace evolve::trace

@@ -1,0 +1,47 @@
+// Chrome trace-event JSON exporter and critical-path tables.
+//
+// `write_chrome_trace` emits the classic trace-event format ("X"
+// complete events with ts/dur in microseconds), which Perfetto and
+// chrome://tracing both load. Each traced process (one Tracer — e.g.
+// one bench scenario with its own Simulation) maps to a pid; within a
+// process each layer gets a band of tids, and spans are packed into
+// lanes greedily so no two slices on the same tid overlap (a Perfetto
+// rendering requirement the span tree alone does not guarantee).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/tracer.hpp"
+
+namespace evolve::trace {
+
+/// One traced process in the exported file.
+struct TraceProcess {
+  std::string name;       // e.g. "t1/urban-mobility converged"
+  const Tracer* tracer = nullptr;
+};
+
+/// Serialises all processes into one trace-event JSON document.
+std::string chrome_trace_json(const std::vector<TraceProcess>& processes);
+
+/// Writes `TRACE_<name>.json` in the working directory; returns the path.
+std::string write_chrome_trace(const std::string& name,
+                               const std::vector<TraceProcess>& processes);
+
+/// Renders per-layer critical-path attribution, one row per entry:
+///   job | total | <layer> ... (value + percent per layer with any time)
+/// Layers that contribute nowhere are omitted from the columns.
+core::Table critical_path_table(
+    const std::string& title,
+    const std::vector<std::pair<std::string, CriticalPath>>& paths);
+
+/// Adds `prefix`_crit_<layer>_ns metrics (plus `prefix`_crit_total_ns)
+/// to a MetricsReport for cross-PR tracking of layer attribution.
+void report_critical_path(core::MetricsReport& report,
+                          const std::string& prefix,
+                          const CriticalPath& path);
+
+}  // namespace evolve::trace

@@ -1,0 +1,90 @@
+#include "trace/tracer.hpp"
+
+#include <cassert>
+
+namespace evolve::trace {
+
+const char* layer_name(Layer layer) {
+  switch (layer) {
+    case Layer::kWorkflow:
+      return "workflow";
+    case Layer::kScheduler:
+      return "scheduler";
+    case Layer::kCloud:
+      return "cloud";
+    case Layer::kDataflow:
+      return "dataflow";
+    case Layer::kShuffle:
+      return "shuffle";
+    case Layer::kHpc:
+      return "hpc";
+    case Layer::kStorage:
+      return "storage";
+    case Layer::kNetwork:
+      return "network";
+    case Layer::kAccel:
+      return "accel";
+  }
+  return "unknown";
+}
+
+SpanId Tracer::begin(Layer layer, std::string name, SpanId parent) {
+  Span span;
+  span.id = static_cast<SpanId>(spans_.size()) + 1;
+  span.parent = parent == kNoSpan ? current() : parent;
+  span.layer = layer;
+  span.name = std::move(name);
+  span.start = sim_->now();
+  if (span.parent != kNoSpan) {
+    const Span& up = spans_[static_cast<std::size_t>(span.parent) - 1];
+    span.job = up.job;
+    span.task = up.task;
+  }
+  spans_.push_back(std::move(span));
+  ++open_;
+  return spans_.back().id;
+}
+
+void Tracer::end(SpanId id) {
+  if (id == kNoSpan) return;
+  Span& span = mutable_span(id);
+  if (!span.open()) return;
+  span.end = sim_->now();
+  --open_;
+}
+
+void Tracer::annotate(SpanId id, const std::string& key, std::string value) {
+  if (id == kNoSpan) return;
+  mutable_span(id).attrs.emplace_back(key, std::move(value));
+}
+
+void Tracer::set_job(SpanId id, std::int64_t job) {
+  if (id == kNoSpan) return;
+  mutable_span(id).job = job;
+}
+
+void Tracer::set_task(SpanId id, std::int64_t task) {
+  if (id == kNoSpan) return;
+  mutable_span(id).task = task;
+}
+
+const Span& Tracer::span(SpanId id) const {
+  assert(id > 0 && static_cast<std::size_t>(id) <= spans_.size());
+  return spans_[static_cast<std::size_t>(id) - 1];
+}
+
+Span& Tracer::mutable_span(SpanId id) {
+  assert(id > 0 && static_cast<std::size_t>(id) <= spans_.size());
+  return spans_[static_cast<std::size_t>(id) - 1];
+}
+
+void Tracer::close_open_spans() {
+  if (open_ == 0) return;
+  const util::TimeNs now = sim_->now();
+  for (Span& span : spans_) {
+    if (span.open()) span.end = now;
+  }
+  open_ = 0;
+}
+
+}  // namespace evolve::trace

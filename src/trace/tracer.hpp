@@ -1,0 +1,137 @@
+// Simulation-clock span tracer: the observability plane of the converged
+// platform.
+//
+// A Span is one timed operation in one layer of the stack (scheduler
+// wait, dataflow compute, shuffle fetch, storage GET, fabric transfer,
+// ...). Spans form a tree: subsystems parent their spans either
+// explicitly or through the tracer's context stack, which call sites
+// push around synchronous calls into lower layers (ScopedContext).
+//
+// Subsystems hold a `Tracer*` that defaults to nullptr; every
+// instrumentation site is guarded by that null check, so a run without a
+// tracer costs one predicted branch per site and allocates nothing.
+// Tracing is purely observational: it schedules no simulation events and
+// draws no random numbers, so enabling it cannot change any simulated
+// outcome.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "util/types.hpp"
+
+namespace evolve::trace {
+
+using SpanId = std::int64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+/// The platform layer a span charges its time to. Critical-path
+/// attribution sums span time per layer.
+enum class Layer {
+  kWorkflow,   // workflow engine: step orchestration, retry waits
+  kScheduler,  // queue/placement wait: pod pending, batch queue, task wait
+  kCloud,      // container (pod) execution
+  kDataflow,   // dataflow task launch + compute
+  kShuffle,    // shuffle spill + fetch (disk side)
+  kHpc,        // MPI compute + collective phases
+  kStorage,    // object store GET/PUT/repair (metadata + device tiers)
+  kNetwork,    // fabric transfers
+  kAccel,      // accelerator offload (queue + kernel)
+};
+inline constexpr int kLayerCount = 9;
+
+/// Stable lowercase name ("workflow", "scheduler", ...).
+const char* layer_name(Layer layer);
+
+struct Span {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  Layer layer = Layer::kWorkflow;
+  std::string name;
+  std::int64_t job = -1;   // owning job/workflow id, when known
+  std::int64_t task = -1;  // owning task/step index, when known
+  util::TimeNs start = 0;
+  util::TimeNs end = -1;  // -1 while the span is open
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  bool open() const { return end < 0; }
+  util::TimeNs duration() const { return open() ? 0 : end - start; }
+};
+
+class Tracer {
+ public:
+  explicit Tracer(sim::Simulation& sim) : sim_(&sim) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span at the current simulation time. A parent of kNoSpan
+  /// adopts the context stack's top (or stays a root).
+  SpanId begin(Layer layer, std::string name, SpanId parent = kNoSpan);
+
+  /// Closes a span at the current simulation time. Idempotent: closing
+  /// an already-closed (or kNoSpan) span is a no-op, so shared shutdown
+  /// paths need no bookkeeping.
+  void end(SpanId id);
+
+  /// Attaches a key=value attribute (exported into the trace JSON).
+  void annotate(SpanId id, const std::string& key, std::string value);
+
+  /// Tags the span (and nothing else) with a job / task id.
+  void set_job(SpanId id, std::int64_t job);
+  void set_task(SpanId id, std::int64_t task);
+
+  // -- Context stack (synchronous parenting) --------------------------
+  SpanId current() const { return stack_.empty() ? kNoSpan : stack_.back(); }
+  void push(SpanId id) { stack_.push_back(id); }
+  void pop() { stack_.pop_back(); }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const Span& span(SpanId id) const;
+  std::size_t open_spans() const { return open_; }
+
+  /// Closes every still-open span at the current time (call once the
+  /// simulation has drained; cancelled flows etc. land here).
+  void close_open_spans();
+
+  util::TimeNs now() const { return sim_->now(); }
+
+ private:
+  Span& mutable_span(SpanId id);
+
+  sim::Simulation* sim_;
+  std::vector<Span> spans_;  // spans_[id - 1]
+  std::vector<SpanId> stack_;
+  std::size_t open_ = 0;
+};
+
+/// RAII context push; tolerates a null tracer or kNoSpan (no-op), so call
+/// sites stay branch-free.
+class ScopedContext {
+ public:
+  ScopedContext(Tracer* tracer, SpanId id)
+      : tracer_(tracer && id != kNoSpan ? tracer : nullptr) {
+    if (tracer_) tracer_->push(id);
+  }
+  ~ScopedContext() {
+    if (tracer_) tracer_->pop();
+  }
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  Tracer* tracer_;
+};
+
+/// Null-tolerant helpers: the uniform guard for instrumentation sites.
+inline SpanId begin_span(Tracer* tracer, Layer layer, std::string name,
+                         SpanId parent = kNoSpan) {
+  return tracer ? tracer->begin(layer, std::move(name), parent) : kNoSpan;
+}
+inline void end_span(Tracer* tracer, SpanId id) {
+  if (tracer && id != kNoSpan) tracer->end(id);
+}
+
+}  // namespace evolve::trace

@@ -1,0 +1,39 @@
+// Saturating exponential backoff.
+//
+// `base << (attempt - 1)` is the obvious formula, but shifting a signed
+// 64-bit base left by enough attempts is undefined behaviour and in
+// practice wraps to a negative delay — which a simulation happily
+// schedules in the past. Every retry path uses this helper instead: it
+// checks the available headroom with countl_zero and saturates at
+// kMaxBackoff, which leaves room for the +25% jitter the retry paths add
+// on top without overflowing.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "util/types.hpp"
+
+namespace evolve::util {
+
+/// Ceiling for backoff delays (~29 years of simulated time). Chosen as
+/// int64_max/4 so `delay + delay/4` jitter can never overflow.
+inline constexpr TimeNs kMaxBackoff =
+    std::numeric_limits<TimeNs>::max() / 4;
+
+/// base * 2^(attempt-1), saturated at kMaxBackoff. attempt is 1-based;
+/// non-positive bases or attempts yield 0 (retry immediately).
+inline TimeNs saturating_backoff(TimeNs base, int attempt) {
+  if (base <= 0 || attempt <= 0) return 0;
+  const int shift = attempt - 1;
+  // countl_zero - 1 is the largest safe left shift for this base; stay
+  // under kMaxBackoff (two bits below the sign bit) with another -2.
+  const int headroom =
+      std::countl_zero(static_cast<std::uint64_t>(base)) - 3;
+  if (shift > headroom) return kMaxBackoff;
+  const TimeNs delay = base << shift;
+  return delay > kMaxBackoff ? kMaxBackoff : delay;
+}
+
+}  // namespace evolve::util

@@ -1,0 +1,257 @@
+#include "util/json.hpp"
+
+#include <cctype>
+
+namespace evolve::util {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonCheck run() {
+    skip_ws();
+    if (!value()) return fail_state_;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing content after document");
+    JsonCheck ok;
+    ok.ok = true;
+    ok.offset = pos_;
+    return ok;
+  }
+
+ private:
+  JsonCheck fail(const std::string& message) {
+    if (fail_state_.error.empty()) {
+      fail_state_.ok = false;
+      fail_state_.offset = pos_;
+      fail_state_.error = message;
+    }
+    return fail_state_;
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t start = pos_;
+    for (const char* p = word; *p; ++p, ++pos_) {
+      if (eof() || peek() != *p) {
+        pos_ = start;
+        fail(std::string("invalid literal; expected '") + word + "'");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool value() {
+    if (eof()) {
+      fail("unexpected end of input; expected a value");
+      return false;
+    }
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') {
+        fail("expected string key in object");
+        return false;
+      }
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') {
+        fail("expected ':' after object key");
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) {
+        fail("unterminated object");
+        return false;
+      }
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      fail("expected ',' or '}' in object");
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) {
+        fail("unterminated array");
+        return false;
+      }
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      fail("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  bool hex4() {
+    for (int i = 0; i < 4; ++i) {
+      if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+        fail("invalid \\u escape (need 4 hex digits)");
+        return false;
+      }
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool string() {
+    ++pos_;  // opening quote
+    while (true) {
+      if (eof()) {
+        fail("unterminated string");
+        return false;
+      }
+      const unsigned char c = static_cast<unsigned char>(peek());
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) {
+          fail("unterminated escape");
+          return false;
+        }
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+          case 'b':
+          case 'f':
+          case 'n':
+          case 'r':
+          case 't':
+            break;
+          case 'u':
+            if (!hex4()) return false;
+            break;
+          default:
+            --pos_;
+            fail("invalid escape character in string");
+            return false;
+        }
+        continue;
+      }
+      if (c < 0x20) {
+        fail("unescaped control character in string");
+        return false;
+      }
+      ++pos_;
+    }
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("expected digit in number");
+      return false;
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool number() {
+    if (peek() == '-') ++pos_;
+    if (eof()) {
+      fail("expected digit in number");
+      return false;
+    }
+    if (peek() == '0') {
+      ++pos_;  // no leading zeros
+    } else if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      if (!digits()) return false;
+    } else {
+      fail("invalid value (NaN/Infinity are not JSON)");
+      return false;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  JsonCheck fail_state_;
+};
+
+}  // namespace
+
+JsonCheck validate_json(const std::string& text) {
+  return Parser(text).run();
+}
+
+}  // namespace evolve::util

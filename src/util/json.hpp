@@ -1,0 +1,28 @@
+// Strict JSON (RFC 8259) validation.
+//
+// The benches emit BENCH_*.json / TRACE_*.json files that downstream
+// tooling ingests; a `nan` or a trailing comma slips through lenient
+// parsers and then breaks the strict ones (Python's json, jq, Perfetto).
+// This validator accepts exactly the RFC grammar — no NaN/Infinity, no
+// comments, no trailing commas — and reports the first offending byte.
+// It is shared by the unit tests and the `json_check` CLI used in
+// scripts/check.sh.
+#pragma once
+
+#include <string>
+
+namespace evolve::util {
+
+struct JsonCheck {
+  bool ok = false;
+  std::size_t offset = 0;  // byte offset of the first error
+  std::string error;       // empty when ok
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Validates that `text` is exactly one JSON document (surrounded only
+/// by insignificant whitespace).
+JsonCheck validate_json(const std::string& text);
+
+}  // namespace evolve::util

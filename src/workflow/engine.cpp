@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "util/backoff.hpp"
+
 namespace evolve::workflow {
 
 struct WorkflowEngine::RunState {
@@ -17,6 +19,8 @@ struct WorkflowEngine::RunState {
   int in_flight = 0;
   bool failed = false;
   bool done_reported = false;
+  trace::SpanId wf_span = trace::kNoSpan;
+  std::vector<trace::SpanId> step_spans;  // per step, kNoSpan until launch
 
   RunState(const Workflow& wf,
            std::function<void(const WorkflowResult&)> cb)
@@ -31,12 +35,18 @@ void WorkflowEngine::run(const Workflow& workflow,
   run->pending_deps.resize(steps.size());
   run->launched.resize(steps.size(), false);
   run->finished.resize(steps.size(), false);
+  run->step_spans.resize(steps.size(), trace::kNoSpan);
+  if (tracer_) {
+    run->wf_span = tracer_->begin(trace::Layer::kWorkflow, "wf.run");
+    tracer_->annotate(run->wf_span, "name", run->workflow.name());
+  }
   for (std::size_t i = 0; i < steps.size(); ++i) {
     run->pending_deps[i] = static_cast<int>(steps[i].depends_on.size());
     run->result.steps[steps[i].name] = StepResult{};
   }
   if (steps.empty()) {
     run->result.success = true;
+    trace::end_span(tracer_, run->wf_span);
     run->on_done(run->result);
     return;
   }
@@ -61,6 +71,17 @@ void WorkflowEngine::start_step(std::shared_ptr<RunState> run,
   if (result.start_time < 0) result.start_time = sim_.now();
   ++result.attempts;
   ++run->in_flight;
+  if (tracer_) {
+    if (run->step_spans[index] == trace::kNoSpan) {
+      run->step_spans[index] = tracer_->begin(trace::Layer::kWorkflow,
+                                              "wf.step", run->wf_span);
+      tracer_->annotate(run->step_spans[index], "step", step.name);
+    }
+    if (result.attempts > 1) {
+      tracer_->annotate(run->step_spans[index], "attempts",
+                        std::to_string(result.attempts));
+    }
+  }
   // An attempt's outcome is consumed exactly once: either the runner's
   // callback or the timeout, whichever fires first for *this* attempt.
   const int attempt = result.attempts;
@@ -73,6 +94,8 @@ void WorkflowEngine::start_step(std::shared_ptr<RunState> run,
   if (step.timeout > 0) {
     sim_.after(step.timeout, [outcome] { outcome(false); });
   }
+  // The step body's spans (pods, dataflow jobs, HPC runs) parent here.
+  trace::ScopedContext tctx(tracer_, run->step_spans[index]);
   runner_.run_step(step, outcome);
 }
 
@@ -88,11 +111,22 @@ void WorkflowEngine::step_finished(std::shared_ptr<RunState> run,
       return;
     }
     // Exponential backoff: base * 2^(n-1) for retry n, stretched by up
-    // to +25% seeded jitter so co-failing steps fan back out.
-    util::TimeNs delay = step.retry_backoff << (result.attempts - 1);
+    // to +25% seeded jitter so co-failing steps fan back out. Saturates
+    // rather than shifting past 63 bits (signed-shift UB that wraps to
+    // a delay in the past).
+    util::TimeNs delay =
+        util::saturating_backoff(step.retry_backoff, result.attempts);
     delay += static_cast<util::TimeNs>(rng_.uniform(0.0, 0.25) *
                                        static_cast<double>(delay));
-    sim_.after(delay, [this, run, index] {
+    trace::SpanId retry_span = trace::kNoSpan;
+    if (tracer_) {
+      retry_span = tracer_->begin(trace::Layer::kScheduler, "wf.retry_wait",
+                                  run->step_spans[index]);
+      tracer_->annotate(retry_span, "attempt",
+                        std::to_string(result.attempts));
+    }
+    sim_.after(delay, [this, run, index, retry_span] {
+      trace::end_span(tracer_, retry_span);
       if (run->failed || run->done_reported || run->finished[index]) return;
       start_step(run, index);
     });
@@ -101,6 +135,12 @@ void WorkflowEngine::step_finished(std::shared_ptr<RunState> run,
   result.success = success;
   result.finish_time = sim_.now();
   run->finished[index] = true;
+  if (tracer_) {
+    if (!success) {
+      tracer_->annotate(run->step_spans[index], "outcome", "failed");
+    }
+    tracer_->end(run->step_spans[index]);
+  }
   if (!success) {
     run->failed = true;
     maybe_finish(run);
@@ -127,6 +167,13 @@ void WorkflowEngine::maybe_finish(std::shared_ptr<RunState> run) {
   run->done_reported = true;
   run->result.success = !run->failed;
   run->result.duration = sim_.now() - run->start_time;
+  if (tracer_) {
+    // Steps abandoned mid-retry-wait by a failure elsewhere stay open;
+    // close them so the workflow span nests cleanly.
+    for (trace::SpanId span : run->step_spans) tracer_->end(span);
+    if (run->failed) tracer_->annotate(run->wf_span, "outcome", "failed");
+    tracer_->end(run->wf_span);
+  }
   run->on_done(run->result);
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "sim/simulation.hpp"
+#include "trace/tracer.hpp"
 #include "util/rng.hpp"
 #include "workflow/workflow.hpp"
 
@@ -53,6 +54,11 @@ class WorkflowEngine {
   void run(const Workflow& workflow,
            std::function<void(const WorkflowResult&)> on_done);
 
+  /// Attaches a span tracer: the workflow and its steps become
+  /// kWorkflow spans, retry waits kScheduler spans; step bodies run
+  /// with the step span as context so lower layers parent under it.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct RunState;
   void launch_ready(std::shared_ptr<RunState> run);
@@ -64,6 +70,7 @@ class WorkflowEngine {
   sim::Simulation& sim_;
   StepRunner& runner_;
   util::Rng rng_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace evolve::workflow

@@ -141,5 +141,56 @@ INSTANTIATE_TEST_SUITE_P(Magnitudes, HistogramAccuracy,
                          ::testing::Values(0, 1, 63, 64, 65, 1000, 4095, 4096,
                                            1 << 20, (std::int64_t{1} << 40) + 17));
 
+// Regression: the naive E[x^2] - E[x]^2 variance cancels catastrophically
+// once values carry a large offset (ns timestamps): both terms are ~1e24
+// while their difference is ~1. The Welford form must stay exact-ish.
+TEST(Histogram, StddevSurvivesLargeOffsets) {
+  Histogram h;
+  const std::int64_t offset = 1'000'000'000'000;  // ~16 min in ns
+  h.record(offset);
+  h.record(offset + 1);
+  h.record(offset + 2);
+  // Population stddev of {0,1,2} is sqrt(2/3).
+  EXPECT_NEAR(h.stddev(), 0.816496580927726, 1e-6);
+}
+
+TEST(Histogram, StddevOfConstantLargeValuesIsZero) {
+  Histogram h;
+  h.record_n(1'234'567'890'123, 1000);
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+}
+
+TEST(Histogram, RecordNMatchesRepeatedRecord) {
+  Histogram a, b;
+  const std::int64_t offset = 5'000'000'000'000;
+  for (int i = 0; i < 500; ++i) a.record(offset + (i % 7));
+  for (int v = 0; v < 7; ++v) {
+    b.record_n(offset + v, v < 3 ? 72 : 71);  // 500 total, same multiset
+  }
+  ASSERT_EQ(a.count(), b.count());
+  // Batched (Chan) vs sequential (Welford) accumulation differ only by
+  // FP ordering; at a 5e12 offset the naive form would be off by ~2.0.
+  EXPECT_NEAR(a.stddev(), b.stddev(), 1e-2);
+  EXPECT_NEAR(a.mean(), b.mean(), 1e-3);
+}
+
+TEST(Histogram, MergePreservesStddevAtLargeOffsets) {
+  Histogram left, right, whole;
+  const std::int64_t offset = 900'000'000'000'000;
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t v = offset + 10 * i;
+    (i % 2 ? left : right).record(v);
+    whole.record(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.stddev(), whole.stddev(), 1e-6);
+  // And merging an empty histogram is a no-op.
+  Histogram empty;
+  const double before = left.stddev();
+  left.merge(empty);
+  EXPECT_DOUBLE_EQ(left.stddev(), before);
+}
+
 }  // namespace
 }  // namespace evolve::metrics

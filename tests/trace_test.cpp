@@ -1,0 +1,305 @@
+#include "trace/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/export.hpp"
+#include "util/json.hpp"
+#include "workloads/ml.hpp"
+#include "workloads/tabular.hpp"
+
+namespace evolve::trace {
+namespace {
+
+// ---------------------------------------------------------------------
+// Tracer core invariants
+// ---------------------------------------------------------------------
+
+TEST(Tracer, SpansNestAndTimestamp) {
+  sim::Simulation sim;
+  Tracer tracer(sim);
+  SpanId outer = kNoSpan, inner = kNoSpan;
+  sim.at(10, [&] { outer = tracer.begin(Layer::kWorkflow, "outer"); });
+  sim.at(20, [&] { inner = tracer.begin(Layer::kDataflow, "inner", outer); });
+  sim.at(30, [&] { tracer.end(inner); });
+  sim.at(50, [&] { tracer.end(outer); });
+  sim.run();
+
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const Span& o = tracer.span(outer);
+  const Span& i = tracer.span(inner);
+  EXPECT_EQ(o.start, 10);
+  EXPECT_EQ(o.end, 50);
+  EXPECT_EQ(i.parent, outer);
+  EXPECT_EQ(i.start, 20);
+  EXPECT_EQ(i.end, 30);
+  EXPECT_GE(i.start, o.start);  // children start within the parent
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(Tracer, ContextStackAdoptsParent) {
+  sim::Simulation sim;
+  Tracer tracer(sim);
+  const SpanId top = tracer.begin(Layer::kWorkflow, "top");
+  SpanId adopted = kNoSpan, explicit_root = kNoSpan;
+  {
+    ScopedContext ctx(&tracer, top);
+    adopted = tracer.begin(Layer::kStorage, "adopted");
+    // An explicit parent wins over the stack.
+    explicit_root = tracer.begin(Layer::kNetwork, "nested", adopted);
+  }
+  EXPECT_EQ(tracer.span(adopted).parent, top);
+  EXPECT_EQ(tracer.span(explicit_root).parent, adopted);
+  // Outside the scope the stack is empty again: new spans are roots.
+  const SpanId root = tracer.begin(Layer::kHpc, "root");
+  EXPECT_EQ(tracer.span(root).parent, kNoSpan);
+}
+
+TEST(Tracer, EndIsIdempotentAndJobTaskInherit) {
+  sim::Simulation sim;
+  Tracer tracer(sim);
+  const SpanId job = tracer.begin(Layer::kDataflow, "job");
+  tracer.set_job(job, 7);
+  tracer.set_task(job, 3);
+  const SpanId child = tracer.begin(Layer::kShuffle, "child", job);
+  EXPECT_EQ(tracer.span(child).job, 7);
+  EXPECT_EQ(tracer.span(child).task, 3);
+
+  sim.at(5, [&] { tracer.end(child); });
+  sim.at(9, [&] { tracer.end(child); });  // second end must not move it
+  sim.run();
+  EXPECT_EQ(tracer.span(child).end, 5);
+  tracer.end(kNoSpan);  // no-op, must not crash
+}
+
+TEST(Tracer, CloseOpenSpansSweepsLeftovers) {
+  sim::Simulation sim;
+  Tracer tracer(sim);
+  const SpanId a = tracer.begin(Layer::kNetwork, "a");
+  const SpanId b = tracer.begin(Layer::kNetwork, "b");
+  sim.at(42, [&] { tracer.end(a); });
+  sim.run();
+  EXPECT_EQ(tracer.open_spans(), 1u);
+  tracer.close_open_spans();
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  EXPECT_EQ(tracer.span(b).end, 42);  // closed at the drained clock
+}
+
+// ---------------------------------------------------------------------
+// Critical path: hand-built tree with known attribution
+// ---------------------------------------------------------------------
+
+TEST(CriticalPath, LastFinisherAttributionOnKnownTree) {
+  sim::Simulation sim;
+  Tracer tracer(sim);
+  SpanId root = kNoSpan, a = kNoSpan, b = kNoSpan, b1 = kNoSpan;
+  sim.at(0, [&] { root = tracer.begin(Layer::kWorkflow, "root"); });
+  sim.at(10, [&] { a = tracer.begin(Layer::kScheduler, "a", root); });
+  sim.at(30, [&] { b = tracer.begin(Layer::kDataflow, "b", root); });
+  sim.at(40, [&] { tracer.end(a); });
+  sim.at(50, [&] { b1 = tracer.begin(Layer::kNetwork, "b1", b); });
+  sim.at(60, [&] { tracer.end(b1); });
+  sim.at(80, [&] { tracer.end(b); });
+  sim.at(100, [&] { tracer.end(root); });
+  sim.run();
+
+  const CriticalPath path = critical_path(tracer, root);
+  EXPECT_EQ(path.total, 100);
+  // Walking back from t=100: [80,100] no child ran -> root's layer.
+  // B was the last finisher before that: [30,80] minus B1's [50,60].
+  // A covers [10,30] (it overlapped B only before B started). [0,10]
+  // nothing ran -> root again.
+  EXPECT_EQ(path.by_layer[static_cast<int>(Layer::kWorkflow)], 30);
+  EXPECT_EQ(path.by_layer[static_cast<int>(Layer::kScheduler)], 20);
+  EXPECT_EQ(path.by_layer[static_cast<int>(Layer::kDataflow)], 40);
+  EXPECT_EQ(path.by_layer[static_cast<int>(Layer::kNetwork)], 10);
+
+  // Segments partition [0, 100]: ordered, contiguous, gap-free.
+  ASSERT_FALSE(path.segments.empty());
+  EXPECT_EQ(path.segments.front().start, 0);
+  EXPECT_EQ(path.segments.back().end, 100);
+  util::TimeNs covered = 0;
+  for (std::size_t s = 0; s < path.segments.size(); ++s) {
+    EXPECT_LT(path.segments[s].start, path.segments[s].end);
+    if (s > 0) {
+      EXPECT_EQ(path.segments[s].start, path.segments[s - 1].end);
+    }
+    covered += path.segments[s].duration();
+  }
+  EXPECT_EQ(covered, path.total);
+}
+
+TEST(CriticalPath, LayerSumsEqualTotalAlways) {
+  sim::Simulation sim;
+  Tracer tracer(sim);
+  SpanId root = kNoSpan;
+  sim.at(0, [&] { root = tracer.begin(Layer::kWorkflow, "root"); });
+  // An open child (never ended) must clamp to the root's end, not break
+  // the partition.
+  sim.at(5, [&] { tracer.begin(Layer::kStorage, "orphan", root); });
+  sim.at(25, [&] { tracer.end(root); });
+  sim.run();
+
+  const CriticalPath path = critical_path(tracer, root);
+  const util::TimeNs sum = std::accumulate(
+      path.by_layer, path.by_layer + kLayerCount, util::TimeNs{0});
+  EXPECT_EQ(sum, path.total);
+  EXPECT_EQ(path.by_layer[static_cast<int>(Layer::kWorkflow)], 5);
+  EXPECT_EQ(path.by_layer[static_cast<int>(Layer::kStorage)], 20);
+}
+
+// ---------------------------------------------------------------------
+// End to end: a traced platform workflow
+// ---------------------------------------------------------------------
+
+workflow::Workflow small_pipeline() {
+  workflow::Workflow wf("traced");
+  wf.add(workflow::dataflow_step(
+      "featurize", workloads::featurize("samples", "features"), 2, 2));
+  auto train = workflow::hpc_step(
+      "train", workloads::sgd_program(workloads::SgdModel{.epochs = 2}, 4),
+      4);
+  train.depends_on = {"featurize"};
+  wf.add(train);
+  auto score = workflow::accel_step("score", "dnn-infer", util::seconds(1));
+  score.depends_on = {"train"};
+  wf.add(score);
+  return wf;
+}
+
+struct PipelineOutcome {
+  workflow::WorkflowResult result;
+  std::vector<Span> spans;  // empty when untraced
+};
+
+PipelineOutcome run_pipeline(bool traced) {
+  sim::Simulation sim;
+  core::Platform platform(sim);
+  Tracer tracer(sim);
+  if (traced) platform.set_tracer(&tracer);
+  platform.catalog().define(
+      storage::DatasetSpec{"samples", 8, 64 * util::kMiB});
+  platform.catalog().preload("samples");
+  PipelineOutcome out;
+  platform.run_workflow(small_pipeline(),
+                        [&](const workflow::WorkflowResult& r) {
+                          out.result = r;
+                        });
+  sim.run();
+  tracer.close_open_spans();
+  out.spans = tracer.spans();
+  return out;
+}
+
+TEST(TracePlatform, CriticalPathSumsToEndToEndLatency) {
+  sim::Simulation sim;
+  core::Platform platform(sim);
+  Tracer tracer(sim);
+  platform.set_tracer(&tracer);
+  platform.catalog().define(
+      storage::DatasetSpec{"samples", 8, 64 * util::kMiB});
+  platform.catalog().preload("samples");
+  workflow::WorkflowResult result;
+  platform.run_workflow(small_pipeline(),
+                        [&](const workflow::WorkflowResult& r) {
+                          result = r;
+                        });
+  sim.run();
+  tracer.close_open_spans();
+
+  ASSERT_TRUE(result.success);
+  // Exactly one workflow root; its critical path covers the whole run.
+  SpanId wf_root = kNoSpan;
+  for (SpanId root : root_spans(tracer)) {
+    if (tracer.span(root).name == "wf.run") {
+      EXPECT_EQ(wf_root, kNoSpan);
+      wf_root = root;
+    }
+  }
+  ASSERT_NE(wf_root, kNoSpan);
+  const CriticalPath path = critical_path(tracer, wf_root);
+  EXPECT_EQ(path.total, result.duration);
+  const util::TimeNs sum = std::accumulate(
+      path.by_layer, path.by_layer + kLayerCount, util::TimeNs{0});
+  EXPECT_EQ(sum, path.total);
+  // The pipeline exercised dataflow, HPC, and the accelerator.
+  EXPECT_GT(path.by_layer[static_cast<int>(Layer::kHpc)], 0);
+  EXPECT_GT(path.by_layer[static_cast<int>(Layer::kAccel)], 0);
+
+  // Every span is well-formed after the sweep: closed, start <= end,
+  // parents exist and start no later than the child.
+  for (const Span& span : tracer.spans()) {
+    EXPECT_FALSE(span.open());
+    EXPECT_LE(span.start, span.end);
+    if (span.parent != kNoSpan) {
+      EXPECT_LE(tracer.span(span.parent).start, span.start);
+    }
+  }
+}
+
+TEST(TracePlatform, TracingDoesNotPerturbTheSimulation) {
+  const PipelineOutcome untraced = run_pipeline(false);
+  const PipelineOutcome traced = run_pipeline(true);
+  ASSERT_TRUE(untraced.result.success);
+  ASSERT_TRUE(traced.result.success);
+  EXPECT_TRUE(untraced.spans.empty());
+  EXPECT_FALSE(traced.spans.empty());
+  // Identical simulated outcomes, step by step.
+  EXPECT_EQ(untraced.result.duration, traced.result.duration);
+  ASSERT_EQ(untraced.result.steps.size(), traced.result.steps.size());
+  for (const auto& [name, step] : untraced.result.steps) {
+    const auto& other = traced.result.steps.at(name);
+    EXPECT_EQ(step.start_time, other.start_time) << name;
+    EXPECT_EQ(step.finish_time, other.finish_time) << name;
+    EXPECT_EQ(step.attempts, other.attempts) << name;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Exporter
+// ---------------------------------------------------------------------
+
+TEST(TraceExport, ChromeTraceIsStrictJsonWithExpectedEvents) {
+  sim::Simulation sim;
+  core::Platform platform(sim);
+  Tracer live(sim);
+  platform.set_tracer(&live);
+  platform.catalog().define(
+      storage::DatasetSpec{"samples", 8, 64 * util::kMiB});
+  platform.catalog().preload("samples");
+  platform.run_workflow(small_pipeline(),
+                        [](const workflow::WorkflowResult&) {});
+  sim.run();
+  live.close_open_spans();
+
+  const std::string json =
+      chrome_trace_json({TraceProcess{"test/pipeline", &live}});
+  const util::JsonCheck check = util::validate_json(json);
+  EXPECT_TRUE(check.ok) << check.error << " at offset " << check.offset;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"wf.run\""), std::string::npos);
+  EXPECT_NE(json.find("\"df.job\""), std::string::npos);
+  EXPECT_NE(json.find("\"mpi.allreduce\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+}
+
+TEST(TraceExport, CriticalPathTableRowsPerJob) {
+  sim::Simulation sim;
+  Tracer tracer(sim);
+  SpanId root = kNoSpan;
+  sim.at(0, [&] { root = tracer.begin(Layer::kDataflow, "df.job"); });
+  sim.at(90, [&] { tracer.end(root); });
+  sim.run();
+  const core::Table table = critical_path_table(
+      "crit", {{"job-a", critical_path(tracer, root)},
+               {"job-b", critical_path(tracer, root)}});
+  EXPECT_EQ(table.rows(), 2);
+}
+
+}  // namespace
+}  // namespace evolve::trace

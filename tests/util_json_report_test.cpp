@@ -1,0 +1,142 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/report.hpp"
+#include "util/backoff.hpp"
+
+namespace evolve {
+namespace {
+
+// ---------------------------------------------------------------------
+// Strict JSON validation
+// ---------------------------------------------------------------------
+
+TEST(ValidateJson, AcceptsRfc8259Documents) {
+  for (const char* doc : {
+           "{}",
+           "[]",
+           "null",
+           "true",
+           "-12.5e-3",
+           "\"a \\\"quoted\\\" \\u00e9 string\"",
+           R"({"a": [1, 2.5, -3e8], "b": {"c": null}, "d": ""})",
+           "  [1, 2]  \n",
+       }) {
+    EXPECT_TRUE(util::validate_json(doc)) << doc;
+  }
+}
+
+TEST(ValidateJson, RejectsNonJson) {
+  for (const char* doc : {
+           "",
+           "{",
+           "{\"a\": nan}",
+           "{\"a\": NaN}",
+           "{\"a\": inf}",
+           "{\"a\": Infinity}",
+           "{\"a\": -inf}",
+           "[1, 2,]",     // trailing comma
+           "{\"a\" 1}",   // missing colon
+           "01",          // leading zero
+           "1.",          // truncated fraction
+           "\"unterminated",
+           "\"bad \\x escape\"",
+           "{} trailing",
+           "'single'",
+       }) {
+    const util::JsonCheck check = util::validate_json(doc);
+    EXPECT_FALSE(check.ok) << doc;
+    EXPECT_FALSE(check.error.empty()) << doc;
+  }
+}
+
+// ---------------------------------------------------------------------
+// MetricsReport: non-finite doubles must still produce strict JSON
+// ---------------------------------------------------------------------
+
+TEST(MetricsReport, NonFiniteDoublesSerializeAsNull) {
+  core::MetricsReport report("nonfinite");
+  report.set("ok", 1.5);
+  report.set("nan", std::nan(""));
+  report.set("pos_inf", std::numeric_limits<double>::infinity());
+  report.set("neg_inf", -std::numeric_limits<double>::infinity());
+  report.set("count", std::int64_t{42});
+
+  const std::string json = report.to_json();
+  const util::JsonCheck check = util::validate_json(json);
+  EXPECT_TRUE(check.ok) << check.error << " at offset " << check.offset
+                        << " in " << json;
+  EXPECT_NE(json.find("\"nan\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pos_inf\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"neg_inf\": null"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf,"), std::string::npos) << json;
+}
+
+TEST(MetricsReport, TypicalReportIsStrictJson) {
+  core::MetricsReport report("typical");
+  report.set("ratio", 0.3333333333333333);
+  report.set("tiny", 1e-300);
+  report.set("huge", 1e300);
+  report.set("neg", -7.25);
+  report.set("zero", 0.0);
+  report.set("int", std::int64_t{-9007199254740993});
+  const util::JsonCheck check = util::validate_json(report.to_json());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+// ---------------------------------------------------------------------
+// Saturating exponential backoff (retry-path hardening)
+// ---------------------------------------------------------------------
+
+TEST(SaturatingBackoff, DoublesUntilSaturation) {
+  const util::TimeNs base = util::millis(200);
+  EXPECT_EQ(util::saturating_backoff(base, 1), base);
+  EXPECT_EQ(util::saturating_backoff(base, 2), 2 * base);
+  EXPECT_EQ(util::saturating_backoff(base, 5), 16 * base);
+  // Monotone non-decreasing in the attempt count.
+  util::TimeNs prev = 0;
+  for (int attempt = 1; attempt <= 200; ++attempt) {
+    const util::TimeNs delay = util::saturating_backoff(base, attempt);
+    EXPECT_GE(delay, prev) << attempt;
+    EXPECT_GT(delay, 0) << attempt;
+    EXPECT_LE(delay, util::kMaxBackoff) << attempt;
+    prev = delay;
+  }
+  EXPECT_EQ(prev, util::kMaxBackoff);
+}
+
+TEST(SaturatingBackoff, HighAttemptCountsSaturateWithoutOverflow) {
+  // The old `base << (attempt - 1)` shifted past 63 bits here: signed
+  // overflow (UB) that in practice produced a negative "delay in the
+  // past". The saturated form must stay pinned at the cap.
+  for (int attempt : {62, 64, 100, 1000, std::numeric_limits<int>::max()}) {
+    EXPECT_EQ(util::saturating_backoff(1, attempt), util::kMaxBackoff);
+    EXPECT_EQ(util::saturating_backoff(util::millis(200), attempt),
+              util::kMaxBackoff);
+  }
+  // Even with the +25% jitter the retry paths add on top, the cap
+  // cannot overflow a signed 64-bit time.
+  EXPECT_GT(std::numeric_limits<util::TimeNs>::max() -
+                util::kMaxBackoff / 4,
+            util::kMaxBackoff);
+}
+
+TEST(SaturatingBackoff, DegenerateInputsAreSafe) {
+  EXPECT_EQ(util::saturating_backoff(0, 5), 0);
+  EXPECT_EQ(util::saturating_backoff(-10, 5), 0);
+  EXPECT_EQ(util::saturating_backoff(util::millis(1), 0), 0);
+  EXPECT_EQ(util::saturating_backoff(util::millis(1), -3), 0);
+  // A huge base saturates immediately rather than shifting into the
+  // sign bit.
+  EXPECT_EQ(
+      util::saturating_backoff(std::numeric_limits<util::TimeNs>::max(), 2),
+      util::kMaxBackoff);
+}
+
+}  // namespace
+}  // namespace evolve

@@ -282,5 +282,32 @@ TEST(StepBuilders, PopulateKinds) {
   EXPECT_STREQ(to_string(StepKind::kHpc), "hpc");
 }
 
+// Regression: with a 1 ns base backoff, retry 63's old delay was
+// `1 << 63` — signed-shift overflow (UB) that wrapped to a delay in the
+// past. The saturated backoff pins late retries at a large finite delay,
+// so a step can burn through a deep retry budget and still succeed with
+// a monotone, non-negative timeline.
+TEST(WorkflowEngine, SurvivesRetryCountsPastTheShiftWidth) {
+  sim::Simulation sim;
+  FakeRunner runner(sim);
+  runner.fail_attempts("stubborn", 63);
+  runner.set_duration("stubborn", 1);
+  WorkflowEngine engine(sim, runner);
+  Workflow wf("deep-retry");
+  Step stubborn = simple("stubborn");
+  stubborn.max_retries = 63;
+  stubborn.retry_backoff = 1;  // ns; doubles into saturation
+  wf.add(stubborn);
+  WorkflowResult result;
+  engine.run(wf, [&](const WorkflowResult& r) { result = r; });
+  sim.run();
+  EXPECT_TRUE(result.success);
+  const StepResult& r = result.steps.at("stubborn");
+  EXPECT_EQ(r.attempts, 64);
+  EXPECT_GE(r.start_time, 0);
+  EXPECT_GT(r.finish_time, r.start_time);
+  EXPECT_GT(result.duration, 0);
+}
+
 }  // namespace
 }  // namespace evolve::workflow

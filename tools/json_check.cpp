@@ -1,0 +1,40 @@
+// Strict JSON validation CLI used by scripts/check.sh to gate the
+// emitted BENCH_*.json / TRACE_*.json files:
+//
+//   json_check file.json [more.json ...]
+//
+// Exits 0 when every file is a valid RFC 8259 document, 1 otherwise,
+// printing the first offending byte offset per bad file.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: json_check <file.json> [...]\n";
+    return 2;
+  }
+  int bad = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::cerr << argv[i] << ": cannot open\n";
+      ++bad;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const auto check = evolve::util::validate_json(buffer.str());
+    if (!check) {
+      std::cerr << argv[i] << ": invalid JSON at byte " << check.offset
+                << ": " << check.error << "\n";
+      ++bad;
+    } else {
+      std::cout << argv[i] << ": ok\n";
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
