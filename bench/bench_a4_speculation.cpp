@@ -1,6 +1,6 @@
 // A4 — Ablation: speculative execution under straggler injection.
 // Sweep the straggler rate; compare job completion time and wasted work
-// with speculation off vs on.
+// with speculation off vs on. `--json` writes BENCH_a4_speculation.json.
 #include <iostream>
 
 #include "cluster/cluster.hpp"
@@ -53,11 +53,12 @@ dataflow::JobStats run_once(double straggler_rate, bool speculation) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   core::Table table(
       "A4: speculative execution vs stragglers (64 tasks, 8x slowdown)",
       {"straggler rate", "spec off", "spec on", "speedup", "backups",
        "backup wins"});
+  core::MetricsReport report("a4_speculation");
   for (double rate : {0.0, 0.05, 0.15, 0.30}) {
     const auto off = run_once(rate, false);
     const auto on = run_once(rate, true);
@@ -70,10 +71,21 @@ int main() {
                        "x",
                    std::to_string(on.speculative_launched),
                    std::to_string(on.speculative_wins)});
+    const std::string prefix =
+        "rate_" + std::to_string(static_cast<int>(rate * 100));
+    report.set(prefix + "_off_duration_ms",
+               static_cast<double>(off.duration) / 1e6);
+    report.set(prefix + "_on_duration_ms",
+               static_cast<double>(on.duration) / 1e6);
+    report.set(prefix + "_backups", on.speculative_launched);
+    report.set(prefix + "_backup_wins", on.speculative_wins);
   }
   table.print();
   std::cout << "\nShape check: with no stragglers speculation is a no-op; "
                "as the straggler\nrate grows, backup copies clip the tail "
                "and the benefit widens.\n";
+  if (core::json_mode(argc, argv)) {
+    std::cout << "wrote " << report.write() << "\n";
+  }
   return 0;
 }

@@ -1,6 +1,6 @@
 // A5 — Ablation: redundancy scheme. Replication (R=2, R=3) vs erasure
 // coding (4+2, 8+3): durable-capacity overhead and PUT/GET latency by
-// object size.
+// object size. `--json` writes BENCH_a5_redundancy.json.
 #include <iostream>
 
 #include "cluster/cluster.hpp"
@@ -85,16 +85,27 @@ Measured measure(const storage::ObjectStoreConfig& config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  core::MetricsReport report("a5_redundancy");
   for (util::Bytes size : {4 * util::kMiB, 64 * util::kMiB}) {
     core::Table table("A5: redundancy schemes, " + util::human_bytes(size) +
                           " objects (12 storage servers)",
                       {"scheme", "capacity overhead", "PUT", "warm GET"});
+    const std::string size_prefix =
+        "mib_" + std::to_string(size / util::kMiB);
+    int scheme_index = 0;
     for (const Scheme& scheme : schemes()) {
       const auto m = measure(scheme.config, size);
       table.add_row({scheme.name, util::fixed(m.overhead, 2) + "x",
                      util::human_time(m.put_latency),
                      util::human_time(m.get_cold)});
+      const std::string prefix =
+          size_prefix + "_scheme_" + std::to_string(scheme_index++);
+      report.set(prefix + "_overhead", m.overhead);
+      report.set(prefix + "_put_ms",
+                 static_cast<double>(m.put_latency) / 1e6);
+      report.set(prefix + "_get_cold_ms",
+                 static_cast<double>(m.get_cold) / 1e6);
     }
     table.print();
     std::cout << "\n";
@@ -103,5 +114,8 @@ int main() {
                "3-way\nreplication; GETs pay fan-in (k fragments) plus "
                "decode, PUTs pay encode but\nmove fragments instead of full "
                "copies.\n";
+  if (core::json_mode(argc, argv)) {
+    std::cout << "wrote " << report.write() << "\n";
+  }
   return 0;
 }

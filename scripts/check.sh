@@ -21,6 +21,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 (cd "$BUILD_DIR" && ./bench/bench_f9_churn --json)
 (cd "$BUILD_DIR" && ./bench/bench_f10_faults --json)
+(cd "$BUILD_DIR" && ./bench/bench_f11_gray --json)
+(cd "$BUILD_DIR" && ./bench/bench_a4_speculation --json)
+(cd "$BUILD_DIR" && ./bench/bench_a5_redundancy --json)
 
 # -- Baseline diffs (before any --trace run touches the reports) -------
 # F9 mixes simulated metrics with host wall-clock timings; only the
@@ -34,11 +37,18 @@ diff <(filter_host_timing "$BUILD_DIR/BENCH_f9_churn.json") \
   || { echo "check.sh: BENCH_f9_churn.json deviates from baseline"; exit 1; }
 diff "$BUILD_DIR/BENCH_f10_faults.json" BENCH_f10_faults.json \
   || { echo "check.sh: BENCH_f10_faults.json deviates from baseline"; exit 1; }
+diff "$BUILD_DIR/BENCH_f11_gray.json" BENCH_f11_gray.json \
+  || { echo "check.sh: BENCH_f11_gray.json deviates from baseline"; exit 1; }
 echo "check.sh: bench metrics match the tracked baselines"
 
 # -- Traced runs + strict JSON validation ------------------------------
 (cd "$BUILD_DIR" && ./bench/bench_t1_endtoend --trace --json)
 (cd "$BUILD_DIR" && ./bench/bench_f10_faults --trace --json)
+# Tracing must not perturb the simulation: the traced F11 rerun has to
+# reproduce the tracked baseline bit for bit.
+(cd "$BUILD_DIR" && ./bench/bench_f11_gray --trace --json)
+diff "$BUILD_DIR/BENCH_f11_gray.json" BENCH_f11_gray.json \
+  || { echo "check.sh: BENCH_f11_gray.json changed under --trace"; exit 1; }
 (cd "$BUILD_DIR" && ./tools/json_check BENCH_*.json TRACE_*.json)
 
 if [[ "${EVOLVE_SKIP_SANITIZERS:-0}" != "1" ]]; then

@@ -20,8 +20,8 @@ void AccelDevice::settle() {
     last_settle_ = now;
     return;
   }
-  const double share =
-      static_cast<double>(now - last_settle_) / static_cast<double>(tasks_.size());
+  const double share = static_cast<double>(now - last_settle_) /
+                       (static_cast<double>(tasks_.size()) * slowdown_);
   for (auto& [id, task] : tasks_) {
     task.remaining_work = std::max(0.0, task.remaining_work - share);
   }
@@ -38,8 +38,9 @@ void AccelDevice::reschedule() {
   for (const auto& [id, task] : tasks_) {
     earliest = std::min(earliest, task.remaining_work);
   }
-  // Each task drains at rate 1/n, so wall time = remaining * n.
-  const double wall = earliest * static_cast<double>(tasks_.size());
+  // Each task drains at rate 1/(n * slowdown): wall = remaining * n * s.
+  const double wall =
+      earliest * static_cast<double>(tasks_.size()) * slowdown_;
   pending_event_ = sim_.after(
       static_cast<util::TimeNs>(std::ceil(wall)), [this] { on_completion(); });
   has_pending_event_ = true;
@@ -83,6 +84,13 @@ AccelTaskId AccelDevice::execute(const std::string& kernel, util::TimeNs work,
 
 double AccelDevice::utilization() const {
   return busy_.utilization(sim_.now());
+}
+
+void AccelDevice::set_slowdown(double factor) {
+  if (factor < 1.0) throw std::invalid_argument("slowdown must be >= 1");
+  settle();  // charge elapsed progress at the old pace first
+  slowdown_ = factor;
+  reschedule();
 }
 
 }  // namespace evolve::accel

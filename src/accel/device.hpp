@@ -48,6 +48,11 @@ class AccelDevice {
   /// Busy fraction since t=0.
   double utilization() const;
 
+  /// Gray-failure slowdown: the device processes work `factor`x slower
+  /// (>= 1; 1 restores full speed). In-flight kernels re-pace from now.
+  void set_slowdown(double factor);
+  double slowdown() const { return slowdown_; }
+
  private:
   struct Task {
     double remaining_work = 0;  // ns of device time still owed
@@ -65,6 +70,7 @@ class AccelDevice {
   std::string loaded_kernel_;
   AccelTaskId next_id_ = 1;
   util::TimeNs last_settle_ = 0;
+  double slowdown_ = 1.0;
   sim::EventId pending_event_ = 0;
   bool has_pending_event_ = false;
   std::int64_t completed_ = 0;

@@ -46,6 +46,14 @@ class AccelPool {
   /// Mean utilization across devices.
   double mean_utilization() const;
 
+  /// Gray-failure slowdown for every device hosted on `node` (>= 1;
+  /// 1 restores full speed).
+  void set_node_slowdown(cluster::NodeId node, double factor) {
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      if (device_nodes_[i] == node) devices_[i]->set_slowdown(factor);
+    }
+  }
+
  private:
   struct PendingOffload {
     std::string kernel;

@@ -55,6 +55,7 @@ struct DataflowEngine::RunState {
   struct CopyState {
     int executor = -1;
     cluster::NodeId node = cluster::kInvalidNode;
+    util::TimeNs started = 0;  // service-time clock for health scoring
     trace::SpanId span = trace::kNoSpan;
   };
   std::map<TaskId, TaskDef> tasks;       // logical task id -> state
@@ -271,7 +272,8 @@ void DataflowEngine::execute_copy(std::shared_ptr<RunState> run, TaskId copy,
                         std::to_string(task.fault_retries));
     }
   }
-  run->running_copies[copy] = RunState::CopyState{executor, node, copy_span};
+  run->running_copies[copy] =
+      RunState::CopyState{executor, node, sim_.now(), copy_span};
   if (task.killed_at >= 0) {
     metrics_.observe("reschedule_latency_ms",
                      (sim_.now() - task.killed_at) / util::kMillisecond);
@@ -284,8 +286,10 @@ void DataflowEngine::execute_copy(std::shared_ptr<RunState> run, TaskId copy,
                              &sr](util::Bytes input_bytes) {
     if (run->running_copies.count(copy) == 0) return;  // killed mid-input
     sr.stats.input_bytes += input_bytes;
-    const double speed =
+    double speed =
         config_.executor_core_speed * cluster_.node(node).core_speed;
+    const auto slow = node_slowdown_.find(node);
+    if (slow != node_slowdown_.end()) speed /= slow->second;
     double compute_ns =
         static_cast<double>(input_bytes) * def.cpu_ns_per_byte / speed;
     if (config_.straggler_probability > 0 &&
@@ -310,6 +314,9 @@ void DataflowEngine::execute_copy(std::shared_ptr<RunState> run, TaskId copy,
       trace::end_span(tracer_, compute_span);
       auto it = run->running_copies.find(copy);
       if (it == run->running_copies.end()) return;  // killed mid-compute
+      // Every finished compute is a health sample for its node — losers
+      // included (slow copies are exactly the interesting signal).
+      if (task_observer_) task_observer_(node, sim_.now() - it->second.started);
       RunState::TaskDef& task = run->tasks.at(task_id);
       if (task.winner_decided) {
         // Lost the race: the work is discarded.
@@ -659,6 +666,63 @@ void DataflowEngine::handle_node_recovery(cluster::NodeId node) {
     if (!run || run->done_reported) continue;
     run->scheduler.set_node_alive(node, true);
     pump_tasks(run);
+  }
+  prune_runs();
+}
+
+void DataflowEngine::set_node_slowdown(cluster::NodeId node, double factor) {
+  if (factor < 1.0) throw std::invalid_argument("slowdown must be >= 1");
+  if (factor == 1.0) {
+    node_slowdown_.erase(node);
+  } else {
+    node_slowdown_[node] = factor;
+  }
+}
+
+void DataflowEngine::set_node_quarantined(cluster::NodeId node,
+                                          bool quarantined) {
+  for (const auto& weak : runs_) {
+    auto run = weak.lock();
+    if (!run || run->done_reported) continue;
+    run->scheduler.set_node_quarantined(node, quarantined);
+    if (!quarantined) pump_tasks(run);
+  }
+  prune_runs();
+}
+
+void DataflowEngine::speculate_on_node(cluster::NodeId node) {
+  if (!config_.health_speculation) return;
+  for (const auto& weak : runs_) {
+    auto run = weak.lock();
+    if (!run || run->done_reported || run->aborted) continue;
+    std::vector<TaskId> owners;
+    for (const auto& [copy, cs] : run->running_copies) {
+      if (cs.node != node) continue;
+      const TaskId task_id = run->copy_owner.at(copy);
+      RunState::TaskDef& task = run->tasks.at(task_id);
+      if (task.winner_decided || task.completed || task.speculated) continue;
+      task.speculated = true;
+      owners.push_back(task_id);
+    }
+    for (const TaskId task_id : owners) {
+      RunState::TaskDef& task = run->tasks.at(task_id);
+      ++run->stats.speculative_launched;
+      metrics_.count("speculative_launched");
+      metrics_.count("health_speculations");
+      if (tracer_) {
+        // Marker span: the decision to race a backup against a copy
+        // stuck on an unhealthy node.
+        const trace::SpanId span = tracer_->begin(
+            trace::Layer::kDataflow, "df.speculate",
+            run->stage_runs[static_cast<std::size_t>(task.stage)].span);
+        tracer_->set_task(span, task.index);
+        tracer_->annotate(span, "node", std::to_string(node));
+        tracer_->end(span);
+      }
+      const TaskId backup = run->new_copy_of(task_id);
+      run->scheduler.enqueue(backup, task.preferred, sim_.now());
+    }
+    if (!owners.empty()) pump_tasks(run);
   }
   prune_runs();
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -50,6 +51,11 @@ struct DataflowConfig {
   double speculation_multiplier = 1.5;
   /// Fraction of a stage that must be complete before speculating.
   double speculation_quantile = 0.5;
+  /// Health-driven speculation: speculate_on_node() (wired from the
+  /// health scorer) launches backups for every copy running on a
+  /// flagged node — straggler detection by measured node health instead
+  /// of blind stage quantiles. Independent of `speculation`.
+  bool health_speculation = false;
 
   // -- Fault recovery (node crashes) ---------------------------------
   /// When false, any task lost to a node failure fails the whole job.
@@ -123,6 +129,23 @@ class DataflowEngine {
   /// Node recovery: returns the node's executor slots to every live job.
   void handle_node_recovery(cluster::NodeId node);
 
+  // -- Gray-failure hooks (wired from fault/gray + fault/health) ------
+  /// Gray slowdown: compute on `node` runs `factor`x slower (>= 1;
+  /// 1 clears). Applies to compute phases that start after the call.
+  void set_node_slowdown(cluster::NodeId node, double factor);
+  /// Health quarantine across every live job: the node's executors stop
+  /// receiving new task copies and drain. Running copies finish.
+  void set_node_quarantined(cluster::NodeId node, bool quarantined);
+  /// Launches a backup copy for every task currently running on `node`
+  /// (no-op unless config.health_speculation). Emits `df.speculate`.
+  void speculate_on_node(cluster::NodeId node);
+  /// Observes every finished compute phase: (node, service time from
+  /// copy start to compute end). Feeds the per-node health scorer.
+  using TaskObserver = std::function<void(cluster::NodeId, util::TimeNs)>;
+  void set_task_observer(TaskObserver observer) {
+    task_observer_ = std::move(observer);
+  }
+
   /// Attaches a span tracer: jobs/stages/task copies become kDataflow
   /// spans, shuffle fetches and spills kShuffle spans, and retry waits
   /// kScheduler spans. Null disables (the default, zero overhead).
@@ -151,6 +174,9 @@ class DataflowEngine {
   DataflowConfig config_;
   metrics::Registry metrics_;
   trace::Tracer* tracer_ = nullptr;
+  /// Gray-failure compute slowdown per node (absent = healthy).
+  std::map<cluster::NodeId, double> node_slowdown_;
+  TaskObserver task_observer_;
   std::int64_t next_trace_job_ = 1;  // job id stamped on trace spans
   /// Live jobs, for failure fan-out; expired entries pruned lazily.
   std::vector<std::weak_ptr<RunState>> runs_;

@@ -39,7 +39,8 @@ void TaskScheduler::enqueue(TaskId task,
 void TaskScheduler::release(int executor) {
   Executor& e = executors_.at(static_cast<std::size_t>(executor));
   ++e.free;
-  if (dead_nodes_.count(e.node) != 0) return;  // slot returns on revival
+  // Slots on dead or quarantined nodes return to the pool on revival.
+  if (!node_available(e.node)) return;
   ++free_total_;
   if (e.free == 1) {
     free_by_node_[e.node].insert(executor);
@@ -48,28 +49,45 @@ void TaskScheduler::release(int executor) {
 }
 
 void TaskScheduler::set_node_alive(cluster::NodeId node, bool alive) {
+  const bool was_available = node_available(node);
   if (alive) {
     if (dead_nodes_.erase(node) == 0) return;
-    for (std::size_t i = 0; i < executors_.size(); ++i) {
-      const Executor& e = executors_[i];
-      if (e.node != node || e.free <= 0) continue;
-      free_total_ += e.free;
-      free_by_node_[node].insert(static_cast<int>(i));
-      free_execs_.insert(static_cast<int>(i));
-    }
-    return;
+  } else {
+    if (!dead_nodes_.insert(node).second) return;
   }
-  if (!dead_nodes_.insert(node).second) return;
+  sync_node_pool(node, was_available);
+}
+
+void TaskScheduler::set_node_quarantined(cluster::NodeId node,
+                                         bool quarantined) {
+  const bool was_available = node_available(node);
+  if (quarantined) {
+    if (!quarantined_nodes_.insert(node).second) return;
+  } else {
+    if (quarantined_nodes_.erase(node) == 0) return;
+  }
+  sync_node_pool(node, was_available);
+}
+
+void TaskScheduler::sync_node_pool(cluster::NodeId node, bool was_available) {
+  const bool available = node_available(node);
+  if (available == was_available) return;
   for (std::size_t i = 0; i < executors_.size(); ++i) {
     const Executor& e = executors_[i];
     if (e.node != node || e.free <= 0) continue;
-    free_total_ -= e.free;
-    auto it = free_by_node_.find(node);
-    if (it != free_by_node_.end()) {
-      it->second.erase(static_cast<int>(i));
-      if (it->second.empty()) free_by_node_.erase(it);
+    if (available) {
+      free_total_ += e.free;
+      free_by_node_[node].insert(static_cast<int>(i));
+      free_execs_.insert(static_cast<int>(i));
+    } else {
+      free_total_ -= e.free;
+      auto it = free_by_node_.find(node);
+      if (it != free_by_node_.end()) {
+        it->second.erase(static_cast<int>(i));
+        if (it->second.empty()) free_by_node_.erase(it);
+      }
+      free_execs_.erase(static_cast<int>(i));
     }
-    free_execs_.erase(static_cast<int>(i));
   }
 }
 

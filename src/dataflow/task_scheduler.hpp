@@ -61,6 +61,15 @@ class TaskScheduler {
     return dead_nodes_.count(node) == 0;
   }
 
+  /// Health quarantine: the node's executors stop receiving assignments
+  /// and drain (running tasks finish; their slots stay out of the pool
+  /// until the quarantine lifts). Orthogonal to dead — a node can be
+  /// both; slots return only when it is neither. Idempotent.
+  void set_node_quarantined(cluster::NodeId node, bool quarantined);
+  bool node_quarantined(cluster::NodeId node) const {
+    return quarantined_nodes_.count(node) != 0;
+  }
+
   /// Assigns as many queued tasks as possible at time `now`, in FIFO
   /// order among the currently assignable tasks.
   std::vector<Assignment> assign(util::TimeNs now);
@@ -89,6 +98,16 @@ class TaskScheduler {
   void take_slot(int executor);
   void remove_task(std::int64_t seq, const Pending& task);
 
+  /// A node's executors are assignable only when it is neither dead nor
+  /// quarantined.
+  bool node_available(cluster::NodeId node) const {
+    return dead_nodes_.count(node) == 0 &&
+           quarantined_nodes_.count(node) == 0;
+  }
+  /// Moves the node's free slots out of / back into the assignment pool
+  /// when its combined availability flipped.
+  void sync_node_pool(cluster::NodeId node, bool was_available);
+
   util::TimeNs locality_wait_;
   std::vector<Executor> executors_;
   /// FIFO queue: monotonically increasing sequence number -> task.
@@ -102,6 +121,7 @@ class TaskScheduler {
   std::map<cluster::NodeId, std::set<int>> free_by_node_;
   std::set<int> free_execs_;
   std::set<cluster::NodeId> dead_nodes_;
+  std::set<cluster::NodeId> quarantined_nodes_;
   int free_total_ = 0;
   std::int64_t local_ = 0;
   std::int64_t total_ = 0;

@@ -15,8 +15,18 @@ void FaultInjector::schedule_recovery(cluster::NodeId node, util::TimeNs at) {
 void FaultInjector::schedule_outage(cluster::NodeId node, util::TimeNs at,
                                     util::TimeNs downtime) {
   if (downtime <= 0) throw std::invalid_argument("outage needs downtime > 0");
+  const util::TimeNs end = at + downtime;
   schedule_failure(node, at);
-  schedule_recovery(node, at + downtime);
+  sim_.at(end, [this, node, end] {
+    const auto it = outage_hold_until_.find(node);
+    // A longer overlapping outage still holds the node down; its own
+    // recovery event will run this check again at the later end time.
+    if (it != outage_hold_until_.end() && it->second > end) return;
+    outage_hold_until_.erase(node);
+    restore(node);
+  });
+  util::TimeNs& hold = outage_hold_until_[node];
+  if (end > hold) hold = end;
 }
 
 void FaultInjector::random_process(const std::vector<cluster::NodeId>& nodes,

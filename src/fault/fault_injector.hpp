@@ -43,7 +43,10 @@ class FaultInjector {
   // -- Deterministic schedules ---------------------------------------
   void schedule_failure(cluster::NodeId node, util::TimeNs at);
   void schedule_recovery(cluster::NodeId node, util::TimeNs at);
-  /// Failure at `at`, recovery at `at + downtime`.
+  /// Failure at `at`, recovery at `at + downtime`. Overlapping outages
+  /// on one node coalesce: the node stays down until the latest
+  /// scheduled recovery, subscribers fire once per actual transition,
+  /// and downtime accounting covers the union of the intervals.
   void schedule_outage(cluster::NodeId node, util::TimeNs at,
                        util::TimeNs downtime);
 
@@ -96,6 +99,9 @@ class FaultInjector {
   std::vector<Process> processes_;
   std::set<cluster::NodeId> down_;
   std::map<cluster::NodeId, util::TimeNs> down_since_;
+  // Latest scheduled-outage end per node; an outage recovery only
+  // restores once the hold has elapsed, so overlapping outages coalesce.
+  std::map<cluster::NodeId, util::TimeNs> outage_hold_until_;
   std::int64_t failures_ = 0;
   std::int64_t recoveries_ = 0;
   util::TimeNs downtime_ns_ = 0;

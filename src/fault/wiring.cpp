@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "accel/pool.hpp"
 #include "dataflow/engine.hpp"
 #include "hpc/batch_queue.hpp"
+#include "net/fabric.hpp"
 #include "orch/scheduler.hpp"
 #include "storage/object_store.hpp"
 
@@ -53,6 +55,81 @@ void connect(FaultInjector& injector, hpc::BatchQueue& queue,
     const int idx = index_of(node);
     if (idx >= 0) queue.handle_node_recovery(idx);
   });
+}
+
+void connect(GrayInjector& gray, dataflow::DataflowEngine& engine) {
+  gray.on_slowdown(
+      [&engine](cluster::NodeId node, double cpu, double /*accel*/) {
+        engine.set_node_slowdown(node, cpu);
+      });
+}
+
+void connect(GrayInjector& gray, accel::AccelPool& pool) {
+  gray.on_slowdown(
+      [&pool](cluster::NodeId node, double /*cpu*/, double accel) {
+        pool.set_node_slowdown(node, accel);
+      });
+}
+
+void connect(GrayInjector& gray, net::Fabric& fabric) {
+  gray.on_nic([&fabric](cluster::NodeId node,
+                        const NicDegradation& nic) {
+    for (const net::LinkId link : fabric.topology().host_links(node)) {
+      fabric.set_link_capacity_factor(link, nic.capacity_factor());
+      fabric.set_link_extra_latency(link, nic.extra_latency);
+    }
+  });
+}
+
+void connect(GrayInjector& gray, storage::ObjectStore& store) {
+  gray.on_bitrot([&store](std::uint64_t seed, int replicas) {
+    store.corrupt_random_replicas(seed, replicas);
+  });
+}
+
+void connect(GrayInjector& gray, QuarantineController& controller) {
+  gray.on_slowdown([&gray, &controller](cluster::NodeId node, double cpu,
+                                        double accel) {
+    if (cpu > 1.0 || accel > 1.0) {
+      controller.note_degradation_start(node, gray.degraded_since(node));
+    }
+  });
+  gray.on_nic([&gray, &controller](cluster::NodeId node,
+                                   const NicDegradation& nic) {
+    if (nic.capacity_factor() < 1.0 || nic.extra_latency > 0) {
+      controller.note_degradation_start(node, gray.degraded_since(node));
+    }
+  });
+}
+
+void connect(dataflow::DataflowEngine& engine, HealthScorer& scorer) {
+  engine.set_task_observer(
+      [&scorer](cluster::NodeId node, util::TimeNs service_time) {
+        scorer.record(node, service_time);
+      });
+}
+
+void connect(QuarantineController& controller, orch::Orchestrator& orch) {
+  controller.on_change(
+      [&orch](cluster::NodeId node, bool quarantined, util::TimeNs) {
+        if (!orch.manages(node)) return;
+        if (quarantined) {
+          orch.quarantine(node);
+        } else {
+          orch.unquarantine(node);
+        }
+      });
+}
+
+void connect(QuarantineController& controller,
+             dataflow::DataflowEngine& engine) {
+  controller.on_change(
+      [&engine](cluster::NodeId node, bool quarantined, util::TimeNs) {
+        engine.set_node_quarantined(node, quarantined);
+        // The slow node keeps its running copies (drain), but backups
+        // race them on healthy nodes so stragglers stop gating stages.
+        if (quarantined) engine.speculate_on_node(node);
+      });
 }
 
 }  // namespace evolve::fault

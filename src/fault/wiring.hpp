@@ -11,6 +11,8 @@
 
 #include "cluster/cluster.hpp"
 #include "fault/fault_injector.hpp"
+#include "fault/gray.hpp"
+#include "fault/health.hpp"
 
 namespace evolve::orch {
 class Orchestrator;
@@ -23,6 +25,12 @@ class ObjectStore;
 }
 namespace evolve::hpc {
 class BatchQueue;
+}
+namespace evolve::net {
+class Fabric;
+}
+namespace evolve::accel {
+class AccelPool;
 }
 
 namespace evolve::fault {
@@ -41,5 +49,38 @@ void connect(FaultInjector& injector, storage::ObjectStore& store);
 /// index i; crashes of other nodes are ignored.
 void connect(FaultInjector& injector, hpc::BatchQueue& queue,
              std::vector<cluster::NodeId> queue_nodes);
+
+// -- Gray failures ----------------------------------------------------
+
+/// Dataflow engine: CPU slowdown factors stretch task service times.
+void connect(GrayInjector& gray, dataflow::DataflowEngine& engine);
+
+/// Accelerator pool: devices on a slowed node pace down.
+void connect(GrayInjector& gray, accel::AccelPool& pool);
+
+/// Fabric: NIC degradation scales the node's host up/down link capacity
+/// (bandwidth loss and packet-loss goodput penalty folded together) and
+/// adds one-way latency to new transfers through the node.
+void connect(GrayInjector& gray, net::Fabric& fabric);
+
+/// Object store: bit-rot events corrupt seeded random stored replicas.
+void connect(GrayInjector& gray, storage::ObjectStore& store);
+
+/// Quarantine time-to-detect accounting: degradation starts are noted so
+/// the controller can report time-to-quarantine.
+void connect(GrayInjector& gray, QuarantineController& controller);
+
+/// Health scoring: every task completion on a node (winners and losers)
+/// feeds the scorer's per-node EWMA.
+void connect(dataflow::DataflowEngine& engine, HealthScorer& scorer);
+
+/// Orchestrator quarantine: flagged nodes stop receiving pods, drain,
+/// and rejoin when probed back in.
+void connect(QuarantineController& controller, orch::Orchestrator& orch);
+
+/// Dataflow quarantine: flagged nodes stop receiving tasks; their
+/// running copies get health-driven speculative backups elsewhere.
+void connect(QuarantineController& controller,
+             dataflow::DataflowEngine& engine);
 
 }  // namespace evolve::fault

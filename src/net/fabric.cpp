@@ -18,12 +18,47 @@ Fabric::Fabric(sim::Simulation& sim, const Topology& topology,
       config_(config),
       last_settle_(sim.now()) {
   link_flow_count_.assign(static_cast<std::size_t>(topology_.link_count()), 0);
+  link_capacity_factor_.assign(static_cast<std::size_t>(topology_.link_count()),
+                               1.0);
+  link_extra_latency_.assign(static_cast<std::size_t>(topology_.link_count()),
+                             0);
+}
+
+void Fabric::set_link_capacity_factor(LinkId link, double factor) {
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument("link capacity factor must be > 0");
+  }
+  // Settle progress at the old rates before the capacity change, then
+  // trigger a re-solve so in-flight flows pick up the new rates.
+  if (config_.use_reference_solver) {
+    ref_settle_progress();
+    link_capacity_factor_[static_cast<std::size_t>(link)] = factor;
+    ref_recompute();
+  } else {
+    settle_progress();
+    link_capacity_factor_[static_cast<std::size_t>(link)] = factor;
+    mark_dirty();
+  }
+}
+
+void Fabric::set_link_extra_latency(LinkId link, util::TimeNs extra) {
+  if (extra < 0) throw std::invalid_argument("extra latency must be >= 0");
+  link_extra_latency_[static_cast<std::size_t>(link)] = extra;
+  any_extra_latency_ = false;
+  for (const util::TimeNs e : link_extra_latency_) {
+    if (e > 0) any_extra_latency_ = true;
+  }
 }
 
 FlowId Fabric::transfer(cluster::NodeId src, cluster::NodeId dst,
                         util::Bytes bytes, FlowCallback on_complete) {
   if (bytes < 0) throw std::invalid_argument("transfer: negative bytes");
-  const util::TimeNs latency = topology_.latency(src, dst);
+  util::TimeNs latency = topology_.latency(src, dst);
+  if (any_extra_latency_) {
+    for (const LinkId l : topology_.path(src, dst)) {
+      latency += link_extra_latency_[static_cast<std::size_t>(l)];
+    }
+  }
   const FlowId id = next_id_++;
   ++stats_.flows_started;
   ++stats_.flows_in_flight;
@@ -218,7 +253,9 @@ void Fabric::solve_grouped() {
   const auto link_count = static_cast<std::size_t>(topology_.link_count());
   cap_scratch_.resize(link_count);
   for (std::size_t l = 0; l < link_count; ++l) {
-    cap_scratch_[l] = topology_.link(static_cast<LinkId>(l)).capacity_bytes_per_s;
+    cap_scratch_[l] =
+        topology_.link(static_cast<LinkId>(l)).capacity_bytes_per_s *
+        link_capacity_factor_[l];
   }
   unfixed_scratch_ = link_flow_count_;
 
@@ -366,7 +403,8 @@ void Fabric::ref_solve_max_min() {
   std::vector<int> unfixed(static_cast<std::size_t>(link_count), 0);
   for (int l = 0; l < link_count; ++l) {
     capacity[static_cast<std::size_t>(l)] =
-        topology_.link(l).capacity_bytes_per_s;
+        topology_.link(l).capacity_bytes_per_s *
+        link_capacity_factor_[static_cast<std::size_t>(l)];
   }
 
   std::vector<RefFlow*> pending;

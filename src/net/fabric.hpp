@@ -92,6 +92,24 @@ class Fabric {
   /// parented by the caller's current trace context. Null disables.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
+  // -- Gray-failure link degradation ----------------------------------
+  /// Scales a link's effective capacity: base * factor. Callers fold
+  /// packet loss into the factor (bw_factor * (1 - loss)). Applied
+  /// identically by the grouped and reference solvers; in-flight flows
+  /// re-solve from the call's timestamp. Must be > 0 (a zero-rate flow
+  /// would never complete). Factor 1.0 is exact (x * 1.0 == x), so an
+  /// undegraded fabric computes bit-identical rates.
+  void set_link_capacity_factor(LinkId link, double factor);
+  /// Extra one-way propagation latency added to every *new* transfer
+  /// whose path crosses the link (in-flight flows keep their latency).
+  void set_link_extra_latency(LinkId link, util::TimeNs extra);
+  double link_capacity_factor(LinkId link) const {
+    return link_capacity_factor_[static_cast<std::size_t>(link)];
+  }
+  util::TimeNs link_extra_latency(LinkId link) const {
+    return link_extra_latency_[static_cast<std::size_t>(link)];
+  }
+
  private:
   // ---- incremental grouped engine ----
 
@@ -208,6 +226,10 @@ class Fabric {
   /// Live (non-loopback) flows crossing each link; kept incrementally so
   /// the solver never iterates flows to build link state.
   std::vector<int> link_flow_count_;
+  // Gray-failure degradation state (1.0 / 0 = healthy).
+  std::vector<double> link_capacity_factor_;
+  std::vector<util::TimeNs> link_extra_latency_;
+  bool any_extra_latency_ = false;
   bool dirty_ = false;
   bool flush_scheduled_ = false;
   // Reusable solver scratch (avoids per-recompute allocation).

@@ -6,6 +6,7 @@
 // propagation latency.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -55,6 +56,12 @@ class Topology {
 
   /// True when both hosts are in the same rack.
   bool same_rack(cluster::NodeId a, cluster::NodeId b) const;
+
+  /// The two directed NIC links of a host: {egress (up), ingress (down)}.
+  /// Lets fault wiring translate "this node's NIC degraded" into link ids.
+  std::array<LinkId, 2> host_links(cluster::NodeId host) const {
+    return {host_up(host), host_down(host)};
+  }
 
  private:
   LinkId host_up(cluster::NodeId host) const;

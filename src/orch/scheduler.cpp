@@ -42,18 +42,23 @@ namespace {
 class CordonFilter : public FilterPlugin {
  public:
   CordonFilter(const std::set<cluster::NodeId>* cordoned,
-               const std::set<cluster::NodeId>* not_ready)
-      : cordoned_(cordoned), not_ready_(not_ready) {}
+               const std::set<cluster::NodeId>* not_ready,
+               const std::set<cluster::NodeId>* quarantined)
+      : cordoned_(cordoned),
+        not_ready_(not_ready),
+        quarantined_(quarantined) {}
   std::string name() const override { return "Cordon"; }
   bool feasible(const PodSpec&, const cluster::NodeSpec&,
                 const NodeStatus& node) const override {
     return cordoned_->count(node.id()) == 0 &&
-           not_ready_->count(node.id()) == 0;
+           not_ready_->count(node.id()) == 0 &&
+           quarantined_->count(node.id()) == 0;
   }
 
  private:
   const std::set<cluster::NodeId>* cordoned_;
   const std::set<cluster::NodeId>* not_ready_;
+  const std::set<cluster::NodeId>* quarantined_;
 };
 
 /// Hard anti-affinity: a node may host at most one pod per group.
@@ -84,7 +89,7 @@ Orchestrator::Orchestrator(sim::Simulation& sim,
       policy_(std::move(policy)),
       config_(config) {
   policy_.filters.push_back(
-      std::make_shared<CordonFilter>(&cordoned_, &not_ready_));
+      std::make_shared<CordonFilter>(&cordoned_, &not_ready_, &quarantined_));
   policy_.filters.push_back(
       std::make_shared<AntiAffinityFilter>(&affinity_counts_));
   std::vector<cluster::NodeId> managed = config_.nodes;
@@ -499,6 +504,20 @@ void Orchestrator::recover_node(cluster::NodeId node) {
 
 bool Orchestrator::is_ready(cluster::NodeId node) const {
   return not_ready_.count(node) == 0;
+}
+
+void Orchestrator::quarantine(cluster::NodeId node) {
+  (void)status_for(node);  // validate it is managed here
+  if (!quarantined_.insert(node).second) return;
+  metrics_.count("quarantines");
+}
+
+void Orchestrator::unquarantine(cluster::NodeId node) {
+  if (quarantined_.erase(node) > 0) kick_pump();
+}
+
+bool Orchestrator::is_quarantined(cluster::NodeId node) const {
+  return quarantined_.count(node) != 0;
 }
 
 double Orchestrator::cpu_utilization() const {

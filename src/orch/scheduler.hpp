@@ -102,6 +102,13 @@ class Orchestrator {
   void recover_node(cluster::NodeId node);
   bool is_ready(cluster::NodeId node) const;
 
+  /// Health quarantine: the node stops receiving new pods but existing
+  /// pods keep running (it drains). Distinct from cordon() (operator
+  /// action) and NotReady (crash) so the three lifecycles compose.
+  void quarantine(cluster::NodeId node);
+  void unquarantine(cluster::NodeId node);
+  bool is_quarantined(cluster::NodeId node) const;
+
   /// Attaches a span tracer: each pod gets a kScheduler wait span
   /// (submit -> placed) and, for auto-finishing pods, a kCloud run span
   /// (placed -> terminal). Null disables.
@@ -149,6 +156,7 @@ class Orchestrator {
   std::map<cluster::NodeId, std::size_t> node_index_;
   std::set<cluster::NodeId> cordoned_;
   std::set<cluster::NodeId> not_ready_;  // crashed, awaiting recovery
+  std::set<cluster::NodeId> quarantined_;  // health-flagged, draining
   std::map<cluster::NodeId, util::TimeNs> not_ready_since_;
   std::set<GangId> gangs_failing_;  // re-entrancy guard for gang kills
   /// Live pod count per (node, anti-affinity group).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
@@ -236,6 +237,7 @@ void ObjectStore::put(cluster::NodeId client, const ObjectKey& key,
     }
     if (health(it->second) == Health::kDegraded) shift_underrep(-1);
     version = it->second.version + 1;
+    purge_corrupted(key);  // the overwrite replaces any rotten payload
   }
   const util::Bytes per_server = per_server_bytes(size);
   objects_[key] = ObjectMeta{size, per_server, replicas, version};
@@ -345,21 +347,89 @@ void ObjectStore::get(cluster::NodeId client, const ObjectKey& key,
     get_erasure(client, key, it->second, start, span, std::move(on_done));
     return;
   }
-  const cluster::NodeId server =
-      choose_replica(it->second.replicas, client);
+  // Replication path: the primary read (branch 0) optionally races a
+  // hedge read (branch 1) fired after a latency-quantile delay.
+  auto race = std::make_shared<ReadRace>();
+  race->key = key;
+  race->client = client;
+  race->size = size;
+  race->start = start;
+  race->span = span;
+  race->cb = std::move(on_done);
+  race->inflight = 1;
+  const cluster::NodeId server = choose_replica(it->second.replicas, client);
+  if (span != trace::kNoSpan) {
+    tracer_->annotate(span, "bytes", std::to_string(size));
+  }
+  sim_.after(config_.metadata_latency,
+             [this, race, server] { run_read_branch(race, 0, server); });
+
+  if (config_.hedged_reads && it->second.replicas.size() >= 2) {
+    // Hedge after our own observed GET p-quantile (floor until the
+    // histogram has warmed up).
+    util::TimeNs delay = config_.hedge_min_delay;
+    if (metrics_.has_histogram("get_latency_us")) {
+      const metrics::Histogram& lat = metrics_.histogram("get_latency_us");
+      if (lat.count() >= config_.hedge_min_samples) {
+        delay = std::max<util::TimeNs>(
+            lat.percentile(config_.hedge_quantile) * util::kMicrosecond,
+            config_.hedge_min_delay);
+      }
+    }
+    sim_.after(delay, [this, race] {
+      if (race->decided) return;
+      auto obj = objects_.find(race->key);
+      if (obj == objects_.end()) return;
+      // Prefer an untried clean replica; fall back to any untried one
+      // (the checksum path fails over if it turns out rotten).
+      cluster::NodeId target = cluster::kInvalidNode;
+      for (cluster::NodeId r : obj->second.replicas) {
+        if (race->tried.count(r) != 0) continue;
+        if (replica_corrupted(race->key, r)) continue;
+        target = r;
+        break;
+      }
+      if (target == cluster::kInvalidNode) {
+        for (cluster::NodeId r : obj->second.replicas) {
+          if (race->tried.count(r) == 0) {
+            target = r;
+            break;
+          }
+        }
+      }
+      if (target == cluster::kInvalidNode) return;
+      ++hedges_launched_;
+      metrics_.count("hedges_launched");
+      race->hedged = true;
+      race->hedge_span = trace::begin_span(
+          tracer_, trace::Layer::kStorage, "store.hedge", race->span);
+      if (race->hedge_span != trace::kNoSpan) {
+        tracer_->annotate(race->hedge_span, "server", std::to_string(target));
+      }
+      ++race->inflight;
+      run_read_branch(race, 1, target);
+    });
+  }
+}
+
+void ObjectStore::run_read_branch(const std::shared_ptr<ReadRace>& race,
+                                  int branch, cluster::NodeId server) {
+  race->tried.insert(server);
   ServerState& state = server_state(server);
+  const util::Bytes size = race->size;
+  const std::string full = race->key.full();
 
   // Which tier serves the read?
   std::string tier_name;
   if (config_.cache_on_get) {
-    if (auto tier = state.cache->get(key.full()); tier.has_value()) {
+    if (auto tier = state.cache->get(full); tier.has_value()) {
       tier_name = state.cache_tiers[static_cast<std::size_t>(*tier)];
     } else {
       tier_name = state.durable_device;
-      state.cache->put(key.full(), size);  // admit on miss
+      state.cache->put(full, size);  // admit on miss
     }
   } else {
-    if (auto tier = state.cache->peek(key.full()); tier.has_value()) {
+    if (auto tier = state.cache->peek(full); tier.has_value()) {
       tier_name = state.cache_tiers[static_cast<std::size_t>(*tier)];
     } else {
       tier_name = state.durable_device;
@@ -367,37 +437,119 @@ void ObjectStore::get(cluster::NodeId client, const ObjectKey& key,
   }
   metrics_.count("get_tier_" + tier_name);
   metrics_.count("get_bytes", size);
-  if (span != trace::kNoSpan) {
-    tracer_->annotate(span, "tier", tier_name);
-    tracer_->annotate(span, "bytes", std::to_string(size));
+  if (branch == 0 && race->span != trace::kNoSpan) {
+    tracer_->annotate(race->span, "tier", tier_name);
   }
 
-  GetResult result;
+  GetResult& result = race->result[branch];
   result.found = true;
   result.size = size;
   result.served_by = server;
   result.tier = tier_name;
 
-  sim_.after(config_.metadata_latency, [this, server, client, size, tier_name,
-                                        start, result, span,
-                                        cb = std::move(on_done)]() mutable {
-    io_.device(server, tier_name)
-        .submit(IoKind::kRead, size,
-                [this, server, client, size, start, result, span,
-                 cb = std::move(cb)]() mutable {
-                  trace::ScopedContext tctx(tracer_, span);
-                  fabric_.transfer(
-                      server, client, size,
-                      [this, start, result, span,
-                       cb = std::move(cb)]() mutable {
-                        metrics_.observe(
-                            "get_latency_us",
-                            (sim_.now() - start) / util::kMicrosecond);
-                        trace::end_span(tracer_, span);
-                        cb(result);
-                      });
-                });
-  });
+  io_.device(server, tier_name)
+      .submit(IoKind::kRead, size, [this, race, branch, server] {
+        if (race->decided) {
+          --race->inflight;
+          return;
+        }
+        // Checksum verification as the payload leaves the media.
+        if (replica_corrupted(race->key, server)) {
+          if (config_.checksum_reads) {
+            ++checksum_failures_;
+            metrics_.count("checksum_failures");
+            drop_corrupted_replica(race->key, server);
+            // Transparent failover to a clean replica we haven't tried.
+            cluster::NodeId next = cluster::kInvalidNode;
+            if (auto obj = objects_.find(race->key); obj != objects_.end()) {
+              for (cluster::NodeId r : obj->second.replicas) {
+                if (race->tried.count(r) == 0 &&
+                    !replica_corrupted(race->key, r)) {
+                  next = r;
+                  break;
+                }
+              }
+            }
+            if (next != cluster::kInvalidNode) {
+              run_read_branch(race, branch, next);
+              return;
+            }
+            abandon_read_branch(race);
+            return;
+          }
+          // No verification: the rotten payload is served as-is.
+          race->result[branch].corrupted = true;
+        }
+        trace::ScopedContext tctx(
+            tracer_, branch == 1 ? race->hedge_span : race->span);
+        race->flow[branch] =
+            fabric_.transfer(server, race->client, race->size,
+                             [this, race, branch] {
+                               finish_read_branch(race, branch);
+                             });
+        race->flow_active[branch] = true;
+      });
+}
+
+void ObjectStore::finish_read_branch(const std::shared_ptr<ReadRace>& race,
+                                     int branch) {
+  race->flow_active[branch] = false;
+  --race->inflight;
+  if (race->decided) return;
+  race->decided = true;
+
+  GetResult result = race->result[branch];
+  result.hedged = race->hedged;
+  result.hedge_won = branch == 1;
+  if (branch == 1) {
+    ++hedge_wins_;
+    metrics_.count("hedge_wins");
+    if (race->span != trace::kNoSpan) {
+      tracer_->annotate(race->span, "hedge_won", "1");
+      tracer_->annotate(race->span, "tier", result.tier);
+    }
+  }
+  if (result.corrupted) {
+    ++corrupted_reads_surfaced_;
+    metrics_.count("corrupted_reads_surfaced");
+    if (race->span != trace::kNoSpan) {
+      tracer_->annotate(race->span, "corrupted", "1");
+    }
+  }
+  // The loser is cancelled: an active flow is torn off the fabric (its
+  // bytes were wasted); a branch still in device I/O just fizzles.
+  if (race->inflight > 0) {
+    const int other = 1 - branch;
+    ++hedges_cancelled_;
+    metrics_.count("hedges_cancelled");
+    if (race->flow_active[other]) {
+      fabric_.cancel(race->flow[other]);
+      race->flow_active[other] = false;
+      --race->inflight;  // its completion callback will never run
+      hedge_wasted_bytes_ += race->size;
+      metrics_.count("hedge_wasted_bytes", race->size);
+    }
+  }
+  trace::end_span(tracer_, race->hedge_span);
+  metrics_.observe("get_latency_us",
+                   (sim_.now() - race->start) / util::kMicrosecond);
+  trace::end_span(tracer_, race->span);
+  race->cb(result);
+}
+
+void ObjectStore::abandon_read_branch(const std::shared_ptr<ReadRace>& race) {
+  --race->inflight;
+  if (race->decided || race->inflight > 0) return;
+  // Every branch ran out of clean replicas: with verification on the
+  // read reports not-found rather than surfacing rotten bytes.
+  race->decided = true;
+  metrics_.count("get_unreadable");
+  if (race->span != trace::kNoSpan) {
+    tracer_->annotate(race->span, "result", "unreadable");
+  }
+  trace::end_span(tracer_, race->hedge_span);
+  trace::end_span(tracer_, race->span);
+  race->cb(GetResult{});
 }
 
 void ObjectStore::get_erasure(cluster::NodeId client, const ObjectKey& key,
@@ -500,6 +652,7 @@ void ObjectStore::remove(cluster::NodeId /*client*/, const ObjectKey& key,
       state.cache->erase(key.full());
     }
     if (health(it->second) == Health::kDegraded) shift_underrep(-1);
+    purge_corrupted(key);
     objects_.erase(it);
     metrics_.count("delete_requests");
   }
@@ -573,6 +726,7 @@ void ObjectStore::complete_multipart(std::int64_t upload_id,
   if (auto old = objects_.find(key); old != objects_.end()) {
     if (health(old->second) == Health::kDegraded) shift_underrep(-1);
     version = old->second.version + 1;
+    purge_corrupted(key);
   }
   objects_[key] = ObjectMeta{total, per_server, replicas, version};
   if (health(objects_[key]) == Health::kDegraded) {
@@ -636,9 +790,19 @@ void ObjectStore::handle_node_failure(cluster::NodeId node) {
   if (state_it == server_states_.end()) return;  // not a storage server
   if (!dead_servers_.insert(node).second) return;
   metrics_.count("server_failures");
-  // Media loss: everything the server held is gone, cache included.
+  // Media loss: everything the server held is gone, cache included —
+  // and so is any bit-rot it carried.
   state_it->second.durable_used = 0;
   state_it->second.cache->clear();
+  for (auto corrupt = corrupted_replicas_.begin();
+       corrupt != corrupted_replicas_.end();) {
+    if (corrupt->second == node) {
+      scrub_inflight_.erase(*corrupt);
+      corrupt = corrupted_replicas_.erase(corrupt);
+    } else {
+      ++corrupt;
+    }
+  }
   for (auto& [key, meta] : objects_) {
     auto rep = std::find(meta.replicas.begin(), meta.replicas.end(), node);
     if (rep == meta.replicas.end()) continue;
@@ -668,6 +832,152 @@ void ObjectStore::handle_node_recovery(cluster::NodeId node) {
   for (const ObjectKey& key : repair_stalled_) enqueue_repair(key);
   repair_stalled_.clear();
   pump_repairs();
+}
+
+bool ObjectStore::corrupt_replica(const ObjectKey& key,
+                                  cluster::NodeId server) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return false;
+  const auto& replicas = it->second.replicas;
+  if (std::find(replicas.begin(), replicas.end(), server) == replicas.end()) {
+    return false;
+  }
+  if (!corrupted_replicas_.insert({key, server}).second) return false;
+  metrics_.count("replicas_corrupted");
+  arm_scrub();
+  return true;
+}
+
+int ObjectStore::corrupt_random_replicas(std::uint64_t seed, int count,
+                                         bool spare_last_clean) {
+  // Candidates in deterministic metadata order, sampled with a seeded RNG.
+  std::vector<std::pair<ObjectKey, cluster::NodeId>> candidates;
+  for (const auto& [key, meta] : objects_) {
+    for (cluster::NodeId r : meta.replicas) {
+      if (corrupted_replicas_.count({key, r}) != 0) continue;
+      candidates.emplace_back(key, r);
+    }
+  }
+  util::Rng rng(seed);
+  int corrupted = 0;
+  while (corrupted < count && !candidates.empty()) {
+    const auto pick = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(candidates.size()) - 1));
+    const auto [key, server] = candidates[pick];
+    candidates.erase(candidates.begin() +
+                     static_cast<std::ptrdiff_t>(pick));
+    if (spare_last_clean) {
+      int clean = 0;
+      for (cluster::NodeId r : objects_.at(key).replicas) {
+        if (corrupted_replicas_.count({key, r}) == 0) ++clean;
+      }
+      if (clean <= 1) continue;  // keep the object recoverable
+    }
+    corrupted_replicas_.insert({key, server});
+    metrics_.count("replicas_corrupted");
+    ++corrupted;
+  }
+  if (corrupted > 0) arm_scrub();
+  return corrupted;
+}
+
+void ObjectStore::drop_corrupted_replica(const ObjectKey& key,
+                                         cluster::NodeId server) {
+  corrupted_replicas_.erase({key, server});
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return;
+  ObjectMeta& meta = it->second;
+  auto rep = std::find(meta.replicas.begin(), meta.replicas.end(), server);
+  if (rep == meta.replicas.end()) return;
+  const Health before = health(meta);
+  meta.replicas.erase(rep);
+  ++meta.version;
+  if (dead_servers_.count(server) == 0) {
+    ServerState& state = server_state(server);
+    state.durable_used -= meta.per_server_bytes;
+    state.cache->erase(key.full());
+  }
+  metrics_.count("corrupted_replicas_dropped");
+  const Health after = health(meta);
+  if (before == Health::kDegraded && after != Health::kDegraded) {
+    shift_underrep(-1);
+  } else if (before != Health::kDegraded && after == Health::kDegraded) {
+    shift_underrep(+1);
+  }
+  if (after == Health::kLost && before != Health::kLost) {
+    ++lost_objects_;
+    metrics_.count("objects_lost");
+    metrics_.count("bytes_lost", meta.size);
+  }
+  if (after == Health::kDegraded) enqueue_repair(key);
+}
+
+void ObjectStore::purge_corrupted(const ObjectKey& key) {
+  auto it = corrupted_replicas_.lower_bound(
+      {key, std::numeric_limits<cluster::NodeId>::min()});
+  while (it != corrupted_replicas_.end() && !(key < it->first) &&
+         !(it->first < key)) {
+    scrub_inflight_.erase(*it);
+    it = corrupted_replicas_.erase(it);
+  }
+}
+
+void ObjectStore::arm_scrub() {
+  if (!config_.scrub || scrub_armed_) return;
+  // Only corruption not already under verification needs a pass; the
+  // scrubber stays idle otherwise, so the simulation drains.
+  if (corrupted_replicas_.size() <= scrub_inflight_.size()) return;
+  scrub_armed_ = true;
+  sim_.after(config_.scrub_interval, [this] { scrub_pass(); });
+}
+
+void ObjectStore::scrub_pass() {
+  scrub_armed_ = false;
+  // Oracle-guided scrub: the simulator models the verification I/O and
+  // the repair traffic for rotten replicas without simulating full-disk
+  // scans of clean data.
+  int budget = config_.scrub_replicas_per_pass;
+  auto it = corrupted_replicas_.begin();
+  while (it != corrupted_replicas_.end() && budget > 0) {
+    if (scrub_inflight_.count(*it) != 0) {
+      ++it;
+      continue;
+    }
+    const auto [key, server] = *it;
+    const auto obj = objects_.find(key);
+    const bool live =
+        obj != objects_.end() &&
+        std::find(obj->second.replicas.begin(), obj->second.replicas.end(),
+                  server) != obj->second.replicas.end() &&
+        dead_servers_.count(server) == 0;
+    if (!live) {
+      // Stale entry (object deleted, replica already dropped, or the
+      // server crashed): nothing on media left to verify.
+      it = corrupted_replicas_.erase(it);
+      continue;
+    }
+    --budget;
+    scrub_inflight_.insert(*it);
+    ++replicas_scrubbed_;
+    metrics_.count("replicas_scrubbed");
+    const trace::SpanId span = trace::begin_span(
+        tracer_, trace::Layer::kStorage, "store.scrub", trace::kNoSpan);
+    if (span != trace::kNoSpan) {
+      tracer_->annotate(span, "key", key.full());
+      tracer_->annotate(span, "server", std::to_string(server));
+    }
+    // Verification read off the durable device, then drop + re-replicate.
+    io_.device(server, server_state(server).durable_device)
+        .submit(IoKind::kRead, obj->second.per_server_bytes,
+                [this, key, server, span] {
+                  scrub_inflight_.erase({key, server});
+                  drop_corrupted_replica(key, server);
+                  trace::end_span(tracer_, span);
+                  arm_scrub();
+                });
+    ++it;
+  }
+  arm_scrub();  // re-arm if more corruption than this pass could take
 }
 
 void ObjectStore::enqueue_repair(const ObjectKey& key) {

@@ -70,6 +70,28 @@ struct ObjectStoreConfig {
   /// (models failure-detection + repair-scheduling lag).
   util::TimeNs repair_delay = util::millis(500);
 
+  // -- Gray-failure mitigation (replication GET path) ------------------
+  /// Hedged reads: if the first replica read is still outstanding after
+  /// a p-quantile-based delay, fire a second read at another replica;
+  /// the first finisher wins and the loser is cancelled and accounted.
+  bool hedged_reads = false;
+  /// Hedge delay floor, also used until the GET latency histogram has
+  /// `hedge_min_samples` observations to take the quantile from.
+  util::TimeNs hedge_min_delay = util::millis(2);
+  int hedge_min_samples = 20;
+  double hedge_quantile = 95.0;  // percentile of own GET latency
+  /// Verify payload checksums at read time: a corrupted replica is
+  /// never surfaced — the read transparently fails over to a clean
+  /// replica and the bad copy is dropped and queued for repair.
+  bool checksum_reads = false;
+  /// Background scrubber: periodically verifies stored replicas and
+  /// routes corrupted ones into the repair path. Runs only while
+  /// corruption exists, so the simulation still drains.
+  bool scrub = false;
+  util::TimeNs scrub_interval = util::millis(500);
+  /// Replicas verified per scrub pass (bounds scrub I/O per interval).
+  int scrub_replicas_per_pass = 64;
+
   /// Storage overhead factor: durable bytes per logical byte.
   double storage_overhead() const {
     return redundancy == Redundancy::kReplication
@@ -84,6 +106,12 @@ struct GetResult {
   cluster::NodeId served_by = cluster::kInvalidNode;
   /// Device tier name the read was served from ("dram", "nvme", "hdd").
   std::string tier;
+  /// The payload failed its checksum. Only ever true with
+  /// `checksum_reads` off — verified reads fail over to a clean replica
+  /// (or report not-found) instead of surfacing corruption.
+  bool corrupted = false;
+  bool hedged = false;     // a hedge read was fired for this GET
+  bool hedge_won = false;  // ... and the hedge replica delivered first
 };
 
 using PutCallback = std::function<void()>;
@@ -167,6 +195,35 @@ class ObjectStore {
     return dead_servers_.count(node) == 0;
   }
 
+  // -- Gray failures: silent corruption -------------------------------
+  /// Marks one stored replica as bit-rotten: its payload no longer
+  /// matches its checksum. Returns false if `server` holds no replica
+  /// of `key`. Replication-path objects only.
+  bool corrupt_replica(const ObjectKey& key, cluster::NodeId server);
+  /// Corrupts up to `count` randomly chosen stored replicas (seeded,
+  /// deterministic). With `spare_last_clean` an object's last clean
+  /// replica is never corrupted, so data stays recoverable. Returns how
+  /// many replicas were actually corrupted.
+  int corrupt_random_replicas(std::uint64_t seed, int count,
+                              bool spare_last_clean = true);
+  bool replica_corrupted(const ObjectKey& key, cluster::NodeId server) const {
+    return corrupted_replicas_.count({key, server}) != 0;
+  }
+  int corrupted_replica_count() const {
+    return static_cast<int>(corrupted_replicas_.size());
+  }
+
+  // Hedge / checksum / scrub statistics.
+  std::int64_t hedges_launched() const { return hedges_launched_; }
+  std::int64_t hedge_wins() const { return hedge_wins_; }
+  std::int64_t hedges_cancelled() const { return hedges_cancelled_; }
+  util::Bytes hedge_wasted_bytes() const { return hedge_wasted_bytes_; }
+  std::int64_t checksum_failures() const { return checksum_failures_; }
+  std::int64_t corrupted_reads_surfaced() const {
+    return corrupted_reads_surfaced_;
+  }
+  std::int64_t replicas_scrubbed() const { return replicas_scrubbed_; }
+
   /// Objects currently holding fewer live replicas/fragments than
   /// placed, but still readable.
   int under_replicated_objects() const { return underrep_count_; }
@@ -218,6 +275,44 @@ class ObjectStore {
   cluster::NodeId choose_replica(const std::vector<cluster::NodeId>& replicas,
                                  cluster::NodeId client) const;
 
+  /// Shared state for one replication GET: the primary read (branch 0)
+  /// races an optional hedge read (branch 1); the first finished
+  /// transfer decides and the loser's flow is cancelled.
+  struct ReadRace {
+    ObjectKey key;
+    cluster::NodeId client = cluster::kInvalidNode;
+    util::Bytes size = 0;
+    util::TimeNs start = 0;
+    trace::SpanId span = trace::kNoSpan;
+    trace::SpanId hedge_span = trace::kNoSpan;
+    GetCallback cb;
+    bool decided = false;
+    bool hedged = false;
+    int inflight = 0;                  // branches still running
+    std::set<cluster::NodeId> tried;   // replicas any branch touched
+    net::FlowId flow[2] = {0, 0};
+    bool flow_active[2] = {false, false};
+    GetResult result[2];               // per-branch candidate result
+  };
+
+  /// Runs one branch of a GET race against `server`: tier selection,
+  /// device read, checksum verification (with failover to a clean
+  /// replica), then the fabric transfer to the client.
+  void run_read_branch(const std::shared_ptr<ReadRace>& race, int branch,
+                       cluster::NodeId server);
+  /// A branch's transfer arrived: decide the race if still open.
+  void finish_read_branch(const std::shared_ptr<ReadRace>& race, int branch);
+  /// A branch died (no clean replica left): deliver not-found when it
+  /// was the last one standing.
+  void abandon_read_branch(const std::shared_ptr<ReadRace>& race);
+
+  /// Drops a corrupted replica from its object's replica set and queues
+  /// re-replication (the checksum-detected analogue of a media crash).
+  void drop_corrupted_replica(const ObjectKey& key, cluster::NodeId server);
+  void purge_corrupted(const ObjectKey& key);
+  void arm_scrub();
+  void scrub_pass();
+
   /// Erasure-coded GET: fetch k fragments from the nearest fragment
   /// holders in parallel, then decode at the client.
   void get_erasure(cluster::NodeId client, const ObjectKey& key,
@@ -255,6 +350,19 @@ class ObjectStore {
   std::set<ObjectKey> repair_queued_;   // dedupes queue membership
   std::set<ObjectKey> repair_stalled_;  // no live target; retry on recovery
   int repairs_in_flight_ = 0;
+  // Gray-failure state: replicas whose stored payload is bit-rotten.
+  std::set<std::pair<ObjectKey, cluster::NodeId>> corrupted_replicas_;
+  /// Entries under scrub verification right now (subset of the above;
+  /// they stay corrupted until the verification read completes).
+  std::set<std::pair<ObjectKey, cluster::NodeId>> scrub_inflight_;
+  bool scrub_armed_ = false;
+  std::int64_t hedges_launched_ = 0;
+  std::int64_t hedge_wins_ = 0;
+  std::int64_t hedges_cancelled_ = 0;
+  util::Bytes hedge_wasted_bytes_ = 0;
+  std::int64_t checksum_failures_ = 0;
+  std::int64_t corrupted_reads_surfaced_ = 0;
+  std::int64_t replicas_scrubbed_ = 0;
   int lost_objects_ = 0;
   int underrep_count_ = 0;
   util::TimeNs underrep_last_ = 0;

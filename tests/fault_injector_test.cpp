@@ -69,6 +69,45 @@ TEST(FaultInjector, DowntimeAccountingIncludesOpenIntervals) {
   EXPECT_NEAR(injector.downtime_node_seconds(), 5.0, 1e-9);
 }
 
+TEST(FaultInjector, OverlappingOutagesCoalesce) {
+  sim::Simulation sim;
+  FaultInjector injector(sim);
+  std::vector<std::pair<bool, util::TimeNs>> events;  // (down, at)
+  injector.on_failure([&](cluster::NodeId, util::TimeNs at) {
+    events.emplace_back(true, at);
+  });
+  injector.on_recovery([&](cluster::NodeId, util::TimeNs at) {
+    events.emplace_back(false, at);
+  });
+  // [1s, 3s) and [2s, 5s) overlap: one failure at 1s, one recovery at
+  // 5s, downtime = the union [1s, 5s) = 4 node-s (not 2 + 3 = 5).
+  injector.schedule_outage(7, util::seconds(1), util::seconds(2));
+  injector.schedule_outage(7, util::seconds(2), util::seconds(3));
+  sim.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], std::make_pair(true, util::seconds(1)));
+  EXPECT_EQ(events[1], std::make_pair(false, util::seconds(5)));
+  EXPECT_EQ(injector.failures_injected(), 1);
+  EXPECT_EQ(injector.recoveries(), 1);
+  EXPECT_NEAR(injector.downtime_node_seconds(), 4.0, 1e-9);
+}
+
+TEST(FaultInjector, NestedOutageDoesNotRestoreEarly) {
+  sim::Simulation sim;
+  FaultInjector injector(sim);
+  // [1s, 6s) fully contains [2s, 3s): the inner recovery must not bring
+  // the node back at 3s.
+  injector.schedule_outage(0, util::seconds(1), util::seconds(5));
+  injector.schedule_outage(0, util::seconds(2), util::seconds(1));
+  sim.run_until(util::seconds(4));
+  EXPECT_TRUE(injector.is_down(0));
+  sim.run();
+  EXPECT_FALSE(injector.is_down(0));
+  EXPECT_EQ(injector.failures_injected(), 1);
+  EXPECT_EQ(injector.recoveries(), 1);
+  EXPECT_NEAR(injector.downtime_node_seconds(), 5.0, 1e-9);
+}
+
 TEST(FaultInjector, RandomProcessIsDeterministicPerSeed) {
   auto run_once = [](std::uint64_t seed) {
     sim::Simulation sim;

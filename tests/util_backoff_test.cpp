@@ -1,0 +1,61 @@
+#include "util/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "util/types.hpp"
+
+namespace evolve::util {
+namespace {
+
+TEST(SaturatingBackoff, DoublesFromBase) {
+  EXPECT_EQ(saturating_backoff(100, 1), 100);
+  EXPECT_EQ(saturating_backoff(100, 2), 200);
+  EXPECT_EQ(saturating_backoff(100, 3), 400);
+  EXPECT_EQ(saturating_backoff(millis(500), 4), millis(4000));
+}
+
+TEST(SaturatingBackoff, DegenerateInputsReturnZero) {
+  EXPECT_EQ(saturating_backoff(0, 5), 0);
+  EXPECT_EQ(saturating_backoff(-10, 5), 0);
+  EXPECT_EQ(saturating_backoff(100, 0), 0);
+  EXPECT_EQ(saturating_backoff(100, -1), 0);
+}
+
+TEST(SaturatingBackoff, ResultStaysWithinBaseAndCap) {
+  for (TimeNs base : {TimeNs{1}, millis(1), seconds(1), kMaxBackoff / 2}) {
+    for (int attempt = 1; attempt <= 128; ++attempt) {
+      const TimeNs result = saturating_backoff(base, attempt);
+      EXPECT_GE(result, base) << "base=" << base << " attempt=" << attempt;
+      EXPECT_LE(result, kMaxBackoff)
+          << "base=" << base << " attempt=" << attempt;
+    }
+  }
+}
+
+TEST(SaturatingBackoff, MonotoneNonDecreasingInAttempt) {
+  for (TimeNs base : {TimeNs{1}, TimeNs{3}, millis(500), kMaxBackoff - 1}) {
+    TimeNs prev = 0;
+    for (int attempt = 1; attempt <= 200; ++attempt) {
+      const TimeNs result = saturating_backoff(base, attempt);
+      EXPECT_GE(result, prev) << "base=" << base << " attempt=" << attempt;
+      prev = result;
+    }
+  }
+}
+
+TEST(SaturatingBackoff, SaturatesInsteadOfOverflowing) {
+  // Past the clamped exponent the result pins to the cap — no UB, no
+  // wraparound to negative values.
+  const TimeNs huge = std::numeric_limits<TimeNs>::max() / 8;
+  EXPECT_EQ(saturating_backoff(huge, 100), kMaxBackoff);
+  EXPECT_EQ(saturating_backoff(1, 62), kMaxBackoff);
+  EXPECT_EQ(saturating_backoff(1, std::numeric_limits<int>::max()),
+            kMaxBackoff);
+  EXPECT_EQ(saturating_backoff(kMaxBackoff, 2), kMaxBackoff);
+}
+
+}  // namespace
+}  // namespace evolve::util
