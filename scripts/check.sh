@@ -24,6 +24,8 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ./bench/bench_f11_gray --json)
 (cd "$BUILD_DIR" && ./bench/bench_a4_speculation --json)
 (cd "$BUILD_DIR" && ./bench/bench_a5_redundancy --json)
+(cd "$BUILD_DIR" && ./bench/bench_f7_autoscale --json)
+(cd "$BUILD_DIR" && ./bench/bench_f12_serving --json)
 
 # -- Baseline diffs (before any --trace run touches the reports) -------
 # F9 mixes simulated metrics with host wall-clock timings; only the
@@ -39,6 +41,8 @@ diff "$BUILD_DIR/BENCH_f10_faults.json" BENCH_f10_faults.json \
   || { echo "check.sh: BENCH_f10_faults.json deviates from baseline"; exit 1; }
 diff "$BUILD_DIR/BENCH_f11_gray.json" BENCH_f11_gray.json \
   || { echo "check.sh: BENCH_f11_gray.json deviates from baseline"; exit 1; }
+diff "$BUILD_DIR/BENCH_f12_serving.json" BENCH_f12_serving.json \
+  || { echo "check.sh: BENCH_f12_serving.json deviates from baseline"; exit 1; }
 echo "check.sh: bench metrics match the tracked baselines"
 
 # -- Traced runs + strict JSON validation ------------------------------
@@ -49,6 +53,10 @@ echo "check.sh: bench metrics match the tracked baselines"
 (cd "$BUILD_DIR" && ./bench/bench_f11_gray --trace --json)
 diff "$BUILD_DIR/BENCH_f11_gray.json" BENCH_f11_gray.json \
   || { echo "check.sh: BENCH_f11_gray.json changed under --trace"; exit 1; }
+# Same observational-tracing guarantee for the serving bench.
+(cd "$BUILD_DIR" && ./bench/bench_f12_serving --trace --json)
+diff "$BUILD_DIR/BENCH_f12_serving.json" BENCH_f12_serving.json \
+  || { echo "check.sh: BENCH_f12_serving.json changed under --trace"; exit 1; }
 (cd "$BUILD_DIR" && ./tools/json_check BENCH_*.json TRACE_*.json)
 
 if [[ "${EVOLVE_SKIP_SANITIZERS:-0}" != "1" ]]; then

@@ -7,6 +7,7 @@
 #include "hpc/batch_queue.hpp"
 #include "net/fabric.hpp"
 #include "orch/scheduler.hpp"
+#include "serve/service.hpp"
 #include "storage/object_store.hpp"
 
 namespace evolve::fault {
@@ -129,6 +130,27 @@ void connect(QuarantineController& controller,
         // The slow node keeps its running copies (drain), but backups
         // race them on healthy nodes so stragglers stop gating stages.
         if (quarantined) engine.speculate_on_node(node);
+      });
+}
+
+void connect(GrayInjector& gray, serve::Service& service) {
+  gray.on_slowdown(
+      [&service](cluster::NodeId node, double cpu, double /*accel*/) {
+        service.set_node_slowdown(node, cpu);
+      });
+}
+
+void connect(QuarantineController& controller, serve::Service& service) {
+  controller.on_change(
+      [&service](cluster::NodeId node, bool quarantined, util::TimeNs) {
+        service.set_node_drained(node, quarantined);
+      });
+}
+
+void connect(serve::Service& service, HealthScorer& scorer) {
+  service.set_exec_observer(
+      [&scorer](cluster::NodeId node, util::TimeNs exec) {
+        scorer.record(node, exec);
       });
 }
 

@@ -32,6 +32,9 @@ class Fabric;
 namespace evolve::accel {
 class AccelPool;
 }
+namespace evolve::serve {
+class Service;
+}
 
 namespace evolve::fault {
 
@@ -82,5 +85,19 @@ void connect(QuarantineController& controller, orch::Orchestrator& orch);
 /// running copies get health-driven speculative backups elsewhere.
 void connect(QuarantineController& controller,
              dataflow::DataflowEngine& engine);
+
+// -- Request serving ---------------------------------------------------
+
+/// Service: gray CPU slowdowns stretch batch execution on replicas of
+/// the affected node.
+void connect(GrayInjector& gray, serve::Service& service);
+
+/// Serving quarantine: the router drains flagged nodes (skips their
+/// replicas) and puts them back when the probe clears them.
+void connect(QuarantineController& controller, serve::Service& service);
+
+/// Health scoring: every batch execution on a replica feeds the
+/// per-node EWMA, so serving load alone can surface a gray node.
+void connect(serve::Service& service, HealthScorer& scorer);
 
 }  // namespace evolve::fault

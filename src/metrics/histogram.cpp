@@ -17,12 +17,14 @@ Histogram::Histogram() = default;
 std::size_t Histogram::bucket_index(std::int64_t value) {
   if (value < 0) value = 0;
   if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  // Normalize to a mantissa in [64, 128): value = (64 + sub) << octave,
+  // so each octave splits into 64 sub-buckets of width 2^octave
+  // (bounded relative error ~1/64; octave 0 is exact).
   const auto v = static_cast<std::uint64_t>(value);
   const int msb = 63 - std::countl_zero(v);
-  const int octave = msb - kSubBucketBits + 1;  // >= 1
-  const std::int64_t sub = (value >> octave) & (kSubBuckets - 1);
-  return static_cast<std::size_t>(kSubBuckets + (octave - 1) * kSubBuckets +
-                                  sub);
+  const int octave = msb - kSubBucketBits;  // >= 0
+  const std::int64_t sub = (value >> octave) - kSubBuckets;
+  return static_cast<std::size_t>(kSubBuckets + octave * kSubBuckets + sub);
 }
 
 std::int64_t Histogram::bucket_midpoint(std::size_t index) {
@@ -30,7 +32,7 @@ std::int64_t Histogram::bucket_midpoint(std::size_t index) {
     return static_cast<std::int64_t>(index);
   }
   const std::size_t rest = index - kSubBuckets;
-  const int octave = static_cast<int>(rest / kSubBuckets) + 1;
+  const int octave = static_cast<int>(rest / kSubBuckets);
   const std::int64_t sub = static_cast<std::int64_t>(rest % kSubBuckets);
   const std::int64_t lo = (kSubBuckets + sub) << octave;
   const std::int64_t width = std::int64_t{1} << octave;

@@ -32,6 +32,7 @@ class Histogram {
   std::int64_t p50() const { return percentile(50); }
   std::int64_t p95() const { return percentile(95); }
   std::int64_t p99() const { return percentile(99); }
+  std::int64_t p999() const { return percentile(99.9); }
 
   /// Merges another histogram into this one.
   void merge(const Histogram& other);

@@ -1,0 +1,53 @@
+#include "serve/admission.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace evolve::serve {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {
+  if (config_.target < 0) throw std::invalid_argument("target must be >= 0");
+  if (config_.interval <= 0) {
+    throw std::invalid_argument("interval must be > 0");
+  }
+}
+
+void AdmissionController::on_queue_delay(util::TimeNs now,
+                                         util::TimeNs sojourn) {
+  if (sojourn < config_.target) {
+    // One good sojourn ends the overload episode.
+    first_above_deadline_ = -1;
+    shedding_ = false;
+    shed_count_ = 0;
+    return;
+  }
+  if (first_above_deadline_ < 0) {
+    first_above_deadline_ = now + config_.interval;
+    return;
+  }
+  if (now >= first_above_deadline_ && !shedding_) {
+    shedding_ = true;
+    shed_next_ = now;  // the next arrival is shed immediately
+    shed_count_ = 0;
+  }
+}
+
+bool AdmissionController::admit(util::TimeNs now) {
+  if (!config_.enabled || !shedding_) return true;
+  if (now < shed_next_) return true;
+  ++shed_count_;
+  ++sheds_;
+  // Linear ramp: the k-th shed of an episode schedules the next one
+  // interval/k away, so the shed *rate* grows like e^(t/interval) while
+  // overload persists. Queue-side CoDel's gentler interval/sqrt(k) is
+  // tuned for trimming a standing queue; an admission controller facing
+  // a multiple-x arrival spike has to reach "reject most of the excess"
+  // within a few intervals or the bounded queues saturate first.
+  shed_next_ = now + std::max<util::TimeNs>(
+                         1, config_.interval /
+                                static_cast<util::TimeNs>(shed_count_));
+  return false;
+}
+
+}  // namespace evolve::serve

@@ -1,0 +1,59 @@
+// SLO-driven load shedding: a CoDel-style admission controller.
+//
+// CoDel's insight transplanted to request admission: sustained queue
+// *delay* (sojourn time), not queue length, is the overload signal. The
+// controller watches the sojourn of every request leaving a queue for a
+// batch. When sojourns stay above `target` for a full `interval`, it
+// enters the shedding state and rejects arrivals with a ramp —
+// successive sheds spaced `interval / shed_count` apart, so the shed
+// rate grows until it matches the overload and relaxes the moment a
+// sojourn dips back under target.
+//
+// Differences from queue-side CoDel, on purpose: we drop at *admission*
+// (the router front door) rather than at dequeue, because a serving
+// system wants to reject work before paying transfer and queue costs;
+// the ramp is linear-in-count (shed rate ~ e^(t/interval)) instead of
+// CoDel's sqrt law, because an admission controller must absorb a
+// multiple-x arrival spike before the bounded queues saturate; and the
+// shed-count history resets on recovery instead of being reused, which
+// trades a slightly slower re-entry for simpler, fully deterministic
+// state.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace evolve::serve {
+
+struct AdmissionConfig {
+  bool enabled = false;
+  /// Queue-delay target: the share of the SLO budget queueing may consume.
+  util::TimeNs target = util::millis(20);
+  /// Sojourns must stay above target this long before shedding starts.
+  util::TimeNs interval = util::millis(100);
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config = {});
+
+  /// Feeds one observed queue sojourn (request enqueue -> batch start).
+  void on_queue_delay(util::TimeNs now, util::TimeNs sojourn);
+
+  /// Admission verdict for an arrival at `now`. False = shed it.
+  bool admit(util::TimeNs now);
+
+  bool shedding() const { return shedding_; }
+  std::int64_t sheds() const { return sheds_; }
+
+ private:
+  AdmissionConfig config_;
+  util::TimeNs first_above_deadline_ = -1;  // sustained-overload deadline
+  bool shedding_ = false;
+  util::TimeNs shed_next_ = 0;
+  std::int64_t shed_count_ = 0;  // sheds in the current overload episode
+  std::int64_t sheds_ = 0;       // lifetime total
+};
+
+}  // namespace evolve::serve

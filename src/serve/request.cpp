@@ -1,0 +1,17 @@
+#include "serve/request.hpp"
+
+namespace evolve::serve {
+
+const char* to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kCompleted:
+      return "completed";
+    case Outcome::kShedAdmission:
+      return "shed-admission";
+    case Outcome::kShedQueueFull:
+      return "shed-queue-full";
+  }
+  return "unknown";
+}
+
+}  // namespace evolve::serve

@@ -24,6 +24,8 @@ const char* layer_name(Layer layer) {
       return "network";
     case Layer::kAccel:
       return "accel";
+    case Layer::kServe:
+      return "serve";
   }
   return "unknown";
 }

@@ -40,8 +40,9 @@ enum class Layer {
   kStorage,    // object store GET/PUT/repair (metadata + device tiers)
   kNetwork,    // fabric transfers
   kAccel,      // accelerator offload (queue + kernel)
+  kServe,      // request serving: request/queue/batch/exec/hedge
 };
-inline constexpr int kLayerCount = 9;
+inline constexpr int kLayerCount = 10;
 
 /// Stable lowercase name ("workflow", "scheduler", ...).
 const char* layer_name(Layer layer);

@@ -47,6 +47,42 @@ TEST(Histogram, LargeValueRelativeError) {
               static_cast<double>(value) * 0.02);
 }
 
+TEST(Histogram, MultiValuePercentileStaysNearTrueValue) {
+  // Bulk at one large value, a small tail at another: the p99 must land
+  // on the bulk's bucket (within the 1/64 relative bucket error), not be
+  // inflated by bucket-midpoint mismatch. min/max clamping cannot rescue
+  // a wrong answer here because both values are interior.
+  Histogram h;
+  h.record_n(30000, 9000);
+  h.record_n(120000, 24);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 30000.0, 30000.0 / 64.0 + 1);
+  EXPECT_NEAR(static_cast<double>(h.percentile(99.9)), 120000.0,
+              120000.0 / 64.0 + 1);
+}
+
+TEST(Histogram, BucketRelativeErrorBoundedAcrossOctaves) {
+  for (const std::int64_t value :
+       {std::int64_t{100}, std::int64_t{1000}, std::int64_t{65537},
+        std::int64_t{1000000}, std::int64_t{123456789012}}) {
+    Histogram h;
+    h.record_n(1, 50);  // half the mass far below
+    h.record_n(value, 50);
+    const auto p90 = h.percentile(90);
+    EXPECT_NEAR(static_cast<double>(p90), static_cast<double>(value),
+                static_cast<double>(value) / 64.0 + 1)
+        << "value=" << value;
+  }
+}
+
+TEST(Histogram, P999ReadsTheExtremeTail) {
+  Histogram h;
+  h.record_n(10, 9990);
+  h.record_n(5000, 10);
+  EXPECT_EQ(h.p50(), 10);
+  EXPECT_EQ(h.p99(), 10);
+  EXPECT_NEAR(static_cast<double>(h.p999()), 5000.0, 5000.0 / 64.0 + 1);
+}
+
 TEST(Histogram, NegativeClampsToZero) {
   Histogram h;
   h.record(-100);

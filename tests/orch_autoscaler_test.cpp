@@ -120,6 +120,88 @@ TEST(Autoscaler, TransientDipDoesNotFlap) {
   f.sim.run();
 }
 
+TEST(Autoscaler, StabilizationWindowBoundaryIsInclusive) {
+  // The scale-down window keeps samples with t >= now - window: a high
+  // recommendation exactly one window old still blocks the scale-down;
+  // one tick past, it is evicted.
+  HpaFixture f;
+  HorizontalAutoscaler hpa(f.sim, *f.deploy, [&f] { return f.load; },
+                           f.config());
+  f.sim.at(0, [&] {
+    f.load = 800.0;
+    hpa.reconcile();
+  });
+  f.sim.run();
+  EXPECT_EQ(f.deploy->desired(), 8);
+  f.sim.at(util::seconds(30), [&] {
+    f.load = 100.0;
+    hpa.reconcile();  // the t=0 sample sits exactly on the boundary
+  });
+  f.sim.run();
+  EXPECT_EQ(f.deploy->desired(), 8);  // still held
+  f.sim.at(util::seconds(30) + 1, [&] { hpa.reconcile(); });
+  f.sim.run();
+  EXPECT_EQ(f.deploy->desired(), 1);  // boundary sample evicted
+}
+
+TEST(Autoscaler, RecommendationCeilingAtExactCapacity) {
+  HpaFixture f;
+  HorizontalAutoscaler hpa(f.sim, *f.deploy, [&f] { return f.load; },
+                           f.config());
+  // 100/replica at utilization 1: 300 is exactly 3 replicas, a hair
+  // more must round up to 4.
+  f.load = 300.0;
+  hpa.reconcile();
+  EXPECT_EQ(hpa.last_recommendation(), 3);
+  f.load = 300.5;
+  hpa.reconcile();
+  EXPECT_EQ(hpa.last_recommendation(), 4);
+}
+
+TEST(Autoscaler, ZeroLoadClampsToMinNeverZero) {
+  HpaFixture f;
+  HorizontalAutoscaler hpa(f.sim, *f.deploy, [&f] { return f.load; },
+                           f.config());
+  hpa.start();
+  f.load = 500.0;
+  f.sim.run_until(util::seconds(15));
+  EXPECT_EQ(f.deploy->desired(), 5);
+  // Load vanishes entirely: after the stabilization window drains the
+  // deployment settles at min_replicas, not zero.
+  f.load = 0.0;
+  f.sim.run_until(util::seconds(60));
+  EXPECT_EQ(f.deploy->desired(), 1);
+  EXPECT_EQ(hpa.last_recommendation(), 1);
+  hpa.stop();
+  f.sim.run();
+}
+
+TEST(Autoscaler, NegativeLoadTreatedAsMin) {
+  HpaFixture f;
+  HorizontalAutoscaler hpa(f.sim, *f.deploy, [] { return -50.0; },
+                           f.config());
+  hpa.reconcile();
+  EXPECT_EQ(hpa.last_recommendation(), 1);
+  EXPECT_EQ(f.deploy->desired(), 1);
+}
+
+TEST(Autoscaler, MinEqualsMaxPinsTheDeployment) {
+  HpaFixture f;
+  auto config = f.config();
+  config.min_replicas = 4;
+  config.max_replicas = 4;
+  HorizontalAutoscaler hpa(f.sim, *f.deploy, [&f] { return f.load; }, config);
+  hpa.start();
+  f.load = 0.0;
+  f.sim.run_until(util::seconds(15));
+  EXPECT_EQ(f.deploy->desired(), 4);
+  f.load = 1e6;
+  f.sim.run_until(util::seconds(35));
+  EXPECT_EQ(f.deploy->desired(), 4);
+  hpa.stop();
+  f.sim.run();
+}
+
 TEST(Autoscaler, HonorsMinReplicas) {
   HpaFixture f;
   auto config = f.config();
