@@ -26,6 +26,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ./bench/bench_a5_redundancy --json)
 (cd "$BUILD_DIR" && ./bench/bench_f7_autoscale --json)
 (cd "$BUILD_DIR" && ./bench/bench_f12_serving --json)
+(cd "$BUILD_DIR" && ./bench/bench_f13_scale --json)
 
 # -- Baseline diffs (before any --trace run touches the reports) -------
 # F9 mixes simulated metrics with host wall-clock timings; only the
@@ -44,6 +45,43 @@ diff "$BUILD_DIR/BENCH_f11_gray.json" BENCH_f11_gray.json \
 diff "$BUILD_DIR/BENCH_f12_serving.json" BENCH_f12_serving.json \
   || { echo "check.sh: BENCH_f12_serving.json deviates from baseline"; exit 1; }
 echo "check.sh: bench metrics match the tracked baselines"
+
+# -- F13 kernel-at-scale gate ------------------------------------------
+# Event counts, checksums, and end times are simulation-deterministic and
+# must match the baseline bit for bit. events/sec and speedup columns are
+# host timing: those get a tolerance band, not a diff.
+filter_f13_host_timing() {
+  grep -vE '"(cal|ref)_[0-9]+k_(wall_s|events_per_sec|wall_per_sim_hour_s)"|"speedup_' "$1"
+}
+diff <(filter_f13_host_timing "$BUILD_DIR/BENCH_f13_scale.json") \
+     <(filter_f13_host_timing BENCH_f13_scale.json) \
+  || { echo "check.sh: BENCH_f13_scale.json deviates from baseline"; exit 1; }
+
+f13_metric() {
+  awk -v key="\"$2\":" '$1 == key { gsub(/,/, "", $2); print $2 }' "$1"
+}
+base_eps=$(f13_metric BENCH_f13_scale.json cal_10k_events_per_sec)
+base_speedup=$(f13_metric BENCH_f13_scale.json speedup_10k)
+fresh_eps=$(f13_metric "$BUILD_DIR/BENCH_f13_scale.json" cal_10k_events_per_sec)
+fresh_speedup=$(f13_metric "$BUILD_DIR/BENCH_f13_scale.json" speedup_10k)
+# The tracked baseline must keep claiming >= 3x; the fresh run only has to
+# clear a noise-tolerant floor (slower CI hosts, no pinned cores).
+awk -v fresh="$fresh_eps" -v base="$base_eps" -v speedup="$fresh_speedup" \
+    -v base_speedup="$base_speedup" 'BEGIN {
+  if (base_speedup < 3.0) {
+    printf "check.sh: tracked F13 baseline speedup_10k %.2fx is below the 3x claim\n", base_speedup
+    exit 1
+  }
+  if (fresh < 0.4 * base) {
+    printf "check.sh: F13 kernel regressed: %.0f events/sec at 10k vs %.0f baseline (>60%% drop)\n", fresh, base
+    exit 1
+  }
+  if (speedup < 2.0) {
+    printf "check.sh: F13 calendar-vs-heap speedup at 10k fell to %.2fx (< 2.0x floor)\n", speedup
+    exit 1
+  }
+  printf "check.sh: F13 perf gate ok: %.2fM events/sec at 10k (baseline %.2fM), speedup %.2fx\n", fresh / 1e6, base / 1e6, speedup
+}'
 
 # -- Traced runs + strict JSON validation ------------------------------
 (cd "$BUILD_DIR" && ./bench/bench_t1_endtoend --trace --json)
@@ -64,6 +102,9 @@ if [[ "${EVOLVE_SKIP_SANITIZERS:-0}" != "1" ]]; then
   cmake -B "$SAN_DIR" -S . -DEVOLVE_SANITIZE=address,undefined
   cmake --build "$SAN_DIR" -j "$(nproc)"
   (cd "$SAN_DIR" && ctest --output-on-failure -j "$(nproc)")
+  # Drive the calendar queue, SmallFn, and slab/arena hot paths (and the
+  # preserved reference heap) end to end under ASan/UBSan.
+  (cd "$SAN_DIR" && ./bench/bench_f13_scale --quick)
   echo
   echo "check.sh: sanitizer (ASan/UBSan) test pass clean in $SAN_DIR"
 fi

@@ -93,25 +93,17 @@ FlowId Fabric::transfer(cluster::NodeId src, cluster::NodeId dst,
   }
 
   settle_progress();
-  const int slot = [&] {
-    if (!free_slots_.empty()) {
-      const int s = free_slots_.back();
-      free_slots_.pop_back();
-      return s;
-    }
-    slots_.emplace_back();
-    return static_cast<int>(slots_.size()) - 1;
-  }();
+  const int slot = acquire_flow_slot();
+  const auto si = static_cast<std::size_t>(slot);
   const int gi = group_for_path(std::move(path));
   Group& group = groups_[static_cast<std::size_t>(gi)];
-  FlowSlot& flow = slots_[static_cast<std::size_t>(slot)];
-  flow.id = id;
-  flow.group = gi;
-  flow.bytes = bytes;
-  flow.latency = latency;
-  flow.finish_drain = group.drain_total + static_cast<double>(bytes);
-  flow.on_complete = std::move(on_complete);
-  group.members.push(Member{flow.finish_drain, id, slot});
+  flow_id_[si] = id;
+  flow_group_[si] = gi;
+  flow_bytes_[si] = bytes;
+  flow_latency_[si] = latency;
+  flow_finish_drain_[si] = group.drain_total + static_cast<double>(bytes);
+  flow_cb_[si] = std::move(on_complete);
+  group.members.push(Member{flow_finish_drain_[si], id, slot});
   ++group.size;
   for (LinkId l : group.path) ++link_flow_count_[static_cast<std::size_t>(l)];
   slot_of_.emplace(id, slot);
@@ -131,12 +123,8 @@ bool Fabric::cancel(FlowId id) {
   end_flow_span(id);
   settle_progress();
   const int slot = it->second;
-  FlowSlot& flow = slots_[static_cast<std::size_t>(slot)];
-  leave_group(flow.group);
-  flow.id = 0;
-  flow.group = -1;
-  flow.on_complete = nullptr;
-  free_slots_.push_back(slot);
+  leave_group(flow_group_[static_cast<std::size_t>(slot)]);
+  release_flow_slot(slot);
   slot_of_.erase(it);
   ++stats_.flows_cancelled;
   --stats_.flows_in_flight;
@@ -154,13 +142,36 @@ double Fabric::flow_rate(FlowId id) const {
   const_cast<Fabric*>(this)->flush_if_dirty();
   auto it = slot_of_.find(id);
   if (it == slot_of_.end()) return 0.0;
-  const FlowSlot& flow = slots_[static_cast<std::size_t>(it->second)];
-  return groups_[static_cast<std::size_t>(flow.group)].rate;
+  const int gi = flow_group_[static_cast<std::size_t>(it->second)];
+  return groups_[static_cast<std::size_t>(gi)].rate;
 }
 
 // ---------------------------------------------------------------------------
 // Incremental grouped engine
 // ---------------------------------------------------------------------------
+
+int Fabric::acquire_flow_slot() {
+  if (!free_slots_.empty()) {
+    const int s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
+  }
+  flow_id_.push_back(0);
+  flow_group_.push_back(-1);
+  flow_bytes_.push_back(0);
+  flow_latency_.push_back(0);
+  flow_finish_drain_.push_back(0.0);
+  flow_cb_.emplace_back();
+  return static_cast<int>(flow_id_.size()) - 1;
+}
+
+void Fabric::release_flow_slot(int slot) {
+  const auto si = static_cast<std::size_t>(slot);
+  flow_id_[si] = 0;
+  flow_group_[si] = -1;
+  flow_cb_[si] = nullptr;
+  free_slots_.push_back(slot);
+}
 
 int Fabric::group_for_path(std::vector<LinkId> path) {
   auto it = group_of_path_.find(path);
@@ -200,7 +211,7 @@ void Fabric::leave_group(int group_index) {
 void Fabric::purge_dead_members(Group& group) {
   while (!group.members.empty()) {
     const Member& m = group.members.top();
-    if (slots_[static_cast<std::size_t>(m.slot)].id == m.id) return;
+    if (flow_id_[static_cast<std::size_t>(m.slot)] == m.id) return;
     group.members.pop();  // cancelled flow; its slot moved on
   }
 }
@@ -328,13 +339,11 @@ void Fabric::on_completion_event() {
       const Member m = group.members.top();
       if (m.finish_drain > group.drain_total + kDrainEpsilon) break;
       group.members.pop();
-      FlowSlot& flow = slots_[static_cast<std::size_t>(m.slot)];
-      done_scratch_.push_back(DoneFlow{m.id, flow.bytes, remote, flow.latency,
-                                       std::move(flow.on_complete)});
-      flow.id = 0;
-      flow.group = -1;
-      flow.on_complete = nullptr;
-      free_slots_.push_back(m.slot);
+      const auto si = static_cast<std::size_t>(m.slot);
+      done_scratch_.push_back(DoneFlow{m.id, flow_bytes_[si], remote,
+                                       flow_latency_[si],
+                                       std::move(flow_cb_[si])});
+      release_flow_slot(m.slot);
       slot_of_.erase(m.id);
       ++stats_.flows_completed;
       --stats_.flows_in_flight;

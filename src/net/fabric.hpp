@@ -18,9 +18,12 @@
 //  * Same-timestamp churn (a shuffle wave, a collective fan-out) is
 //    batched: transfer()/cancel() only mark the fabric dirty and a
 //    deferred same-time event runs a single recompute for the whole wave.
-//  * Flow state lives in a flat slot vector with a free list (no
-//    std::map node churn); solver scratch buffers are reused across
-//    recomputes.
+//  * Flow state lives in flat structure-of-arrays slot columns with a
+//    free list (no std::map node churn, and the solver/completion scans
+//    touch only the columns they need); solver scratch buffers are
+//    reused across recomputes. Completion callbacks are util::SmallFn,
+//    so starting and finishing a flow allocates nothing for the common
+//    capture sizes.
 //
 // Determinism invariants (preserved from the original implementation):
 // completion callbacks within one event fire in flow-id order, and rates
@@ -29,7 +32,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <queue>
 #include <unordered_map>
@@ -38,12 +40,13 @@
 #include "net/topology.hpp"
 #include "sim/simulation.hpp"
 #include "trace/tracer.hpp"
+#include "util/small_fn.hpp"
 #include "util/types.hpp"
 
 namespace evolve::net {
 
 using FlowId = std::int64_t;
-using FlowCallback = std::function<void()>;
+using FlowCallback = util::SmallFn;
 
 struct FlowStats {
   std::int64_t flows_started = 0;
@@ -113,14 +116,6 @@ class Fabric {
  private:
   // ---- incremental grouped engine ----
 
-  struct FlowSlot {
-    FlowId id = 0;  // 0 marks a free slot
-    int group = -1;
-    util::Bytes bytes = 0;
-    util::TimeNs latency = 0;
-    double finish_drain = 0;  // group drain_total at which this flow is done
-    FlowCallback on_complete;
-  };
   struct Member {
     double finish_drain;
     FlowId id;
@@ -155,6 +150,8 @@ class Fabric {
   };
 
   int group_for_path(std::vector<LinkId> path);
+  int acquire_flow_slot();
+  void release_flow_slot(int slot);
   void leave_group(int group_index);
   /// Drops cancelled members off a group's heap top.
   void purge_dead_members(Group& group);
@@ -216,8 +213,17 @@ class Fabric {
   bool has_pending_event_ = false;
   FlowStats stats_;
 
-  // Incremental-engine state.
-  std::vector<FlowSlot> slots_;
+  // Incremental-engine state. Per-flow slot fields are structure-of-arrays
+  // columns indexed by slot: the completion scan reads ids and drains, the
+  // rate query reads groups, and only a finishing flow touches its
+  // callback — each scan stays in the one dense column it needs.
+  std::vector<FlowId> flow_id_;       // 0 marks a free slot
+  std::vector<int> flow_group_;
+  std::vector<util::Bytes> flow_bytes_;
+  std::vector<util::TimeNs> flow_latency_;
+  // Group drain_total at which the flow is done.
+  std::vector<double> flow_finish_drain_;
+  std::vector<FlowCallback> flow_cb_;
   std::vector<int> free_slots_;
   std::unordered_map<FlowId, int> slot_of_;
   std::vector<Group> groups_;

@@ -74,9 +74,15 @@ const TenantStats& Service::tenant(const std::string& name) const {
   return it == tenants_.end() ? kEmpty : it->second;
 }
 
+Service::~Service() {
+  // Records still in flight at teardown go back to the slab so their
+  // owned members (request payload, callbacks) are destroyed.
+  for (auto& [id, rec] : inflight_) inflight_slab_.release(rec);
+}
+
 Service::InFlight* Service::record(RequestId id) {
   auto it = inflight_.find(id);
-  return it == inflight_.end() ? nullptr : &it->second;
+  return it == inflight_.end() ? nullptr : it->second;
 }
 
 ReplicaServer* Service::replica(std::int64_t key) {
@@ -125,9 +131,10 @@ void Service::submit(Request req) {
   metrics_.count("serve.admitted");
 
   const RequestId id = req.id;
-  auto [it, inserted] = inflight_.try_emplace(id);
+  auto [it, inserted] = inflight_.try_emplace(id, nullptr);
   if (!inserted) throw std::invalid_argument("duplicate request id");
-  InFlight& rec = it->second;
+  it->second = inflight_slab_.acquire();
+  InFlight& rec = *it->second;
   rec.req = req;
   rec.root = root;
 
@@ -439,12 +446,13 @@ void Service::note_inflight() {
 void Service::maybe_erase(RequestId id) {
   auto it = inflight_.find(id);
   if (it == inflight_.end()) return;
-  InFlight& rec = it->second;
+  InFlight& rec = *it->second;
   if (!rec.done) return;
   for (const Copy& copy : rec.copies) {
     if (copy.live || copy.parked) return;
   }
   if (rec.hedge_armed) return;
+  inflight_slab_.release(it->second);
   inflight_.erase(it);
 }
 

@@ -33,7 +33,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
+
+#include "util/arena.hpp"
 
 #include "metrics/registry.hpp"
 #include "net/fabric.hpp"
@@ -73,6 +76,7 @@ class Service {
           std::vector<RequestClass> classes, ServiceConfig config = {});
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
+  ~Service();
 
   /// Accepts one request (the generator's sink).
   void submit(Request req);
@@ -184,7 +188,11 @@ class Service {
   std::map<cluster::NodeId, double> slowdown_;
   std::set<cluster::NodeId> drained_;
 
-  std::map<RequestId, InFlight> inflight_;
+  // In-flight records live on a slab (stable addresses, recycled cells —
+  // no per-request map-node malloc/free); the unordered index is only
+  // ever probed by id, never iterated, so ordering stays deterministic.
+  util::Slab<InFlight> inflight_slab_;
+  std::unordered_map<RequestId, InFlight*> inflight_;
   std::deque<std::pair<RequestId, int>> parked_;  // (request, copy index)
 
   std::map<std::string, TenantStats> tenants_;

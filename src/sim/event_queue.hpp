@@ -1,23 +1,48 @@
 // Priority queue of timestamped events with stable FIFO ordering for ties
-// and O(log n) cancellation.
+// and O(log n) cancellation — implemented as a hierarchical timing-wheel
+// calendar queue so push/pop are O(1) amortized at scale.
 //
-// Hot-path layout: callbacks live inline in the heap entries (no separate
-// callback map), and cancellation is a generation-counted slot vector with
-// a free list — cancel() flips one flag, pop() skips dead entries as they
-// surface. push/pop perform no per-event node allocation beyond whatever
-// the std::function itself owns.
+// Layout, nearest first:
+//
+//   current_  min-heap of the currently loaded band: every live entry with
+//             time < loaded_end_. Pops come from here only, so the heap
+//             stays tiny (one bucket's worth of events) and its top is
+//             always the global (time, seq) minimum.
+//   wheel     4 levels x 64 buckets, level-l bucket width 2^(10+6l) ns
+//             (1.024us, 65.5us, 4.19ms, 268ms). A push lands in the finest
+//             level whose active window covers its time; draining a
+//             level-l bucket scatters it one level down, and the final
+//             scatter feeds current_. Per-level uint64 occupancy bitmaps
+//             make "find next non-empty bucket" a single countr_zero.
+//   far_      min-heap for anything past the wheel horizon (~17s out);
+//             refilled into level 3 when the wheel drains dry.
+//
+// Because every wheel/far entry is strictly later than loaded_end_ and
+// bands advance only when current_ is empty, the pop sequence is the exact
+// global (time, seq) order — bit-identical to the old binary heap.
+//
+// Cancellation is a generation-counted slot vector: cancel() flips one
+// flag, and dead entries are physically reclaimed by settle() when they
+// surface at the head of current_ (the one shared drain path for both
+// next_time() and pop()), or wholesale by purge() the moment the live
+// count hits zero.
+//
+// Callbacks are util::SmallFn: captures up to 48 bytes live inline in the
+// entry, so push/pop perform no per-event heap allocation on the common
+// capture sizes (std::function spills to the heap past 16 bytes).
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "util/small_fn.hpp"
 #include "util/types.hpp"
 
 namespace evolve::sim {
 
 using EventId = std::uint64_t;
-using EventFn = std::function<void()>;
+using EventFn = util::SmallFn;
 
 /// One scheduled callback. Ordering: earlier time first, then schedule
 /// order, so same-time events run FIFO — this makes the whole simulation
@@ -49,16 +74,24 @@ class EventQueue {
   /// Removes and returns the earliest live event. Requires !empty().
   Event pop();
 
+  /// Cancellation slots ever created (introspection for tests).
+  std::size_t slot_count() const { return slots_.size(); }
+
  private:
+  static constexpr int kLevels = 4;
+  static constexpr int kBucketsPerLevel = 64;
+  /// Level-l bucket covers 2^kShift[l] ns.
+  static constexpr std::array<int, kLevels> kShift = {10, 16, 22, 28};
+
   struct Entry {
     util::TimeNs time;
     std::uint64_t seq;   // monotonic schedule order; breaks time ties FIFO
     std::uint32_t slot;  // index into slots_
     EventFn fn;
   };
-  // A slot is owned by exactly one heap entry from push() until that entry
-  // physically leaves the heap; only then is it recycled (generation bump +
-  // free list), so a stale EventId can never alias a newer event.
+  // A slot is owned by exactly one entry from push() until that entry is
+  // physically reclaimed; only then is it recycled (generation bump + free
+  // list), so a stale EventId can never alias a newer event.
   struct Slot {
     std::uint32_t gen = 0;
     bool live = false;
@@ -73,19 +106,58 @@ class EventQueue {
     return a.seq < b.seq;
   }
 
-  void sift_up(std::size_t i);
-  void sift_down(std::size_t i);
-  void remove_top();
-  /// Pops cancelled entries off the heap top; recycles their slots.
-  void drop_dead_head() const;
+  // Binary min-heap primitives shared by current_ and far_.
+  static void heap_push(std::vector<Entry>& h, Entry&& e);
+  static void heap_remove_top(std::vector<Entry>& h);
+  static void sift_up(std::vector<Entry>& h, std::size_t i);
+  static void sift_down(std::vector<Entry>& h, std::size_t i);
 
-  // `mutable` so the const observers (next_time) can lazily reclaim
-  // cancelled entries, mirroring the old tombstone-draining design.
-  mutable std::vector<Entry> heap_;  // binary min-heap by (time, seq)
-  mutable std::vector<Slot> slots_;
-  mutable std::vector<std::uint32_t> free_slots_;
+  /// End of level l's active window: first time not representable there.
+  util::TimeNs window_end(int level) const {
+    return static_cast<util::TimeNs>(
+        static_cast<std::uint64_t>(window_base_[level] + kBucketsPerLevel)
+        << kShift[level]);
+  }
+
+  /// Routes a new entry to current_, a wheel bucket, or far_. Takes the
+  /// fields rather than an Entry so the entry is constructed exactly once,
+  /// in its destination container.
+  void place(util::TimeNs time, std::uint64_t seq, std::uint32_t slot,
+             EventFn&& fn);
+  /// Loads the next occupied band into current_ (cascading wheel levels
+  /// and refilling from far_ as needed). False if nothing remains.
+  bool advance();
+  /// The one shared reclamation path: drains cancelled entries off the
+  /// head of current_, recycling their slots, and advances bands until a
+  /// live head surfaces or the queue is physically empty.
+  void settle();
+  /// Physically discards every entry (all are cancelled) and recycles
+  /// their slots; resets the wheel to its initial windows.
+  void purge();
+  void recycle(std::uint32_t slot) {
+    slots_[slot].live = false;
+    free_slots_.push_back(slot);
+  }
+
+  std::vector<Entry> current_;  // min-heap by (time, seq); the loaded band
+  std::vector<Entry> far_;      // min-heap; beyond the wheel horizon
+  std::array<std::array<std::vector<Entry>, kBucketsPerLevel>, kLevels>
+      buckets_;
+  std::array<std::uint64_t, kLevels> occupancy_ = {0, 0, 0, 0};
+  // Absolute index (in level-l bucket units) of each level's window start.
+  // Invariant: the bucket currently draining at level l lies inside level
+  // l+1's window, so placement never needs more than one window per level.
+  std::array<std::int64_t, kLevels> window_base_ = {0, 0, 0, 0};
+  // All entries with time < loaded_end_ are in current_; everything in the
+  // wheel or far_ is at loaded_end_ or later. Grows monotonically (until a
+  // purge of an all-cancelled queue, which is unobservable).
+  util::TimeNs loaded_end_ = 0;
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 1;
   std::size_t live_count_ = 0;
+  std::size_t entry_count_ = 0;  // physical entries incl. cancelled
 };
 
 }  // namespace evolve::sim

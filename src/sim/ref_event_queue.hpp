@@ -1,0 +1,67 @@
+// The pre-calendar binary-heap event queue, preserved verbatim as a
+// reference implementation. It is not used by Simulation; it exists so
+// the 100-seed equivalence soak and bench_f13_scale can compare the
+// calendar queue's ordering and throughput against the exact kernel it
+// replaced (std::function callbacks and all).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace evolve::sim {
+
+using RefEventId = std::uint64_t;
+using RefEventFn = std::function<void()>;
+
+struct RefEvent {
+  util::TimeNs time = 0;
+  RefEventId id = 0;
+  RefEventFn fn;
+};
+
+class RefEventQueue {
+ public:
+  RefEventId push(util::TimeNs time, RefEventFn fn);
+  bool cancel(RefEventId id);
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+  util::TimeNs next_time() const;
+  RefEvent pop();
+
+ private:
+  struct Entry {
+    util::TimeNs time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    RefEventFn fn;
+  };
+  struct Slot {
+    std::uint32_t gen = 0;
+    bool live = false;
+  };
+
+  static RefEventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<RefEventId>(gen) << 32) | slot;
+  }
+
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void remove_top();
+  void drop_dead_head() const;
+
+  mutable std::vector<Entry> heap_;
+  mutable std::vector<Slot> slots_;
+  mutable std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace evolve::sim

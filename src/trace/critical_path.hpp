@@ -10,7 +10,7 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/tracer.hpp"
@@ -22,7 +22,7 @@ namespace evolve::trace {
 struct PathSegment {
   SpanId span = kNoSpan;
   Layer layer = Layer::kWorkflow;
-  std::string name;  // name of the charged span
+  std::string_view name;  // name of the charged span (interned by Tracer)
   util::TimeNs start = 0;
   util::TimeNs end = 0;
 

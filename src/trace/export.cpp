@@ -13,7 +13,7 @@ namespace {
 
 constexpr int kLaneBand = 1000;  // tids per layer band within a process
 
-std::string escape(const std::string& text) {
+std::string escape(std::string_view text) {
   std::string out;
   out.reserve(text.size() + 2);
   for (const char c : text) {

@@ -30,12 +30,12 @@ const char* layer_name(Layer layer) {
   return "unknown";
 }
 
-SpanId Tracer::begin(Layer layer, std::string name, SpanId parent) {
+SpanId Tracer::begin(Layer layer, std::string_view name, SpanId parent) {
   Span span;
   span.id = static_cast<SpanId>(spans_.size()) + 1;
   span.parent = parent == kNoSpan ? current() : parent;
   span.layer = layer;
-  span.name = std::move(name);
+  span.name = names_.intern(name);
   span.start = sim_->now();
   if (span.parent != kNoSpan) {
     const Span& up = spans_[static_cast<std::size_t>(span.parent) - 1];
@@ -44,7 +44,7 @@ SpanId Tracer::begin(Layer layer, std::string name, SpanId parent) {
   }
   spans_.push_back(std::move(span));
   ++open_;
-  return spans_.back().id;
+  return static_cast<SpanId>(spans_.size());
 }
 
 void Tracer::end(SpanId id) {

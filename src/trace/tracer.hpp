@@ -13,14 +13,23 @@
 // Tracing is purely observational: it schedules no simulation events and
 // draws no random numbers, so enabling it cannot change any simulated
 // outcome.
+//
+// Recording is built for the hot path: span names are interned (a span
+// holds a string_view into the interner's stable storage, so re-tracing a
+// seen name copies no string), and spans live in an append-only chunked
+// buffer — no reallocation copies, stable addresses, and zero heap
+// allocations per span once the name set and chunks are warm.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "sim/simulation.hpp"
+#include "util/arena.hpp"
+#include "util/interner.hpp"
 #include "util/types.hpp"
 
 namespace evolve::trace {
@@ -51,7 +60,7 @@ struct Span {
   SpanId id = kNoSpan;
   SpanId parent = kNoSpan;
   Layer layer = Layer::kWorkflow;
-  std::string name;
+  std::string_view name;   // interned; owned by the Tracer
   std::int64_t job = -1;   // owning job/workflow id, when known
   std::int64_t task = -1;  // owning task/step index, when known
   util::TimeNs start = 0;
@@ -64,13 +73,16 @@ struct Span {
 
 class Tracer {
  public:
+  using SpanBuffer = util::ChunkedVector<Span, 1024>;
+
   explicit Tracer(sim::Simulation& sim) : sim_(&sim) {}
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
   /// Opens a span at the current simulation time. A parent of kNoSpan
-  /// adopts the context stack's top (or stays a root).
-  SpanId begin(Layer layer, std::string name, SpanId parent = kNoSpan);
+  /// adopts the context stack's top (or stays a root). The name is
+  /// interned: recording a previously seen name allocates nothing.
+  SpanId begin(Layer layer, std::string_view name, SpanId parent = kNoSpan);
 
   /// Closes a span at the current simulation time. Idempotent: closing
   /// an already-closed (or kNoSpan) span is a no-op, so shared shutdown
@@ -89,9 +101,14 @@ class Tracer {
   void push(SpanId id) { stack_.push_back(id); }
   void pop() { stack_.pop_back(); }
 
-  const std::vector<Span>& spans() const { return spans_; }
+  const SpanBuffer& spans() const { return spans_; }
   const Span& span(SpanId id) const;
   std::size_t open_spans() const { return open_; }
+
+  /// Pre-allocates span chunks so the next `n` begins() allocate nothing.
+  void reserve_spans(std::size_t n) { spans_.reserve(n); }
+  /// Distinct span names seen (introspection for tests).
+  std::size_t interned_names() const { return names_.size(); }
 
   /// Closes every still-open span at the current time (call once the
   /// simulation has drained; cancelled flows etc. land here).
@@ -103,7 +120,8 @@ class Tracer {
   Span& mutable_span(SpanId id);
 
   sim::Simulation* sim_;
-  std::vector<Span> spans_;  // spans_[id - 1]
+  SpanBuffer spans_;  // spans_[id - 1]; append-only, stable addresses
+  util::StringInterner names_;
   std::vector<SpanId> stack_;
   std::size_t open_ = 0;
 };
@@ -127,9 +145,9 @@ class ScopedContext {
 };
 
 /// Null-tolerant helpers: the uniform guard for instrumentation sites.
-inline SpanId begin_span(Tracer* tracer, Layer layer, std::string name,
+inline SpanId begin_span(Tracer* tracer, Layer layer, std::string_view name,
                          SpanId parent = kNoSpan) {
-  return tracer ? tracer->begin(layer, std::move(name), parent) : kNoSpan;
+  return tracer ? tracer->begin(layer, name, parent) : kNoSpan;
 }
 inline void end_span(Tracer* tracer, SpanId id) {
   if (tracer && id != kNoSpan) tracer->end(id);

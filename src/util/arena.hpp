@@ -1,0 +1,228 @@
+// Arena, slab, and chunked-buffer allocation for the simulation hot path.
+//
+// The kernel's highest-churn objects — serve in-flight records, fabric
+// flow state, trace spans — used to live in node-based containers
+// (std::map, per-element vectors), paying one malloc/free round trip per
+// object. These three primitives remove that churn:
+//
+//  * Arena      — bump allocator over chained blocks; allocation is a
+//                 pointer increment, individual frees do not exist, and
+//                 reset() recycles every block at once.
+//  * Slab<T>    — typed object pool: acquire() placement-news a T into an
+//                 arena-backed cell (reusing a free-listed cell when one
+//                 exists), release() destroys it and recycles the cell.
+//                 Pointers are stable for the object's lifetime.
+//  * ChunkedVector<T> — append-only storage in fixed-size chunks: no
+//                 reallocation copies, stable element addresses, O(1)
+//                 index. This is the "per-scenario append-only buffer"
+//                 that trace span recording writes into.
+//
+// None of these are thread-safe; the simulation is single-threaded by
+// design (determinism is the contract).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace evolve::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_bytes = 64 * 1024)
+      : block_bytes_(block_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (power of two, at
+  /// most alignof(std::max_align_t)). Never returns nullptr.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    std::size_t p = (cursor_ + (align - 1)) & ~(align - 1);
+    if (current_ == nullptr || p + bytes > block_end_) {
+      new_block(bytes);
+      p = cursor_;  // fresh blocks are max_align_t-aligned
+    }
+    cursor_ = p + bytes;
+    ++allocations_;
+    return current_ + p;
+  }
+
+  /// Recycles every block: the arena is empty again but keeps its memory.
+  void reset() {
+    free_blocks_.insert(free_blocks_.end(),
+                        std::make_move_iterator(used_blocks_.begin()),
+                        std::make_move_iterator(used_blocks_.end()));
+    used_blocks_.clear();
+    current_ = nullptr;
+    cursor_ = 0;
+    block_end_ = 0;
+  }
+
+  std::size_t allocations() const { return allocations_; }
+  std::size_t blocks() const {
+    return used_blocks_.size() + free_blocks_.size();
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<unsigned char[]> data;
+    std::size_t size = 0;
+  };
+
+  void new_block(std::size_t need) {
+    const std::size_t want = need > block_bytes_ ? need : block_bytes_;
+    if (!free_blocks_.empty() && free_blocks_.back().size >= want) {
+      used_blocks_.push_back(std::move(free_blocks_.back()));
+      free_blocks_.pop_back();
+    } else {
+      Block b;
+      b.size = want;
+      // Plain new[]: guaranteed aligned for max_align_t, and must stay
+      // plain so unique_ptr's delete[] pairs with it (an aligned new
+      // here with a plain delete[] is undefined behaviour).
+      b.data.reset(new unsigned char[want]);
+      used_blocks_.push_back(std::move(b));
+    }
+    current_ = used_blocks_.back().data.get();
+    block_end_ = used_blocks_.back().size;
+    cursor_ = 0;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> used_blocks_;
+  std::vector<Block> free_blocks_;
+  unsigned char* current_ = nullptr;
+  std::size_t cursor_ = 0;
+  std::size_t block_end_ = 0;
+  std::size_t allocations_ = 0;
+};
+
+template <typename T>
+class Slab {
+ public:
+  explicit Slab(std::size_t cells_per_block = 256)
+      : arena_(cells_per_block * sizeof(Cell)) {}
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+  ~Slab() {
+    // Live objects must be released by the owner before the slab dies;
+    // cells themselves are plain storage and free with the arena.
+  }
+
+  template <typename... Args>
+  T* acquire(Args&&... args) {
+    Cell* cell;
+    if (free_ != nullptr) {
+      cell = free_;
+      free_ = free_->next;
+    } else {
+      cell = static_cast<Cell*>(arena_.allocate(sizeof(Cell), alignof(Cell)));
+      ++capacity_;
+    }
+    T* obj = ::new (static_cast<void*>(cell->storage))
+        T(std::forward<Args>(args)...);
+    ++live_;
+    return obj;
+  }
+
+  void release(T* obj) {
+    obj->~T();
+    Cell* cell = reinterpret_cast<Cell*>(
+        reinterpret_cast<unsigned char*>(obj) - offsetof(Cell, storage));
+    cell->next = free_;
+    free_ = cell;
+    --live_;
+  }
+
+  std::size_t live() const { return live_; }
+  /// Cells ever carved out of the arena (the pool's high-water mark).
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  union Cell {
+    Cell* next;
+    alignas(alignof(T)) unsigned char storage[sizeof(T)];
+  };
+
+  Arena arena_;
+  Cell* free_ = nullptr;
+  std::size_t live_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+template <typename T, std::size_t kChunkSize = 1024>
+class ChunkedVector {
+  static_assert(std::is_default_constructible_v<T>,
+                "ChunkedVector elements are default-constructed per chunk");
+
+ public:
+  ChunkedVector() = default;
+  ChunkedVector(const ChunkedVector&) = delete;
+  ChunkedVector& operator=(const ChunkedVector&) = delete;
+
+  T& push_back(T value) {
+    T& cell = next_cell();
+    cell = std::move(value);
+    return cell;
+  }
+
+  T& operator[](std::size_t i) {
+    return chunks_[i / kChunkSize][i % kChunkSize];
+  }
+  const T& operator[](std::size_t i) const {
+    return chunks_[i / kChunkSize][i % kChunkSize];
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pre-allocates chunks so the next `n - size()` appends allocate
+  /// nothing (the zero-allocation guarantee hot loops assert on).
+  void reserve(std::size_t n) {
+    while (chunks_.size() * kChunkSize < n) add_chunk();
+  }
+
+  template <typename Self>
+  class Iter {
+   public:
+    Iter(Self* v, std::size_t i) : v_(v), i_(i) {}
+    auto& operator*() const { return (*v_)[i_]; }
+    auto* operator->() const { return &(*v_)[i_]; }
+    Iter& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const Iter& o) const { return i_ == o.i_; }
+    bool operator!=(const Iter& o) const { return i_ != o.i_; }
+
+   private:
+    Self* v_;
+    std::size_t i_;
+  };
+  using iterator = Iter<ChunkedVector>;
+  using const_iterator = Iter<const ChunkedVector>;
+
+  iterator begin() { return {this, 0}; }
+  iterator end() { return {this, size_}; }
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size_}; }
+
+ private:
+  T& next_cell() {
+    if (size_ == chunks_.size() * kChunkSize) add_chunk();
+    T& cell = (*this)[size_];
+    ++size_;
+    return cell;
+  }
+
+  void add_chunk() { chunks_.push_back(std::make_unique<T[]>(kChunkSize)); }
+
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace evolve::util

@@ -1,0 +1,47 @@
+// String interning with stable storage.
+//
+// The tracer records a span name and layer label for every span; before
+// interning each span copied its strings into a std::string (one or two
+// heap allocations per span on the hot path). The interner stores each
+// distinct string once in an arena and hands out std::string_view values
+// that stay valid for the interner's lifetime, so recording a span with a
+// previously-seen name allocates nothing.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/arena.hpp"
+
+namespace evolve::util {
+
+class StringInterner {
+ public:
+  StringInterner() : arena_(16 * 1024) {}
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  /// Returns a view of `s` backed by interner-owned storage; the view is
+  /// valid as long as the interner lives. Re-interning an already-seen
+  /// string is a hash lookup with no allocation.
+  std::string_view intern(std::string_view s) {
+    auto it = map_.find(s);
+    if (it != map_.end()) return it->first;
+    char* buf = static_cast<char*>(arena_.allocate(s.size(), 1));
+    std::char_traits<char>::copy(buf, s.data(), s.size());
+    std::string_view stable(buf, s.size());
+    map_.emplace(stable, map_.size());
+    return stable;
+  }
+
+  /// Number of distinct strings interned.
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  Arena arena_;
+  // Keys are views into arena_ storage, so they never dangle.
+  std::unordered_map<std::string_view, std::size_t> map_;
+};
+
+}  // namespace evolve::util

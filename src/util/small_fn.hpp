@@ -1,0 +1,151 @@
+// Move-only callable with inline small-buffer storage.
+//
+// The simulation kernel schedules tens of millions of events per run;
+// with std::function every capture larger than the implementation's tiny
+// internal buffer (16 bytes on libstdc++) costs one heap allocation and
+// one free per event. SmallFn stores captures up to kInlineBytes inline
+// — sized so the common kernel captures (`this` + a couple of ids, a
+// small struct, a wrapped callback) never touch the heap — and falls
+// back to a heap-owned callable only above that.
+//
+// Unlike std::function, SmallFn is move-only, which is what lets it
+// accept move-only captures (e.g. a lambda that owns another SmallFn).
+// Trivially copyable captures are flagged at construction and moved with
+// a plain memcpy, so relocating events inside the queue's buckets and
+// heaps never runs user code.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <functional>  // std::bad_function_call
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace evolve::util {
+
+class SmallFn {
+ public:
+  /// Inline capture budget. 48 bytes holds `this` + five 64-bit ids with
+  /// room to spare; measured against the repo's own schedule sites.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    assign<D>(std::forward<F>(fn));
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallFn& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  SmallFn& operator=(F&& fn) {
+    reset();
+    assign<D>(std::forward<F>(fn));
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() {
+    if (!invoke_) throw std::bad_function_call();
+    invoke_(buf_);
+  }
+
+ private:
+  enum class Op { kMove, kDestroy };
+  using Invoke = void (*)(void*);
+  // kMove: relocate from src buffer into dst buffer (dst uninitialized,
+  // src left destroyed). kDestroy: destroy the callable in dst.
+  using Manage = void (*)(Op, void* dst, void* src);
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes && alignof(D) <= alignof(void*) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D, typename F>
+  void assign(F&& fn) {
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      invoke_ = [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); };
+      if constexpr (std::is_trivially_copyable_v<D> &&
+                    std::is_trivially_destructible_v<D>) {
+        manage_ = nullptr;  // memcpy-relocatable, nothing to destroy
+      } else {
+        manage_ = [](Op op, void* dst, void* src) {
+          if (op == Op::kMove) {
+            D* from = std::launder(reinterpret_cast<D*>(src));
+            ::new (dst) D(std::move(*from));
+            from->~D();
+          } else {
+            std::launder(reinterpret_cast<D*>(dst))->~D();
+          }
+        };
+      }
+    } else {
+      *reinterpret_cast<D**>(static_cast<void*>(buf_)) =
+          new D(std::forward<F>(fn));
+      invoke_ = [](void* p) { (**reinterpret_cast<D**>(p))(); };
+      manage_ = [](Op op, void* dst, void* src) {
+        if (op == Op::kMove) {
+          std::memcpy(dst, src, sizeof(D*));
+        } else {
+          delete *reinterpret_cast<D**>(dst);
+        }
+      };
+    }
+  }
+
+  void move_from(SmallFn& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (invoke_) {
+      if (manage_) {
+        manage_(Op::kMove, buf_, other.buf_);
+      } else {
+        std::memcpy(buf_, other.buf_, kInlineBytes);
+      }
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void reset() {
+    if (manage_) manage_(Op::kDestroy, buf_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  // Pointer-aligned, not max_align_t: keeps sizeof(SmallFn) == 64 with no
+  // padding inside the queue's Entry. Captures needing stricter alignment
+  // (e.g. SIMD members) take the heap path via fits_inline().
+  alignas(void*) unsigned char buf_[kInlineBytes];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace evolve::util

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace evolve::sim {
@@ -140,6 +143,96 @@ TEST(EventQueue, InterleavedPushPopCancelStaysConsistent) {
   }
   EXPECT_EQ(remaining, 0u);
   EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, OrdersAcrossWheelBandsAndFarHorizon) {
+  // Times spanning every band: sub-microsecond (current heap), the four
+  // wheel levels, and far beyond the ~17s wheel horizon. Negative times
+  // are legal at queue level and sort first.
+  EventQueue q;
+  const std::vector<util::TimeNs> times = {
+      60'000'000'000, 500, -3, 25'000, 3'000'000, 90'000'000,
+      17'500'000'000, 0,   7,  1'000'000'000};
+  std::vector<util::TimeNs> expected = times;
+  std::sort(expected.begin(), expected.end());
+  for (const util::TimeNs t : times) q.push(t, [] {});
+  std::vector<util::TimeNs> popped;
+  while (!q.empty()) popped.push_back(q.pop().time);
+  EXPECT_EQ(popped, expected);
+}
+
+TEST(EventQueue, CancelHeavyStressStaysConsistent) {
+  // Cancel-heavy churn across all wheel bands: every observer
+  // (empty/next_time/pop) must agree while cancelled entries are being
+  // lazily reclaimed, and survivors must pop in exact (time, seq) order.
+  EventQueue q;
+  std::vector<std::pair<util::TimeNs, EventId>> live;
+  std::uint64_t mix = 0x9e3779b97f4a7c15ULL;
+  auto next = [&mix] {
+    mix ^= mix << 13;
+    mix ^= mix >> 7;
+    mix ^= mix << 17;
+    return mix;
+  };
+  util::TimeNs now = 0;
+  std::vector<util::TimeNs> popped;
+  for (int round = 0; round < 3000; ++round) {
+    // Pushes spread from "immediately" to far past the wheel horizon.
+    const util::TimeNs t =
+        now + static_cast<util::TimeNs>(next() % 30'000'000'000ULL);
+    live.emplace_back(t, q.push(t, [] {}));
+    // Cancel ~2 of every 3 scheduled events, oldest first.
+    while (live.size() > 1 && next() % 3 != 0) {
+      EXPECT_TRUE(q.cancel(live.front().second));
+      live.erase(live.begin());
+    }
+    if (next() % 4 == 0 && !q.empty()) {
+      const util::TimeNs head = q.next_time();
+      const Event ev = q.pop();
+      EXPECT_EQ(ev.time, head);  // observers agree on the live head
+      EXPECT_GE(ev.time, now);
+      now = ev.time;
+      popped.push_back(ev.time);
+      std::erase_if(live, [&](const auto& p) { return p.second == ev.id; });
+    }
+    EXPECT_EQ(q.size(), live.size());
+    EXPECT_EQ(q.empty(), live.empty());
+  }
+  std::sort(live.begin(), live.end());
+  for (const auto& [t, id] : live) {
+    EXPECT_EQ(q.pop().time, t);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(std::is_sorted(popped.begin(), popped.end()));
+}
+
+TEST(EventQueue, CancelAllRecyclesSlotsPromptly) {
+  // Once every event is cancelled, the queue reclaims in bulk: new pushes
+  // reuse the old cancellation slots instead of growing the slot table,
+  // even for events that were banked deep in the wheel / far heap.
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(q.push(static_cast<util::TimeNs>(i) * 1'000'000'000, [] {}));
+  }
+  for (EventId id : ids) EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  const std::size_t slots = q.slot_count();
+  for (int i = 0; i < 64; ++i) q.push(i, [] {});
+  EXPECT_EQ(q.slot_count(), slots);  // all recycled, none added
+  while (!q.empty()) q.pop().fn();
+}
+
+TEST(EventQueue, MoveOnlyCallbacksWork) {
+  // EventFn is move-only (util::SmallFn): it must accept captures that
+  // std::function cannot hold, e.g. a lambda owning another EventFn.
+  EventQueue q;
+  int fired = 0;
+  EventFn inner = [&fired] { fired += 10; };
+  q.push(5, [inner = std::move(inner)]() mutable { inner(); });
+  q.push(1, [&fired] { ++fired; });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 11);
 }
 
 }  // namespace

@@ -1,0 +1,86 @@
+// Tracer hot-path allocation test. This TU overrides the global
+// new/delete with counting forwards to malloc/free, so it lives in its
+// own test binary (evolve_alloc_tests) and must stay the only TU there
+// that defines these operators.
+//
+// The claim under test (ISSUE satellite): once the tracer's name set and
+// span chunks are warm, recording a span performs zero heap allocations
+// — names are interned string_views and spans land in pre-reserved
+// append-only chunks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "sim/simulation.hpp"
+#include "trace/tracer.hpp"
+
+namespace {
+std::atomic<std::size_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocs;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocs;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace evolve::trace {
+namespace {
+
+TEST(TracerAllocation, WarmSpanRecordingAllocatesNothing) {
+  sim::Simulation sim;
+  Tracer tracer(sim);
+
+  constexpr int kWarm = 8;
+  constexpr int kHot = 20'000;
+  const char* names[] = {"serve.request", "serve.queue", "serve.exec",
+                         "net.transfer"};
+
+  // Warm-up: intern every name once and pre-reserve the span chunks.
+  for (int i = 0; i < kWarm; ++i) {
+    const SpanId id = tracer.begin(Layer::kServe, names[i % 4]);
+    tracer.end(id);
+  }
+  tracer.reserve_spans(kWarm + kHot);
+  EXPECT_EQ(tracer.interned_names(), 4u);
+
+  const std::size_t before = g_allocs.load();
+  for (int i = 0; i < kHot; ++i) {
+    const SpanId id = tracer.begin(Layer::kServe, names[i % 4]);
+    tracer.end(id);
+  }
+  const std::size_t after = g_allocs.load();
+
+  EXPECT_EQ(after - before, 0u)
+      << "span recording on a warm tracer must not allocate";
+  EXPECT_EQ(tracer.spans().size(),
+            static_cast<std::size_t>(kWarm + kHot));
+  EXPECT_EQ(tracer.interned_names(), 4u);
+}
+
+TEST(TracerAllocation, RepeatedNamesShareInternedStorage) {
+  sim::Simulation sim;
+  Tracer tracer(sim);
+  const SpanId a = tracer.begin(Layer::kNetwork, "net.transfer");
+  tracer.end(a);
+  const SpanId b = tracer.begin(Layer::kNetwork, "net.transfer");
+  tracer.end(b);
+  // Same interned backing bytes, not just equal content.
+  EXPECT_EQ(tracer.span(a).name.data(), tracer.span(b).name.data());
+  EXPECT_EQ(tracer.span(a).name, "net.transfer");
+  EXPECT_EQ(tracer.interned_names(), 1u);
+}
+
+}  // namespace
+}  // namespace evolve::trace

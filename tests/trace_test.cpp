@@ -192,7 +192,11 @@ PipelineOutcome run_pipeline(bool traced) {
                         });
   sim.run();
   tracer.close_open_spans();
-  out.spans = tracer.spans();
+  // Spans copied out element-wise (the tracer's buffer is append-only
+  // chunked storage, not a vector). The copies' interned `name` views die
+  // with the local Tracer — callers only inspect counts/times, not names.
+  out.spans.reserve(tracer.spans().size());
+  for (const Span& s : tracer.spans()) out.spans.push_back(s);
   return out;
 }
 

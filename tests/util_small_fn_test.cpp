@@ -1,0 +1,105 @@
+#include "util/small_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace evolve::util {
+namespace {
+
+TEST(SmallFn, DefaultAndNullAreEmptyAndThrowOnCall) {
+  SmallFn empty;
+  EXPECT_FALSE(empty);
+  EXPECT_THROW(empty(), std::bad_function_call);
+  SmallFn null = nullptr;
+  EXPECT_FALSE(null);
+}
+
+TEST(SmallFn, InvokesInlineCapture) {
+  int hits = 0;
+  SmallFn fn = [&hits] { ++hits; };
+  ASSERT_TRUE(fn);
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFn, MoveTransfersOwnership) {
+  int hits = 0;
+  SmallFn a = [&hits] { ++hits; };
+  SmallFn b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): testing moved state
+  ASSERT_TRUE(b);
+  b();
+  EXPECT_EQ(hits, 1);
+
+  SmallFn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFn, HoldsMoveOnlyCaptures) {
+  // The reason std::function could not be the event callback type: a
+  // capture owning another callable (the tracer-wrap pattern in fabric).
+  auto owned = std::make_unique<int>(41);
+  int seen = 0;
+  SmallFn inner = [&seen] { ++seen; };
+  SmallFn fn = [p = std::move(owned), inner = std::move(inner), &seen]() mutable {
+    seen += *p;
+    inner();
+  };
+  fn();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(SmallFn, LargeCapturesFallBackToHeapAndStillWork) {
+  struct Big {
+    std::int64_t data[16];  // 128 bytes, well past the inline budget
+  };
+  Big big{};
+  big.data[0] = 7;
+  big.data[15] = 9;
+  std::int64_t sum = 0;
+  SmallFn fn = [big, &sum] { sum = big.data[0] + big.data[15]; };
+  SmallFn moved = std::move(fn);
+  moved();
+  EXPECT_EQ(sum, 16);
+}
+
+TEST(SmallFn, NonTrivialCaptureDestructorRunsExactlyOnce) {
+  struct Probe {
+    int* count;
+    explicit Probe(int* c) : count(c) {}
+    Probe(const Probe& o) : count(o.count) { ++*count; }
+    Probe(Probe&& o) noexcept : count(o.count) { o.count = nullptr; }
+    ~Probe() {
+      if (count) --*count;
+    }
+    void operator()() const {}
+  };
+  int live = 1;
+  {
+    SmallFn fn{Probe(&live)};
+    SmallFn other = std::move(fn);  // in-place move relocation
+    other();
+  }
+  EXPECT_EQ(live, 0);  // destroyed exactly once, no double-destroy
+}
+
+TEST(SmallFn, AssignReplacesPreviousCallable) {
+  int a = 0, b = 0;
+  SmallFn fn = [&a] { ++a; };
+  fn();
+  fn = [&b] { ++b; };
+  fn();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  fn = nullptr;
+  EXPECT_FALSE(fn);
+}
+
+}  // namespace
+}  // namespace evolve::util
