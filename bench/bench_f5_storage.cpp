@@ -1,6 +1,9 @@
 // F5 — Storage tiering and scaling: GET throughput and tier hit mix vs
 // working-set size (tier-spill cliffs), and aggregate throughput vs
 // number of storage servers.
+//
+// `--json` writes BENCH_f5_storage.json (all metrics are simulated and
+// deterministic).
 #include <iostream>
 
 #include "cluster/cluster.hpp"
@@ -34,7 +37,8 @@ struct Setup {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  core::MetricsReport report("f5_storage");
   // --- Working-set sweep: hit mix and mean latency -------------------
   // Custom tier sizes (8 GiB DRAM cache + 24 GiB NVMe cache over HDD)
   // so the sweep crosses both capacity cliffs. A zipf warmup pass brings
@@ -85,6 +89,12 @@ int main() {
            std::to_string(m.counter("get_tier_nvme")),
            std::to_string(m.counter("get_tier_hdd")),
            util::human_time(static_cast<util::TimeNs>(mean_us * 1000))});
+      const std::string prefix =
+          "ws_" + std::to_string(working_set / util::kGiB) + "g";
+      report.set(prefix + "_dram_hits", m.counter("get_tier_dram"));
+      report.set(prefix + "_nvme_hits", m.counter("get_tier_nvme"));
+      report.set(prefix + "_hdd_reads", m.counter("get_tier_hdd"));
+      report.set(prefix + "_mean_latency_us", mean_us);
     }
     table.print();
   }
@@ -116,11 +126,17 @@ int main() {
       const double gbps = 4.0 / seconds;
       table.add_row({std::to_string(servers), util::human_time(s.sim.now()),
                      util::fixed(gbps, 2) + " GiB/s"});
+      const std::string prefix = "scale_" + std::to_string(servers);
+      report.set(prefix + "_seconds", seconds);
+      report.set(prefix + "_gib_per_s", gbps);
     }
     table.print();
   }
   std::cout << "\nShape check: latency climbs in steps as the working set "
                "spills DRAM\nthen NVMe; aggregate throughput scales with "
                "servers until client links bind.\n";
+  if (core::json_mode(argc, argv)) {
+    std::cout << "wrote " << report.write() << "\n";
+  }
   return 0;
 }

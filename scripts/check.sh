@@ -27,6 +27,8 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ./bench/bench_f7_autoscale --json)
 (cd "$BUILD_DIR" && ./bench/bench_f12_serving --json)
 (cd "$BUILD_DIR" && ./bench/bench_f13_scale --json)
+(cd "$BUILD_DIR" && ./bench/bench_f5_storage --json)
+(cd "$BUILD_DIR" && ./bench/bench_f14_durability --json)
 
 # -- Baseline diffs (before any --trace run touches the reports) -------
 # F9 mixes simulated metrics with host wall-clock timings; only the
@@ -44,6 +46,10 @@ diff "$BUILD_DIR/BENCH_f11_gray.json" BENCH_f11_gray.json \
   || { echo "check.sh: BENCH_f11_gray.json deviates from baseline"; exit 1; }
 diff "$BUILD_DIR/BENCH_f12_serving.json" BENCH_f12_serving.json \
   || { echo "check.sh: BENCH_f12_serving.json deviates from baseline"; exit 1; }
+# F14 (durability under correlated failure) is fully simulation-
+# deterministic: every column must match the baseline bit for bit.
+diff "$BUILD_DIR/BENCH_f14_durability.json" BENCH_f14_durability.json \
+  || { echo "check.sh: BENCH_f14_durability.json deviates from baseline"; exit 1; }
 echo "check.sh: bench metrics match the tracked baselines"
 
 # -- F13 kernel-at-scale gate ------------------------------------------
@@ -105,6 +111,9 @@ if [[ "${EVOLVE_SKIP_SANITIZERS:-0}" != "1" ]]; then
   # Drive the calendar queue, SmallFn, and slab/arena hot paths (and the
   # preserved reference heap) end to end under ASan/UBSan.
   (cd "$SAN_DIR" && ./bench/bench_f13_scale --quick)
+  # Drive the erasure-coding GET/hedge/repair machinery (fragment fan-out,
+  # straggler cancellation, throttled rebuild) end to end under ASan/UBSan.
+  (cd "$SAN_DIR" && ./bench/bench_f14_durability)
   echo
   echo "check.sh: sanitizer (ASan/UBSan) test pass clean in $SAN_DIR"
 fi

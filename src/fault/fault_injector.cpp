@@ -29,6 +29,23 @@ void FaultInjector::schedule_outage(cluster::NodeId node, util::TimeNs at,
   if (end > hold) hold = end;
 }
 
+void FaultInjector::schedule_rack_outage(const cluster::Cluster& cluster,
+                                         int rack, util::TimeNs at,
+                                         util::TimeNs downtime) {
+  if (rack < 0 || rack >= cluster.rack_count()) {
+    throw std::invalid_argument("rack outage: no such rack");
+  }
+  bool any = false;
+  for (cluster::NodeId node = 0; node < cluster.size(); ++node) {
+    if (cluster.node(node).rack != rack) continue;
+    schedule_outage(node, at, downtime);
+    any = true;
+  }
+  if (!any) throw std::invalid_argument("rack outage: rack has no hosts");
+  ++rack_outages_;
+  metrics_.count("rack_outages");
+}
+
 void FaultInjector::random_process(const std::vector<cluster::NodeId>& nodes,
                                    double mtbf_s, double mttr_s,
                                    util::TimeNs until) {

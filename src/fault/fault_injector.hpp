@@ -50,6 +50,17 @@ class FaultInjector {
   void schedule_outage(cluster::NodeId node, util::TimeNs at,
                        util::TimeNs downtime);
 
+  // -- Correlated failures -------------------------------------------
+  /// Rack-scoped outage: the rack's ToR switch dies, so every host in
+  /// `rack` fails together at `at` and recovers together at
+  /// `at + downtime`. Per-node overlap coalescing applies as in
+  /// schedule_outage. This is the failure mode that distinguishes
+  /// failure-domain-aware placement from rack-oblivious placement: a
+  /// stripe with more than m fragments in one rack dies with it.
+  void schedule_rack_outage(const cluster::Cluster& cluster, int rack,
+                            util::TimeNs at, util::TimeNs downtime);
+  std::int64_t rack_outages_scheduled() const { return rack_outages_; }
+
   // -- Seeded random process -----------------------------------------
   /// Starts an independent MTBF/MTTR renewal process on each node:
   /// exponential time-to-failure with mean `mtbf_s` seconds, exponential
@@ -104,6 +115,7 @@ class FaultInjector {
   std::map<cluster::NodeId, util::TimeNs> outage_hold_until_;
   std::int64_t failures_ = 0;
   std::int64_t recoveries_ = 0;
+  std::int64_t rack_outages_ = 0;
   util::TimeNs downtime_ns_ = 0;
   metrics::Registry metrics_;
 };

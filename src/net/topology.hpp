@@ -57,6 +57,11 @@ class Topology {
   /// True when both hosts are in the same rack.
   bool same_rack(cluster::NodeId a, cluster::NodeId b) const;
 
+  /// Rack (failure-domain) index of a host.
+  int rack_of(cluster::NodeId host) const {
+    return host_rack_[static_cast<std::size_t>(host)];
+  }
+
   /// The two directed NIC links of a host: {egress (up), ingress (down)}.
   /// Lets fault wiring translate "this node's NIC degraded" into link ids.
   std::array<LinkId, 2> host_links(cluster::NodeId host) const {

@@ -140,21 +140,68 @@ int ObjectStore::placed_copies() const {
   return std::min<int>(wanted, static_cast<int>(servers_.size()));
 }
 
+int ObjectStore::min_live_copies() const {
+  return config_.redundancy == Redundancy::kReplication ? 1
+                                                        : config_.ec_data;
+}
+
 ObjectStore::Health ObjectStore::health(const ObjectMeta& meta) const {
+  // Lost means fewer than k live fragments (i.e. more than m dead) for
+  // erasure coding, or zero live replicas for replication. Exactly m
+  // dead fragments is still recoverable.
   const int live = static_cast<int>(meta.replicas.size());
-  const int min_live =
-      config_.redundancy == Redundancy::kReplication ? 1 : config_.ec_data;
-  if (live < min_live) return Health::kLost;
+  if (live < min_live_copies()) return Health::kLost;
   if (live < placed_copies()) return Health::kDegraded;
   return Health::kFull;
 }
 
-std::vector<cluster::NodeId> ObjectStore::locate(const ObjectKey& key) const {
+int ObjectStore::at_risk_fragments(const ObjectMeta& meta) const {
+  const int live = static_cast<int>(meta.replicas.size());
+  if (live < min_live_copies()) return 0;  // lost outright, not at risk
+  return std::max(0, placed_copies() - live);
+}
+
+std::vector<cluster::NodeId> ObjectStore::place_copies(
+    const ObjectKey& key) const {
   auto ranked = ranked_servers(key);
   const int count =
       std::min<int>(placed_copies(), static_cast<int>(ranked.size()));
-  ranked.resize(static_cast<std::size_t>(count));
-  return ranked;
+  if (!config_.rack_aware_placement) {
+    ranked.resize(static_cast<std::size_t>(count));
+    return ranked;
+  }
+  // Failure-domain spread: walk the HRW order but let no rack exceed
+  // ceil(copies / live racks), so a whole-rack outage kills at most
+  // that many fragments of any one stripe.
+  std::set<int> live_racks;
+  for (cluster::NodeId node : ranked) {
+    live_racks.insert(cluster_.node(node).rack);
+  }
+  const int racks = std::max<int>(1, static_cast<int>(live_racks.size()));
+  const int cap = (count + racks - 1) / racks;
+  std::vector<cluster::NodeId> out;
+  out.reserve(static_cast<std::size_t>(count));
+  std::map<int, int> per_rack;
+  for (cluster::NodeId node : ranked) {
+    if (static_cast<int>(out.size()) == count) break;
+    int& used = per_rack[cluster_.node(node).rack];
+    if (used >= cap) continue;
+    ++used;
+    out.push_back(node);
+  }
+  // Uneven rack sizes can make the cap infeasible (a rack with fewer
+  // live servers than its share); top up in plain HRW order.
+  for (cluster::NodeId node : ranked) {
+    if (static_cast<int>(out.size()) == count) break;
+    if (std::find(out.begin(), out.end(), node) == out.end()) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+std::vector<cluster::NodeId> ObjectStore::locate(const ObjectKey& key) const {
+  return place_copies(key);
 }
 
 cluster::NodeId ObjectStore::choose_replica(
@@ -210,11 +257,7 @@ void ObjectStore::put(cluster::NodeId client, const ObjectKey& key,
   }
   if (size < 0) throw std::invalid_argument("put: negative size");
   const auto replicas = locate(key);
-  const std::size_t min_live =
-      config_.redundancy == Redundancy::kReplication
-          ? 1
-          : static_cast<std::size_t>(config_.ec_data);
-  if (replicas.size() < min_live) {
+  if (static_cast<int>(replicas.size()) < min_live_copies()) {
     throw std::runtime_error("put: not enough live storage servers");
   }
   const util::TimeNs start = sim_.now();
@@ -236,12 +279,19 @@ void ObjectStore::put(cluster::NodeId client, const ObjectKey& key,
       state.cache->erase(key.full());
     }
     if (health(it->second) == Health::kDegraded) shift_underrep(-1);
+    shift_at_risk(-at_risk_fragments(it->second));
     version = it->second.version + 1;
     purge_corrupted(key);  // the overwrite replaces any rotten payload
   }
   const util::Bytes per_server = per_server_bytes(size);
-  objects_[key] = ObjectMeta{size, per_server, replicas, version};
+  std::vector<int> fragments(replicas.size());
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    fragments[i] = static_cast<int>(i);
+  }
+  objects_[key] =
+      ObjectMeta{size, per_server, replicas, std::move(fragments), version};
   // Born degraded when live servers cannot host every copy.
+  shift_at_risk(at_risk_fragments(objects_[key]));
   if (health(objects_[key]) == Health::kDegraded) {
     shift_underrep(+1);
     enqueue_repair(key);
@@ -338,7 +388,8 @@ void ObjectStore::get(cluster::NodeId client, const ObjectKey& key,
                });
     return;
   }
-  if (health(it->second) == Health::kDegraded) {
+  const bool degraded_object = health(it->second) == Health::kDegraded;
+  if (degraded_object) {
     metrics_.count("degraded_reads");
     if (span != trace::kNoSpan) tracer_->annotate(span, "degraded", "1");
   }
@@ -356,6 +407,7 @@ void ObjectStore::get(cluster::NodeId client, const ObjectKey& key,
   race->start = start;
   race->span = span;
   race->cb = std::move(on_done);
+  race->degraded = degraded_object;
   race->inflight = 1;
   const cluster::NodeId server = choose_replica(it->second.replicas, client);
   if (span != trace::kNoSpan) {
@@ -365,18 +417,7 @@ void ObjectStore::get(cluster::NodeId client, const ObjectKey& key,
              [this, race, server] { run_read_branch(race, 0, server); });
 
   if (config_.hedged_reads && it->second.replicas.size() >= 2) {
-    // Hedge after our own observed GET p-quantile (floor until the
-    // histogram has warmed up).
-    util::TimeNs delay = config_.hedge_min_delay;
-    if (metrics_.has_histogram("get_latency_us")) {
-      const metrics::Histogram& lat = metrics_.histogram("get_latency_us");
-      if (lat.count() >= config_.hedge_min_samples) {
-        delay = std::max<util::TimeNs>(
-            lat.percentile(config_.hedge_quantile) * util::kMicrosecond,
-            config_.hedge_min_delay);
-      }
-    }
-    sim_.after(delay, [this, race] {
+    sim_.after(hedge_delay(), [this, race] {
       if (race->decided) return;
       auto obj = objects_.find(race->key);
       if (obj == objects_.end()) return;
@@ -501,6 +542,7 @@ void ObjectStore::finish_read_branch(const std::shared_ptr<ReadRace>& race,
   GetResult result = race->result[branch];
   result.hedged = race->hedged;
   result.hedge_won = branch == 1;
+  result.degraded = race->degraded;
   if (branch == 1) {
     ++hedge_wins_;
     metrics_.count("hedge_wins");
@@ -531,8 +573,9 @@ void ObjectStore::finish_read_branch(const std::shared_ptr<ReadRace>& race,
     }
   }
   trace::end_span(tracer_, race->hedge_span);
-  metrics_.observe("get_latency_us",
-                   (sim_.now() - race->start) / util::kMicrosecond);
+  const auto latency_us = (sim_.now() - race->start) / util::kMicrosecond;
+  metrics_.observe("get_latency_us", latency_us);
+  if (result.degraded) metrics_.observe("degraded_get_latency_us", latency_us);
   trace::end_span(tracer_, race->span);
   race->cb(result);
 }
@@ -552,72 +595,293 @@ void ObjectStore::abandon_read_branch(const std::shared_ptr<ReadRace>& race) {
   race->cb(GetResult{});
 }
 
+util::TimeNs ObjectStore::hedge_delay() const {
+  // Hedge after our own observed GET p-quantile (floor until the
+  // histogram has warmed up).
+  util::TimeNs delay = config_.hedge_min_delay;
+  if (metrics_.has_histogram("get_latency_us")) {
+    const metrics::Histogram& lat = metrics_.histogram("get_latency_us");
+    if (lat.count() >= config_.hedge_min_samples) {
+      delay = std::max<util::TimeNs>(
+          lat.percentile(config_.hedge_quantile) * util::kMicrosecond,
+          config_.hedge_min_delay);
+    }
+  }
+  return delay;
+}
+
 void ObjectStore::get_erasure(cluster::NodeId client, const ObjectKey& key,
                               const ObjectMeta& meta, util::TimeNs start,
                               trace::SpanId span, GetCallback on_done) {
-  // Rank fragment holders by proximity to the client; read the k nearest.
-  std::vector<cluster::NodeId> ranked = meta.replicas;
-  const auto& topo = fabric_.topology();
-  std::stable_sort(ranked.begin(), ranked.end(),
-                   [&](cluster::NodeId a, cluster::NodeId b) {
-                     auto rank = [&](cluster::NodeId n) {
-                       if (n == client) return 0;
-                       return topo.same_rack(n, client) ? 1 : 2;
-                     };
-                     return rank(a) < rank(b);
-                   });
-  const int k = config_.ec_data;
-  ranked.resize(static_cast<std::size_t>(k));
-
-  auto result = std::make_shared<GetResult>();
-  result->found = true;
-  result->size = meta.size;
-  result->served_by = ranked.front();
-  const util::Bytes fragment = meta.per_server_bytes;
-  const auto decode_ns = static_cast<util::TimeNs>(std::ceil(
-      static_cast<double>(meta.size) * config_.ec_ns_per_byte));
-
-  // Tier is reported for the nearest fragment; all fragment reads go
-  // through their server's cache independently.
-  auto remaining = std::make_shared<int>(k);
-  auto finish = [this, remaining, start, decode_ns, result, span,
-                 cb = std::move(on_done)]() mutable {
-    if (--*remaining > 0) return;
-    sim_.after(decode_ns,
-               [this, start, result, span, cb = std::move(cb)]() mutable {
-                 metrics_.observe("get_latency_us",
-                                  (sim_.now() - start) / util::kMicrosecond);
-                 trace::end_span(tracer_, span);
-                 cb(*result);
-               });
+  // Rank surviving fragment holders by proximity to the client and read
+  // the k nearest. Any k of the k+m fragments reconstruct, so a
+  // degraded stripe (up to m fragments dead) still completes — the read
+  // set just includes parity fragments and pays the reconstruction cost.
+  std::vector<std::pair<cluster::NodeId, int>> ranked;
+  ranked.reserve(meta.replicas.size());
+  for (std::size_t i = 0; i < meta.replicas.size(); ++i) {
+    ranked.emplace_back(meta.replicas[i], meta.fragments[i]);
+  }
+  // Captures by value: the hedge callback runs this after get_erasure's
+  // frame is gone.
+  auto proximity = [this, client](cluster::NodeId n) {
+    if (n == client) return 0;
+    return fabric_.topology().same_rack(n, client) ? 1 : 2;
   };
+  const int k = config_.ec_data;
+  // Data fragments first (a pure-data read set skips the reconstruction
+  // math), nearest first within each class; parity fills in only for
+  // dead or rotten data fragments.
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](const auto& a, const auto& b) {
+                     const bool pa = a.second >= k;
+                     const bool pb = b.second >= k;
+                     if (pa != pb) return pb;
+                     return proximity(a.first) < proximity(b.first);
+                   });
+
+  auto read = std::make_shared<EcRead>();
+  read->key = key;
+  read->client = client;
+  read->size = meta.size;
+  read->fragment_bytes = meta.per_server_bytes;
+  read->start = start;
+  read->span = span;
+  read->cb = std::move(on_done);
+  read->meta_degraded =
+      static_cast<int>(meta.replicas.size()) < placed_copies();
+  read->waiting = k;
+  read->served_by = ranked.front().first;
   for (int i = 0; i < k; ++i) {
-    const cluster::NodeId server = ranked[static_cast<std::size_t>(i)];
-    ServerState& state = server_state(server);
-    std::string tier_name;
-    if (config_.cache_on_get) {
-      if (auto tier = state.cache->get(key.full()); tier.has_value()) {
-        tier_name = state.cache_tiers[static_cast<std::size_t>(*tier)];
-      } else {
-        tier_name = state.durable_device;
-        state.cache->put(key.full(), fragment);
+    launch_ec_branch(read, ranked[static_cast<std::size_t>(i)].first,
+                     ranked[static_cast<std::size_t>(i)].second,
+                     /*hedge=*/false);
+  }
+
+  if (config_.hedged_reads &&
+      static_cast<int>(meta.replicas.size()) > k) {
+    // Straggler hedge: after the latency-quantile delay, read one extra
+    // surviving fragment — whichever k fragments land first win.
+    sim_.after(hedge_delay(), [this, read, proximity] {
+      if (read->done || read->hedged) return;
+      auto obj = objects_.find(read->key);
+      if (obj == objects_.end()) return;
+      const ObjectMeta& now_meta = obj->second;
+      cluster::NodeId target = cluster::kInvalidNode;
+      int target_fragment = -1;
+      int best_rank = 3;
+      bool best_clean = false;
+      for (std::size_t i = 0; i < now_meta.replicas.size(); ++i) {
+        const cluster::NodeId r = now_meta.replicas[i];
+        if (read->tried.count(r) != 0) continue;
+        const bool clean = !replica_corrupted(read->key, r);
+        const int rank = proximity(r);
+        // Prefer a clean fragment, then the nearest one.
+        if (target == cluster::kInvalidNode || (clean && !best_clean) ||
+            (clean == best_clean && rank < best_rank)) {
+          target = r;
+          target_fragment = now_meta.fragments[i];
+          best_rank = rank;
+          best_clean = clean;
+        }
       }
-    } else {
-      tier_name = state.durable_device;
-    }
-    metrics_.count("get_tier_" + tier_name);
-    metrics_.count("get_bytes", fragment);
-    if (i == 0) result->tier = tier_name;
-    sim_.after(config_.metadata_latency, [this, server, client, fragment,
-                                          tier_name, span, finish]() mutable {
-      io_.device(server, tier_name)
-          .submit(IoKind::kRead, fragment,
-                  [this, server, client, fragment, span, finish]() mutable {
-                    trace::ScopedContext tctx(tracer_, span);
-                    fabric_.transfer(server, client, fragment, finish);
-                  });
+      if (target == cluster::kInvalidNode) return;
+      ++hedges_launched_;
+      metrics_.count("hedges_launched");
+      read->hedged = true;
+      read->hedge_span = trace::begin_span(
+          tracer_, trace::Layer::kStorage, "store.hedge", read->span);
+      if (read->hedge_span != trace::kNoSpan) {
+        tracer_->annotate(read->hedge_span, "server", std::to_string(target));
+      }
+      launch_ec_branch(read, target, target_fragment, /*hedge=*/true);
     });
   }
+}
+
+void ObjectStore::launch_ec_branch(const std::shared_ptr<EcRead>& read,
+                                   cluster::NodeId server, int fragment,
+                                   bool hedge) {
+  const int branch = static_cast<int>(read->branches.size());
+  read->branches.push_back(EcBranch{server, fragment, 0, false, false, hedge});
+  read->tried.insert(server);
+  ++read->inflight;
+  ServerState& state = server_state(server);
+  const util::Bytes bytes = read->fragment_bytes;
+  const std::string full = read->key.full();
+  std::string tier_name;
+  if (config_.cache_on_get) {
+    if (auto tier = state.cache->get(full); tier.has_value()) {
+      tier_name = state.cache_tiers[static_cast<std::size_t>(*tier)];
+    } else {
+      tier_name = state.durable_device;
+      state.cache->put(full, bytes);
+    }
+  } else {
+    tier_name = state.durable_device;
+  }
+  metrics_.count("get_tier_" + tier_name);
+  metrics_.count("get_bytes", bytes);
+  if (read->tier.empty()) {
+    read->tier = tier_name;
+    if (read->span != trace::kNoSpan) {
+      tracer_->annotate(read->span, "tier", tier_name);
+    }
+  }
+  sim_.after(config_.metadata_latency, [this, read, branch, server,
+                                        tier_name] {
+    io_.device(server, tier_name)
+        .submit(IoKind::kRead, read->fragment_bytes, [this, read, branch,
+                                                      server] {
+          if (read->done) {
+            --read->inflight;
+            return;
+          }
+          // Checksum verification as the fragment leaves the media.
+          if (replica_corrupted(read->key, server)) {
+            if (config_.checksum_reads) {
+              ++checksum_failures_;
+              metrics_.count("checksum_failures");
+              drop_corrupted_replica(read->key, server);
+              // Fail over to the nearest untried clean survivor: any
+              // other fragment substitutes in the decode.
+              cluster::NodeId next = cluster::kInvalidNode;
+              int next_fragment = -1;
+              if (auto obj = objects_.find(read->key);
+                  obj != objects_.end()) {
+                for (std::size_t i = 0; i < obj->second.replicas.size();
+                     ++i) {
+                  const cluster::NodeId r = obj->second.replicas[i];
+                  if (read->tried.count(r) != 0) continue;
+                  if (replica_corrupted(read->key, r)) continue;
+                  next = r;
+                  next_fragment = obj->second.fragments[i];
+                  break;
+                }
+              }
+              if (next != cluster::kInvalidNode) {
+                const bool was_hedge = read->branches[branch].hedge;
+                --read->inflight;  // replaced by the failover branch
+                launch_ec_branch(read, next, next_fragment, was_hedge);
+                return;
+              }
+              abandon_ec_branch(read);
+              return;
+            }
+            // No verification: the rotten fragment corrupts the decode.
+            read->corrupted = true;
+          }
+          trace::ScopedContext tctx(tracer_, read->branches[branch].hedge
+                                                 ? read->hedge_span
+                                                 : read->span);
+          read->branches[branch].flow =
+              fabric_.transfer(server, read->client, read->fragment_bytes,
+                               [this, read, branch] {
+                                 finish_ec_branch(read, branch);
+                               });
+          read->branches[branch].flow_active = true;
+        });
+  });
+}
+
+void ObjectStore::finish_ec_branch(const std::shared_ptr<EcRead>& read,
+                                   int branch) {
+  EcBranch& b = read->branches[static_cast<std::size_t>(branch)];
+  b.flow_active = false;
+  --read->inflight;
+  if (read->done) return;
+  b.landed = true;
+  if (--read->waiting > 0) return;
+  complete_ec_read(read);
+}
+
+void ObjectStore::abandon_ec_branch(const std::shared_ptr<EcRead>& read) {
+  --read->inflight;
+  if (read->done || read->inflight >= read->waiting) return;
+  // Fewer clean fragments than k remain in flight: with verification on
+  // the read reports not-found rather than decoding rotten bytes. Any
+  // still-running branches fizzle against the done flag.
+  read->done = true;
+  metrics_.count("get_unreadable");
+  if (read->span != trace::kNoSpan) {
+    tracer_->annotate(read->span, "result", "unreadable");
+  }
+  trace::end_span(tracer_, read->hedge_span);
+  trace::end_span(tracer_, read->span);
+  read->cb(GetResult{});
+}
+
+void ObjectStore::complete_ec_read(const std::shared_ptr<EcRead>& read) {
+  read->done = true;
+  // Cancel straggler transfers (only possible when a hedge over-
+  // provisioned the read set); branches still in device I/O fizzle.
+  for (EcBranch& b : read->branches) {
+    if (b.landed || !b.flow_active) continue;
+    fabric_.cancel(b.flow);
+    b.flow_active = false;
+    --read->inflight;
+    ++hedges_cancelled_;
+    metrics_.count("hedges_cancelled");
+    hedge_wasted_bytes_ += read->fragment_bytes;
+    metrics_.count("hedge_wasted_bytes", read->fragment_bytes);
+  }
+  bool hedge_won = false;
+  int parity_used = 0;
+  for (const EcBranch& b : read->branches) {
+    if (!b.landed) continue;
+    if (b.hedge) hedge_won = true;
+    if (b.fragment >= config_.ec_data) ++parity_used;
+  }
+  const bool reconstructed = parity_used > 0;
+  if (hedge_won) {
+    ++hedge_wins_;
+    metrics_.count("hedge_wins");
+    if (read->span != trace::kNoSpan) {
+      tracer_->annotate(read->span, "hedge_won", "1");
+    }
+  }
+  trace::end_span(tracer_, read->hedge_span);
+
+  GetResult result;
+  result.found = true;
+  result.size = read->size;
+  result.served_by = read->served_by;
+  result.tier = read->tier;
+  result.hedged = read->hedged;
+  result.hedge_won = hedge_won;
+  result.corrupted = read->corrupted;
+  result.degraded = read->meta_degraded || reconstructed;
+  result.parity_fragments_used = parity_used;
+  if (result.corrupted) {
+    ++corrupted_reads_surfaced_;
+    metrics_.count("corrupted_reads_surfaced");
+    if (read->span != trace::kNoSpan) {
+      tracer_->annotate(read->span, "corrupted", "1");
+    }
+  }
+  // Decode at the client: stripe assembly, plus the Reed-Solomon
+  // recovery math when parity stood in for dead data fragments.
+  auto decode_ns = static_cast<util::TimeNs>(std::ceil(
+      static_cast<double>(read->size) * config_.ec_ns_per_byte));
+  if (reconstructed) {
+    decode_ns += static_cast<util::TimeNs>(std::ceil(
+        static_cast<double>(read->size) * config_.ec_reconstruct_ns_per_byte));
+    metrics_.count("ec_reconstructed_reads");
+    if (read->span != trace::kNoSpan) {
+      tracer_->annotate(read->span, "reconstructed", "1");
+      tracer_->annotate(read->span, "parity_fragments",
+                        std::to_string(parity_used));
+    }
+  }
+  sim_.after(decode_ns, [this, read, result] {
+    const auto latency_us = (sim_.now() - read->start) / util::kMicrosecond;
+    metrics_.observe("get_latency_us", latency_us);
+    if (result.degraded) {
+      metrics_.observe("degraded_get_latency_us", latency_us);
+    }
+    trace::end_span(tracer_, read->span);
+    read->cb(result);
+  });
 }
 
 void ObjectStore::preload(const ObjectKey& key, util::Bytes size,
@@ -630,12 +894,18 @@ void ObjectStore::preload(const ObjectKey& key, util::Bytes size,
   }
   const auto replicas = locate(key);
   const util::Bytes per_server = per_server_bytes(size);
-  objects_[key] = ObjectMeta{size, per_server, replicas};
+  std::vector<int> fragments(replicas.size());
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    fragments[i] = static_cast<int>(i);
+  }
+  objects_[key] =
+      ObjectMeta{size, per_server, replicas, std::move(fragments), 0};
   for (cluster::NodeId r : replicas) {
     ServerState& state = server_state(r);
     state.durable_used += per_server;
     if (warm_cache) state.cache->put(key.full(), per_server);
   }
+  shift_at_risk(at_risk_fragments(objects_[key]));
   if (health(objects_[key]) == Health::kDegraded) {
     shift_underrep(+1);
     enqueue_repair(key);
@@ -652,6 +922,7 @@ void ObjectStore::remove(cluster::NodeId /*client*/, const ObjectKey& key,
       state.cache->erase(key.full());
     }
     if (health(it->second) == Health::kDegraded) shift_underrep(-1);
+    shift_at_risk(-at_risk_fragments(it->second));
     purge_corrupted(key);
     objects_.erase(it);
     metrics_.count("delete_requests");
@@ -725,10 +996,17 @@ void ObjectStore::complete_multipart(std::int64_t upload_id,
   int version = 0;
   if (auto old = objects_.find(key); old != objects_.end()) {
     if (health(old->second) == Health::kDegraded) shift_underrep(-1);
+    shift_at_risk(-at_risk_fragments(old->second));
     version = old->second.version + 1;
     purge_corrupted(key);
   }
-  objects_[key] = ObjectMeta{total, per_server, replicas, version};
+  std::vector<int> fragments(replicas.size());
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    fragments[i] = static_cast<int>(i);
+  }
+  objects_[key] =
+      ObjectMeta{total, per_server, replicas, std::move(fragments), version};
+  shift_at_risk(at_risk_fragments(objects_[key]));
   if (health(objects_[key]) == Health::kDegraded) {
     shift_underrep(+1);
     enqueue_repair(key);
@@ -775,6 +1053,60 @@ double ObjectStore::under_replicated_object_seconds() const {
   return (underrep_ns_ + pending) / 1e9;
 }
 
+void ObjectStore::shift_at_risk(int delta) {
+  if (delta == 0) return;
+  at_risk_ns_ += static_cast<double>(at_risk_count_) *
+                 static_cast<double>(sim_.now() - at_risk_last_);
+  at_risk_last_ = sim_.now();
+  at_risk_count_ += delta;
+  metrics_.set_gauge("at_risk_fragments", at_risk_count_);
+}
+
+double ObjectStore::at_risk_fragment_seconds() const {
+  const double pending = static_cast<double>(at_risk_count_) *
+                         static_cast<double>(sim_.now() - at_risk_last_);
+  return (at_risk_ns_ + pending) / 1e9;
+}
+
+DurabilityStats ObjectStore::durability_stats() const {
+  DurabilityStats stats;
+  for (const auto& [key, meta] : objects_) {
+    switch (health(meta)) {
+      case Health::kFull:
+        ++stats.objects_full;
+        break;
+      case Health::kDegraded:
+        ++stats.objects_degraded;
+        stats.missing_fragments += at_risk_fragments(meta);
+        break;
+      case Health::kLost:
+        ++stats.objects_lost;
+        break;
+    }
+  }
+  stats.at_risk_fragment_seconds = at_risk_fragment_seconds();
+  stats.objects_lost_total = lost_objects_;
+  return stats;
+}
+
+void ObjectStore::note_health_change(const ObjectKey& key,
+                                     const ObjectMeta& meta, Health before,
+                                     int risk_before) {
+  const Health after = health(meta);
+  if (before == Health::kDegraded && after != Health::kDegraded) {
+    shift_underrep(-1);
+  } else if (before != Health::kDegraded && after == Health::kDegraded) {
+    shift_underrep(+1);
+  }
+  shift_at_risk(at_risk_fragments(meta) - risk_before);
+  if (after == Health::kLost && before != Health::kLost) {
+    ++lost_objects_;
+    metrics_.count("objects_lost");
+    metrics_.count("bytes_lost", meta.size);
+  }
+  if (after == Health::kDegraded) enqueue_repair(key);
+}
+
 util::Bytes ObjectStore::expected_durable_bytes(cluster::NodeId server) const {
   util::Bytes total = 0;
   for (const auto& [key, meta] : objects_) {
@@ -807,20 +1139,12 @@ void ObjectStore::handle_node_failure(cluster::NodeId node) {
     auto rep = std::find(meta.replicas.begin(), meta.replicas.end(), node);
     if (rep == meta.replicas.end()) continue;
     const Health before = health(meta);
+    const int risk_before = at_risk_fragments(meta);
+    meta.fragments.erase(meta.fragments.begin() +
+                         (rep - meta.replicas.begin()));
     meta.replicas.erase(rep);
     ++meta.version;
-    const Health after = health(meta);
-    if (before == Health::kDegraded && after != Health::kDegraded) {
-      shift_underrep(-1);
-    } else if (before != Health::kDegraded && after == Health::kDegraded) {
-      shift_underrep(+1);
-    }
-    if (after == Health::kLost && before != Health::kLost) {
-      ++lost_objects_;
-      metrics_.count("objects_lost");
-      metrics_.count("bytes_lost", meta.size);
-    }
-    if (after == Health::kDegraded) enqueue_repair(key);
+    note_health_change(key, meta, before, risk_before);
   }
 }
 
@@ -871,7 +1195,9 @@ int ObjectStore::corrupt_random_replicas(std::uint64_t seed, int count,
       for (cluster::NodeId r : objects_.at(key).replicas) {
         if (corrupted_replicas_.count({key, r}) == 0) ++clean;
       }
-      if (clean <= 1) continue;  // keep the object recoverable
+      // Keep the object recoverable: one clean copy for replication,
+      // k clean fragments for erasure coding.
+      if (clean <= min_live_copies()) continue;
     }
     corrupted_replicas_.insert({key, server});
     metrics_.count("replicas_corrupted");
@@ -890,6 +1216,8 @@ void ObjectStore::drop_corrupted_replica(const ObjectKey& key,
   auto rep = std::find(meta.replicas.begin(), meta.replicas.end(), server);
   if (rep == meta.replicas.end()) return;
   const Health before = health(meta);
+  const int risk_before = at_risk_fragments(meta);
+  meta.fragments.erase(meta.fragments.begin() + (rep - meta.replicas.begin()));
   meta.replicas.erase(rep);
   ++meta.version;
   if (dead_servers_.count(server) == 0) {
@@ -898,18 +1226,7 @@ void ObjectStore::drop_corrupted_replica(const ObjectKey& key,
     state.cache->erase(key.full());
   }
   metrics_.count("corrupted_replicas_dropped");
-  const Health after = health(meta);
-  if (before == Health::kDegraded && after != Health::kDegraded) {
-    shift_underrep(-1);
-  } else if (before != Health::kDegraded && after == Health::kDegraded) {
-    shift_underrep(+1);
-  }
-  if (after == Health::kLost && before != Health::kLost) {
-    ++lost_objects_;
-    metrics_.count("objects_lost");
-    metrics_.count("bytes_lost", meta.size);
-  }
-  if (after == Health::kDegraded) enqueue_repair(key);
+  note_health_change(key, meta, before, risk_before);
 }
 
 void ObjectStore::purge_corrupted(const ObjectKey& key) {
@@ -983,17 +1300,37 @@ void ObjectStore::scrub_pass() {
 void ObjectStore::enqueue_repair(const ObjectKey& key) {
   if (!config_.repair) return;
   if (!repair_queued_.insert(key).second) return;
-  repair_queue_.push_back(key);
   // Detection + scheduling grace before the repair traffic starts.
   sim_.after(config_.repair_delay, [this] { pump_repairs(); });
 }
 
 void ObjectStore::pump_repairs() {
   while (repairs_in_flight_ < config_.repair_concurrency &&
-         !repair_queue_.empty()) {
-    const ObjectKey key = repair_queue_.front();
-    repair_queue_.pop_front();
-    repair_queued_.erase(key);
+         !repair_queued_.empty()) {
+    // Risk-first: repair the object with the fewest surviving spare
+    // copies (live minus the minimum to stay readable) — an EC stripe
+    // one fragment from loss beats a freshly degraded one. Ties break
+    // in key order because the scan follows the ordered set.
+    auto best = repair_queued_.end();
+    int best_spares = std::numeric_limits<int>::max();
+    for (auto it = repair_queued_.begin(); it != repair_queued_.end();) {
+      const auto obj = objects_.find(*it);
+      if (obj == objects_.end() || health(obj->second) != Health::kDegraded) {
+        // Deleted, repaired, or lost while queued: drop the entry.
+        it = repair_queued_.erase(it);
+        continue;
+      }
+      const int spares = static_cast<int>(obj->second.replicas.size()) -
+                         min_live_copies();
+      if (spares < best_spares) {
+        best_spares = spares;
+        best = it;
+      }
+      ++it;
+    }
+    if (best == repair_queued_.end()) return;
+    const ObjectKey key = *best;
+    repair_queued_.erase(best);
     start_repair(key);
   }
 }
@@ -1003,23 +1340,99 @@ void ObjectStore::start_repair(const ObjectKey& key) {
   if (it == objects_.end()) return;  // deleted while queued
   ObjectMeta& meta = it->second;
   if (health(meta) != Health::kDegraded) return;  // repaired or lost
-  // Target: the best-ranked live server not already holding a copy.
+  const int version = meta.version;
+  ++repairs_in_flight_;
+  metrics_.count("repairs_started");
+  // Admission throttle: a token-bucket edge over the fabric bytes this
+  // repair will inject (one copy for replication, k source fragments
+  // for an EC reconstruction). The repair holds its concurrency slot
+  // while it waits, so a rebuild storm is paced below the cap instead
+  // of stampeding foreground traffic.
+  util::TimeNs wait = 0;
+  if (config_.rebuild_bandwidth_bytes_per_s > 0) {
+    const util::Bytes bytes =
+        config_.redundancy == Redundancy::kReplication
+            ? meta.per_server_bytes
+            : meta.per_server_bytes * config_.ec_data;
+    const auto duration = static_cast<util::TimeNs>(
+        std::ceil(static_cast<double>(bytes) * 1e9 /
+                  config_.rebuild_bandwidth_bytes_per_s));
+    const util::TimeNs admit = std::max(rebuild_admit_at_, sim_.now());
+    rebuild_admit_at_ = admit + duration;
+    wait = admit - sim_.now();
+    if (wait > 0) {
+      rebuild_throttle_wait_ns_ += wait;
+      metrics_.count("repairs_throttled");
+    }
+  }
+  if (wait > 0) {
+    sim_.after(wait, [this, key, version] {
+      begin_repair_transfers(key, version);
+    });
+  } else {
+    begin_repair_transfers(key, version);
+  }
+}
+
+void ObjectStore::begin_repair_transfers(const ObjectKey& key, int version) {
+  // Revalidate after the admission wait: the object may have been
+  // deleted, fully repaired, or lost while the repair sat in the
+  // throttle. The slot is released on every abort path.
+  auto it = objects_.find(key);
+  if (it == objects_.end() || health(it->second) != Health::kDegraded ||
+      it->second.version != version) {
+    --repairs_in_flight_;
+    metrics_.count("repairs_abandoned");
+    if (it != objects_.end() && health(it->second) == Health::kDegraded) {
+      enqueue_repair(key);
+    }
+    pump_repairs();
+    return;
+  }
+  ObjectMeta& meta = it->second;
+  // Target: the best-ranked live server not already holding a copy,
+  // respecting the per-rack placement cap (relaxed only when no rack-
+  // compliant target exists, mirroring place_copies).
+  const auto ranked = ranked_servers(key);
   cluster::NodeId target = cluster::kInvalidNode;
-  for (cluster::NodeId node : ranked_servers(key)) {
-    if (std::find(meta.replicas.begin(), meta.replicas.end(), node) ==
-        meta.replicas.end()) {
+  if (config_.rack_aware_placement) {
+    std::set<int> live_racks;
+    for (cluster::NodeId node : ranked) {
+      live_racks.insert(cluster_.node(node).rack);
+    }
+    const int racks = std::max<int>(1, static_cast<int>(live_racks.size()));
+    const int cap = (placed_copies() + racks - 1) / racks;
+    std::map<int, int> per_rack;
+    for (cluster::NodeId r : meta.replicas) {
+      ++per_rack[cluster_.node(r).rack];
+    }
+    for (cluster::NodeId node : ranked) {
+      if (std::find(meta.replicas.begin(), meta.replicas.end(), node) !=
+          meta.replicas.end()) {
+        continue;
+      }
+      if (per_rack[cluster_.node(node).rack] >= cap) continue;
       target = node;
       break;
     }
   }
   if (target == cluster::kInvalidNode) {
-    repair_stalled_.insert(key);  // every live server already holds one
+    for (cluster::NodeId node : ranked) {
+      if (std::find(meta.replicas.begin(), meta.replicas.end(), node) ==
+          meta.replicas.end()) {
+        target = node;
+        break;
+      }
+    }
+  }
+  if (target == cluster::kInvalidNode) {
+    // Every live server already holds a copy; retry on the next recovery.
+    --repairs_in_flight_;
+    repair_stalled_.insert(key);
+    pump_repairs();
     return;
   }
-  const int version = meta.version;
   const util::Bytes fragment = meta.per_server_bytes;
-  ++repairs_in_flight_;
-  metrics_.count("repairs_started");
   // Re-replication runs in the background, so the span is a root.
   const trace::SpanId span =
       trace::begin_span(tracer_, trace::Layer::kStorage, "store.repair",
@@ -1103,15 +1516,21 @@ void ObjectStore::finish_repair(const ObjectKey& key, cluster::NodeId target,
   }
   ObjectMeta& meta = it->second;
   const Health before = health(meta);
+  const int risk_before = at_risk_fragments(meta);
   meta.replicas.push_back(target);
+  // The rebuilt copy takes the smallest fragment id the stripe is
+  // missing (for EC that is the actual reconstructed fragment; for
+  // replication it just relabels the copy).
+  int rebuilt = 0;
+  while (std::find(meta.fragments.begin(), meta.fragments.end(), rebuilt) !=
+         meta.fragments.end()) {
+    ++rebuilt;
+  }
+  meta.fragments.push_back(rebuilt);
   ++meta.version;
   write_durable(target, key, meta.per_server_bytes, [] {});
-  const Health after = health(meta);
-  if (before == Health::kDegraded && after != Health::kDegraded) {
-    shift_underrep(-1);
-  }
   metrics_.count("objects_repaired");
-  if (after == Health::kDegraded) enqueue_repair(key);  // more copies lost
+  note_health_change(key, meta, before, risk_before);
   pump_repairs();
 }
 

@@ -1,10 +1,16 @@
 // H3-style distributed object store over the simulated cluster.
 //
 // Buckets hold named objects. Objects are placed on storage servers by
-// rendezvous (HRW) hashing with R-way replication. Every server runs a
-// tiered cache: the durable home of an object is the server's slowest
-// device; faster devices act as read caches. GET prefers the replica
-// closest to the client (same node, then same rack).
+// rendezvous (HRW) hashing with R-way replication or k+m erasure
+// coding; placement is failure-domain aware by default: the HRW order
+// is filtered so no rack holds more than ceil(copies / live racks)
+// copies/fragments of one object, which is what lets an EC stripe
+// survive a whole-rack outage. Every server runs a tiered cache: the
+// durable home of an object is the server's slowest device; faster
+// devices act as read caches. GET prefers the replica closest to the
+// client (same node, then same rack); an erasure-coded GET reads the k
+// nearest surviving fragments and reconstructs through parity when data
+// fragments are dead or fail their checksum.
 //
 // All data movement goes through the shared network fabric and the
 // per-device queues, so storage traffic contends with shuffle and
@@ -12,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -50,10 +55,26 @@ enum class Redundancy {
 struct ObjectStoreConfig {
   Redundancy redundancy = Redundancy::kReplication;
   int replicas = 2;        // replication factor (kReplication)
-  int ec_data = 4;         // k (kErasure)
-  int ec_parity = 2;       // m (kErasure)
-  /// Encode/decode compute cost charged at the coordinating server.
+  /// k (kErasure): any k of the k+m fragments reconstruct the object.
+  /// An object stays readable while at most m fragments are dead; it is
+  /// permanently lost only when MORE than m fragments are gone.
+  int ec_data = 4;
+  /// m (kErasure): parity fragments, i.e. how many fragment deaths a
+  /// stripe tolerates. m dead = still recoverable; m+1 dead = lost.
+  int ec_parity = 2;
+  /// Encode/decode compute cost charged at the coordinating server
+  /// (PUT) or the reading client (GET stripe assembly).
   double ec_ns_per_byte = 0.3;
+  /// Extra per-logical-byte decode cost when a GET has to reconstruct
+  /// through parity (some fragment in the read set is not a data
+  /// fragment) — the modeled Reed-Solomon recovery math.
+  double ec_reconstruct_ns_per_byte = 0.5;
+  /// Failure-domain-aware placement: walk the HRW ranking but skip
+  /// servers whose rack already holds ceil(copies / live racks)
+  /// copies/fragments of this object (relaxed only when infeasible).
+  /// Applies to replication and erasure coding alike. Disable to get
+  /// the rack-oblivious pure-HRW placement (for A/B durability runs).
+  bool rack_aware_placement = true;
   util::TimeNs metadata_latency = util::micros(200);
   bool cache_on_put = true;   // write-through into the cache tiers
   bool cache_on_get = true;   // promote on read
@@ -69,11 +90,19 @@ struct ObjectStoreConfig {
   /// Grace delay between detecting a degraded object and repairing it
   /// (models failure-detection + repair-scheduling lag).
   util::TimeNs repair_delay = util::millis(500);
+  /// Aggregate admission cap for background rebuild traffic in bytes/s
+  /// (the fabric bytes a repair injects: one copy for replication, k
+  /// fragments for an EC reconstruction). Repairs whose admission would
+  /// exceed the cap wait in their concurrency slot, so a rebuild storm
+  /// can be throttled below foreground GET/PUT traffic. 0 = unthrottled.
+  double rebuild_bandwidth_bytes_per_s = 0;
 
-  // -- Gray-failure mitigation (replication GET path) ------------------
+  // -- Gray-failure mitigation (GET path) ------------------------------
   /// Hedged reads: if the first replica read is still outstanding after
   /// a p-quantile-based delay, fire a second read at another replica;
   /// the first finisher wins and the loser is cancelled and accounted.
+  /// On erasure-coded GETs the hedge fires one extra fragment read at
+  /// an unused surviving fragment, covering the straggler fragment.
   bool hedged_reads = false;
   /// Hedge delay floor, also used until the GET latency histogram has
   /// `hedge_min_samples` observations to take the quantile from.
@@ -111,7 +140,31 @@ struct GetResult {
   /// (or report not-found) instead of surfacing corruption.
   bool corrupted = false;
   bool hedged = false;     // a hedge read was fired for this GET
-  bool hedge_won = false;  // ... and the hedge replica delivered first
+  bool hedge_won = false;  // ... and the hedge replica/fragment was used
+  /// The read ran below full redundancy: a replication GET against an
+  /// under-replicated object, or an EC GET that could not use the k
+  /// data fragments and reconstructed through parity.
+  bool degraded = false;
+  /// EC only: parity fragments in the read set (0 on a clean read).
+  int parity_fragments_used = 0;
+};
+
+/// Snapshot of redundancy health across all objects. Permanent loss is
+/// defined per redundancy scheme: for replication an object is lost
+/// when zero live replicas remain; for erasure coding it is lost only
+/// when more than m fragments are dead (m dead = still recoverable by
+/// any k of the survivors, m+1 dead = unrecoverable).
+struct DurabilityStats {
+  int objects_full = 0;      // at placed redundancy
+  int objects_degraded = 0;  // readable, but fragments/replicas missing
+  int objects_lost = 0;      // currently unreadable (> m fragments dead)
+  /// Fragments/replicas missing from degraded (still-readable) objects;
+  /// what the rebuild queue still owes.
+  int missing_fragments = 0;
+  /// Time integral of `missing_fragments` (fragment-seconds at risk) —
+  /// the EC analogue of under-replicated object-seconds.
+  double at_risk_fragment_seconds = 0;
+  std::int64_t objects_lost_total = 0;  // cumulative loss transitions
 };
 
 using PutCallback = std::function<void()>;
@@ -183,9 +236,11 @@ class ObjectStore {
   // -- Failure handling ------------------------------------------------
   /// Server crash with media loss: its replicas vanish, its cache is
   /// wiped, and every degraded-but-readable object is queued for
-  /// background re-replication onto surviving servers. Objects whose
-  /// last replica (or k-th fragment) died are permanently lost: GETs
-  /// return not-found, but metadata stays so callers can observe it.
+  /// background re-replication onto surviving servers. An object is
+  /// permanently lost only when its last replica died (replication) or
+  /// more than m of its fragments are dead (erasure coding; losing
+  /// exactly m still reconstructs): GETs then return not-found, but
+  /// metadata stays so callers can observe it.
   /// No-op for nodes that are not storage servers.
   void handle_node_failure(cluster::NodeId node);
   /// Recovery: the server rejoins EMPTY (cold cache, no replicas) and
@@ -231,6 +286,15 @@ class ObjectStore {
   int lost_objects() const { return lost_objects_; }
   /// Time-weighted integral of under-replicated objects (object·s).
   double under_replicated_object_seconds() const;
+  /// Time-weighted integral of missing fragments/replicas on degraded
+  /// objects (fragment·s) — how long data sat one step closer to loss.
+  double at_risk_fragment_seconds() const;
+  /// Current + cumulative durability snapshot (see DurabilityStats).
+  DurabilityStats durability_stats() const;
+  /// Total time repairs spent waiting on the rebuild bandwidth cap.
+  double rebuild_throttle_wait_seconds() const {
+    return static_cast<double>(rebuild_throttle_wait_ns_) / 1e9;
+  }
   /// Durable bytes `server` should hold according to live metadata —
   /// conservation check for tests (valid once transfers have drained).
   util::Bytes expected_durable_bytes(cluster::NodeId server) const;
@@ -242,6 +306,11 @@ class ObjectStore {
     /// fragment size for erasure coding).
     util::Bytes per_server_bytes = 0;
     std::vector<cluster::NodeId> replicas;  // live holders, primary first
+    /// Fragment id held by replicas[i] (parallel to `replicas`). For
+    /// erasure coding ids 0..k-1 are data fragments and k..k+m-1 are
+    /// parity; a read set that is not exactly {0..k-1} reconstructs.
+    /// For replication the ids merely label copies.
+    std::vector<int> fragments;
     /// Bumped on every replica-set change; in-flight repairs abandon
     /// their result when the version moved under them.
     int version = 0;
@@ -288,6 +357,7 @@ class ObjectStore {
     GetCallback cb;
     bool decided = false;
     bool hedged = false;
+    bool degraded = false;  // object below placement at GET time
     int inflight = 0;                  // branches still running
     std::set<cluster::NodeId> tried;   // replicas any branch touched
     net::FlowId flow[2] = {0, 0};
@@ -313,23 +383,86 @@ class ObjectStore {
   void arm_scrub();
   void scrub_pass();
 
-  /// Erasure-coded GET: fetch k fragments from the nearest fragment
-  /// holders in parallel, then decode at the client.
+  /// Shared state for one erasure-coded GET: k fragment fetches run in
+  /// parallel (plus at most one hedge fragment); the read completes when
+  /// any k fragments have landed, then pays the decode/reconstruction
+  /// cost at the client.
+  struct EcBranch {
+    cluster::NodeId server = cluster::kInvalidNode;
+    int fragment = -1;
+    net::FlowId flow = 0;
+    bool flow_active = false;
+    bool landed = false;
+    bool hedge = false;
+  };
+  struct EcRead {
+    ObjectKey key;
+    cluster::NodeId client = cluster::kInvalidNode;
+    util::Bytes size = 0;
+    util::Bytes fragment_bytes = 0;
+    util::TimeNs start = 0;
+    trace::SpanId span = trace::kNoSpan;
+    trace::SpanId hedge_span = trace::kNoSpan;
+    GetCallback cb;
+    bool done = false;
+    bool meta_degraded = false;  // object below placement at GET time
+    bool corrupted = false;      // rotten fragment served (checksums off)
+    bool hedged = false;
+    int waiting = 0;   // fragment landings still required (k - landed)
+    int inflight = 0;  // launched branches not yet landed or abandoned
+    std::set<cluster::NodeId> tried;
+    std::vector<EcBranch> branches;
+    std::string tier;  // tier of the nearest fragment (reporting)
+    cluster::NodeId served_by = cluster::kInvalidNode;
+  };
+
+  /// Erasure-coded GET: fetch the k nearest surviving fragments in
+  /// parallel (reconstructing through parity when data fragments are
+  /// dead or rotten), then decode at the client. Checksummed fragment
+  /// reads fail over to unused survivors; with hedging on, one extra
+  /// fragment read covers the straggler.
   void get_erasure(cluster::NodeId client, const ObjectKey& key,
                    const ObjectMeta& meta, util::TimeNs start,
                    trace::SpanId span, GetCallback on_done);
+  /// Launches one fragment fetch; `hedge` marks the extra hedge branch.
+  void launch_ec_branch(const std::shared_ptr<EcRead>& read,
+                        cluster::NodeId server, int fragment, bool hedge);
+  void finish_ec_branch(const std::shared_ptr<EcRead>& read, int branch);
+  /// A fragment branch died (no clean survivor to fail over to).
+  void abandon_ec_branch(const std::shared_ptr<EcRead>& read);
+  /// All k fragments landed: cancel stragglers, decode, deliver.
+  void complete_ec_read(const std::shared_ptr<EcRead>& read);
+  /// Hedge-fire delay from the GET latency quantile (floor until warm).
+  util::TimeNs hedge_delay() const;
 
   /// Replicas/fragments the object should hold (capped by server count).
   int placed_copies() const;
+  /// Live copies below which the object is unreadable (1 or k).
+  int min_live_copies() const;
   Health health(const ObjectMeta& meta) const;
+  /// Missing fragments/replicas a degraded object owes the rebuild
+  /// queue (0 when full or lost).
+  int at_risk_fragments(const ObjectMeta& meta) const;
   /// All live servers ranked by rendezvous hash for `key`.
   std::vector<cluster::NodeId> ranked_servers(const ObjectKey& key) const;
+  /// HRW ranking filtered by the per-rack placement cap (when enabled):
+  /// the first placed_copies() entries are where the object goes.
+  std::vector<cluster::NodeId> place_copies(const ObjectKey& key) const;
   /// Folds the running under-replication integral up to now, then
   /// applies `delta` to the current count.
   void shift_underrep(int delta);
+  /// Same for the missing-fragment (at-risk) integral.
+  void shift_at_risk(int delta);
+  /// Applies a replica-set health transition: under-replication and
+  /// at-risk accounting, loss counting, and repair queueing.
+  void note_health_change(const ObjectKey& key, const ObjectMeta& meta,
+                          Health before, int risk_before);
   void enqueue_repair(const ObjectKey& key);
   void pump_repairs();
+  /// Claims a concurrency slot and (if capped) waits out the rebuild
+  /// bandwidth admission before starting the transfers.
   void start_repair(const ObjectKey& key);
+  void begin_repair_transfers(const ObjectKey& key, int version);
   void finish_repair(const ObjectKey& key, cluster::NodeId target,
                      int version);
 
@@ -346,10 +479,16 @@ class ObjectStore {
   std::int64_t next_upload_id_ = 1;
   // Failure/repair state.
   std::set<cluster::NodeId> dead_servers_;
-  std::deque<ObjectKey> repair_queue_;
-  std::set<ObjectKey> repair_queued_;   // dedupes queue membership
+  /// Pending repairs. Drained risk-first: the object with the fewest
+  /// surviving spare copies (an EC stripe one fragment from loss) is
+  /// repaired before a freshly degraded one, ties in key order.
+  std::set<ObjectKey> repair_queued_;
   std::set<ObjectKey> repair_stalled_;  // no live target; retry on recovery
   int repairs_in_flight_ = 0;
+  /// Token-bucket edge for the rebuild bandwidth cap: the sim time at
+  /// which the next repair's fabric bytes may be admitted.
+  util::TimeNs rebuild_admit_at_ = 0;
+  util::TimeNs rebuild_throttle_wait_ns_ = 0;
   // Gray-failure state: replicas whose stored payload is bit-rotten.
   std::set<std::pair<ObjectKey, cluster::NodeId>> corrupted_replicas_;
   /// Entries under scrub verification right now (subset of the above;
@@ -367,6 +506,9 @@ class ObjectStore {
   int underrep_count_ = 0;
   util::TimeNs underrep_last_ = 0;
   double underrep_ns_ = 0;  // object·ns integral up to underrep_last_
+  int at_risk_count_ = 0;   // missing fragments on degraded objects
+  util::TimeNs at_risk_last_ = 0;
+  double at_risk_ns_ = 0;   // fragment·ns integral up to at_risk_last_
   metrics::Registry metrics_;
   trace::Tracer* tracer_ = nullptr;
 };

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -124,6 +125,54 @@ TEST(FaultInjector, RandomProcessIsDeterministicPerSeed) {
   EXPECT_EQ(a, b);
   EXPECT_NE(a, c);
   EXPECT_GT(a.first, 0);
+}
+
+TEST(FaultInjector, RackOutageDownsEveryHostInTheRackTogether) {
+  sim::Simulation sim;
+  FaultInjector injector(sim);
+  // 2 compute + 4 storage across 2 racks: rack = node index % 2.
+  const auto cluster = cluster::make_testbed(2, 4, 0, /*racks=*/2);
+  injector.schedule_rack_outage(cluster, /*rack=*/1, util::seconds(1),
+                                util::seconds(2));
+  sim.run_until(util::seconds(2));
+  for (cluster::NodeId node = 0; node < cluster.size(); ++node) {
+    EXPECT_EQ(injector.is_down(node), cluster.node(node).rack == 1)
+        << "node " << node;
+  }
+  sim.run();
+  EXPECT_EQ(injector.down_count(), 0);
+  EXPECT_EQ(injector.rack_outages_scheduled(), 1);
+  EXPECT_EQ(injector.failures_injected(), 3);  // 1 compute + 2 storage
+  EXPECT_EQ(injector.recoveries(), 3);
+}
+
+TEST(FaultInjector, RackOutageCoalescesWithNodeOutages) {
+  sim::Simulation sim;
+  FaultInjector injector(sim);
+  const auto cluster = cluster::make_testbed(0, 4, 0, /*racks=*/2);
+  // Node 0 (rack 0) is already down when its rack dies; it stays down
+  // until the later of the two recoveries.
+  injector.schedule_outage(0, util::seconds(1), util::seconds(4));
+  injector.schedule_rack_outage(cluster, /*rack=*/0, util::seconds(2),
+                                util::seconds(1));
+  sim.run_until(util::seconds(4));
+  EXPECT_TRUE(injector.is_down(0));   // node outage still holds it
+  EXPECT_FALSE(injector.is_down(2));  // rack recovery at 3s released it
+  sim.run();
+  EXPECT_EQ(injector.down_count(), 0);
+  EXPECT_EQ(injector.failures_injected(), 2);  // node 0 once, node 2 once
+}
+
+TEST(FaultInjector, RackOutageRejectsBadRack) {
+  sim::Simulation sim;
+  FaultInjector injector(sim);
+  const auto cluster = cluster::make_testbed(2, 2, 0, /*racks=*/2);
+  EXPECT_THROW(injector.schedule_rack_outage(cluster, 2, util::seconds(1),
+                                             util::seconds(1)),
+               std::invalid_argument);
+  EXPECT_THROW(injector.schedule_rack_outage(cluster, -1, util::seconds(1),
+                                             util::seconds(1)),
+               std::invalid_argument);
 }
 
 TEST(FaultInjector, RandomProcessDrainsAfterHorizon) {

@@ -1,17 +1,25 @@
 // Erasure-coding mode of the object store.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
 #include "cluster/cluster.hpp"
 #include "net/fabric.hpp"
 #include "sim/simulation.hpp"
 #include "storage/object_store.hpp"
+#include "trace/tracer.hpp"
 
 namespace evolve::storage {
 namespace {
 
 struct EcFixture {
-  explicit EcFixture(int storage_nodes = 6, ObjectStoreConfig config = ec42())
-      : cluster(cluster::make_testbed(2, storage_nodes, 0)),
+  explicit EcFixture(int storage_nodes = 6, ObjectStoreConfig config = ec42(),
+                     int racks = 2)
+      : cluster(cluster::make_testbed(2, storage_nodes, 0, racks)),
         topology(cluster),
         fabric(sim, topology),
         io(sim, cluster),
@@ -176,6 +184,233 @@ TEST(ErasureCoding, PutSlowerThanSingleReplicaButCheaper) {
   // ...and its fan-out moves fragments, not full copies, so the PUT is
   // not slower than replication despite the encode cost.
   EXPECT_LT(ec_time, rep_time + util::millis(50));
+}
+
+// -- Rack-aware placement, degraded reads, loss boundary, rebuild ------
+
+int max_fragments_in_one_rack(const cluster::Cluster& cluster,
+                              const std::vector<cluster::NodeId>& holders) {
+  std::map<int, int> per_rack;
+  int worst = 0;
+  for (cluster::NodeId n : holders) {
+    worst = std::max(worst, ++per_rack[cluster.node(n).rack]);
+  }
+  return worst;
+}
+
+TEST(ErasureCoding, RackAwarePlacementBoundsFragmentsPerRack) {
+  // 12 storage servers across 4 racks: no rack may hold more than
+  // ceil(6 / 4) = 2 of a stripe's 6 fragments, for every key.
+  EcFixture f(12, EcFixture::ec42(), /*racks=*/4);
+  for (int i = 0; i < 64; ++i) {
+    const auto holders = f.store.locate({"data", "obj" + std::to_string(i)});
+    ASSERT_EQ(holders.size(), 6u);
+    EXPECT_LE(max_fragments_in_one_rack(f.cluster, holders), 2) << "key " << i;
+  }
+}
+
+TEST(ErasureCoding, ObliviousPlacementOverfillsSomeRack) {
+  // With the spread disabled, pure HRW concentrates > cap fragments of
+  // some stripe in one rack — the A/B control for the invariant above.
+  auto config = EcFixture::ec42();
+  config.rack_aware_placement = false;
+  EcFixture f(12, config, /*racks=*/4);
+  int worst = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto holders = f.store.locate({"data", "obj" + std::to_string(i)});
+    worst = std::max(worst, max_fragments_in_one_rack(f.cluster, holders));
+  }
+  EXPECT_GT(worst, 2);
+}
+
+TEST(ErasureCoding, ReplicationPlacementAlsoSpreadsAcrossRacks) {
+  ObjectStoreConfig config;
+  config.replicas = 2;
+  EcFixture f(8, config, /*racks=*/2);  // cap = ceil(2/2) = 1 per rack
+  for (int i = 0; i < 64; ++i) {
+    const auto holders = f.store.locate({"data", "obj" + std::to_string(i)});
+    ASSERT_EQ(holders.size(), 2u);
+    EXPECT_EQ(max_fragments_in_one_rack(f.cluster, holders), 1) << "key " << i;
+  }
+}
+
+TEST(ErasureCoding, DegradedReadReconstructsThroughParity) {
+  EcFixture f;
+  const ObjectKey key{"data", "obj"};
+  f.store.preload(key, 4 * util::kMiB);
+  const auto holders = f.store.locate(key);
+  // Kill the holders of data fragments 0 and 1 (= m dead): the GET must
+  // still succeed, reading 2 data + 2 parity fragments and paying the
+  // reconstruction cost.
+  f.store.handle_node_failure(holders[0]);
+  f.store.handle_node_failure(holders[1]);
+  GetResult result;
+  f.store.get(0, key, [&](const GetResult& r) { result = r; });
+  f.sim.run();
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.size, 4 * util::kMiB);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.parity_fragments_used, 2);
+  EXPECT_EQ(f.store.metrics().counter("ec_reconstructed_reads"), 1);
+}
+
+TEST(ErasureCoding, DegradedReadCostsMoreThanCleanRead) {
+  auto timed_get = [](int dead_holders) {
+    EcFixture f;
+    const ObjectKey key{"data", "obj"};
+    f.store.preload(key, 16 * util::kMiB);
+    const auto holders = f.store.locate(key);
+    for (int i = 0; i < dead_holders; ++i) {
+      f.store.handle_node_failure(holders[static_cast<std::size_t>(i)]);
+    }
+    util::TimeNs done = -1;
+    f.store.get(0, key, [&](const GetResult& r) {
+      ASSERT_TRUE(r.found);
+      done = f.sim.now();
+    });
+    f.sim.run_until(util::millis(400));  // before background repair fires
+    return done;
+  };
+  const util::TimeNs clean = timed_get(0);
+  const util::TimeNs degraded = timed_get(2);
+  ASSERT_GT(clean, 0);
+  ASSERT_GT(degraded, 0);
+  EXPECT_GT(degraded, clean);  // reconstruction math is not free
+}
+
+TEST(ErasureCoding, ExactlyMDeadIsRecoverableMPlusOneIsLost) {
+  // The loss boundary: EC(4,2) tolerates exactly m = 2 dead fragments.
+  EcFixture f;  // 6 servers: repairs stall (no spare target), so the
+                // stripe stays at whatever the failures leave it.
+  const ObjectKey key{"data", "obj"};
+  f.store.preload(key, 4 * util::kMiB);
+  const auto holders = f.store.locate(key);
+
+  f.store.handle_node_failure(holders[0]);
+  f.store.handle_node_failure(holders[1]);
+  auto stats = f.store.durability_stats();
+  EXPECT_EQ(stats.objects_degraded, 1);
+  EXPECT_EQ(stats.objects_lost, 0);
+  EXPECT_EQ(stats.missing_fragments, 2);
+  EXPECT_EQ(stats.objects_lost_total, 0);
+  GetResult at_boundary;
+  f.store.get(0, key, [&](const GetResult& r) { at_boundary = r; });
+  f.sim.run();
+  EXPECT_TRUE(at_boundary.found);  // m dead: still recoverable
+  EXPECT_TRUE(at_boundary.degraded);
+
+  f.store.handle_node_failure(holders[2]);  // m + 1 dead: lost
+  stats = f.store.durability_stats();
+  EXPECT_EQ(stats.objects_degraded, 0);
+  EXPECT_EQ(stats.objects_lost, 1);
+  EXPECT_EQ(stats.missing_fragments, 0);  // lost, no longer "at risk"
+  EXPECT_EQ(stats.objects_lost_total, 1);
+  GetResult past_boundary;
+  f.store.get(0, key, [&](const GetResult& r) { past_boundary = r; });
+  f.sim.run();
+  EXPECT_FALSE(past_boundary.found);
+  EXPECT_EQ(f.store.lost_objects(), 1);
+}
+
+TEST(ErasureCoding, AtRiskFragmentSecondsIntegratesMissingFragments) {
+  auto config = EcFixture::ec42();
+  config.repair = false;  // keep the stripe degraded for the whole run
+  EcFixture f(6, config);
+  const ObjectKey key{"data", "obj"};
+  f.store.preload(key, 4 * util::kMiB);
+  const auto holders = f.store.locate(key);
+  f.sim.at(util::seconds(1),
+           [&] { f.store.handle_node_failure(holders[0]); });
+  f.sim.at(util::seconds(3),
+           [&] { f.store.handle_node_failure(holders[1]); });
+  f.sim.at(util::seconds(4), [] {});
+  f.sim.run();
+  // 1 missing fragment over [1s, 3s) + 2 missing over [3s, 4s) = 4.
+  EXPECT_NEAR(f.store.at_risk_fragment_seconds(), 4.0, 1e-6);
+  EXPECT_NEAR(f.store.durability_stats().at_risk_fragment_seconds, 4.0, 1e-6);
+}
+
+TEST(ErasureCoding, RebuildRestoresFullRedundancy) {
+  // 8 servers: after one crash the stripe has a live spare target, so
+  // background repair rebuilds the dead fragment and a later GET is no
+  // longer degraded.
+  EcFixture f(8);
+  const ObjectKey key{"data", "obj"};
+  f.store.preload(key, 4 * util::kMiB);
+  const auto holders = f.store.locate(key);
+  f.store.handle_node_failure(holders[3]);
+  EXPECT_EQ(f.store.under_replicated_objects(), 1);
+  f.sim.run();
+  EXPECT_EQ(f.store.under_replicated_objects(), 0);
+  EXPECT_EQ(f.store.metrics().counter("objects_repaired"), 1);
+  GetResult result;
+  f.store.get(0, key, [&](const GetResult& r) { result = r; });
+  f.sim.run();
+  EXPECT_TRUE(result.found);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(result.parity_fragments_used, 0);
+}
+
+TEST(ErasureCoding, ThrottledRebuildPacesRepairTraffic) {
+  auto run_rebuild = [](double cap_bytes_per_s) {
+    auto config = EcFixture::ec42();
+    config.rebuild_bandwidth_bytes_per_s = cap_bytes_per_s;
+    config.repair_delay = util::millis(10);
+    EcFixture f(8, config);
+    for (int i = 0; i < 8; ++i) {
+      f.store.preload({"data", "obj" + std::to_string(i)}, 4 * util::kMiB);
+    }
+    // One crash degrades several stripes at once: a rebuild storm.
+    f.store.handle_node_failure(f.store.servers()[0]);
+    f.sim.run();
+    return std::tuple{f.store.rebuild_throttle_wait_seconds(),
+                      f.store.under_replicated_objects(), f.sim.now()};
+  };
+  const auto [unthrottled_wait, unthrottled_left, unthrottled_t] =
+      run_rebuild(0);
+  // 4 MiB/s admits one 4 MiB reconstruction (k fragments) every 4s.
+  const auto [throttled_wait, throttled_left, throttled_t] =
+      run_rebuild(4.0 * util::kMiB);
+  EXPECT_EQ(unthrottled_wait, 0.0);
+  EXPECT_GT(throttled_wait, 0.0);
+  // Both fully restore redundancy; the throttled run just takes longer.
+  EXPECT_EQ(unthrottled_left, 0);
+  EXPECT_EQ(throttled_left, 0);
+  EXPECT_GT(throttled_t, unthrottled_t);
+}
+
+TEST(ErasureCoding, RepairsRunRiskFirst) {
+  // Two stripes degrade: "aa" loses 2 fragments (zero spares left),
+  // "bb" loses 1 (one spare). With one repair slot the queue must serve
+  // "aa" first even though "bb" degraded no later.
+  auto config = EcFixture::ec42();
+  config.repair_concurrency = 1;
+  config.repair_delay = util::millis(50);
+  config.scrub = true;
+  config.scrub_interval = util::millis(5);
+  EcFixture f(12, config, /*racks=*/4);
+  trace::Tracer tracer(f.sim);
+  f.store.set_tracer(&tracer);
+  const ObjectKey risky{"data", "aa"};
+  const ObjectKey mild{"data", "bb"};
+  f.store.preload(risky, 4 * util::kMiB);
+  f.store.preload(mild, 4 * util::kMiB);
+  // Degrade per-object (not per-server): bit-rot that the scrubber
+  // detects and drops, queueing both stripes for repair.
+  ASSERT_TRUE(f.store.corrupt_replica(mild, f.store.locate(mild)[0]));
+  ASSERT_TRUE(f.store.corrupt_replica(risky, f.store.locate(risky)[0]));
+  ASSERT_TRUE(f.store.corrupt_replica(risky, f.store.locate(risky)[1]));
+  f.sim.run();
+  std::vector<std::string> repair_keys;
+  for (const auto& span : tracer.spans()) {
+    if (span.name != "store.repair") continue;
+    for (const auto& [k, v] : span.attrs) {
+      if (k == "key") repair_keys.push_back(v);
+    }
+  }
+  ASSERT_EQ(repair_keys.size(), 3u);
+  EXPECT_EQ(repair_keys[0], "data/aa");  // zero spares goes first
+  EXPECT_EQ(f.store.under_replicated_objects(), 0);
 }
 
 }  // namespace
