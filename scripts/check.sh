@@ -29,6 +29,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ./bench/bench_f13_scale --json)
 (cd "$BUILD_DIR" && ./bench/bench_f5_storage --json)
 (cd "$BUILD_DIR" && ./bench/bench_f14_durability --json)
+(cd "$BUILD_DIR" && ./bench/bench_f15_fairness --json)
 
 # -- Baseline diffs (before any --trace run touches the reports) -------
 # F9 mixes simulated metrics with host wall-clock timings; only the
@@ -50,7 +51,31 @@ diff "$BUILD_DIR/BENCH_f12_serving.json" BENCH_f12_serving.json \
 # deterministic: every column must match the baseline bit for bit.
 diff "$BUILD_DIR/BENCH_f14_durability.json" BENCH_f14_durability.json \
   || { echo "check.sh: BENCH_f14_durability.json deviates from baseline"; exit 1; }
+# F15 (fair share under contention) is fully simulation-deterministic.
+diff "$BUILD_DIR/BENCH_f15_fairness.json" BENCH_f15_fairness.json \
+  || { echo "check.sh: BENCH_f15_fairness.json deviates from baseline"; exit 1; }
 echo "check.sh: bench metrics match the tracked baselines"
+
+# -- F15 fairness gate --------------------------------------------------
+# The fair-share scheduler must actually deliver fairness: Jain index
+# >= 0.9 with the pool tree on, and a real gap over the priority-only
+# baseline. Both values are simulation-deterministic.
+f15_metric() {
+  awk -v key="\"$2\":" '$1 == key { gsub(/,/, "", $2); print $2 }' "$1"
+}
+jain_fair=$(f15_metric "$BUILD_DIR/BENCH_f15_fairness.json" jain_fair)
+jain_priority=$(f15_metric "$BUILD_DIR/BENCH_f15_fairness.json" jain_priority)
+awk -v fair="$jain_fair" -v prio="$jain_priority" 'BEGIN {
+  if (fair < 0.9) {
+    printf "check.sh: F15 Jain index with fair share on is %.3f (< 0.9 floor)\n", fair
+    exit 1
+  }
+  if (fair <= prio) {
+    printf "check.sh: F15 fair share (%.3f) does not beat priority-only (%.3f)\n", fair, prio
+    exit 1
+  }
+  printf "check.sh: F15 fairness gate ok: Jain %.3f fair vs %.3f priority-only\n", fair, prio
+}'
 
 # -- F13 kernel-at-scale gate ------------------------------------------
 # Event counts, checksums, and end times are simulation-deterministic and
@@ -114,6 +139,10 @@ if [[ "${EVOLVE_SKIP_SANITIZERS:-0}" != "1" ]]; then
   # Drive the erasure-coding GET/hedge/repair machinery (fragment fan-out,
   # straggler cancellation, throttled rebuild) end to end under ASan/UBSan.
   (cd "$SAN_DIR" && ./bench/bench_f14_durability)
+  # Drive the fair-share pool tree, preemption, disruption budgets, and
+  # the rebalancer end to end under ASan/UBSan (the ctest pass above
+  # already covers the PoolTree/Preemption/Rebalancer unit tests).
+  (cd "$SAN_DIR" && ./bench/bench_f15_fairness)
   echo
   echo "check.sh: sanitizer (ASan/UBSan) test pass clean in $SAN_DIR"
 fi

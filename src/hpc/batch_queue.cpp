@@ -53,6 +53,10 @@ JobId BatchQueue::submit(HpcJobSpec spec, StartFn on_start,
     tracer_->annotate(rec.wait_span, "nodes",
                       std::to_string(rec.status.spec.nodes));
   }
+  if (pool_tree_ != nullptr) {
+    pool_tree_->add_demand(rec.status.spec.tenant,
+                           job_resources(rec.status.spec));
+  }
   jobs_.emplace(id, std::move(rec));
   queue_.push_back(id);
   metrics_.count("jobs_submitted");
@@ -66,6 +70,20 @@ const HpcJobStatus& BatchQueue::job(JobId id) const {
   return it->second.status;
 }
 
+void BatchQueue::set_pool_tree(orch::PoolTree* tree,
+                               cluster::Resources per_node) {
+  pool_tree_ = tree;
+  per_node_ = per_node;
+}
+
+cluster::Resources BatchQueue::job_resources(const HpcJobSpec& spec) const {
+  cluster::Resources r = per_node_;
+  r.cpu_millicores *= spec.nodes;
+  r.memory_bytes *= spec.nodes;
+  r.accel_slots *= spec.nodes;
+  return r;
+}
+
 void BatchQueue::start_job(JobRecord& rec) {
   const int needed = rec.status.spec.nodes;
   rec.status.assigned_nodes.assign(free_.begin(),
@@ -75,6 +93,11 @@ void BatchQueue::start_job(JobRecord& rec) {
   rec.status.start_time = sim_.now();
   running_.insert(rec.status.id);
   usage_.add(sim_.now(), static_cast<double>(needed));
+  if (pool_tree_ != nullptr) {
+    const cluster::Resources r = job_resources(rec.status.spec);
+    pool_tree_->remove_demand(rec.status.spec.tenant, r);
+    pool_tree_->charge(rec.status.spec.tenant, r);
+  }
   metrics_.count("jobs_started");
   metrics_.observe("job_wait_s",
                    (sim_.now() - rec.status.submit_time) / util::kSecond);
@@ -111,6 +134,10 @@ void BatchQueue::finish_job(JobId id, std::int64_t incarnation) {
   for (int node : rec.status.assigned_nodes) free_.insert(node);
   running_.erase(id);
   usage_.add(sim_.now(), -static_cast<double>(rec.status.spec.nodes));
+  if (pool_tree_ != nullptr) {
+    pool_tree_->release(rec.status.spec.tenant,
+                        job_resources(rec.status.spec));
+  }
   metrics_.count("jobs_finished");
   if (tracer_) tracer_->end(rec.run_span);
   if (rec.on_finish) rec.on_finish(id);
@@ -157,7 +184,32 @@ std::vector<JobId> BatchQueue::eligible_order() const {
     }
     return priority;
   };
+  if (pool_tree_ == nullptr) {
+    std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+      return effective(a) > effective(b);
+    });
+    return order;
+  }
+  // Gang admission respects pool share: jobs whose start would push
+  // their pool past a limit drop out of this pass (they do not hold up
+  // other tenants), and the rest order by how under-served their pool
+  // is right now.
+  std::erase_if(order, [&](JobId id) {
+    const HpcJobSpec& spec = jobs_.at(id).status.spec;
+    return !pool_tree_->within_limit(spec.tenant, job_resources(spec));
+  });
+  pool_tree_->recompute();
+  std::map<std::string, double> keys;
+  for (JobId id : order) {
+    const std::string& tenant = jobs_.at(id).status.spec.tenant;
+    if (keys.count(tenant) == 0) {
+      keys.emplace(tenant, pool_tree_->schedule_key(tenant));
+    }
+  }
   std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    const double ka = keys.at(jobs_.at(a).status.spec.tenant);
+    const double kb = keys.at(jobs_.at(b).status.spec.tenant);
+    if (ka != kb) return ka < kb;
     return effective(a) > effective(b);
   });
   return order;
@@ -247,6 +299,12 @@ void BatchQueue::handle_node_failure(int node) {
   }
   running_.erase(victim);
   usage_.add(sim_.now(), -static_cast<double>(rec.status.spec.nodes));
+  if (pool_tree_ != nullptr) {
+    // The aborted job stops charging its pool and becomes demand again.
+    const cluster::Resources r = job_resources(rec.status.spec);
+    pool_tree_->release(rec.status.spec.tenant, r);
+    pool_tree_->add_demand(rec.status.spec.tenant, r);
+  }
   rec.status.started = false;
   rec.status.start_time = -1;
   rec.status.assigned_nodes.clear();

@@ -16,6 +16,7 @@
 
 #include "metrics/registry.hpp"
 #include "metrics/timeseries.hpp"
+#include "orch/fairshare.hpp"
 #include "sim/simulation.hpp"
 #include "trace/tracer.hpp"
 #include "util/types.hpp"
@@ -34,6 +35,8 @@ struct HpcJobSpec {
   util::TimeNs runtime = 0;      // actual runtime (<= walltime typically)
   int priority = 0;              // higher runs first
   std::vector<JobId> depends_on; // must finish before this job is eligible
+  /// Fair-share pool-tree tenant; only meaningful with set_pool_tree().
+  std::string tenant;
 };
 
 struct HpcJobStatus {
@@ -99,6 +102,16 @@ class BatchQueue {
   /// disables.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attaches a fair-share pool tree (typically shared with the
+  /// orchestrator so batch, HPC, and serving tenants contend in one
+  /// share space). Each running job charges its tenant's pool
+  /// `per_node * spec.nodes`; eligible jobs order by their pool's
+  /// schedule key (most under-served tenant first, then priority/FIFO),
+  /// and gang admission respects pool share: a job whose start would
+  /// push its pool past a limit is held back — without blocking other
+  /// tenants' jobs behind it. Null detaches.
+  void set_pool_tree(orch::PoolTree* tree, cluster::Resources per_node);
+
  private:
   struct JobRecord {
     HpcJobStatus status;
@@ -121,6 +134,8 @@ class BatchQueue {
   /// Earliest time the head job could start, from running jobs' walltime
   /// estimates (the EASY "shadow time").
   util::TimeNs shadow_time(int needed) const;
+  /// Pool-tree resource footprint of a job (`per_node * spec.nodes`).
+  cluster::Resources job_resources(const HpcJobSpec& spec) const;
 
   sim::Simulation& sim_;
   QueuePolicy policy_;
@@ -135,6 +150,8 @@ class BatchQueue {
   metrics::Registry metrics_;
   metrics::UsageTracker usage_;
   trace::Tracer* tracer_ = nullptr;
+  orch::PoolTree* pool_tree_ = nullptr;
+  cluster::Resources per_node_;  // one node's worth of pool-tree charge
 };
 
 }  // namespace evolve::hpc

@@ -9,8 +9,15 @@ DeploymentController::DeploymentController(Orchestrator& orch,
                                            int replicas)
     : orch_(orch), name_(std::move(name)), base_(std::move(base)) {
   if (replicas < 0) throw std::invalid_argument("replicas must be >= 0");
+  // Replicas share one disruption-budget group so preemption and
+  // rebalancing can be capped per controller.
+  if (base_.budget_group.empty()) base_.budget_group = name_;
   desired_ = replicas;
   reconcile();
+}
+
+void DeploymentController::set_disruption_budget(DisruptionBudget budget) {
+  orch_.set_disruption_budget(base_.budget_group, budget);
 }
 
 PodSpec DeploymentController::replica_spec() {
@@ -119,6 +126,7 @@ JobController::JobController(Orchestrator& orch, std::string name,
   if (completions <= 0) throw std::invalid_argument("completions must be > 0");
   if (parallelism <= 0) throw std::invalid_argument("parallelism must be > 0");
   if (duration < 0) throw std::invalid_argument("duration must be >= 0");
+  if (base_.budget_group.empty()) base_.budget_group = name_;
 }
 
 void JobController::start() {

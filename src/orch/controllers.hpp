@@ -29,6 +29,10 @@ class DeploymentController {
   /// Changes the desired replica count; reconciles immediately.
   void scale(int replicas);
 
+  /// Registers a disruption budget for this deployment's replicas
+  /// (budget group = the deployment's pod budget_group, default: name).
+  void set_disruption_budget(DisruptionBudget budget);
+
   /// Stops all replicas and holds the deployment at zero.
   void stop();
 

@@ -1,0 +1,303 @@
+#include "orch/fairshare.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace evolve::orch {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+/// Ordering sentinel for pools with no fair share (no demand): they sort
+/// after every pool that actually wants capacity.
+constexpr double kIdleKey = 1e18;
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+cluster::Resources clamped_sub(cluster::Resources a,
+                               const cluster::Resources& b) {
+  a -= b;
+  a.cpu_millicores = std::max<std::int64_t>(a.cpu_millicores, 0);
+  a.memory_bytes = std::max<std::int64_t>(a.memory_bytes, 0);
+  a.accel_slots = std::max<std::int64_t>(a.accel_slots, 0);
+  return a;
+}
+
+}  // namespace
+
+void PoolTree::set_capacity(cluster::Resources capacity) {
+  capacity_ = capacity;
+}
+
+double PoolTree::fraction_of(const cluster::Resources& r) const {
+  if (r.is_zero()) return 0.0;
+  return r.dominant_share(capacity_);
+}
+
+void PoolTree::add_pool(PoolConfig config) {
+  if (config.name.empty()) {
+    throw std::invalid_argument("pool needs a name");
+  }
+  if (config.weight <= 0) {
+    throw std::invalid_argument("pool weight must be > 0");
+  }
+  if (by_name_.count(config.name) != 0) {
+    throw std::invalid_argument("duplicate pool: " + config.name);
+  }
+  if (pools_.empty()) {
+    Pool root;
+    root.config.name = "<root>";
+    pools_.push_back(root);
+  }
+  std::size_t parent = 0;
+  if (!config.parent.empty()) {
+    auto it = by_name_.find(config.parent);
+    if (it == by_name_.end()) {
+      throw std::invalid_argument("unknown parent pool: " + config.parent);
+    }
+    parent = it->second;
+  }
+  Pool pool;
+  pool.config = std::move(config);
+  pool.parent = parent;
+  const std::size_t index = pools_.size();
+  by_name_[pool.config.name] = index;
+  pools_.push_back(std::move(pool));
+  pools_[parent].children.push_back(index);
+}
+
+bool PoolTree::has_pool(const std::string& name) const {
+  return by_name_.count(name) != 0;
+}
+
+void PoolTree::assign_tenant(const std::string& tenant,
+                             const std::string& pool) {
+  auto it = by_name_.find(pool);
+  if (it == by_name_.end()) {
+    throw std::invalid_argument("unknown pool: " + pool);
+  }
+  tenant_pool_[tenant] = it->second;
+}
+
+std::size_t PoolTree::index_of(const std::string& pool) const {
+  auto it = by_name_.find(pool);
+  if (it == by_name_.end()) {
+    throw std::invalid_argument("unknown pool: " + pool);
+  }
+  return it->second;
+}
+
+std::size_t PoolTree::ensure_tenant(const std::string& tenant) {
+  auto it = tenant_pool_.find(tenant);
+  if (it != tenant_pool_.end()) return it->second;
+  // Unmapped tenant: give it its own weight-1 pool under the root so it
+  // still gets a fair slice rather than free-riding or starving.
+  if (by_name_.count(tenant) == 0) {
+    PoolConfig config;
+    config.name = tenant;
+    add_pool(std::move(config));
+  }
+  const std::size_t index = by_name_.at(tenant);
+  tenant_pool_[tenant] = index;
+  return index;
+}
+
+std::size_t PoolTree::find_tenant(const std::string& tenant) const {
+  auto it = tenant_pool_.find(tenant);
+  if (it != tenant_pool_.end()) return it->second;
+  auto by = by_name_.find(tenant);
+  return by == by_name_.end() ? kNpos : by->second;
+}
+
+std::string PoolTree::pool_of(const std::string& tenant) const {
+  const std::size_t index = find_tenant(tenant);
+  return index == kNpos ? tenant : pools_[index].config.name;
+}
+
+void PoolTree::charge(const std::string& tenant,
+                      const cluster::Resources& usage) {
+  pools_[ensure_tenant(tenant)].usage += usage;
+}
+
+void PoolTree::release(const std::string& tenant,
+                       const cluster::Resources& usage) {
+  Pool& pool = pools_[ensure_tenant(tenant)];
+  pool.usage = clamped_sub(pool.usage, usage);
+}
+
+void PoolTree::add_demand(const std::string& tenant,
+                          const cluster::Resources& demand) {
+  pools_[ensure_tenant(tenant)].demand += demand;
+}
+
+void PoolTree::remove_demand(const std::string& tenant,
+                             const cluster::Resources& demand) {
+  Pool& pool = pools_[ensure_tenant(tenant)];
+  pool.demand = clamped_sub(pool.demand, demand);
+}
+
+double PoolTree::subtree_usage_fraction(std::size_t pool) const {
+  double total = fraction_of(pools_[pool].usage);
+  for (std::size_t child : pools_[pool].children) {
+    total += subtree_usage_fraction(child);
+  }
+  return total;
+}
+
+double PoolTree::subtree_wanted_fraction(std::size_t pool) const {
+  double total = fraction_of(pools_[pool].usage + pools_[pool].demand);
+  for (std::size_t child : pools_[pool].children) {
+    total += subtree_wanted_fraction(child);
+  }
+  return total;
+}
+
+void PoolTree::distribute(std::size_t node, double fraction) {
+  Pool& pool = pools_[node];
+  pool.fair = fraction;
+  if (pool.leaf()) return;
+
+  const std::size_t n = pool.children.size();
+  std::vector<double> cap(n), floor(n), assigned(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Pool& child = pools_[pool.children[i]];
+    double limit = std::numeric_limits<double>::infinity();
+    if (!child.config.limit.is_zero()) {
+      limit = fraction_of(child.config.limit);
+    }
+    cap[i] = std::min(subtree_wanted_fraction(pool.children[i]), limit);
+    floor[i] = std::min(fraction_of(child.config.guarantee), cap[i]);
+  }
+
+  // Guarantees first. If floors overcommit the parent's fraction they
+  // scale down proportionally (guarantee overcommit is a config smell,
+  // but the split must stay feasible).
+  double floor_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) floor_sum += floor[i];
+  if (floor_sum > fraction + kEps && floor_sum > 0) {
+    const double scale = fraction / floor_sum;
+    for (std::size_t i = 0; i < n; ++i) assigned[i] = floor[i] * scale;
+  } else {
+    for (std::size_t i = 0; i < n; ++i) assigned[i] = floor[i];
+    double remaining = fraction - floor_sum;
+    // Weighted water-filling of the remainder: children cap out at their
+    // (demand- or limit-bounded) cap; capped-out children's share flows
+    // to the rest.
+    std::vector<bool> frozen(n, false);
+    while (remaining > kEps) {
+      double weight_sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!frozen[i] && cap[i] - assigned[i] > kEps) {
+          weight_sum += pools_[pool.children[i]].config.weight;
+        } else {
+          frozen[i] = true;
+        }
+      }
+      if (weight_sum <= 0) break;  // everyone satisfied; share goes idle
+      // Cap-out pass: children whose proportional slice exceeds their
+      // headroom take exactly the headroom and freeze; the round then
+      // repeats so their surplus flows to the survivors.
+      bool capped = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (frozen[i]) continue;
+        const double give =
+            remaining * pools_[pool.children[i]].config.weight / weight_sum;
+        if (give >= cap[i] - assigned[i] - kEps) {
+          remaining -= cap[i] - assigned[i];
+          assigned[i] = cap[i];
+          frozen[i] = true;
+          capped = true;
+        }
+      }
+      if (capped) continue;
+      // No child capped: the proportional split fits everyone; commit.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (frozen[i]) continue;
+        assigned[i] +=
+            remaining * pools_[pool.children[i]].config.weight / weight_sum;
+      }
+      break;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    distribute(pool.children[i], assigned[i]);
+  }
+}
+
+void PoolTree::recompute() {
+  if (pools_.empty()) return;
+  distribute(0, 1.0);
+}
+
+double PoolTree::usage_fraction(const std::string& tenant) const {
+  const std::size_t index = find_tenant(tenant);
+  return index == kNpos ? 0.0 : fraction_of(pools_[index].usage);
+}
+
+double PoolTree::demand_fraction(const std::string& tenant) const {
+  const std::size_t index = find_tenant(tenant);
+  return index == kNpos ? 0.0 : fraction_of(pools_[index].demand);
+}
+
+double PoolTree::fair_fraction(const std::string& tenant) const {
+  const std::size_t index = find_tenant(tenant);
+  return index == kNpos ? 0.0 : pools_[index].fair;
+}
+
+double PoolTree::schedule_key(const std::string& tenant) const {
+  const std::size_t index = find_tenant(tenant);
+  if (index == kNpos) return kIdleKey;
+  const Pool& pool = pools_[index];
+  if (pool.fair <= kEps) return kIdleKey;
+  return fraction_of(pool.usage) / pool.fair;
+}
+
+bool PoolTree::over_fair_share(const std::string& tenant,
+                               const cluster::Resources& headroom) const {
+  const std::size_t index = find_tenant(tenant);
+  if (index == kNpos) return false;
+  const Pool& pool = pools_[index];
+  const double usage = fraction_of(clamped_sub(pool.usage, headroom));
+  return usage > pool.fair + 1e-6;
+}
+
+bool PoolTree::within_limit(const std::string& tenant,
+                            const cluster::Resources& request) const {
+  std::size_t index = find_tenant(tenant);
+  if (index == kNpos) return true;
+  // Walk up the ancestry; every pool with a limit must absorb the
+  // request on top of its subtree usage.
+  std::vector<std::size_t> chain;
+  for (std::size_t cur = index; cur != 0; cur = pools_[cur].parent) {
+    chain.push_back(cur);
+  }
+  for (std::size_t pool : chain) {
+    const Pool& p = pools_[pool];
+    if (p.config.limit.is_zero()) continue;
+    cluster::Resources used;
+    // Subtree usage in resource space (limits are resource vectors).
+    std::vector<std::size_t> stack{pool};
+    while (!stack.empty()) {
+      const std::size_t cur = stack.back();
+      stack.pop_back();
+      used += pools_[cur].usage;
+      for (std::size_t child : pools_[cur].children) stack.push_back(child);
+    }
+    if (!p.config.limit.fits(used + request)) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> PoolTree::pools() const {
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, index] : by_name_) names.push_back(name);
+  return names;
+}
+
+cluster::Resources PoolTree::pool_usage(const std::string& pool) const {
+  return pools_[index_of(pool)].usage;
+}
+
+}  // namespace evolve::orch

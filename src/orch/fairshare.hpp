@@ -1,0 +1,128 @@
+// Hierarchical fair-share pool tree (ytsaurus-style).
+//
+// Tenants map onto leaf pools arranged in a tree under an implicit root.
+// Each pool has a weight (relative share of its parent), an optional
+// guarantee (a resource floor it may always claim) and an optional limit
+// (a resource ceiling it may never exceed). Fair share is computed in
+// dominant-resource space: every resource vector collapses to its
+// dominant fraction of cluster capacity (DRF), and each level of the
+// tree splits the parent's fraction across its children by weighted
+// water-filling — demand-capped, guarantee-floored, limit-clamped, with
+// unused share flowing to siblings that still want it.
+//
+// The scheduler orders pending pods by their pool's usage/fair-share
+// ratio (most starved first) and uses over_fair_share() to pick
+// preemption victims; the batch queue reuses the same tree so batch,
+// HPC, and serving tenants contend in one share space.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/resources.hpp"
+
+namespace evolve::orch {
+
+struct PoolConfig {
+  std::string name;
+  /// Parent pool name; empty = directly under the root.
+  std::string parent = {};
+  /// Relative share of the parent's fraction (> 0).
+  double weight = 1.0;
+  /// Resource floor: the pool may always claim at least this much even
+  /// when its weight share is smaller. Zero = no guarantee.
+  cluster::Resources guarantee = {};
+  /// Resource ceiling: fair share and admission never exceed it.
+  /// Zero = unlimited.
+  cluster::Resources limit = {};
+};
+
+class PoolTree {
+ public:
+  /// Total schedulable capacity the shares are fractions of. Must be set
+  /// (the orchestrator sets it from its managed nodes on attach).
+  void set_capacity(cluster::Resources capacity);
+  const cluster::Resources& capacity() const { return capacity_; }
+
+  /// Adds a pool. The parent must already exist (or be "" for root).
+  void add_pool(PoolConfig config);
+  bool has_pool(const std::string& name) const;
+
+  /// Maps a tenant onto a leaf pool. Unmapped tenants land in an
+  /// auto-created weight-1 pool named after the tenant, under the root.
+  void assign_tenant(const std::string& tenant, const std::string& pool);
+
+  /// Live-usage accounting (running pods / jobs).
+  void charge(const std::string& tenant, const cluster::Resources& usage);
+  void release(const std::string& tenant, const cluster::Resources& usage);
+  /// Pending-demand accounting (queued pods / jobs). Demand plus usage
+  /// caps a pool's fair share, so idle pools donate to busy ones.
+  void add_demand(const std::string& tenant, const cluster::Resources& demand);
+  void remove_demand(const std::string& tenant,
+                     const cluster::Resources& demand);
+
+  /// Recomputes every pool's fair-share fraction (call once per
+  /// scheduling pass; cost is O(pools * depth)).
+  void recompute();
+
+  /// Dominant-resource fractions of cluster capacity. fair_fraction is
+  /// only meaningful after recompute().
+  double usage_fraction(const std::string& tenant) const;
+  double demand_fraction(const std::string& tenant) const;
+  double fair_fraction(const std::string& tenant) const;
+
+  /// usage / fair-share: < 1 under-served, > 1 over-served. Pools with a
+  /// zero fair share report a large sentinel so they order last.
+  double schedule_key(const std::string& tenant) const;
+
+  /// True when the tenant's pool consumes strictly more than its fair
+  /// share (preemption-victim eligibility). `headroom` subtracts usage
+  /// about to be released (tentative evictions in the current pass).
+  bool over_fair_share(const std::string& tenant,
+                       const cluster::Resources& headroom = {}) const;
+
+  /// True when the tenant's pool (and every ancestor with a limit) can
+  /// absorb `request` without exceeding its limit.
+  bool within_limit(const std::string& tenant,
+                    const cluster::Resources& request) const;
+
+  /// Name of the pool the tenant maps to (the tenant name itself when
+  /// the tenant is unmapped — its pool is auto-created on first use).
+  std::string pool_of(const std::string& tenant) const;
+
+  std::vector<std::string> pools() const;
+  cluster::Resources pool_usage(const std::string& pool) const;
+
+ private:
+  struct Pool {
+    PoolConfig config;
+    std::size_t parent = 0;
+    std::vector<std::size_t> children;
+    cluster::Resources usage;
+    cluster::Resources demand;
+    double fair = 0.0;  // fraction of cluster capacity, post-recompute
+    bool leaf() const { return children.empty(); }
+  };
+
+  std::size_t index_of(const std::string& pool) const;
+  /// Index of the tenant's pool, auto-creating a weight-1 pool under the
+  /// root on first use. `find_tenant` is the lookup-only const variant
+  /// (returns npos when the tenant has never been seen).
+  std::size_t ensure_tenant(const std::string& tenant);
+  std::size_t find_tenant(const std::string& tenant) const;
+  /// Subtree dominant-share fractions (usage, usage+demand).
+  double subtree_usage_fraction(std::size_t pool) const;
+  double subtree_wanted_fraction(std::size_t pool) const;
+  /// Splits `fraction` among `node`'s children by weighted water-filling
+  /// and recurses.
+  void distribute(std::size_t node, double fraction);
+  double fraction_of(const cluster::Resources& r) const;
+
+  cluster::Resources capacity_;
+  std::vector<Pool> pools_;                  // pools_[0] is the root
+  std::map<std::string, std::size_t> by_name_;
+  std::map<std::string, std::size_t> tenant_pool_;
+};
+
+}  // namespace evolve::orch

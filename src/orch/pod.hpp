@@ -36,6 +36,10 @@ struct PodSpec {
   /// Pods sharing a non-empty group never co-locate on one node
   /// (hard anti-affinity, e.g. replica spreading for availability).
   std::string anti_affinity_group;
+  /// Disruption-budget group (typically the owning controller's name).
+  /// Voluntary evictions — preemption and rebalancing — are gated by the
+  /// group's DisruptionBudget; empty = no budget, freely evictable.
+  std::string budget_group;
 };
 
 struct PodStatus {

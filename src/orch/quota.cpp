@@ -1,5 +1,6 @@
 #include "orch/quota.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace evolve::orch {
@@ -29,7 +30,14 @@ bool QuotaManager::allows(const std::string& tenant,
                           const cluster::Resources& request) const {
   auto it = limits_.find(tenant);
   if (it == limits_.end()) return true;
-  const cluster::Resources remaining = it->second - usage(tenant);
+  // set_quota may lower a limit below live usage; the difference then
+  // goes negative in that dimension. Clamp remaining at zero so the
+  // tenant is denied until usage drains (instead of feeding a negative
+  // vector to fits(), whose meaning is unspecified).
+  cluster::Resources remaining = it->second - usage(tenant);
+  remaining.cpu_millicores = std::max<std::int64_t>(remaining.cpu_millicores, 0);
+  remaining.memory_bytes = std::max<std::int64_t>(remaining.memory_bytes, 0);
+  remaining.accel_slots = std::max<std::int64_t>(remaining.accel_slots, 0);
   return remaining.fits(request);
 }
 
@@ -42,7 +50,10 @@ void QuotaManager::release(const std::string& tenant,
                            const cluster::Resources& request) {
   auto it = usage_.find(tenant);
   if (it == usage_.end()) {
-    throw std::logic_error("release for tenant with no usage");
+    // Quota enabled on a cluster with pre-existing pods: their finishes
+    // release usage that was never charged. Count, don't throw.
+    ++unmatched_releases_;
+    return;
   }
   it->second -= request;
   if (it->second.any_negative()) {

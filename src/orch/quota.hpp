@@ -23,13 +23,19 @@ class QuotaManager {
   bool allows(const std::string& tenant,
               const cluster::Resources& request) const;
 
-  /// Charges/releases usage. `release` must not drive usage negative.
+  /// Charges/releases usage. Releasing for a tenant that was never
+  /// charged (quota enabled on a cluster with pre-existing pods) is a
+  /// counted no-op; over-releasing a known tenant still throws.
   void charge(const std::string& tenant, const cluster::Resources& request);
   void release(const std::string& tenant, const cluster::Resources& request);
+
+  /// Number of release() calls that found no usage record.
+  std::int64_t unmatched_releases() const { return unmatched_releases_; }
 
  private:
   std::map<std::string, cluster::Resources> limits_;
   std::map<std::string, cluster::Resources> usage_;
+  std::int64_t unmatched_releases_ = 0;
 };
 
 }  // namespace evolve::orch

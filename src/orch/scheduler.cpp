@@ -1,6 +1,7 @@
 #include "orch/scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "util/log.hpp"
@@ -162,6 +163,7 @@ PodId Orchestrator::submit(PodSpec spec, util::TimeNs duration,
     return kInvalidPod;
   }
   quotas_.charge(spec.tenant, spec.request);
+  if (pool_tree_) pool_tree_->add_demand(spec.tenant, spec.request);
   const PodId id = next_pod_++;
   PodRecord rec;
   rec.status.id = id;
@@ -197,6 +199,7 @@ std::vector<PodId> Orchestrator::submit_gang(std::vector<PodSpec> specs,
     spec.gang = gang;
     spec.tenant = tenant;
     quotas_.charge(tenant, spec.request);
+    if (pool_tree_) pool_tree_->add_demand(tenant, spec.request);
     const PodId id = next_pod_++;
     PodRecord rec;
     rec.status.id = id;
@@ -227,6 +230,13 @@ void Orchestrator::place(PodRecord& rec, cluster::NodeId node) {
   status_for(node).bind(rec.status.id, rec.status.spec.request);
   if (!rec.status.spec.anti_affinity_group.empty()) {
     ++affinity_counts_[{node, rec.status.spec.anti_affinity_group}];
+  }
+  if (!rec.status.spec.budget_group.empty()) {
+    ++group_running_[rec.status.spec.budget_group];
+  }
+  if (pool_tree_) {
+    pool_tree_->remove_demand(rec.status.spec.tenant, rec.status.spec.request);
+    pool_tree_->charge(rec.status.spec.tenant, rec.status.spec.request);
   }
   rec.status.phase = PodPhase::kRunning;
   rec.status.node = node;
@@ -279,6 +289,12 @@ void Orchestrator::complete(PodId id, PodPhase phase) {
       --affinity_counts_[{rec.status.node,
                           rec.status.spec.anti_affinity_group}];
     }
+    if (!rec.status.spec.budget_group.empty()) {
+      --group_running_[rec.status.spec.budget_group];
+    }
+    if (pool_tree_) {
+      pool_tree_->release(rec.status.spec.tenant, rec.status.spec.request);
+    }
     cpu_usage_.add(sim_.now(),
                    -static_cast<double>(rec.status.spec.request.cpu_millicores));
     mem_usage_.add(sim_.now(),
@@ -287,6 +303,10 @@ void Orchestrator::complete(PodId id, PodPhase phase) {
   } else {
     // Still pending: drop it from the queue.
     queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
+    if (pool_tree_) {
+      pool_tree_->remove_demand(rec.status.spec.tenant,
+                                rec.status.spec.request);
+    }
   }
   quotas_.release(rec.status.spec.tenant, rec.status.spec.request);
   rec.status.phase = phase;
@@ -372,31 +392,113 @@ bool Orchestrator::try_schedule_gang(GangId gang,
 }
 
 bool Orchestrator::try_preempt_for(const PodRecord& rec) {
-  // Find the node where evicting the cheapest set of strictly-lower-
-  // priority pods makes room; evict that set.
+  const PodSpec& spec = rec.status.spec;
+  // Priority preemption needs a positive priority; fair preemption needs
+  // the pod's pool to sit below its fair share.
+  const bool fair_mode = pool_tree_ != nullptr &&
+                         config_.enable_fair_preemption &&
+                         pool_tree_->schedule_key(spec.tenant) < 1.0;
+  if (spec.priority <= 0 && !fair_mode) return false;
+  // With fair preemption on, preemption only serves pools below their
+  // fair share — a high-priority pod of an over-share pool evicting an
+  // under-share pool's pods would just feed an eviction/re-eviction loop.
+  if (pool_tree_ != nullptr && config_.enable_fair_preemption && !fair_mode) {
+    return false;
+  }
+
+  // Find the node where evicting the cheapest eligible set of pods makes
+  // room; evict exactly that set.
   NodeSelectorFilter selector;
   for (NodeStatus& node : nodes_) {
-    const auto& spec = cluster_.node(node.id());
-    if (!selector.feasible(rec.status.spec, spec, node)) continue;
-    if (!node.allocatable().fits(rec.status.spec.request)) continue;
-    // Victims sorted lowest priority first.
-    std::vector<std::pair<int, PodId>> victims;
+    const auto& node_spec = cluster_.node(node.id());
+    if (!selector.feasible(spec, node_spec, node)) continue;
+    if (!node.allocatable().fits(spec.request)) continue;
+
+    struct Candidate {
+      int priority;
+      double size;  // dominant share of the node (bigger evicts first)
+      PodId id;
+      bool lower_priority;
+    };
+    std::vector<Candidate> candidates;
     for (PodId pid : node.pods()) {
-      const auto& status = pods_.at(pid).status;
-      if (status.spec.priority < rec.status.spec.priority) {
-        victims.emplace_back(status.spec.priority, pid);
+      const PodStatus& victim = pods_.at(pid).status;
+      const bool lower = victim.spec.priority < spec.priority;
+      // Fair mode additionally allows equal-or-lower-priority victims
+      // from pools running over their fair share.
+      const bool over_share = fair_mode &&
+                              victim.spec.tenant != spec.tenant &&
+                              victim.spec.priority <= spec.priority &&
+                              pool_tree_->over_fair_share(victim.spec.tenant);
+      if (!lower && !over_share) continue;
+      candidates.push_back(
+          {victim.spec.priority,
+           victim.spec.request.dominant_share(node.allocatable()), pid,
+           lower});
+    }
+    // Cheapest set: lowest priority first, then the biggest request
+    // (fewest victims), then the newest pod (highest id) so long-running
+    // work survives ties.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.priority != b.priority) return a.priority < b.priority;
+                if (a.size != b.size) return a.size > b.size;
+                return a.id > b.id;
+              });
+
+    cluster::Resources free = node.free();
+    std::vector<const Candidate*> chosen;
+    std::map<std::string, int> group_evictions;
+    std::map<std::string, cluster::Resources> tenant_released;
+    for (const Candidate& cand : candidates) {
+      if (free.fits(spec.request)) break;  // stop exactly when it fits
+      const PodStatus& victim = pods_.at(cand.id).status;
+      const std::string& group = victim.spec.budget_group;
+      if (!disruption_allowed(group, group_evictions[group])) continue;
+      if (!cand.lower_priority &&
+          !pool_tree_->over_fair_share(victim.spec.tenant,
+                                       tenant_released[victim.spec.tenant])) {
+        continue;  // earlier picks already brought the pool to its share
+      }
+      free += victim.spec.request;
+      if (!group.empty()) ++group_evictions[group];
+      tenant_released[victim.spec.tenant] += victim.spec.request;
+      chosen.push_back(&cand);
+    }
+    if (!free.fits(spec.request)) continue;
+    if (chosen.empty()) continue;  // blocked by a filter, not by capacity
+
+    // Drop victims that turned out to be unnecessary: smallest first,
+    // keep every drop that still leaves room.
+    std::sort(chosen.begin(), chosen.end(),
+              [](const Candidate* a, const Candidate* b) {
+                if (a->size != b->size) return a->size < b->size;
+                return a->id < b->id;
+              });
+    std::vector<PodId> final_victims;
+    for (std::size_t i = 0; i < chosen.size(); ++i) {
+      const cluster::Resources request = pods_.at(chosen[i]->id).status.spec.request;
+      cluster::Resources without = free - request;
+      if (without.fits(spec.request)) {
+        free = without;  // unnecessary: keep it running
+      } else {
+        final_victims.push_back(chosen[i]->id);
       }
     }
-    std::sort(victims.begin(), victims.end());
-    cluster::Resources free = node.free();
-    std::vector<PodId> chosen;
-    for (const auto& [prio, pid] : victims) {
-      if (free.fits(rec.status.spec.request)) break;
-      free += pods_.at(pid).status.spec.request;
-      chosen.push_back(pid);
+
+    if (tracer_) {
+      const trace::SpanId span =
+          tracer_->begin(trace::Layer::kScheduler, "orch.preempt");
+      tracer_->annotate(span, "pod",
+                        spec.name.empty() ? std::to_string(rec.status.id)
+                                          : spec.name);
+      tracer_->annotate(span, "node", std::to_string(node.id()));
+      tracer_->annotate(span, "victims",
+                        std::to_string(final_victims.size()));
+      tracer_->end(span);
     }
-    if (!free.fits(rec.status.spec.request)) continue;
-    for (PodId pid : chosen) {
+    for (PodId pid : final_victims) {
+      note_eviction(pods_.at(pid).status.spec.budget_group);
       metrics_.count("preemptions");
       complete(pid, PodPhase::kFailed);
     }
@@ -405,20 +507,68 @@ bool Orchestrator::try_preempt_for(const PodRecord& rec) {
   return false;
 }
 
+void Orchestrator::compact_queue() {
+  // One O(n) rebuild per scheduling pass (placements used to erase the
+  // queue per pod — O(n^2) under a large backlog). Relative order of the
+  // still-pending pods is untouched.
+  std::deque<PodId> pending;
+  for (PodId id : queue_) {
+    auto it = pods_.find(id);
+    if (it != pods_.end() && it->second.status.phase == PodPhase::kPending) {
+      pending.push_back(id);
+    }
+  }
+  queue_.swap(pending);
+}
+
 void Orchestrator::schedule_now() {
   metrics_.count("scheduling_passes");
-  // Snapshot and order the queue: priority desc, then submit order.
+  // Snapshot and order the queue. Default: priority desc, then submit
+  // order. With a pool tree: most-starved pool first (lowest usage/fair
+  // ratio, snapshotted per pass), then priority, then submit order.
   std::vector<PodId> order(queue_.begin(), queue_.end());
-  std::stable_sort(order.begin(), order.end(), [this](PodId a, PodId b) {
-    return record(a).status.spec.priority > record(b).status.spec.priority;
-  });
+  std::map<std::string, double> pool_key;
+  if (pool_tree_) {
+    pool_tree_->recompute();
+    for (PodId id : order) {
+      const std::string& tenant = record(id).status.spec.tenant;
+      pool_key.emplace(tenant, pool_tree_->schedule_key(tenant));
+    }
+    std::stable_sort(order.begin(), order.end(), [&](PodId a, PodId b) {
+      const PodSpec& sa = record(a).status.spec;
+      const PodSpec& sb = record(b).status.spec;
+      const double ka = pool_key.at(sa.tenant);
+      const double kb = pool_key.at(sb.tenant);
+      if (ka != kb) return ka < kb;
+      return sa.priority > sb.priority;
+    });
+  } else {
+    std::stable_sort(order.begin(), order.end(), [this](PodId a, PodId b) {
+      return record(a).status.spec.priority > record(b).status.spec.priority;
+    });
+  }
 
   std::set<GangId> gangs_tried;
+  // Fair-share reservation: once a pod (or gang) of some pool fails to
+  // place, pools that are better served must not leapfrog it and eat the
+  // capacity it is waiting for — capacity freed by churn then drains
+  // toward the starved pool across passes. Pools at the same or a more
+  // starved key keep placing (work conservation within the share order).
+  constexpr double kNoReservation = std::numeric_limits<double>::infinity();
+  double blocked_key = kNoReservation;
+  const auto key_of = [&](const PodSpec& spec) {
+    if (!pool_tree_) return 0.0;
+    auto it = pool_key.find(spec.tenant);
+    return it == pool_key.end() ? 0.0 : it->second;
+  };
   for (PodId id : order) {
     auto it = pods_.find(id);
     if (it == pods_.end()) continue;
     PodRecord& rec = it->second;
     if (rec.status.phase != PodPhase::kPending) continue;
+    const double key = key_of(rec.status.spec);
+    if (pool_tree_ && key > blocked_key) continue;  // reserved for a
+                                                    // more starved pool
 
     if (rec.status.spec.gang != 0) {
       const GangId gang = rec.status.spec.gang;
@@ -432,25 +582,25 @@ void Orchestrator::schedule_now() {
           members.push_back(other);
         }
       }
-      if (try_schedule_gang(gang, members)) {
-        for (PodId member : members) {
-          queue_.erase(std::remove(queue_.begin(), queue_.end(), member),
-                       queue_.end());
-        }
-      }
+      if (!try_schedule_gang(gang, members)) {  // placed members leave
+        blocked_key = std::min(blocked_key, key);  // the queue in
+      }                                            // compact_queue()
       continue;
     }
 
     cluster::NodeId node = select_node(rec.status.spec, cluster_, nodes_,
                                        policy_);
     if (node == cluster::kInvalidNode && config_.enable_preemption &&
-        rec.status.spec.priority > 0 && try_preempt_for(rec)) {
+        try_preempt_for(rec)) {
       node = select_node(rec.status.spec, cluster_, nodes_, policy_);
     }
-    if (node == cluster::kInvalidNode) continue;
-    queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
+    if (node == cluster::kInvalidNode) {
+      blocked_key = std::min(blocked_key, key);
+      continue;
+    }
     place(rec, node);
   }
+  compact_queue();
   metrics_.set_gauge("pending_pods", static_cast<double>(queue_.size()));
 }
 
@@ -518,6 +668,90 @@ void Orchestrator::unquarantine(cluster::NodeId node) {
 
 bool Orchestrator::is_quarantined(cluster::NodeId node) const {
   return quarantined_.count(node) != 0;
+}
+
+void Orchestrator::attach_pool_tree(PoolTree* tree) {
+  pool_tree_ = tree;
+  if (pool_tree_ && pool_tree_->capacity().is_zero()) {
+    cluster::Resources capacity;
+    for (const NodeStatus& node : nodes_) capacity += node.allocatable();
+    pool_tree_->set_capacity(capacity);
+  }
+}
+
+void Orchestrator::set_disruption_budget(const std::string& group,
+                                         DisruptionBudget budget) {
+  if (group.empty()) {
+    throw std::invalid_argument("disruption budget needs a group name");
+  }
+  budgets_[group].budget = budget;
+}
+
+bool Orchestrator::disruption_allowed(const std::string& group,
+                                      int tentative) const {
+  if (group.empty()) return true;
+  auto it = budgets_.find(group);
+  if (it == budgets_.end()) return true;
+  const BudgetState& state = it->second;
+  const util::TimeNs cutoff = sim_.now() - state.budget.window;
+  int recent = tentative;
+  for (util::TimeNs t : state.recent) {
+    if (t > cutoff) ++recent;
+  }
+  if (recent >= state.budget.max_evictions_per_window) return false;
+  auto run = group_running_.find(group);
+  const int running = run == group_running_.end() ? 0 : run->second;
+  return running - tentative > state.budget.min_available;
+}
+
+bool Orchestrator::disruption_allowed(const std::string& group) const {
+  return disruption_allowed(group, 0);
+}
+
+void Orchestrator::note_eviction(const std::string& group) {
+  if (group.empty()) return;
+  auto it = budgets_.find(group);
+  if (it == budgets_.end()) return;
+  BudgetState& state = it->second;
+  state.recent.push_back(sim_.now());
+  const util::TimeNs cutoff = sim_.now() - state.budget.window;
+  while (!state.recent.empty() && state.recent.front() <= cutoff) {
+    state.recent.pop_front();
+  }
+}
+
+bool Orchestrator::evict_for_rebalance(PodId victim) {
+  auto it = pods_.find(victim);
+  if (it == pods_.end() || it->second.status.phase != PodPhase::kRunning) {
+    return false;
+  }
+  const std::string& group = it->second.status.spec.budget_group;
+  if (!disruption_allowed(group, 0)) return false;
+  note_eviction(group);
+  metrics_.count("rebalance_evictions");
+  complete(victim, PodPhase::kFailed);
+  return true;
+}
+
+std::vector<PodId> Orchestrator::pending_snapshot() const {
+  return std::vector<PodId>(queue_.begin(), queue_.end());
+}
+
+std::vector<cluster::NodeId> Orchestrator::managed_nodes() const {
+  std::vector<cluster::NodeId> nodes;
+  nodes.reserve(node_index_.size());
+  for (const auto& [id, index] : node_index_) nodes.push_back(id);
+  return nodes;
+}
+
+cluster::NodeId Orchestrator::feasible_node_for(const PodSpec& spec,
+                                                cluster::NodeId exclude) const {
+  std::vector<NodeStatus> eligible;
+  eligible.reserve(nodes_.size());
+  for (const NodeStatus& node : nodes_) {
+    if (node.id() != exclude) eligible.push_back(node);
+  }
+  return select_node(spec, cluster_, eligible, policy_);
 }
 
 double Orchestrator::cpu_utilization() const {

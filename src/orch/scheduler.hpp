@@ -3,7 +3,11 @@
 // A periodic scheduling pass drains the pending queue in priority order
 // (FIFO within a priority). Gangs are placed all-or-nothing. Optional
 // priority preemption evicts lower-priority pods when a high-priority pod
-// cannot fit anywhere.
+// cannot fit anywhere. With a PoolTree attached the queue is ordered by
+// hierarchical fair share instead (most-starved pool first) and, when
+// enabled, pods of under-served pools may preempt pods of pools running
+// over their fair share. All voluntary evictions are gated by per-group
+// disruption budgets.
 #pragma once
 
 #include <deque>
@@ -14,6 +18,7 @@
 #include "cluster/cluster.hpp"
 #include "metrics/registry.hpp"
 #include "metrics/timeseries.hpp"
+#include "orch/fairshare.hpp"
 #include "orch/node_status.hpp"
 #include "orch/plugins.hpp"
 #include "orch/pod.hpp"
@@ -23,11 +28,27 @@
 
 namespace evolve::orch {
 
+/// Caps voluntary disruption (preemption, rebalancing) of a pod group —
+/// typically the replicas of one controller. Involuntary evictions
+/// (node failure, drain) are not budgeted.
+struct DisruptionBudget {
+  /// Max voluntary evictions within any trailing `window`.
+  int max_evictions_per_window = 1;
+  util::TimeNs window = util::seconds(1);
+  /// At least this many group members must stay running after an
+  /// eviction (0 = the whole group may be disrupted).
+  int min_available = 0;
+};
+
 struct OrchestratorConfig {
   util::TimeNs scheduling_interval = util::millis(10);
   util::TimeNs bind_latency = util::millis(50);  // image pull + start
   int accel_slots_per_device = 1;
   bool enable_preemption = false;
+  /// With a PoolTree attached: pods of pools below their fair share may
+  /// preempt pods (of equal or lower priority) from pools above theirs.
+  /// Requires enable_preemption.
+  bool enable_fair_preemption = false;
   /// Nodes this orchestrator manages; empty = the whole cluster.
   /// Siloed (partitioned) deployments give each silo its own subset.
   std::vector<cluster::NodeId> nodes;
@@ -77,6 +98,36 @@ class Orchestrator {
   metrics::Registry& metrics() { return metrics_; }
   const metrics::Registry& metrics() const { return metrics_; }
 
+  /// Attaches a (non-owned) fair-share pool tree: queue ordering becomes
+  /// most-starved-pool-first, pending/live usage is accounted per pool,
+  /// and enable_fair_preemption may evict over-share pods. If the tree's
+  /// capacity is unset it is initialized from the managed nodes.
+  void attach_pool_tree(PoolTree* tree);
+  PoolTree* pool_tree() { return pool_tree_; }
+
+  /// Registers (or replaces) the disruption budget for a pod group
+  /// (PodSpec::budget_group). Groups without a budget are unprotected.
+  void set_disruption_budget(const std::string& group,
+                             DisruptionBudget budget);
+  /// True when the group can absorb one more voluntary eviction right
+  /// now (window cap not hit, min_available preserved).
+  bool disruption_allowed(const std::string& group) const;
+
+  /// Voluntary eviction on behalf of the background rebalancer: gated by
+  /// the victim's disruption budget; the owning controller is expected
+  /// to recreate the pod elsewhere. False when refused.
+  bool evict_for_rebalance(PodId victim);
+
+  /// Pending queue snapshot in submit order (rebalancer input).
+  std::vector<PodId> pending_snapshot() const;
+  /// Managed node ids, ascending.
+  std::vector<cluster::NodeId> managed_nodes() const;
+  /// Best feasible node for `spec` under the current policy, skipping
+  /// `exclude`; kInvalidNode when nothing fits.
+  cluster::NodeId feasible_node_for(const PodSpec& spec,
+                                    cluster::NodeId exclude =
+                                        cluster::kInvalidNode) const;
+
   /// Time-weighted CPU/memory utilization of the whole cluster since t=0.
   double cpu_utilization() const;
   double memory_utilization() const;
@@ -111,8 +162,10 @@ class Orchestrator {
 
   /// Attaches a span tracer: each pod gets a kScheduler wait span
   /// (submit -> placed) and, for auto-finishing pods, a kCloud run span
-  /// (placed -> terminal). Null disables.
+  /// (placed -> terminal). Preemptions emit orch.preempt spans. Null
+  /// disables.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() const { return tracer_; }
 
   /// Runs one scheduling pass immediately (also runs periodically).
   void schedule_now();
@@ -146,6 +199,12 @@ class Orchestrator {
   void fail_gang_of(const PodRecord& rec);
   bool try_schedule_gang(GangId gang, std::vector<PodId>& gang_pods);
   bool try_preempt_for(const PodRecord& rec);
+  /// Budget check with `tentative` evictions already chosen against the
+  /// group in the current decision.
+  bool disruption_allowed(const std::string& group, int tentative) const;
+  void note_eviction(const std::string& group);
+  /// Drops every non-pending pod from the queue in one O(n) pass.
+  void compact_queue();
   void pump();
 
   sim::Simulation& sim_;
@@ -164,6 +223,13 @@ class Orchestrator {
   std::map<PodId, PodRecord> pods_;
   std::deque<PodId> queue_;
   QuotaManager quotas_;
+  PoolTree* pool_tree_ = nullptr;  // non-owned fair-share state
+  struct BudgetState {
+    DisruptionBudget budget;
+    std::deque<util::TimeNs> recent;  // eviction timestamps, pruned lazily
+  };
+  std::map<std::string, BudgetState> budgets_;
+  std::map<std::string, int> group_running_;  // live pods per budget group
   metrics::Registry metrics_;
   metrics::UsageTracker cpu_usage_;
   metrics::UsageTracker mem_usage_;

@@ -149,6 +149,73 @@ TEST(BatchQueue, FreeNodesRestoredAfterCompletion) {
   EXPECT_EQ(queue.queued_jobs(), 0);
 }
 
+TEST(BatchQueue, PoolLimitHoldsGangWithoutBlockingOthers) {
+  sim::Simulation sim;
+  BatchQueue queue(sim, 4);
+  orch::PoolTree tree;
+  tree.set_capacity(cluster::cpu_mem(4000, 0));
+  tree.add_pool({.name = "a", .limit = cluster::cpu_mem(2000, 0)});
+  tree.add_pool({.name = "b"});
+  queue.set_pool_tree(&tree, cluster::cpu_mem(1000, 0));
+
+  auto tenant_job = [](const std::string& name, const std::string& tenant,
+                       int nodes, double runtime_s) {
+    HpcJobSpec spec = job(name, nodes, runtime_s);
+    spec.tenant = tenant;
+    return spec;
+  };
+  // Tenant a floods three 1-node jobs but is capped at 2 nodes; its
+  // third job is held back without blocking tenant b behind it.
+  std::vector<util::TimeNs> starts(4, -1);
+  auto at = [&](std::size_t i) {
+    return [&starts, i, &sim](JobId, const std::vector<int>&) {
+      starts[i] = sim.now();
+    };
+  };
+  queue.submit(tenant_job("a1", "a", 1, 10), at(0));
+  queue.submit(tenant_job("a2", "a", 1, 10), at(1));
+  queue.submit(tenant_job("a3", "a", 1, 10), at(2));
+  queue.submit(tenant_job("b1", "b", 1, 1), at(3));
+  sim.run();
+  EXPECT_EQ(starts[0], 0);
+  EXPECT_EQ(starts[1], 0);
+  EXPECT_GE(starts[2], seconds(10));  // waited for a's usage to drain
+  EXPECT_EQ(starts[3], 0);            // b sailed past the held gang
+}
+
+TEST(BatchQueue, FairOrderRunsStarvedTenantFirst) {
+  sim::Simulation sim;
+  BatchQueue queue(sim, 4);
+  orch::PoolTree tree;
+  tree.set_capacity(cluster::cpu_mem(4000, 0));
+  queue.set_pool_tree(&tree, cluster::cpu_mem(1000, 0));
+
+  auto tenant_job = [](const std::string& name, const std::string& tenant,
+                       int nodes, double runtime_s) {
+    HpcJobSpec spec = job(name, nodes, runtime_s);
+    spec.tenant = tenant;
+    return spec;
+  };
+  std::vector<std::string> start_order;
+  auto track = [&](const std::string& name) {
+    return [&start_order, name](JobId, const std::vector<int>&) {
+      start_order.push_back(name);
+    };
+  };
+  // Tenant a takes the whole machine and queues two more jobs; tenant
+  // b's job arrives last but runs first once a node frees up, because
+  // a is far over its share and b has none.
+  for (int i = 0; i < 4; ++i) {
+    queue.submit(tenant_job("a-run" + std::to_string(i), "a", 1, 2 + i));
+  }
+  queue.submit(tenant_job("a5", "a", 1, 1), track("a5"));
+  queue.submit(tenant_job("a6", "a", 1, 1), track("a6"));
+  queue.submit(tenant_job("b1", "b", 1, 1), track("b1"));
+  sim.run();
+  ASSERT_EQ(start_order.size(), 3u);
+  EXPECT_EQ(start_order[0], "b1");
+}
+
 TEST(BatchQueue, JobStatusLifecycle) {
   sim::Simulation sim;
   BatchQueue queue(sim, 2);

@@ -34,11 +34,36 @@ TEST(QuotaManager, ReleaseRestoresHeadroom) {
   EXPECT_TRUE(quotas.allows("t", cpu_mem(1000, 0)));
 }
 
+TEST(QuotaManager, ReleaseUnknownTenantIsCountedNoOp) {
+  // A release for a tenant that never charged must not throw (a late
+  // completion callback can outlive its tenant's accounting); it is
+  // swallowed and counted for observability.
+  QuotaManager quotas;
+  quotas.release("t", cpu_mem(1, 0));
+  EXPECT_EQ(quotas.unmatched_releases(), 1);
+  EXPECT_EQ(quotas.usage("t"), cpu_mem(0, 0));
+}
+
 TEST(QuotaManager, ReleaseUnderflowThrows) {
   QuotaManager quotas;
-  EXPECT_THROW(quotas.release("t", cpu_mem(1, 0)), std::logic_error);
   quotas.charge("t", cpu_mem(1, 0));
   EXPECT_THROW(quotas.release("t", cpu_mem(2, 0)), std::logic_error);
+}
+
+TEST(QuotaManager, NegativeRemainingClampsToDeny) {
+  // Tightening a quota below current usage must deny all further
+  // admissions (remaining clamps at zero, never goes negative) until
+  // usage drains back under the limit.
+  QuotaManager quotas;
+  quotas.charge("t", cpu_mem(500, 0));
+  quotas.set_quota("t", cpu_mem(100, util::kGiB));
+  EXPECT_FALSE(quotas.allows("t", cpu_mem(1, 0)));
+  // Memory headroom exists, but the CPU dimension is over-committed;
+  // a request touching only memory is still admitted.
+  EXPECT_TRUE(quotas.allows("t", cpu_mem(0, util::kGiB)));
+  quotas.release("t", cpu_mem(450, 0));
+  EXPECT_TRUE(quotas.allows("t", cpu_mem(50, 0)));
+  EXPECT_FALSE(quotas.allows("t", cpu_mem(51, 0)));
 }
 
 TEST(QuotaManager, ClearQuotaRemovesLimit) {
