@@ -30,6 +30,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ./bench/bench_f5_storage --json)
 (cd "$BUILD_DIR" && ./bench/bench_f14_durability --json)
 (cd "$BUILD_DIR" && ./bench/bench_f15_fairness --json)
+(cd "$BUILD_DIR" && ./bench/bench_f16_partitions --json)
 
 # -- Baseline diffs (before any --trace run touches the reports) -------
 # F9 mixes simulated metrics with host wall-clock timings; only the
@@ -54,6 +55,10 @@ diff "$BUILD_DIR/BENCH_f14_durability.json" BENCH_f14_durability.json \
 # F15 (fair share under contention) is fully simulation-deterministic.
 diff "$BUILD_DIR/BENCH_f15_fairness.json" BENCH_f15_fairness.json \
   || { echo "check.sh: BENCH_f15_fairness.json deviates from baseline"; exit 1; }
+# F16 (partitions + metastability defenses) is fully simulation-
+# deterministic.
+diff "$BUILD_DIR/BENCH_f16_partitions.json" BENCH_f16_partitions.json \
+  || { echo "check.sh: BENCH_f16_partitions.json deviates from baseline"; exit 1; }
 echo "check.sh: bench metrics match the tracked baselines"
 
 # -- F15 fairness gate --------------------------------------------------
@@ -75,6 +80,40 @@ awk -v fair="$jain_fair" -v prio="$jain_priority" 'BEGIN {
     exit 1
   }
   printf "check.sh: F15 fairness gate ok: Jain %.3f fair vs %.3f priority-only\n", fair, prio
+}'
+
+# -- F16 partition-recovery gate ----------------------------------------
+# Defenses on must recover goodput to >= 90% of the pre-partition rate in
+# the 10 s window after the heal, beat defenses-off, and spend at most a
+# lease TTL's worth of seconds degraded; defenses-off must exhibit the
+# measurably degraded (retry-storm) recovery the defenses exist to
+# prevent. All four values are simulation-deterministic.
+f16_metric() {
+  awk -v key="\"$2\":" '$1 == key { gsub(/,/, "", $2); print $2 }' "$1"
+}
+on_recovery=$(f16_metric "$BUILD_DIR/BENCH_f16_partitions.json" on_recovery_ratio)
+off_recovery=$(f16_metric "$BUILD_DIR/BENCH_f16_partitions.json" off_recovery_ratio)
+on_degraded=$(f16_metric "$BUILD_DIR/BENCH_f16_partitions.json" on_degraded_seconds)
+off_degraded=$(f16_metric "$BUILD_DIR/BENCH_f16_partitions.json" off_degraded_seconds)
+awk -v on="$on_recovery" -v off="$off_recovery" \
+    -v ond="$on_degraded" -v offd="$off_degraded" 'BEGIN {
+  if (on < 0.9) {
+    printf "check.sh: F16 defenses-on recovery ratio %.3f (< 0.9 floor)\n", on
+    exit 1
+  }
+  if (on <= off) {
+    printf "check.sh: F16 defenses-on recovery (%.3f) does not beat defenses-off (%.3f)\n", on, off
+    exit 1
+  }
+  if (ond > 5) {
+    printf "check.sh: F16 defenses-on degraded for %d s (> 5 s ceiling)\n", ond
+    exit 1
+  }
+  if (offd < 10) {
+    printf "check.sh: F16 defenses-off degraded for only %d s — no retry-storm regime to defend against\n", offd
+    exit 1
+  }
+  printf "check.sh: F16 partition gate ok: recovery %.3f on vs %.3f off, degraded %d s on vs %d s off\n", on, off, ond, offd
 }'
 
 # -- F13 kernel-at-scale gate ------------------------------------------
@@ -143,6 +182,9 @@ if [[ "${EVOLVE_SKIP_SANITIZERS:-0}" != "1" ]]; then
   # the rebalancer end to end under ASan/UBSan (the ctest pass above
   # already covers the PoolTree/Preemption/Rebalancer unit tests).
   (cd "$SAN_DIR" && ./bench/bench_f15_fairness)
+  # Drive the partition park/resume, lease/fencing, and retry-budget
+  # paths end to end under ASan/UBSan.
+  (cd "$SAN_DIR" && ./bench/bench_f16_partitions)
   echo
   echo "check.sh: sanitizer (ASan/UBSan) test pass clean in $SAN_DIR"
 fi

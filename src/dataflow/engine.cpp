@@ -488,6 +488,7 @@ void DataflowEngine::task_won(std::shared_ptr<RunState> run, TaskId task_id) {
   auto& sr = run->stage_runs[static_cast<std::size_t>(task.stage)];
   sr.durations.push_back(sim_.now() - task.first_start);
   metrics_.count("tasks_completed");
+  if (retry_budget_ != nullptr) retry_budget_->record_success();
   if (++sr.done_tasks >= sr.num_tasks) {
     finish_stage(run, task.stage);
     return;
@@ -533,6 +534,27 @@ void DataflowEngine::retry_task(std::shared_ptr<RunState> run,
   if (!config_.fault_recovery ||
       task.fault_retries >= config_.max_task_retries) {
     fail_job(run);
+    return;
+  }
+  if (retry_budget_ != nullptr && !retry_budget_->try_retry()) {
+    // Budget empty: the cluster is failing faster than it is succeeding,
+    // so another retry would only feed the storm. Defer WITHOUT
+    // consuming a retry attempt; the probe re-enters retry_task and
+    // proceeds once real completions have refilled the bucket.
+    metrics_.count("task_retries_deferred");
+    task.retry_pending = true;
+    util::TimeNs delay = 4 * config_.retry_backoff;
+    delay += static_cast<util::TimeNs>(run->rng.uniform(0.0, 0.25) *
+                                       static_cast<double>(delay));
+    sim_.after(delay, [this, run, task_id] {
+      RunState::TaskDef& task = run->tasks.at(task_id);
+      task.retry_pending = false;
+      if (run->aborted) return;
+      if (task.completed || task.winner_decided || task.copies_running > 0) {
+        return;
+      }
+      retry_task(run, task_id);
+    });
     return;
   }
   ++task.fault_retries;

@@ -24,6 +24,7 @@
 #include "storage/dataset.hpp"
 #include "storage/io_model.hpp"
 #include "trace/tracer.hpp"
+#include "util/retry_budget.hpp"
 
 namespace evolve::dataflow {
 
@@ -151,6 +152,12 @@ class DataflowEngine {
   /// kScheduler spans. Null disables (the default, zero overhead).
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attaches a (non-owned, possibly cross-layer shared) retry budget:
+  /// fault-driven re-executions then withdraw a token per attempt and
+  /// defer — without consuming a retry attempt — while the budget is
+  /// empty. Completed tasks deposit. Null (default) disables.
+  void set_retry_budget(util::RetryBudget* budget) { retry_budget_ = budget; }
+
  private:
   struct RunState;
 
@@ -177,6 +184,7 @@ class DataflowEngine {
   /// Gray-failure compute slowdown per node (absent = healthy).
   std::map<cluster::NodeId, double> node_slowdown_;
   TaskObserver task_observer_;
+  util::RetryBudget* retry_budget_ = nullptr;  // non-owned, optional
   std::int64_t next_trace_job_ = 1;  // job id stamped on trace spans
   /// Live jobs, for failure fan-out; expired entries pruned lazily.
   std::vector<std::weak_ptr<RunState>> runs_;

@@ -45,6 +45,7 @@ double HealthScorer::peer_median(cluster::NodeId node) const {
   peers.reserve(nodes_.size());
   for (const auto& [id, state] : nodes_) {
     if (id == node || state.samples < config_.min_samples) continue;
+    if (down_.count(id) != 0) continue;  // dead peers skew the baseline
     peers.push_back(state.ewma);
   }
   if (static_cast<int>(peers.size()) < config_.min_peers) return 0.0;
@@ -76,6 +77,14 @@ int HealthScorer::samples(cluster::NodeId node) const {
 }
 
 void HealthScorer::reset_node(cluster::NodeId node) { nodes_.erase(node); }
+
+void HealthScorer::set_node_down(cluster::NodeId node, bool down) {
+  if (down) {
+    down_.insert(node);
+  } else {
+    down_.erase(node);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // QuarantineController

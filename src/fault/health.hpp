@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -67,6 +68,15 @@ class HealthScorer {
   /// subscriber callbacks) — the probe path: fresh samples re-decide.
   void reset_node(cluster::NodeId node);
 
+  /// Marks `node` down (crashed or lease-expired): its stale EWMA drops
+  /// out of every peer median until it comes back. Without this a dead
+  /// node's frozen history skews the median and healthy peers can be
+  /// flagged against a baseline that no longer exists.
+  void set_node_down(cluster::NodeId node, bool down);
+  bool is_node_down(cluster::NodeId node) const {
+    return down_.count(node) != 0;
+  }
+
   std::int64_t flags_raised() const { return flags_; }
   std::int64_t flags_cleared() const { return clears_; }
 
@@ -89,6 +99,7 @@ class HealthScorer {
   std::vector<TransitionFn> flag_subs_;
   std::vector<TransitionFn> clear_subs_;
   std::map<cluster::NodeId, NodeState> nodes_;
+  std::set<cluster::NodeId> down_;  // excluded from peer medians
   std::int64_t flags_ = 0;
   std::int64_t clears_ = 0;
   metrics::Registry metrics_;

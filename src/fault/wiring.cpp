@@ -6,6 +6,7 @@
 #include "dataflow/engine.hpp"
 #include "hpc/batch_queue.hpp"
 #include "net/fabric.hpp"
+#include "orch/lease.hpp"
 #include "orch/scheduler.hpp"
 #include "serve/service.hpp"
 #include "storage/object_store.hpp"
@@ -55,6 +56,53 @@ void connect(FaultInjector& injector, hpc::BatchQueue& queue,
   injector.on_recovery([&queue, index_of](cluster::NodeId node, util::TimeNs) {
     const int idx = index_of(node);
     if (idx >= 0) queue.handle_node_recovery(idx);
+  });
+}
+
+void connect(FaultInjector& injector, orch::LeaseManager& leases) {
+  injector.on_failure([&leases](cluster::NodeId node, util::TimeNs) {
+    leases.pause(node);
+  });
+  injector.on_recovery([&leases](cluster::NodeId node, util::TimeNs) {
+    leases.resume(node);
+  });
+}
+
+void connect(orch::LeaseManager& leases, storage::ObjectStore& store) {
+  leases.on_expire([&store](cluster::NodeId node, std::int64_t epoch,
+                            util::TimeNs) { store.fence_node(node, epoch); });
+}
+
+void connect(orch::LeaseManager& leases, serve::Service& service,
+             util::TimeNs ramp_window) {
+  leases.on_expire([&service](cluster::NodeId node, std::int64_t,
+                              util::TimeNs) {
+    service.set_node_drained(node, true);
+  });
+  leases.on_reconnect([&service, ramp_window](cluster::NodeId node,
+                                              std::int64_t, util::TimeNs) {
+    service.set_node_drained(node, false);
+    if (ramp_window > 0) service.ramp_node(node, ramp_window);
+  });
+}
+
+void connect(FaultInjector& injector, HealthScorer& scorer) {
+  injector.on_failure([&scorer](cluster::NodeId node, util::TimeNs) {
+    scorer.set_node_down(node, true);
+  });
+  injector.on_recovery([&scorer](cluster::NodeId node, util::TimeNs) {
+    scorer.set_node_down(node, false);
+  });
+}
+
+void connect(orch::LeaseManager& leases, HealthScorer& scorer) {
+  leases.on_expire([&scorer](cluster::NodeId node, std::int64_t,
+                             util::TimeNs) {
+    scorer.set_node_down(node, true);
+  });
+  leases.on_reconnect([&scorer](cluster::NodeId node, std::int64_t,
+                                util::TimeNs) {
+    scorer.set_node_down(node, false);
   });
 }
 

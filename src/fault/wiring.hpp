@@ -16,6 +16,7 @@
 
 namespace evolve::orch {
 class Orchestrator;
+class LeaseManager;
 }
 namespace evolve::dataflow {
 class DataflowEngine;
@@ -52,6 +53,31 @@ void connect(FaultInjector& injector, storage::ObjectStore& store);
 /// index i; crashes of other nodes are ignored.
 void connect(FaultInjector& injector, hpc::BatchQueue& queue,
              std::vector<cluster::NodeId> queue_nodes);
+
+// -- Leases / partitions ------------------------------------------------
+
+/// Lease manager: a crashed node's lease pauses (the crash path owns its
+/// pods) and resumes fresh on recovery — so a node that is *down* is
+/// never double-counted as *unreachable*.
+void connect(FaultInjector& injector, orch::LeaseManager& leases);
+
+/// Object store fencing: a lease expiry fences the node at its new
+/// epoch, so writes the isolated (but still live) node issues under the
+/// old epoch are rejected — the zombie-writer defense.
+void connect(orch::LeaseManager& leases, storage::ObjectStore& store);
+
+/// Serving: lease expiry drains the node's replicas; reconnect undrains
+/// them and (when `ramp_window` > 0) ramps traffic back gradually
+/// instead of stampeding the healed node.
+void connect(orch::LeaseManager& leases, serve::Service& service,
+             util::TimeNs ramp_window = 0);
+
+/// Health scoring: crashed nodes drop out of peer medians while down.
+void connect(FaultInjector& injector, HealthScorer& scorer);
+
+/// Health scoring: lease-expired (unreachable) nodes drop out of peer
+/// medians until they reconnect.
+void connect(orch::LeaseManager& leases, HealthScorer& scorer);
 
 // -- Gray failures ----------------------------------------------------
 

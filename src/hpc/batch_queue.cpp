@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/backoff.hpp"
+
 namespace evolve::hpc {
 
 BatchQueue::BatchQueue(sim::Simulation& sim, int total_nodes,
@@ -139,6 +141,7 @@ void BatchQueue::finish_job(JobId id, std::int64_t incarnation) {
                         job_resources(rec.status.spec));
   }
   metrics_.count("jobs_finished");
+  if (retry_budget_ != nullptr) retry_budget_->record_success();
   if (tracer_) tracer_->end(rec.run_span);
   if (rec.on_finish) rec.on_finish(id);
   schedule_pass();
@@ -174,7 +177,9 @@ std::vector<JobId> BatchQueue::eligible_order() const {
   std::vector<JobId> order;
   order.reserve(queue_.size());
   for (JobId id : queue_) {
-    if (dependencies_met(jobs_.at(id))) order.push_back(id);
+    const JobRecord& rec = jobs_.at(id);
+    if (rec.hold_until > sim_.now()) continue;  // budget-denied hold
+    if (dependencies_met(rec)) order.push_back(id);
   }
   auto effective = [this](JobId id) {
     const auto& status = jobs_.at(id).status;
@@ -319,6 +324,17 @@ void BatchQueue::handle_node_failure(int node) {
     rec.wait_span = tracer_->begin(trace::Layer::kScheduler, "hpc.requeue",
                                    rec.trace_parent);
     tracer_->annotate(rec.wait_span, "job", rec.status.spec.name);
+  }
+  if (retry_budget_ != nullptr && !retry_budget_->try_retry()) {
+    // Budget drained: hold the requeued job out of scheduling for a
+    // backoff that saturates in its restart count — a mass gang-abort
+    // then trickles back into the machine instead of stampeding it.
+    const util::TimeNs hold =
+        util::saturating_backoff(denied_hold_, rec.status.restarts);
+    rec.hold_until = sim_.now() + hold;
+    ++requeues_held_;
+    metrics_.count("requeues_held");
+    sim_.after(hold, [this] { schedule_pass(); });
   }
   queue_.push_front(victim);  // restarts take queue priority
   metrics_.count("gang_aborts");

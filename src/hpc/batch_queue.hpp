@@ -19,6 +19,7 @@
 #include "orch/fairshare.hpp"
 #include "sim/simulation.hpp"
 #include "trace/tracer.hpp"
+#include "util/retry_budget.hpp"
 #include "util/types.hpp"
 
 namespace evolve::hpc {
@@ -112,12 +113,26 @@ class BatchQueue {
   /// tenants' jobs behind it. Null detaches.
   void set_pool_tree(orch::PoolTree* tree, cluster::Resources per_node);
 
+  /// Attaches a (non-owned, possibly cross-layer shared) retry budget:
+  /// fault-driven requeues then cost a token each; a job denied a token
+  /// is held out of scheduling for `denied_hold << restarts` (saturating)
+  /// before becoming eligible again — a mass gang-abort cannot restart
+  /// the whole machine at once while the budget is drained. Finished
+  /// jobs deposit. Null (default) disables.
+  void set_retry_budget(util::RetryBudget* budget,
+                        util::TimeNs denied_hold = util::seconds(1)) {
+    retry_budget_ = budget;
+    denied_hold_ = denied_hold;
+  }
+  std::int64_t requeues_held() const { return requeues_held_; }
+
  private:
   struct JobRecord {
     HpcJobStatus status;
     StartFn on_start;
     FinishFn on_finish;
     util::TimeNs remaining = 0;     // runtime left (restarts shrink it)
+    util::TimeNs hold_until = 0;    // budget-denied requeue hold
     std::int64_t incarnation = 0;   // invalidates stale finish timers
     trace::SpanId wait_span = trace::kNoSpan;
     trace::SpanId run_span = trace::kNoSpan;
@@ -152,6 +167,9 @@ class BatchQueue {
   trace::Tracer* tracer_ = nullptr;
   orch::PoolTree* pool_tree_ = nullptr;
   cluster::Resources per_node_;  // one node's worth of pool-tree charge
+  util::RetryBudget* retry_budget_ = nullptr;  // non-owned, optional
+  util::TimeNs denied_hold_ = util::seconds(1);
+  std::int64_t requeues_held_ = 0;
 };
 
 }  // namespace evolve::hpc

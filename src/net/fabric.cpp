@@ -76,6 +76,14 @@ FlowId Fabric::transfer(cluster::NodeId src, cluster::NodeId dst,
       if (cb) cb();
     };
   }
+  if (partitions_active_ && !reachable(src, dst)) {
+    // The pair is partitioned: the flow parks immediately and makes no
+    // progress until a heal/mask change reconnects src → dst.
+    ++stats_.flows_parked;
+    parked_.emplace(id, ParkedFlow{src, dst, static_cast<double>(bytes), bytes,
+                                   latency, std::move(on_complete)});
+    return id;
+  }
   if (bytes == 0) {
     // Completion is counted when the latency-deferred callback actually
     // fires, so stats never report completions that have not happened yet.
@@ -88,7 +96,7 @@ FlowId Fabric::transfer(cluster::NodeId src, cluster::NodeId dst,
   }
   std::vector<LinkId> path = topology_.path(src, dst);
   if (config_.use_reference_solver) {
-    return ref_transfer(id, std::move(path), bytes, latency,
+    return ref_transfer(id, src, dst, std::move(path), bytes, latency,
                         std::move(on_complete));
   }
 
@@ -101,6 +109,8 @@ FlowId Fabric::transfer(cluster::NodeId src, cluster::NodeId dst,
   flow_group_[si] = gi;
   flow_bytes_[si] = bytes;
   flow_latency_[si] = latency;
+  flow_src_[si] = src;
+  flow_dst_[si] = dst;
   flow_finish_drain_[si] = group.drain_total + static_cast<double>(bytes);
   flow_cb_[si] = std::move(on_complete);
   group.members.push(Member{flow_finish_drain_[si], id, slot});
@@ -113,6 +123,16 @@ FlowId Fabric::transfer(cluster::NodeId src, cluster::NodeId dst,
 }
 
 bool Fabric::cancel(FlowId id) {
+  auto pit = parked_.find(id);
+  if (pit != parked_.end()) {
+    // Parked flows never entered (or already left) the solver, so only
+    // the in-flight accounting needs unwinding.
+    end_flow_span(id);
+    parked_.erase(pit);
+    ++stats_.flows_cancelled;
+    --stats_.flows_in_flight;
+    return true;
+  }
   if (config_.use_reference_solver) {
     const bool cancelled = ref_cancel(id);
     if (cancelled) end_flow_span(id);
@@ -160,6 +180,8 @@ int Fabric::acquire_flow_slot() {
   flow_group_.push_back(-1);
   flow_bytes_.push_back(0);
   flow_latency_.push_back(0);
+  flow_src_.push_back(0);
+  flow_dst_.push_back(0);
   flow_finish_drain_.push_back(0.0);
   flow_cb_.emplace_back();
   return static_cast<int>(flow_id_.size()) - 1;
@@ -366,12 +388,14 @@ void Fabric::on_completion_event() {
 // Reference (debug) engine — the original from-scratch implementation
 // ---------------------------------------------------------------------------
 
-FlowId Fabric::ref_transfer(FlowId id, std::vector<LinkId> path,
-                            util::Bytes bytes, util::TimeNs latency,
-                            FlowCallback on_complete) {
+FlowId Fabric::ref_transfer(FlowId id, cluster::NodeId src, cluster::NodeId dst,
+                            std::vector<LinkId> path, util::Bytes bytes,
+                            util::TimeNs latency, FlowCallback on_complete) {
   ref_settle_progress();
   RefFlow flow;
   flow.id = id;
+  flow.src = src;
+  flow.dst = dst;
   flow.path = std::move(path);
   flow.remaining = static_cast<double>(bytes);
   flow.bytes = bytes;
@@ -507,6 +531,144 @@ void Fabric::ref_on_completion_event() {
   }
   ref_recompute();
   for (Done& d : done) deliver(d.bytes, d.remote, d.latency, std::move(d.cb));
+}
+
+// ---------------------------------------------------------------------------
+// Network partitions (shared by both engines)
+// ---------------------------------------------------------------------------
+
+bool Fabric::reachable(cluster::NodeId src, cluster::NodeId dst) const {
+  if (!partitions_active_ || src == dst) return true;
+  const int a = host_group_[static_cast<std::size_t>(src)];
+  const int b = host_group_[static_cast<std::size_t>(dst)];
+  return group_blocked_[static_cast<std::size_t>(a)]
+                       [static_cast<std::size_t>(b)] == 0;
+}
+
+void Fabric::set_reachability(std::vector<int> host_group,
+                              std::vector<std::vector<char>> blocked) {
+  if (static_cast<int>(host_group.size()) != topology_.host_count()) {
+    throw std::invalid_argument("set_reachability: host_group size mismatch");
+  }
+  host_group_ = std::move(host_group);
+  group_blocked_ = std::move(blocked);
+  partitions_active_ = false;
+  for (const auto& row : group_blocked_) {
+    for (const char b : row) {
+      if (b != 0) partitions_active_ = true;
+    }
+  }
+  apply_reachability();
+}
+
+void Fabric::clear_partitions() {
+  if (!partitions_active_ && parked_.empty()) return;
+  partitions_active_ = false;
+  host_group_.clear();
+  group_blocked_.clear();
+  apply_reachability();
+}
+
+void Fabric::apply_reachability() {
+  // Settle at the pre-change rates first: parked flows keep exactly the
+  // bytes they had drained up to this instant.
+  if (config_.use_reference_solver) {
+    ref_settle_progress();
+    for (auto it = ref_flows_.begin(); it != ref_flows_.end();) {
+      RefFlow& flow = it->second;
+      if (reachable(flow.src, flow.dst)) {
+        ++it;
+        continue;
+      }
+      ++stats_.flows_parked;
+      parked_.emplace(flow.id,
+                      ParkedFlow{flow.src, flow.dst, flow.remaining, flow.bytes,
+                                 flow.latency, std::move(flow.on_complete)});
+      it = ref_flows_.erase(it);
+      --active_flows_;
+    }
+  } else {
+    settle_progress();
+    for (std::size_t si = 0; si < flow_id_.size(); ++si) {
+      const FlowId id = flow_id_[si];
+      if (id == 0) continue;
+      if (reachable(flow_src_[si], flow_dst_[si])) continue;
+      const Group& group =
+          groups_[static_cast<std::size_t>(flow_group_[si])];
+      const double remaining =
+          std::max(0.0, flow_finish_drain_[si] - group.drain_total);
+      ++stats_.flows_parked;
+      parked_.emplace(id, ParkedFlow{flow_src_[si], flow_dst_[si], remaining,
+                                     flow_bytes_[si], flow_latency_[si],
+                                     std::move(flow_cb_[si])});
+      // The heap member left behind purges lazily (slot id mismatch).
+      leave_group(flow_group_[si]);
+      release_flow_slot(static_cast<int>(si));
+      slot_of_.erase(id);
+      --active_flows_;
+    }
+  }
+  // Resume every parked flow whose pair is reachable again, in flow-id
+  // order (the determinism contract for post-heal re-entry).
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    if (!reachable(it->second.src, it->second.dst)) {
+      ++it;
+      continue;
+    }
+    const FlowId id = it->first;
+    ParkedFlow p = std::move(it->second);
+    it = parked_.erase(it);
+    ++stats_.flows_resumed;
+    resume_flow(id, std::move(p));
+  }
+  if (config_.use_reference_solver) {
+    ref_recompute();
+  } else {
+    mark_dirty();
+  }
+}
+
+void Fabric::resume_flow(FlowId id, ParkedFlow p) {
+  const bool remote = p.src != p.dst;
+  if (p.remaining <= kDrainEpsilon) {
+    // Everything had drained before the park (or the transfer was
+    // zero-byte): only the propagation latency is still owed.
+    ++stats_.flows_completed;
+    --stats_.flows_in_flight;
+    deliver(p.bytes, remote, p.latency, std::move(p.cb));
+    return;
+  }
+  if (config_.use_reference_solver) {
+    RefFlow flow;
+    flow.id = id;
+    flow.src = p.src;
+    flow.dst = p.dst;
+    flow.path = topology_.path(p.src, p.dst);
+    flow.remaining = p.remaining;
+    flow.bytes = p.bytes;
+    flow.latency = p.latency;
+    flow.on_complete = std::move(p.cb);
+    ref_flows_.emplace(id, std::move(flow));
+    ++active_flows_;
+    return;
+  }
+  const int slot = acquire_flow_slot();
+  const auto si = static_cast<std::size_t>(slot);
+  const int gi = group_for_path(topology_.path(p.src, p.dst));
+  Group& group = groups_[static_cast<std::size_t>(gi)];
+  flow_id_[si] = id;
+  flow_group_[si] = gi;
+  flow_bytes_[si] = p.bytes;
+  flow_latency_[si] = p.latency;
+  flow_src_[si] = p.src;
+  flow_dst_[si] = p.dst;
+  flow_finish_drain_[si] = group.drain_total + p.remaining;
+  flow_cb_[si] = std::move(p.cb);
+  group.members.push(Member{flow_finish_drain_[si], id, slot});
+  ++group.size;
+  for (LinkId l : group.path) ++link_flow_count_[static_cast<std::size_t>(l)];
+  slot_of_.emplace(id, slot);
+  ++active_flows_;
 }
 
 // ---------------------------------------------------------------------------

@@ -53,12 +53,18 @@ struct FlowStats {
   std::int64_t flows_completed = 0;
   std::int64_t flows_cancelled = 0;
   /// Flows accepted but not yet completed or cancelled (includes zero-byte
-  /// transfers still waiting out their propagation latency).
+  /// transfers still waiting out their propagation latency, and flows
+  /// parked behind a network partition).
   std::int64_t flows_in_flight = 0;
   util::Bytes bytes_delivered = 0;
   /// Bytes that actually crossed network links (excludes loopback).
   util::Bytes bytes_remote = 0;
   std::int64_t rate_recomputations = 0;
+  /// Park events: a flow stalled because its (src, dst) pair became (or
+  /// was) unreachable under the active partition set. Cumulative.
+  std::int64_t flows_parked = 0;
+  /// Parked flows that resumed after a heal/reachability change.
+  std::int64_t flows_resumed = 0;
 };
 
 struct FabricConfig {
@@ -112,6 +118,24 @@ class Fabric {
   util::TimeNs link_extra_latency(LinkId link) const {
     return link_extra_latency_[static_cast<std::size_t>(link)];
   }
+
+  // -- Network partitions ---------------------------------------------
+  /// Installs a reachability mask: `host_group[h]` assigns every host to
+  /// an equivalence class and `blocked[a][b]` marks class a → class b as
+  /// unreachable (directional, so asymmetric partitions are expressible).
+  /// In-flight flows whose (src, dst) pair becomes blocked are *parked* —
+  /// they stop draining, leave the solver, and keep their remaining
+  /// bytes — and resume when a later mask (or clear_partitions) unblocks
+  /// the pair. New transfers on blocked pairs park immediately. Loopback
+  /// (src == dst) is never blocked. Driven by fault::PartitionInjector.
+  void set_reachability(std::vector<int> host_group,
+                        std::vector<std::vector<char>> blocked);
+  /// Heals all partitions; every parked flow resumes.
+  void clear_partitions();
+  /// True when src can currently reach dst.
+  bool reachable(cluster::NodeId src, cluster::NodeId dst) const;
+  /// Flows currently parked behind a partition.
+  int parked_flows() const { return static_cast<int>(parked_.size()); }
 
  private:
   // ---- incremental grouped engine ----
@@ -177,6 +201,8 @@ class Fabric {
 
   struct RefFlow {
     FlowId id = 0;
+    cluster::NodeId src = 0;
+    cluster::NodeId dst = 0;
     std::vector<LinkId> path;
     double remaining = 0;
     double rate = 0;
@@ -185,7 +211,8 @@ class Fabric {
     FlowCallback on_complete;
   };
 
-  FlowId ref_transfer(FlowId id, std::vector<LinkId> path, util::Bytes bytes,
+  FlowId ref_transfer(FlowId id, cluster::NodeId src, cluster::NodeId dst,
+                      std::vector<LinkId> path, util::Bytes bytes,
                       util::TimeNs latency, FlowCallback on_complete);
   bool ref_cancel(FlowId id);
   void ref_settle_progress();
@@ -194,6 +221,24 @@ class Fabric {
   void ref_on_completion_event();
 
   // ---- shared ----
+
+  /// A flow stalled behind a partition: it holds its remaining bytes and
+  /// callback while unreachable and re-enters the engine on heal.
+  struct ParkedFlow {
+    cluster::NodeId src = 0;
+    cluster::NodeId dst = 0;
+    double remaining = 0;   // bytes left to drain once resumed
+    util::Bytes bytes = 0;  // original transfer size (delivery accounting)
+    util::TimeNs latency = 0;
+    FlowCallback cb;
+  };
+
+  /// Re-evaluates every in-flight and parked flow against the current
+  /// mask: blocked live flows park, unblocked parked flows resume.
+  void apply_reachability();
+  /// Re-enters a previously parked flow into the active engine (or
+  /// delivers it immediately when its remaining bytes already drained).
+  void resume_flow(FlowId id, ParkedFlow p);
 
   void deliver(util::Bytes bytes, bool remote, util::TimeNs latency,
                FlowCallback cb);
@@ -221,6 +266,8 @@ class Fabric {
   std::vector<int> flow_group_;
   std::vector<util::Bytes> flow_bytes_;
   std::vector<util::TimeNs> flow_latency_;
+  std::vector<cluster::NodeId> flow_src_;
+  std::vector<cluster::NodeId> flow_dst_;
   // Group drain_total at which the flow is done.
   std::vector<double> flow_finish_drain_;
   std::vector<FlowCallback> flow_cb_;
@@ -247,6 +294,13 @@ class Fabric {
   // Reference-engine state. std::map keeps iteration order deterministic
   // (flow-id order), which makes completion-callback ordering reproducible.
   std::map<FlowId, RefFlow> ref_flows_;
+
+  // Partition state (shared by both engines). parked_ is flow-id ordered
+  // so resume order after a heal is deterministic.
+  std::vector<int> host_group_;
+  std::vector<std::vector<char>> group_blocked_;
+  bool partitions_active_ = false;
+  std::map<FlowId, ParkedFlow> parked_;
 
   // Tracing (observational only; empty when no tracer is attached).
   trace::Tracer* tracer_ = nullptr;

@@ -38,28 +38,32 @@ cluster::NodeId select_node(const PodSpec& pod,
 
 namespace {
 
-/// Excludes cordoned and NotReady (crashed) nodes; appended to every
-/// orchestrator's policy.
+/// Excludes cordoned, NotReady (crashed), quarantined, and Unreachable
+/// (lease-expired) nodes; appended to every orchestrator's policy.
 class CordonFilter : public FilterPlugin {
  public:
   CordonFilter(const std::set<cluster::NodeId>* cordoned,
                const std::set<cluster::NodeId>* not_ready,
-               const std::set<cluster::NodeId>* quarantined)
+               const std::set<cluster::NodeId>* quarantined,
+               const std::set<cluster::NodeId>* unreachable)
       : cordoned_(cordoned),
         not_ready_(not_ready),
-        quarantined_(quarantined) {}
+        quarantined_(quarantined),
+        unreachable_(unreachable) {}
   std::string name() const override { return "Cordon"; }
   bool feasible(const PodSpec&, const cluster::NodeSpec&,
                 const NodeStatus& node) const override {
     return cordoned_->count(node.id()) == 0 &&
            not_ready_->count(node.id()) == 0 &&
-           quarantined_->count(node.id()) == 0;
+           quarantined_->count(node.id()) == 0 &&
+           unreachable_->count(node.id()) == 0;
   }
 
  private:
   const std::set<cluster::NodeId>* cordoned_;
   const std::set<cluster::NodeId>* not_ready_;
   const std::set<cluster::NodeId>* quarantined_;
+  const std::set<cluster::NodeId>* unreachable_;
 };
 
 /// Hard anti-affinity: a node may host at most one pod per group.
@@ -89,8 +93,8 @@ Orchestrator::Orchestrator(sim::Simulation& sim,
       cluster_(cluster),
       policy_(std::move(policy)),
       config_(config) {
-  policy_.filters.push_back(
-      std::make_shared<CordonFilter>(&cordoned_, &not_ready_, &quarantined_));
+  policy_.filters.push_back(std::make_shared<CordonFilter>(
+      &cordoned_, &not_ready_, &quarantined_, &unreachable_));
   policy_.filters.push_back(
       std::make_shared<AntiAffinityFilter>(&affinity_counts_));
   std::vector<cluster::NodeId> managed = config_.nodes;
@@ -668,6 +672,28 @@ void Orchestrator::unquarantine(cluster::NodeId node) {
 
 bool Orchestrator::is_quarantined(cluster::NodeId node) const {
   return quarantined_.count(node) != 0;
+}
+
+void Orchestrator::mark_unreachable(cluster::NodeId node) {
+  (void)status_for(node);  // validate it is managed here
+  if (!unreachable_.insert(node).second) return;
+  metrics_.count("node_unreachable");
+}
+
+void Orchestrator::clear_unreachable(cluster::NodeId node) {
+  if (unreachable_.erase(node) == 0) return;
+  metrics_.count("node_reconnects");
+  kick_pump();
+}
+
+bool Orchestrator::is_unreachable(cluster::NodeId node) const {
+  return unreachable_.count(node) != 0;
+}
+
+void Orchestrator::expire_unreachable(cluster::NodeId node) {
+  if (unreachable_.count(node) == 0) return;
+  metrics_.count("unreachable_evictions");
+  evict_pods(node);
 }
 
 void Orchestrator::attach_pool_tree(PoolTree* tree) {

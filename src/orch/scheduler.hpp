@@ -160,6 +160,18 @@ class Orchestrator {
   void unquarantine(cluster::NodeId node);
   bool is_quarantined(cluster::NodeId node) const;
 
+  /// Partition liveness (driven by LeaseManager): an Unreachable node is
+  /// unschedulable but its pods are *fenced in place*, not evicted — the
+  /// node may still be running them on the far side of a partition.
+  /// Distinct from NotReady (crash: pods evicted immediately) so a short
+  /// partition heals without a pod massacre.
+  void mark_unreachable(cluster::NodeId node);
+  void clear_unreachable(cluster::NodeId node);
+  bool is_unreachable(cluster::NodeId node) const;
+  /// The lease grace elapsed without a reconnect: give up on the fenced
+  /// pods and evict them so controllers reschedule elsewhere.
+  void expire_unreachable(cluster::NodeId node);
+
   /// Attaches a span tracer: each pod gets a kScheduler wait span
   /// (submit -> placed) and, for auto-finishing pods, a kCloud run span
   /// (placed -> terminal). Preemptions emit orch.preempt spans. Null
@@ -216,6 +228,7 @@ class Orchestrator {
   std::set<cluster::NodeId> cordoned_;
   std::set<cluster::NodeId> not_ready_;  // crashed, awaiting recovery
   std::set<cluster::NodeId> quarantined_;  // health-flagged, draining
+  std::set<cluster::NodeId> unreachable_;  // lease expired, pods fenced
   std::map<cluster::NodeId, util::TimeNs> not_ready_since_;
   std::set<GangId> gangs_failing_;  // re-entrancy guard for gang kills
   /// Live pod count per (node, anti-affinity group).

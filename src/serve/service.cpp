@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -46,6 +47,26 @@ void Service::set_node_drained(cluster::NodeId node, bool drained) {
   } else {
     drained_.erase(node);
   }
+}
+
+void Service::ramp_node(cluster::NodeId node, util::TimeNs window) {
+  if (window <= 0 || config_.ramp_max_penalty <= 0) return;
+  ramp_[node] = Ramp{sim_.now(), sim_.now() + window};
+}
+
+int Service::ramp_penalty(cluster::NodeId node) {
+  if (ramp_.empty() || config_.ramp_max_penalty <= 0) return 0;
+  const auto it = ramp_.find(node);
+  if (it == ramp_.end()) return 0;
+  const util::TimeNs now = sim_.now();
+  if (now >= it->second.end) {
+    ramp_.erase(it);
+    return 0;
+  }
+  const double frac = static_cast<double>(now - it->second.start) /
+                      static_cast<double>(it->second.end - it->second.start);
+  return static_cast<int>(std::ceil(
+      (1.0 - frac) * static_cast<double>(config_.ramp_max_penalty)));
 }
 
 void Service::set_accel_pool(accel::AccelPool* pool) {
@@ -164,7 +185,7 @@ bool Service::route_copy(InFlight& rec, int which, std::int64_t exclude_key) {
   for (auto& [key, rep] : replicas_) {
     ReplicaView rv;
     rv.key = key;
-    rv.outstanding = outstanding_[key];
+    rv.outstanding = outstanding_[key] + ramp_penalty(rep->node());
     rv.available = drained_.count(rep->node()) == 0;
     any_available = any_available || rv.available;
     view.push_back(rv);
@@ -357,6 +378,7 @@ void Service::finalize(RequestId id, int which) {
 
   tenant.completed += 1;
   metrics_.count("serve.completed");
+  if (retry_budget_ != nullptr) retry_budget_->record_success();
   metrics_.observe("serve.latency_us", latency / util::kMicrosecond);
   const bool slo_ok = latency <= klass.slo;
   if (!slo_ok) {
@@ -401,6 +423,13 @@ void Service::launch_hedge(RequestId id) {
   Copy& primary = rec->copies[0];
   if (!primary.live || primary.parked) return;  // dying or still parked
   if (replicas_.size() < 2) return;  // no distinct replica to hedge to
+  if (retry_budget_ != nullptr && !retry_budget_->try_retry()) {
+    // Empty cross-layer budget: a hedge is duplicate work the cluster
+    // cannot afford right now — suppress rather than pile on.
+    hedges_suppressed_ += 1;
+    metrics_.count("serve.hedges_suppressed");
+    return;
+  }
   if (route_copy(*rec, 1, primary.replica)) {
     hedges_launched_ += 1;
     metrics_.count("serve.hedges_launched");

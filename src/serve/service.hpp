@@ -48,6 +48,7 @@
 #include "serve/signal.hpp"
 #include "sim/simulation.hpp"
 #include "trace/tracer.hpp"
+#include "util/retry_budget.hpp"
 
 namespace evolve::serve {
 
@@ -61,6 +62,11 @@ struct ServiceConfig {
   double hedge_quantile = 95.0;
   util::TimeNs hedge_min_delay = util::millis(5);
   int hedge_min_samples = 32;
+  /// Post-heal admission ramp (see ramp_node()): a freshly reconnected
+  /// node's replicas start with this much virtual load, decaying
+  /// linearly over the ramp window, so traffic returns gradually
+  /// instead of as a thundering herd into a cold node.
+  int ramp_max_penalty = 32;
   std::uint64_t seed = 0x5e12e;  // p2c sampling
 };
 
@@ -92,6 +98,11 @@ class Service {
   bool is_node_drained(cluster::NodeId node) const {
     return drained_.count(node) != 0;
   }
+  /// Post-heal admission ramp: for `window` after this call the router
+  /// treats replicas on `node` as carrying extra virtual load
+  /// (`ramp_max_penalty` decaying linearly to zero), so a healed node
+  /// re-absorbs traffic gradually. Re-arming restarts the ramp.
+  void ramp_node(cluster::NodeId node, util::TimeNs window);
 
   void set_accel_pool(accel::AccelPool* pool);
   void set_tracer(trace::Tracer* tracer);
@@ -102,6 +113,10 @@ class Service {
   void set_completion_observer(CompletionFn fn) {
     completion_observer_ = std::move(fn);
   }
+  /// Attaches a (non-owned, possibly cross-layer shared) retry budget:
+  /// hedges then cost a token each and are suppressed while the budget
+  /// is empty; completed requests deposit. Null (default) disables.
+  void set_retry_budget(util::RetryBudget* budget) { retry_budget_ = budget; }
 
   // -- introspection ---------------------------------------------------
   int replica_count() const { return static_cast<int>(replicas_.size()); }
@@ -123,6 +138,7 @@ class Service {
   const metrics::Registry& metrics() const { return metrics_; }
 
   std::int64_t hedges_launched() const { return hedges_launched_; }
+  std::int64_t hedges_suppressed() const { return hedges_suppressed_; }
   std::int64_t hedge_wins() const { return hedge_wins_; }
   std::int64_t hedges_cancelled() const { return hedges_cancelled_; }
   std::int64_t wasted_exec() const { return wasted_exec_; }
@@ -166,6 +182,7 @@ class Service {
   /// Whole-request shed: accounts, closes spans, erases the record.
   void shed_request(InFlight& rec, Outcome outcome);
   void release_slot(std::int64_t key);
+  int ramp_penalty(cluster::NodeId node);
   void note_inflight();
   void maybe_erase(RequestId id);
   void drain_parked();
@@ -187,6 +204,12 @@ class Service {
   std::map<std::int64_t, int> outstanding_;
   std::map<cluster::NodeId, double> slowdown_;
   std::set<cluster::NodeId> drained_;
+  struct Ramp {
+    util::TimeNs start = 0;
+    util::TimeNs end = 0;
+  };
+  /// Active post-heal admission ramps; entries expire lazily.
+  std::map<cluster::NodeId, Ramp> ramp_;
 
   // In-flight records live on a slab (stable addresses, recycled cells —
   // no per-request map-node malloc/free); the unordered index is only
@@ -204,8 +227,10 @@ class Service {
   ScalingSignal* signal_ = nullptr;
   ExecObserver exec_observer_;
   CompletionFn completion_observer_;
+  util::RetryBudget* retry_budget_ = nullptr;  // non-owned, optional
 
   std::int64_t hedges_launched_ = 0;
+  std::int64_t hedges_suppressed_ = 0;
   std::int64_t hedge_wins_ = 0;
   std::int64_t hedges_cancelled_ = 0;
   std::int64_t wasted_exec_ = 0;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "util/backoff.hpp"
 #include "util/rng.hpp"
 
 namespace evolve::storage {
@@ -38,7 +39,8 @@ ObjectStore::ObjectStore(sim::Simulation& sim,
       fabric_(fabric),
       io_(io),
       servers_(std::move(servers)),
-      config_(config) {
+      config_(config),
+      repair_rng_(config.repair_seed) {
   if (servers_.empty()) {
     throw std::invalid_argument("object store needs at least one server");
   }
@@ -1155,7 +1157,10 @@ void ObjectStore::handle_node_recovery(cluster::NodeId node) {
   // The node rejoins empty; repairs that had no live target re-arm.
   for (const ObjectKey& key : repair_stalled_) enqueue_repair(key);
   repair_stalled_.clear();
-  pump_repairs();
+  // With jitter configured the re-enqueues above scheduled their own
+  // staggered pumps — skipping the synchronous pump here is what spreads
+  // the post-recovery repair wave out in time.
+  if (config_.repair_jitter <= 0) pump_repairs();
 }
 
 bool ObjectStore::corrupt_replica(const ObjectKey& key,
@@ -1300,11 +1305,31 @@ void ObjectStore::scrub_pass() {
 void ObjectStore::enqueue_repair(const ObjectKey& key) {
   if (!config_.repair) return;
   if (!repair_queued_.insert(key).second) return;
-  // Detection + scheduling grace before the repair traffic starts.
-  sim_.after(config_.repair_delay, [this] { pump_repairs(); });
+  // Detection + scheduling grace before the repair traffic starts; the
+  // optional seeded jitter keeps a mass-recovery repair wave from firing
+  // as one synchronized pump.
+  util::TimeNs delay = config_.repair_delay;
+  if (config_.repair_jitter > 0) {
+    delay = util::jittered(delay, repair_rng_, config_.repair_jitter);
+  }
+  sim_.after(delay, [this] { pump_repairs(); });
 }
 
 void ObjectStore::pump_repairs() {
+  if (repair_breaker_ != nullptr && !repair_queued_.empty() &&
+      !repair_breaker_->allow()) {
+    // Breaker open: the repair path keeps failing (no viable targets,
+    // churn under the transfers). Defer the whole scan instead of
+    // launching more rebuild traffic; one pending probe event re-pumps.
+    if (!repair_pump_armed_) {
+      repair_pump_armed_ = true;
+      sim_.after(std::max(config_.repair_delay, util::kMillisecond), [this] {
+        repair_pump_armed_ = false;
+        pump_repairs();
+      });
+    }
+    return;
+  }
   while (repairs_in_flight_ < config_.repair_concurrency &&
          !repair_queued_.empty()) {
     // Risk-first: repair the object with the fewest surviving spare
@@ -1429,6 +1454,7 @@ void ObjectStore::begin_repair_transfers(const ObjectKey& key, int version) {
     // Every live server already holds a copy; retry on the next recovery.
     --repairs_in_flight_;
     repair_stalled_.insert(key);
+    if (repair_breaker_ != nullptr) repair_breaker_->record_failure();
     pump_repairs();
     return;
   }
@@ -1530,8 +1556,36 @@ void ObjectStore::finish_repair(const ObjectKey& key, cluster::NodeId target,
   ++meta.version;
   write_durable(target, key, meta.per_server_bytes, [] {});
   metrics_.count("objects_repaired");
+  if (repair_breaker_ != nullptr) repair_breaker_->record_success();
   note_health_change(key, meta, before, risk_before);
   pump_repairs();
+}
+
+void ObjectStore::fence_node(cluster::NodeId node, std::int64_t epoch) {
+  std::int64_t& fence = fence_epoch_[node];
+  if (epoch > fence) fence = epoch;
+  metrics_.count("nodes_fenced");
+}
+
+std::int64_t ObjectStore::fence_epoch(cluster::NodeId node) const {
+  const auto it = fence_epoch_.find(node);
+  return it == fence_epoch_.end() ? 1 : it->second;
+}
+
+bool ObjectStore::put_fenced(cluster::NodeId client, std::int64_t epoch,
+                             const ObjectKey& key, util::Bytes size,
+                             PutCallback on_done) {
+  const auto it = fence_epoch_.find(client);
+  if (it != fence_epoch_.end() && epoch < it->second) {
+    // Zombie write: the client's lease expired (and its epoch was
+    // bumped) while it was on the far side of a partition. Reject
+    // synchronously — no metadata change, no bytes moved, no callback.
+    ++writes_fenced_;
+    metrics_.count("writes_fenced");
+    return false;
+  }
+  put(client, key, size, std::move(on_done));
+  return true;
 }
 
 util::Bytes ObjectStore::durable_bytes(cluster::NodeId server) const {

@@ -33,6 +33,8 @@
 #include "storage/io_model.hpp"
 #include "storage/tiered_cache.hpp"
 #include "trace/tracer.hpp"
+#include "util/circuit_breaker.hpp"
+#include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace evolve::storage {
@@ -96,6 +98,14 @@ struct ObjectStoreConfig {
   /// exceed the cap wait in their concurrency slot, so a rebuild storm
   /// can be throttled below foreground GET/PUT traffic. 0 = unthrottled.
   double rebuild_bandwidth_bytes_per_s = 0;
+  /// Seeded jitter fraction on repair scheduling delays (the detection
+  /// grace and the post-recovery re-scan pumps): each delay stretches by
+  /// uniform [0, repair_jitter)·delay, desynchronizing the repair wave
+  /// that mass recovery or a partition heal would otherwise fire all at
+  /// once. 0 (default) = no jitter, bit-identical to the old behavior.
+  double repair_jitter = 0.0;
+  /// Seed for the repair-jitter RNG.
+  std::uint64_t repair_seed = 1;
 
   // -- Gray-failure mitigation (GET path) ------------------------------
   /// Hedged reads: if the first replica read is still outstanding after
@@ -248,6 +258,28 @@ class ObjectStore {
   void handle_node_recovery(cluster::NodeId node);
   bool server_alive(cluster::NodeId node) const {
     return dead_servers_.count(node) == 0;
+  }
+
+  // -- Fencing (zombie-write rejection) --------------------------------
+  /// Raises the minimum acceptable write epoch for `node` (wired from
+  /// LeaseManager::on_expire). A node on the far side of a partition
+  /// keeps running with its old epoch; once fenced, its writes are
+  /// zombie writes and put_fenced rejects them.
+  void fence_node(cluster::NodeId node, std::int64_t epoch);
+  /// Epoch-stamped PUT. Returns false — synchronously, without invoking
+  /// `on_done` or moving any bytes — when `epoch` is below the client's
+  /// fence epoch; otherwise behaves exactly like put() and returns true.
+  bool put_fenced(cluster::NodeId client, std::int64_t epoch,
+                  const ObjectKey& key, util::Bytes size, PutCallback on_done);
+  /// Minimum epoch `node` must present (1 = never fenced).
+  std::int64_t fence_epoch(cluster::NodeId node) const;
+  std::int64_t writes_fenced() const { return writes_fenced_; }
+
+  /// Optional circuit breaker guarding the background repair scan: when
+  /// open, pump_repairs defers instead of launching rebuild traffic into
+  /// a fabric that keeps failing it. Null (default) disables.
+  void set_repair_breaker(util::CircuitBreaker* breaker) {
+    repair_breaker_ = breaker;
   }
 
   // -- Gray failures: silent corruption -------------------------------
@@ -489,6 +521,12 @@ class ObjectStore {
   /// which the next repair's fabric bytes may be admitted.
   util::TimeNs rebuild_admit_at_ = 0;
   util::TimeNs rebuild_throttle_wait_ns_ = 0;
+  util::Rng repair_rng_;  // repair-delay jitter (config.repair_seed)
+  util::CircuitBreaker* repair_breaker_ = nullptr;  // non-owned, optional
+  bool repair_pump_armed_ = false;  // breaker-deferred pump pending
+  // Fencing state: minimum write epoch per node (absent = 1).
+  std::map<cluster::NodeId, std::int64_t> fence_epoch_;
+  std::int64_t writes_fenced_ = 0;
   // Gray-failure state: replicas whose stored payload is bit-rotten.
   std::set<std::pair<ObjectKey, cluster::NodeId>> corrupted_replicas_;
   /// Entries under scrub verification right now (subset of the above;

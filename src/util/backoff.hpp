@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace evolve::util {
@@ -34,6 +35,17 @@ inline TimeNs saturating_backoff(TimeNs base, int attempt) {
   if (shift > headroom) return kMaxBackoff;
   const TimeNs delay = base << shift;
   return delay > kMaxBackoff ? kMaxBackoff : delay;
+}
+
+/// `delay` plus uniform [0, frac)·delay seeded jitter — the canonical
+/// desynchronizer for retry/repair waves (a synchronized wave after mass
+/// recovery is the seed of a metastable retry storm). kMaxBackoff leaves
+/// headroom for frac <= 0.25 without overflow.
+inline TimeNs jittered(TimeNs delay, Rng& rng, double frac = 0.25) {
+  if (delay <= 0 || frac <= 0) return delay;
+  return delay +
+         static_cast<TimeNs>(rng.uniform(0.0, frac) *
+                             static_cast<double>(delay));
 }
 
 }  // namespace evolve::util

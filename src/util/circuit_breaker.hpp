@@ -1,0 +1,114 @@
+// Circuit breaker: closed → open → half-open with a probe trickle.
+//
+// Complements RetryBudget (see retry_budget.hpp): the budget limits how
+// *much* a layer retries, the breaker limits how *often* it hammers a
+// dependency that is failing outright. After `failure_threshold`
+// consecutive failures the breaker opens and rejects work for
+// `cooldown`; it then half-opens and lets at most `probe_quota` probes
+// through — `probe_successes_to_close` successes close it again, a
+// single probe failure re-opens it for another cooldown. State advances
+// lazily against the simulation clock (no scheduled events), so an idle
+// breaker costs nothing and the whole machine is trivially
+// deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulation.hpp"
+#include "util/types.hpp"
+
+namespace evolve::util {
+
+struct CircuitBreakerConfig {
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// How long the open state rejects everything before probing.
+  TimeNs cooldown = 5 * kSecond;
+  /// Probes admitted per half-open round.
+  int probe_quota = 3;
+  /// Probe successes needed to close from half-open.
+  int probe_successes_to_close = 2;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(sim::Simulation& sim,
+                          CircuitBreakerConfig config = {})
+      : sim_(sim), config_(config) {}
+
+  /// True when the protected operation may proceed. Open: always false.
+  /// Half-open: true for the first probe_quota calls of the round.
+  bool allow() {
+    advance();
+    if (state_ == State::kClosed) return true;
+    if (state_ == State::kHalfOpen && probes_used_ < config_.probe_quota) {
+      ++probes_used_;
+      return true;
+    }
+    ++rejected_;
+    return false;
+  }
+
+  void record_success() {
+    advance();
+    if (state_ == State::kHalfOpen) {
+      if (++probe_successes_ >= config_.probe_successes_to_close) reset();
+      return;
+    }
+    consecutive_failures_ = 0;
+  }
+
+  void record_failure() {
+    advance();
+    if (state_ == State::kHalfOpen) {
+      trip();  // a failed probe re-opens for another cooldown
+      return;
+    }
+    if (state_ == State::kClosed &&
+        ++consecutive_failures_ >= config_.failure_threshold) {
+      trip();
+    }
+  }
+
+  State state() const {
+    const_cast<CircuitBreaker*>(this)->advance();
+    return state_;
+  }
+  std::int64_t times_opened() const { return times_opened_; }
+  std::int64_t rejections() const { return rejected_; }
+
+ private:
+  void advance() {
+    if (state_ == State::kOpen && sim_.now() >= open_until_) {
+      state_ = State::kHalfOpen;
+      probes_used_ = 0;
+      probe_successes_ = 0;
+    }
+  }
+
+  void trip() {
+    state_ = State::kOpen;
+    open_until_ = sim_.now() + config_.cooldown;
+    consecutive_failures_ = 0;
+    ++times_opened_;
+  }
+
+  void reset() {
+    state_ = State::kClosed;
+    consecutive_failures_ = 0;
+  }
+
+  sim::Simulation& sim_;
+  CircuitBreakerConfig config_;
+  State state_ = State::kClosed;
+  TimeNs open_until_ = 0;
+  int consecutive_failures_ = 0;
+  int probes_used_ = 0;
+  int probe_successes_ = 0;
+  std::int64_t times_opened_ = 0;
+  std::int64_t rejected_ = 0;
+};
+
+}  // namespace evolve::util

@@ -1,0 +1,236 @@
+#include "orch/lease.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cluster/cluster.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/partition.hpp"
+#include "fault/wiring.hpp"
+#include "net/fabric.hpp"
+#include "orch/scheduler.hpp"
+#include "sim/simulation.hpp"
+#include "storage/io_model.hpp"
+#include "storage/object_store.hpp"
+#include "util/types.hpp"
+
+namespace evolve::orch {
+namespace {
+
+using cluster::cpu_mem;
+using util::TimeNs;
+
+PodSpec small_pod(const std::string& name) {
+  PodSpec spec;
+  spec.name = name;
+  spec.request = cpu_mem(1000, util::kGiB);
+  return spec;
+}
+
+struct LeaseFixture {
+  explicit LeaseFixture(int compute = 4, LeaseManagerConfig config = {})
+      : cluster(cluster::make_testbed(compute, 0, 0, 2)),
+        topology(cluster),
+        fabric(sim, topology),
+        orch(sim, cluster, SchedulingPolicy::spreading(cluster)),
+        partitions(sim, fabric),
+        leases(sim, fabric, orch, config) {}
+
+  void stop_at(TimeNs when) {
+    sim.at(when, [this] { leases.stop(); });
+  }
+
+  sim::Simulation sim;
+  cluster::Cluster cluster;
+  net::Topology topology;
+  net::Fabric fabric;
+  Orchestrator orch;
+  fault::PartitionInjector partitions;
+  LeaseManager leases;
+};
+
+TEST(LeaseManager, RejectsTtlNotExceedingRenewInterval) {
+  LeaseFixture f;  // just for the dependencies
+  LeaseManagerConfig bad;
+  bad.renew_interval = util::seconds(2);
+  bad.ttl = util::seconds(2);
+  EXPECT_THROW(LeaseManager(f.sim, f.fabric, f.orch, bad),
+               std::invalid_argument);
+}
+
+TEST(LeaseManager, HealthyNodesNeverExpire) {
+  LeaseFixture f;
+  f.leases.start();
+  f.stop_at(util::seconds(30));
+  f.sim.run();
+  EXPECT_EQ(f.leases.expiries(), 0);
+  EXPECT_EQ(f.leases.unreachable_count(), 0);
+  EXPECT_EQ(f.fabric.stats().flows_in_flight, 0);
+  for (const cluster::NodeId node : f.orch.managed_nodes()) {
+    EXPECT_EQ(f.leases.epoch(node), 1);
+  }
+}
+
+TEST(LeaseManager, ShortPartitionHealsWithoutEviction) {
+  LeaseFixture f;
+  f.orch.cordon(0);  // keep the pod off the lease leader
+  const PodId pod = f.orch.submit(small_pod("p"), -1);
+  f.leases.start();
+
+  cluster::NodeId victim = cluster::kInvalidNode;
+  f.sim.at(util::seconds(1), [&] {
+    victim = f.orch.pod(pod).node;
+    ASSERT_NE(victim, cluster::kInvalidNode);
+    ASSERT_NE(victim, 0);
+  });
+  fault::PartitionId cut = 0;
+  f.sim.at(util::seconds(5), [&] { cut = f.partitions.isolate({victim}); });
+  // Grace is 10 s; heal at 9 s, well inside it.
+  f.sim.at(util::seconds(9), [&] { f.partitions.heal(cut); });
+
+  bool was_unreachable_mid_partition = false;
+  bool pod_survived_mid_partition = false;
+  f.sim.at(util::seconds(8), [&] {
+    was_unreachable_mid_partition = f.leases.is_unreachable(victim) &&
+                                    f.orch.is_unreachable(victim);
+    pod_survived_mid_partition = f.orch.pod(pod).phase == PodPhase::kRunning;
+  });
+  f.stop_at(util::seconds(20));
+  f.sim.run();
+
+  EXPECT_TRUE(was_unreachable_mid_partition);
+  EXPECT_TRUE(pod_survived_mid_partition);
+  EXPECT_EQ(f.leases.expiries(), 1);
+  EXPECT_EQ(f.leases.reconnects(), 1);
+  EXPECT_EQ(f.leases.evictions(), 0);
+  EXPECT_EQ(f.orch.pod(pod).phase, PodPhase::kRunning);  // no pod massacre
+  EXPECT_FALSE(f.orch.is_unreachable(victim));
+  EXPECT_EQ(f.leases.epoch(victim), 2);  // fencing epoch bumped anyway
+  EXPECT_GT(f.leases.unreachable_node_seconds(), 1.0);
+}
+
+TEST(LeaseManager, GraceElapsedEvictsFencedPods) {
+  LeaseManagerConfig config;
+  config.grace = util::seconds(3);
+  LeaseFixture f(4, config);
+  f.orch.cordon(0);
+  const PodId pod = f.orch.submit(small_pod("p"), -1);
+  f.leases.start();
+
+  cluster::NodeId victim = cluster::kInvalidNode;
+  int evict_events = 0;
+  f.leases.on_evict(
+      [&](cluster::NodeId, std::int64_t, TimeNs) { ++evict_events; });
+  f.sim.at(util::seconds(1), [&] { victim = f.orch.pod(pod).node; });
+  fault::PartitionId cut = 0;
+  f.sim.at(util::seconds(5), [&] { cut = f.partitions.isolate({victim}); });
+  // Expiry lands by ~7 s, grace ends by ~10 s; heal long after, at 15 s.
+  f.sim.at(util::seconds(15), [&] { f.partitions.heal(cut); });
+  f.stop_at(util::seconds(25));
+  f.sim.run();
+
+  EXPECT_EQ(f.leases.expiries(), 1);
+  EXPECT_EQ(f.leases.evictions(), 1);
+  EXPECT_EQ(evict_events, 1);
+  EXPECT_EQ(f.orch.pod(pod).phase, PodPhase::kFailed);
+  // The healed node reconnected and is schedulable again.
+  EXPECT_EQ(f.leases.reconnects(), 1);
+  EXPECT_FALSE(f.orch.is_unreachable(victim));
+}
+
+TEST(Orchestrator, UnreachableGatesSchedulingWithoutEvicting) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(1, 0, 0, 1);
+  Orchestrator orch(sim, cluster, SchedulingPolicy::spreading(cluster));
+
+  // A running pod survives the transition to Unreachable (unlike
+  // fail_node, which evicts).
+  const PodId running = orch.submit(small_pod("survivor"), -1);
+  sim.run();
+  ASSERT_EQ(orch.pod(running).phase, PodPhase::kRunning);
+  orch.mark_unreachable(0);
+  EXPECT_TRUE(orch.is_unreachable(0));
+  EXPECT_EQ(orch.pod(running).phase, PodPhase::kRunning);
+
+  // New pods cannot land on an Unreachable node.
+  const PodId pending = orch.submit(small_pod("blocked"), -1);
+  sim.run();
+  EXPECT_EQ(orch.pod(pending).phase, PodPhase::kPending);
+
+  orch.clear_unreachable(0);
+  sim.run();
+  EXPECT_EQ(orch.pod(pending).phase, PodPhase::kRunning);
+
+  // Only a node still Unreachable can be grace-evicted.
+  orch.expire_unreachable(0);
+  EXPECT_EQ(orch.pod(running).phase, PodPhase::kRunning);
+}
+
+TEST(LeaseManager, CrashPausesLeaseInsteadOfExpiring) {
+  LeaseFixture f;
+  fault::FaultInjector faults(f.sim);
+  fault::connect(faults, f.orch);
+  fault::connect(faults, f.leases);
+  f.leases.start();
+
+  faults.schedule_outage(2, util::seconds(3), util::seconds(5));
+  f.stop_at(util::seconds(20));
+  f.sim.run();
+
+  // The downed node never became Unreachable: the crash path owned it.
+  EXPECT_EQ(f.leases.expiries(), 0);
+  EXPECT_EQ(f.leases.evictions(), 0);
+  EXPECT_EQ(f.leases.epoch(2), 1);
+  EXPECT_FALSE(f.orch.is_unreachable(2));
+}
+
+TEST(LeaseManager, ZombieWriteIsFencedByStaleEpoch) {
+  sim::Simulation sim;
+  auto cluster = cluster::make_testbed(2, 3, 0);
+  net::Topology topology(cluster);
+  net::Fabric fabric(sim, topology);
+  storage::IoSubsystem io(sim, cluster);
+  storage::ObjectStore store(sim, cluster, fabric, io,
+                             cluster.nodes_with_label("role=storage"));
+  store.create_bucket("data");
+  Orchestrator orch(sim, cluster, SchedulingPolicy::spreading(cluster));
+  fault::PartitionInjector partitions(sim, fabric);
+  LeaseManager leases(sim, fabric, orch, {});
+  fault::connect(leases, store);
+  leases.start();
+
+  // Writer node 1 takes its pre-partition epoch with it to the far side.
+  const std::int64_t stale_epoch = leases.epoch(1);
+  fault::PartitionId cut = 0;
+  sim.at(util::seconds(2), [&] { cut = partitions.isolate({1}); });
+  sim.at(util::seconds(12), [&] { partitions.heal(cut); });
+  sim.at(util::seconds(20), [&] { leases.stop(); });
+  sim.run();
+  ASSERT_EQ(leases.expiries(), 1);
+  ASSERT_EQ(leases.epoch(1), stale_epoch + 1);
+
+  // The zombie write arrives stamped with the old epoch: rejected
+  // synchronously, no bytes move, no callback fires.
+  bool zombie_completed = false;
+  EXPECT_FALSE(store.put_fenced(1, stale_epoch,
+                                storage::ObjectKey{"data", "zombie"},
+                                util::kMiB, [&] { zombie_completed = true; }));
+  sim.run();
+  EXPECT_FALSE(zombie_completed);
+  EXPECT_FALSE(store.exists(storage::ObjectKey{"data", "zombie"}));
+  EXPECT_EQ(store.writes_fenced(), 1);
+  EXPECT_EQ(store.fence_epoch(1), stale_epoch + 1);
+
+  // The same writer at the current epoch (post-reconnect) goes through.
+  bool fresh_completed = false;
+  EXPECT_TRUE(store.put_fenced(1, leases.epoch(1),
+                               storage::ObjectKey{"data", "fresh"}, util::kMiB,
+                               [&] { fresh_completed = true; }));
+  sim.run();
+  EXPECT_TRUE(fresh_completed);
+  EXPECT_TRUE(store.exists(storage::ObjectKey{"data", "fresh"}));
+}
+
+}  // namespace
+}  // namespace evolve::orch
