@@ -31,6 +31,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ./bench/bench_f14_durability --json)
 (cd "$BUILD_DIR" && ./bench/bench_f15_fairness --json)
 (cd "$BUILD_DIR" && ./bench/bench_f16_partitions --json)
+(cd "$BUILD_DIR" && ./bench/bench_f17_tablets --json)
 
 # -- Baseline diffs (before any --trace run touches the reports) -------
 # F9 mixes simulated metrics with host wall-clock timings; only the
@@ -59,6 +60,9 @@ diff "$BUILD_DIR/BENCH_f15_fairness.json" BENCH_f15_fairness.json \
 # deterministic.
 diff "$BUILD_DIR/BENCH_f16_partitions.json" BENCH_f16_partitions.json \
   || { echo "check.sh: BENCH_f16_partitions.json deviates from baseline"; exit 1; }
+# F17 (tablet serving under Zipf skew) is fully simulation-deterministic.
+diff "$BUILD_DIR/BENCH_f17_tablets.json" BENCH_f17_tablets.json \
+  || { echo "check.sh: BENCH_f17_tablets.json deviates from baseline"; exit 1; }
 echo "check.sh: bench metrics match the tracked baselines"
 
 # -- F15 fairness gate --------------------------------------------------
@@ -116,6 +120,40 @@ awk -v on="$on_recovery" -v off="$off_recovery" \
   printf "check.sh: F16 partition gate ok: recovery %.3f on vs %.3f off, degraded %d s on vs %d s off\n", on, off, ond, offd
 }'
 
+# -- F17 tablet-balancing gate ------------------------------------------
+# Splitting the hot shard and moving load off the busy node must actually
+# pay: balancing-on p99 strictly below balancing-off p99 and balancing-on
+# goodput strictly above — despite the accounted move-unavailability
+# windows and stale-route retries the balancer causes. The balancer must
+# also have done real work (splits and moves both nonzero). All values
+# are simulation-deterministic.
+f17_metric() {
+  awk -v key="\"$2\":" '$1 == key { gsub(/,/, "", $2); print $2 }' "$1"
+}
+f17_on_p99=$(f17_metric "$BUILD_DIR/BENCH_f17_tablets.json" on_p99_ms)
+f17_off_p99=$(f17_metric "$BUILD_DIR/BENCH_f17_tablets.json" off_p99_ms)
+f17_on_goodput=$(f17_metric "$BUILD_DIR/BENCH_f17_tablets.json" on_goodput)
+f17_off_goodput=$(f17_metric "$BUILD_DIR/BENCH_f17_tablets.json" off_goodput)
+f17_splits=$(f17_metric "$BUILD_DIR/BENCH_f17_tablets.json" on_splits)
+f17_moves=$(f17_metric "$BUILD_DIR/BENCH_f17_tablets.json" on_moves)
+awk -v onp="$f17_on_p99" -v offp="$f17_off_p99" \
+    -v ong="$f17_on_goodput" -v offg="$f17_off_goodput" \
+    -v splits="$f17_splits" -v moves="$f17_moves" 'BEGIN {
+  if (onp >= offp) {
+    printf "check.sh: F17 balancing-on p99 %.2f ms does not beat balancing-off %.2f ms\n", onp, offp
+    exit 1
+  }
+  if (ong <= offg) {
+    printf "check.sh: F17 balancing-on goodput %d does not beat balancing-off %d\n", ong, offg
+    exit 1
+  }
+  if (splits < 1 || moves < 1) {
+    printf "check.sh: F17 balancer idle: %d splits, %d moves — nothing was balanced\n", splits, moves
+    exit 1
+  }
+  printf "check.sh: F17 tablet gate ok: p99 %.2f ms on vs %.2f ms off, goodput %d vs %d (%d splits, %d moves)\n", onp, offp, ong, offg, splits, moves
+}'
+
 # -- F13 kernel-at-scale gate ------------------------------------------
 # Event counts, checksums, and end times are simulation-deterministic and
 # must match the baseline bit for bit. events/sec and speedup columns are
@@ -165,6 +203,10 @@ diff "$BUILD_DIR/BENCH_f11_gray.json" BENCH_f11_gray.json \
 (cd "$BUILD_DIR" && ./bench/bench_f12_serving --trace --json)
 diff "$BUILD_DIR/BENCH_f12_serving.json" BENCH_f12_serving.json \
   || { echo "check.sh: BENCH_f12_serving.json changed under --trace"; exit 1; }
+# Tablet spans (tablet.op/serve/exec/wal/flush) must be observational too.
+(cd "$BUILD_DIR" && ./bench/bench_f17_tablets --trace --json)
+diff "$BUILD_DIR/BENCH_f17_tablets.json" BENCH_f17_tablets.json \
+  || { echo "check.sh: BENCH_f17_tablets.json changed under --trace"; exit 1; }
 (cd "$BUILD_DIR" && ./tools/json_check BENCH_*.json TRACE_*.json)
 
 if [[ "${EVOLVE_SKIP_SANITIZERS:-0}" != "1" ]]; then
@@ -185,6 +227,11 @@ if [[ "${EVOLVE_SKIP_SANITIZERS:-0}" != "1" ]]; then
   # Drive the partition park/resume, lease/fencing, and retry-budget
   # paths end to end under ASan/UBSan.
   (cd "$SAN_DIR" && ./bench/bench_f16_partitions)
+  # Drive the tablet layer — WAL group commit, flush/generation reads,
+  # split/merge/move, fencing, stale-route retries — end to end under
+  # ASan/UBSan (the ctest pass above already covers the tablet unit and
+  # 100-seed soak tests).
+  (cd "$SAN_DIR" && ./bench/bench_f17_tablets)
   echo
   echo "check.sh: sanitizer (ASan/UBSan) test pass clean in $SAN_DIR"
 fi

@@ -10,6 +10,7 @@
 #include "orch/scheduler.hpp"
 #include "serve/service.hpp"
 #include "storage/object_store.hpp"
+#include "tablet/service.hpp"
 
 namespace evolve::fault {
 
@@ -199,6 +200,32 @@ void connect(serve::Service& service, HealthScorer& scorer) {
   service.set_exec_observer(
       [&scorer](cluster::NodeId node, util::TimeNs exec) {
         scorer.record(node, exec);
+      });
+}
+
+void connect(orch::LeaseManager& leases, tablet::TabletService& tablets) {
+  leases.on_expire([&tablets](cluster::NodeId node, std::int64_t epoch,
+                              util::TimeNs) {
+    tablets.handle_lease_expired(node, epoch);
+  });
+  leases.on_reconnect([&tablets](cluster::NodeId node, std::int64_t epoch,
+                                 util::TimeNs) {
+    tablets.handle_node_reconnected(node, epoch);
+  });
+}
+
+void connect(GrayInjector& gray, tablet::TabletService& tablets) {
+  gray.on_slowdown(
+      [&tablets](cluster::NodeId node, double cpu, double /*accel*/) {
+        tablets.set_node_slowdown(node, cpu);
+      });
+}
+
+void connect(QuarantineController& controller,
+             tablet::TabletService& tablets) {
+  controller.on_change(
+      [&tablets](cluster::NodeId node, bool quarantined, util::TimeNs) {
+        tablets.set_node_drained(node, quarantined);
       });
 }
 

@@ -36,6 +36,9 @@ class AccelPool;
 namespace evolve::serve {
 class Service;
 }
+namespace evolve::tablet {
+class TabletService;
+}
 
 namespace evolve::fault {
 
@@ -125,5 +128,22 @@ void connect(QuarantineController& controller, serve::Service& service);
 /// Health scoring: every batch execution on a replica feeds the
 /// per-node EWMA, so serving load alone can surface a gray node.
 void connect(serve::Service& service, HealthScorer& scorer);
+
+// -- Tablets (stateful serving) ----------------------------------------
+
+/// Tablets: lease expiry sheds the node's tablets (recovery re-open on
+/// survivors) without telling the node — its in-flight epoch-stamped
+/// WAL/flush PUTs become zombie writes. Wire connect(leases, store)
+/// FIRST so the store's fence is raised before the tablet layer reacts.
+/// Reconnect hands the node its new epoch and lets it host again.
+void connect(orch::LeaseManager& leases, tablet::TabletService& tablets);
+
+/// Tablets: gray CPU slowdowns stretch tablet op execution on the node.
+void connect(GrayInjector& gray, tablet::TabletService& tablets);
+
+/// Tablets: quarantined nodes drain — their tablets move off gracefully
+/// and the balancer stops targeting them until the probe clears them.
+void connect(QuarantineController& controller,
+             tablet::TabletService& tablets);
 
 }  // namespace evolve::fault

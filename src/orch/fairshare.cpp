@@ -1,6 +1,7 @@
 #include "orch/fairshare.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -230,6 +231,24 @@ void PoolTree::recompute() {
   distribute(0, 1.0);
 }
 
+void PoolTree::advance_time(util::TimeNs now) {
+  if (halflife_ <= 0) return;
+  if (now <= hist_last_) return;
+  // Usage is piecewise-constant between folds: decay the old average by
+  // 2^(-dt/halflife) and blend in the fraction held over the interval.
+  const double keep = std::exp2(-static_cast<double>(now - hist_last_) /
+                                static_cast<double>(halflife_));
+  hist_last_ = now;
+  for (Pool& pool : pools_) {
+    pool.hist = keep * pool.hist + (1.0 - keep) * fraction_of(pool.usage);
+  }
+}
+
+double PoolTree::historical_fraction(const std::string& tenant) const {
+  const std::size_t index = find_tenant(tenant);
+  return index == kNpos ? 0.0 : pools_[index].hist;
+}
+
 double PoolTree::usage_fraction(const std::string& tenant) const {
   const std::size_t index = find_tenant(tenant);
   return index == kNpos ? 0.0 : fraction_of(pools_[index].usage);
@@ -250,7 +269,12 @@ double PoolTree::schedule_key(const std::string& tenant) const {
   if (index == kNpos) return kIdleKey;
   const Pool& pool = pools_[index];
   if (pool.fair <= kEps) return kIdleKey;
-  return fraction_of(pool.usage) / pool.fair;
+  double usage = fraction_of(pool.usage);
+  // With historical tracking on, a pool is charged the worse of "what it
+  // holds now" and "what it held recently": a finished burst keeps
+  // counting against the tenant until the EWMA decays back.
+  if (halflife_ > 0) usage = std::max(usage, pool.hist);
+  return usage / pool.fair;
 }
 
 bool PoolTree::over_fair_share(const std::string& tenant,

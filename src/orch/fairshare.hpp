@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cluster/resources.hpp"
+#include "util/types.hpp"
 
 namespace evolve::orch {
 
@@ -66,6 +67,22 @@ class PoolTree {
   /// scheduling pass; cost is O(pools * depth)).
   void recompute();
 
+  // -- Time-decayed (EWMA) historical usage ---------------------------
+  /// Enables historical-usage tracking: each pool keeps an EWMA of its
+  /// occupancy fraction whose weight halves every `halflife`. With a
+  /// halflife set, schedule_key() charges a pool the *max* of its
+  /// instantaneous and historical fraction, so a tenant that just
+  /// finished a burst decays back to parity instead of instantly
+  /// jumping the queue. 0 (default) = off: instantaneous usage only,
+  /// bit-identical to the untracked behavior.
+  void set_usage_halflife(util::TimeNs halflife) { halflife_ = halflife; }
+  /// Folds elapsed time into every pool's EWMA (the scheduler calls
+  /// this once per pass; extra calls are cheap and idempotent at a
+  /// fixed timestamp).
+  void advance_time(util::TimeNs now);
+  /// The tenant's pool's EWMA occupancy fraction (0 until tracked).
+  double historical_fraction(const std::string& tenant) const;
+
   /// Dominant-resource fractions of cluster capacity. fair_fraction is
   /// only meaningful after recompute().
   double usage_fraction(const std::string& tenant) const;
@@ -102,6 +119,7 @@ class PoolTree {
     cluster::Resources usage;
     cluster::Resources demand;
     double fair = 0.0;  // fraction of cluster capacity, post-recompute
+    double hist = 0.0;  // EWMA occupancy fraction (halflife-decayed)
     bool leaf() const { return children.empty(); }
   };
 
@@ -123,6 +141,8 @@ class PoolTree {
   std::vector<Pool> pools_;                  // pools_[0] is the root
   std::map<std::string, std::size_t> by_name_;
   std::map<std::string, std::size_t> tenant_pool_;
+  util::TimeNs halflife_ = 0;   // 0 = historical usage off
+  util::TimeNs hist_last_ = 0;  // EWMAs folded up to this timestamp
 };
 
 }  // namespace evolve::orch

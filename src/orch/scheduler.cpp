@@ -533,6 +533,7 @@ void Orchestrator::schedule_now() {
   std::vector<PodId> order(queue_.begin(), queue_.end());
   std::map<std::string, double> pool_key;
   if (pool_tree_) {
+    pool_tree_->advance_time(sim_.now());
     pool_tree_->recompute();
     for (PodId id : order) {
       const std::string& tenant = record(id).status.spec.tenant;

@@ -137,6 +137,18 @@ void RequestGenerator::emit(util::TimeNs at) {
   }
   req.client = config_.clients[static_cast<std::size_t>(rng_.uniform_int(
       0, static_cast<std::int64_t>(config_.clients.size()) - 1))];
+  switch (config_.key_dist) {
+    case KeyDistribution::kNone:
+      break;  // no draw: stateless callers keep their RNG stream intact
+    case KeyDistribution::kUniform:
+      req.key = static_cast<std::uint64_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(config_.keys) - 1));
+      break;
+    case KeyDistribution::kZipf:
+      req.key = static_cast<std::uint64_t>(
+          rng_.zipf(static_cast<std::int64_t>(config_.keys), config_.zipf_s));
+      break;
+  }
   ++emitted_;
   sink_(req);
 }

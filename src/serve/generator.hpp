@@ -29,6 +29,15 @@ struct ArrivalPhase {
   double rate_per_s = 0;
 };
 
+/// How request keys are drawn. kNone leaves every Request::key at 0 and
+/// draws no random numbers, so stateless workloads keep their RNG stream
+/// (and therefore every existing baseline) bit-identical.
+enum class KeyDistribution {
+  kNone,     // stateless: key stays 0, no draw
+  kUniform,  // uniform over [0, keys)
+  kZipf,     // Zipf(keys, zipf_s): key 0 hottest
+};
+
 struct GeneratorConfig {
   std::vector<ArrivalPhase> phases;  // ascending `until`; never empty
   /// Per-class mix weights (indexes the service's class table). Empty =
@@ -38,6 +47,10 @@ struct GeneratorConfig {
   std::vector<cluster::NodeId> clients;
   std::uint64_t seed = 0x5eedf00d;
   util::TimeNs horizon = util::seconds(10);  // no arrivals at/after this
+  /// Key sampling for stateful backends (off by default).
+  KeyDistribution key_dist = KeyDistribution::kNone;
+  std::uint64_t keys = 1;  // key-space size when key_dist != kNone
+  double zipf_s = 1.1;     // skew for kZipf
 };
 
 class RequestGenerator {

@@ -37,12 +37,14 @@ struct RequestClass {
   std::string accel_kernel;
 };
 
-/// One arrival. `cls` indexes the owning service's class table.
+/// One arrival. `cls` indexes the owning service's class table. `key`
+/// addresses stateful (tablet) backends; stateless services ignore it.
 struct Request {
   RequestId id = 0;
   int cls = 0;
   cluster::NodeId client = cluster::kInvalidNode;
   util::TimeNs arrival = 0;
+  std::uint64_t key = 0;
 };
 
 /// Terminal request outcomes (per-tenant accounting).

@@ -279,6 +279,7 @@ void ObjectStore::put(cluster::NodeId client, const ObjectKey& key,
       ServerState& state = server_state(r);
       state.durable_used -= it->second.per_server_bytes;
       state.cache->erase(key.full());
+      note_replica_removed(r);
     }
     if (health(it->second) == Health::kDegraded) shift_underrep(-1);
     shift_at_risk(-at_risk_fragments(it->second));
@@ -595,6 +596,113 @@ void ObjectStore::abandon_read_branch(const std::shared_ptr<ReadRace>& race) {
   trace::end_span(tracer_, race->hedge_span);
   trace::end_span(tracer_, race->span);
   race->cb(GetResult{});
+}
+
+void ObjectStore::read_block(cluster::NodeId client, const ObjectKey& key,
+                             util::Bytes bytes, GetCallback on_done) {
+  if (bytes <= 0) throw std::invalid_argument("read_block: bytes <= 0");
+  const util::TimeNs start = sim_.now();
+  metrics_.count("block_read_requests");
+  const trace::SpanId span =
+      trace::begin_span(tracer_, trace::Layer::kStorage, "store.read_block");
+  if (span != trace::kNoSpan) tracer_->annotate(span, "key", key.full());
+  auto it = objects_.find(key);
+  if (it == objects_.end() || health(it->second) == Health::kLost) {
+    metrics_.count(it == objects_.end() ? "get_misses" : "get_lost");
+    if (span != trace::kNoSpan) tracer_->annotate(span, "result", "miss");
+    sim_.after(config_.metadata_latency,
+               [this, span, cb = std::move(on_done)] {
+                 trace::end_span(tracer_, span);
+                 cb(GetResult{});
+               });
+    return;
+  }
+  auto read = std::make_shared<BlockRead>();
+  read->key = key;
+  read->client = client;
+  read->block = std::min(bytes, it->second.size);
+  read->start = start;
+  read->span = span;
+  read->cb = std::move(on_done);
+  read->degraded = health(it->second) == Health::kDegraded;
+  if (read->degraded) {
+    metrics_.count("degraded_reads");
+    if (span != trace::kNoSpan) tracer_->annotate(span, "degraded", "1");
+  }
+  metrics_.count("block_read_bytes", read->block);
+  if (span != trace::kNoSpan) {
+    tracer_->annotate(span, "bytes", std::to_string(read->block));
+  }
+  const cluster::NodeId server = choose_replica(it->second.replicas, client);
+  sim_.after(config_.metadata_latency,
+             [this, read, server] { run_block_read(read, server); });
+}
+
+void ObjectStore::run_block_read(const std::shared_ptr<BlockRead>& read,
+                                 cluster::NodeId server) {
+  read->tried.insert(server);
+  ServerState& state = server_state(server);
+  // Served from whichever tier already holds the object — a point read
+  // should not evict whole-object cache residents, so it never admits.
+  std::string tier_name;
+  if (auto tier = state.cache->peek(read->key.full()); tier.has_value()) {
+    tier_name = state.cache_tiers[static_cast<std::size_t>(*tier)];
+  } else {
+    tier_name = state.durable_device;
+  }
+  metrics_.count("block_read_tier_" + tier_name);
+  io_.device(server, tier_name)
+      .submit(IoKind::kRead, read->block, [this, read, server, tier_name] {
+        if (replica_corrupted(read->key, server)) {
+          if (config_.checksum_reads) {
+            ++checksum_failures_;
+            metrics_.count("checksum_failures");
+            drop_corrupted_replica(read->key, server);
+            cluster::NodeId next = cluster::kInvalidNode;
+            if (auto obj = objects_.find(read->key); obj != objects_.end()) {
+              for (cluster::NodeId r : obj->second.replicas) {
+                if (read->tried.count(r) == 0 &&
+                    !replica_corrupted(read->key, r)) {
+                  next = r;
+                  break;
+                }
+              }
+            }
+            if (next != cluster::kInvalidNode) {
+              run_block_read(read, next);
+              return;
+            }
+            metrics_.count("get_unreadable");
+            if (read->span != trace::kNoSpan) {
+              tracer_->annotate(read->span, "result", "unreadable");
+            }
+            trace::end_span(tracer_, read->span);
+            read->cb(GetResult{});
+            return;
+          }
+          read->corrupted = true;
+        }
+        trace::ScopedContext tctx(tracer_, read->span);
+        fabric_.transfer(
+            server, read->client, read->block, [this, read, server,
+                                                tier_name] {
+              GetResult result;
+              result.found = true;
+              result.size = read->block;
+              result.served_by = server;
+              result.tier = tier_name;
+              result.corrupted = read->corrupted;
+              result.degraded = read->degraded;
+              if (result.corrupted) {
+                ++corrupted_reads_surfaced_;
+                metrics_.count("corrupted_reads_surfaced");
+              }
+              metrics_.observe("block_read_latency_us",
+                               (sim_.now() - read->start) / util::kMicrosecond);
+              trace::end_span(tracer_, read->span);
+              read->cb(result);
+            });
+      });
 }
 
 util::TimeNs ObjectStore::hedge_delay() const {
@@ -922,6 +1030,7 @@ void ObjectStore::remove(cluster::NodeId /*client*/, const ObjectKey& key,
       ServerState& state = server_state(r);
       state.durable_used -= it->second.per_server_bytes;
       state.cache->erase(key.full());
+      note_replica_removed(r);
     }
     if (health(it->second) == Health::kDegraded) shift_underrep(-1);
     shift_at_risk(-at_risk_fragments(it->second));
@@ -1119,9 +1228,65 @@ util::Bytes ObjectStore::expected_durable_bytes(cluster::NodeId server) const {
   return total;
 }
 
+void ObjectStore::suspect_node(cluster::NodeId node) {
+  if (server_states_.count(node) == 0) return;  // not a storage server
+  if (dead_servers_.count(node) != 0) return;   // already confirmed dead
+  if (config_.repair_hysteresis <= 0) {
+    handle_node_failure(node);
+    return;
+  }
+  if (suspects_.count(node) != 0) return;
+  metrics_.count("servers_suspected");
+  // Replicas on a suspect server sit one step closer to loss for the
+  // whole wait: the at-risk integral accrues even though no repair has
+  // been queued yet.
+  int held = 0;
+  for (const auto& [key, meta] : objects_) {
+    held += static_cast<int>(
+        std::count(meta.replicas.begin(), meta.replicas.end(), node));
+  }
+  SuspectState st;
+  st.at_risk = held;
+  st.escalate = sim_.after(config_.repair_hysteresis, [this, node] {
+    // The window expired with no sign of life: treat it as real loss.
+    auto it = suspects_.find(node);
+    if (it == suspects_.end()) return;
+    shift_at_risk(-it->second.at_risk);
+    suspects_.erase(it);
+    metrics_.count("suspects_escalated");
+    handle_node_failure(node);
+  });
+  suspects_[node] = st;
+  shift_at_risk(held);
+}
+
+void ObjectStore::clear_suspect(cluster::NodeId node) {
+  auto it = suspects_.find(node);
+  if (it == suspects_.end()) return;
+  sim_.cancel(it->second.escalate);
+  shift_at_risk(-it->second.at_risk);
+  suspects_.erase(it);
+  ++suspects_cleared_;
+  metrics_.count("suspects_cleared");
+}
+
+void ObjectStore::note_replica_removed(cluster::NodeId node) {
+  auto it = suspects_.find(node);
+  if (it == suspects_.end() || it->second.at_risk <= 0) return;
+  --it->second.at_risk;
+  shift_at_risk(-1);
+}
+
 void ObjectStore::handle_node_failure(cluster::NodeId node) {
   auto state_it = server_states_.find(node);
   if (state_it == server_states_.end()) return;  // not a storage server
+  if (auto sus = suspects_.find(node); sus != suspects_.end()) {
+    // Confirmed failure overtakes the hysteresis window: stop the
+    // suspect accrual (the per-object loop below re-counts the risk).
+    sim_.cancel(sus->second.escalate);
+    shift_at_risk(-sus->second.at_risk);
+    suspects_.erase(sus);
+  }
   if (!dead_servers_.insert(node).second) return;
   metrics_.count("server_failures");
   // Media loss: everything the server held is gone, cache included —
@@ -1152,6 +1317,7 @@ void ObjectStore::handle_node_failure(cluster::NodeId node) {
 
 void ObjectStore::handle_node_recovery(cluster::NodeId node) {
   if (server_states_.count(node) == 0) return;
+  clear_suspect(node);  // came back within the window: no rebuild needed
   if (dead_servers_.erase(node) == 0) return;
   metrics_.count("server_recoveries");
   // The node rejoins empty; repairs that had no live target re-arm.
@@ -1230,6 +1396,7 @@ void ObjectStore::drop_corrupted_replica(const ObjectKey& key,
     state.durable_used -= meta.per_server_bytes;
     state.cache->erase(key.full());
   }
+  note_replica_removed(server);
   metrics_.count("corrupted_replicas_dropped");
   note_health_change(key, meta, before, risk_before);
 }

@@ -106,6 +106,15 @@ struct ObjectStoreConfig {
   double repair_jitter = 0.0;
   /// Seed for the repair-jitter RNG.
   std::uint64_t repair_seed = 1;
+  /// Delayed-repair hysteresis: the grace a *suspected* server gets
+  /// before its loss is acted on. suspect_node() starts the clock; a
+  /// node cleared (clear_suspect) within the window costs zero rebuild
+  /// traffic, while one that stays silent escalates to
+  /// handle_node_failure when the window expires. Fragments on a
+  /// suspect server accrue at_risk_fragment_seconds for the whole wait
+  /// — the risk is real even though no repair has been queued yet.
+  /// 0 (default) = no hysteresis: suspect_node escalates immediately.
+  util::TimeNs repair_hysteresis = 0;
 
   // -- Gray-failure mitigation (GET path) ------------------------------
   /// Hedged reads: if the first replica read is still outstanding after
@@ -200,6 +209,14 @@ class ObjectStore {
   /// Reads an object to `client`. Completes when the last byte arrives.
   void get(cluster::NodeId client, const ObjectKey& key, GetCallback on_done);
 
+  /// Reads `bytes` of `key`'s payload to `client` — the point-read path
+  /// stateful layers use (tablet block/index reads against a flushed
+  /// generation): one replica chosen by proximity, tier-aware device
+  /// read, checksum failover, and a fabric transfer of only the block,
+  /// never the whole object. No hedging; never admits into the cache.
+  void read_block(cluster::NodeId client, const ObjectKey& key,
+                  util::Bytes bytes, GetCallback on_done);
+
   /// Installs an object instantly (no simulated time): metadata, durable
   /// bytes on every replica, and optional cache admission. Benchmarks use
   /// this to stage input datasets without simulating the ingest.
@@ -259,6 +276,26 @@ class ObjectStore {
   bool server_alive(cluster::NodeId node) const {
     return dead_servers_.count(node) == 0;
   }
+
+  // -- Delayed-repair hysteresis (suspected servers) -------------------
+  /// Reports `node` as possibly failed (unreachable / quarantined — not
+  /// confirmed media loss). With repair_hysteresis > 0 the store waits
+  /// before rebuilding: the node's replicas stay in metadata while
+  /// accruing at-risk seconds, and only if the window expires without
+  /// clear_suspect does the node escalate to handle_node_failure. With
+  /// hysteresis 0 this IS handle_node_failure. No-op for dead or
+  /// non-server nodes.
+  void suspect_node(cluster::NodeId node);
+  /// The node proved alive within the window: the pending escalation is
+  /// cancelled and no rebuild was ever queued. No-op when not suspect.
+  void clear_suspect(cluster::NodeId node);
+  bool node_suspect(cluster::NodeId node) const {
+    return suspects_.count(node) != 0;
+  }
+  /// Suspects cleared within their window (rebuild storms avoided).
+  std::int64_t suspects_cleared() const { return suspects_cleared_; }
+
+  const ObjectStoreConfig& config() const { return config_; }
 
   // -- Fencing (zombie-write rejection) --------------------------------
   /// Raises the minimum acceptable write epoch for `node` (wired from
@@ -408,6 +445,23 @@ class ObjectStore {
   /// was the last one standing.
   void abandon_read_branch(const std::shared_ptr<ReadRace>& race);
 
+  /// Shared state for one block (point) read.
+  struct BlockRead {
+    ObjectKey key;
+    cluster::NodeId client = cluster::kInvalidNode;
+    util::Bytes block = 0;
+    util::TimeNs start = 0;
+    trace::SpanId span = trace::kNoSpan;
+    GetCallback cb;
+    bool degraded = false;
+    bool corrupted = false;
+    std::set<cluster::NodeId> tried;
+  };
+  /// One attempt of a block read against `server`; fails over to an
+  /// untried clean replica on checksum failure.
+  void run_block_read(const std::shared_ptr<BlockRead>& read,
+                      cluster::NodeId server);
+
   /// Drops a corrupted replica from its object's replica set and queues
   /// re-replication (the checksum-detected analogue of a media crash).
   void drop_corrupted_replica(const ObjectKey& key, cluster::NodeId server);
@@ -489,6 +543,9 @@ class ObjectStore {
   /// at-risk accounting, loss counting, and repair queueing.
   void note_health_change(const ObjectKey& key, const ObjectMeta& meta,
                           Health before, int risk_before);
+  /// A replica left `node` outside the failure path (delete, overwrite,
+  /// corruption drop): keeps the suspect at-risk count in sync.
+  void note_replica_removed(cluster::NodeId node);
   void enqueue_repair(const ObjectKey& key);
   void pump_repairs();
   /// Claims a concurrency slot and (if capped) waits out the rebuild
@@ -511,6 +568,13 @@ class ObjectStore {
   std::int64_t next_upload_id_ = 1;
   // Failure/repair state.
   std::set<cluster::NodeId> dead_servers_;
+  /// Suspected (possibly failed) servers awaiting the hysteresis window.
+  struct SuspectState {
+    int at_risk = 0;  // replicas counted into the at-risk integral
+    sim::EventId escalate = 0;
+  };
+  std::map<cluster::NodeId, SuspectState> suspects_;
+  std::int64_t suspects_cleared_ = 0;
   /// Pending repairs. Drained risk-first: the object with the fewest
   /// surviving spare copies (an EC stripe one fragment from loss) is
   /// repaired before a freshly degraded one, ties in key order.

@@ -26,6 +26,8 @@ const char* layer_name(Layer layer) {
       return "accel";
     case Layer::kServe:
       return "serve";
+    case Layer::kTablet:
+      return "tablet";
   }
   return "unknown";
 }

@@ -50,8 +50,9 @@ enum class Layer {
   kNetwork,    // fabric transfers
   kAccel,      // accelerator offload (queue + kernel)
   kServe,      // request serving: request/queue/batch/exec/hedge
+  kTablet,     // stateful serving: tablet op/queue/exec/flush/wal/move
 };
-inline constexpr int kLayerCount = 10;
+inline constexpr int kLayerCount = 11;
 
 /// Stable lowercase name ("workflow", "scheduler", ...).
 const char* layer_name(Layer layer);

@@ -389,5 +389,68 @@ TEST(Rebalancer, RefusesWhenVictimFitsNowhereElse) {
   EXPECT_EQ(web.running(), 1);
 }
 
+TEST(PoolTree, HistoricalUsageDecaysWithHalflife) {
+  PoolTree tree = make_tree(100);
+  tree.add_pool({.name = "a"});
+  tree.add_pool({.name = "b"});
+  tree.assign_tenant("a", "a");
+  tree.assign_tenant("b", "b");
+  tree.set_usage_halflife(util::seconds(10));
+
+  // Tenant a bursts to the whole cluster for a while...
+  tree.charge("a", cores(100));
+  tree.advance_time(util::seconds(0));
+  tree.advance_time(util::seconds(40));  // EWMA converges toward 1.0
+  EXPECT_GT(tree.historical_fraction("a"), 0.9);
+  EXPECT_NEAR(tree.historical_fraction("b"), 0.0, 1e-9);
+
+  // ... then releases everything. Instantaneous usage is 0, but the
+  // EWMA remembers the burst and halves every halflife.
+  tree.release("a", cores(100));
+  tree.advance_time(util::seconds(50));
+  const double after_one = tree.historical_fraction("a");
+  EXPECT_GT(after_one, 0.40);
+  EXPECT_LT(after_one, 0.55);
+  tree.advance_time(util::seconds(60));
+  const double after_two = tree.historical_fraction("a");
+  EXPECT_NEAR(after_two, after_one / 2.0, 0.05);
+  tree.advance_time(util::seconds(200));
+  EXPECT_LT(tree.historical_fraction("a"), 0.01);
+}
+
+TEST(PoolTree, ScheduleKeyChargesHistoricalUsageUntilItDecays) {
+  PoolTree tree = make_tree(100);
+  tree.add_pool({.name = "a"});
+  tree.add_pool({.name = "b"});
+  tree.set_usage_halflife(util::seconds(10));
+  tree.add_demand("a", cores(50));
+  tree.add_demand("b", cores(50));
+
+  // a bursts, then goes idle; b never ran.
+  tree.charge("a", cores(100));
+  tree.advance_time(util::seconds(0));
+  tree.advance_time(util::seconds(40));
+  tree.release("a", cores(100));
+  tree.advance_time(util::seconds(41));
+  tree.recompute();
+
+  // Without history both pools would tie at usage 0; with it, the
+  // burster orders strictly after the tenant that never ran...
+  EXPECT_GT(tree.schedule_key("a"), tree.schedule_key("b"));
+
+  // ... and parity returns once the burst has decayed away.
+  tree.advance_time(util::seconds(400));
+  tree.recompute();
+  EXPECT_NEAR(tree.schedule_key("a"), tree.schedule_key("b"), 1e-6);
+}
+
+TEST(PoolTree, ZeroHalflifeKeepsInstantaneousBehavior) {
+  PoolTree tree = make_tree(100);
+  tree.add_pool({.name = "a"});
+  tree.charge("a", cores(80));
+  tree.advance_time(util::seconds(100));  // no-op with halflife 0
+  EXPECT_NEAR(tree.historical_fraction("a"), 0.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace evolve::orch

@@ -273,5 +273,113 @@ TEST(ObjectStore, PlacementIsBalanced) {
   }
 }
 
+TEST(ObjectStore, ReadBlockReadsOnlyTheBlock) {
+  StoreFixture f;
+  const ObjectKey key{"data", "gen0"};
+  f.store.preload(key, 64 * util::kMiB);
+
+  GetResult r;
+  f.store.read_block(0, key, 16 * util::kKiB, [&](const GetResult& g) {
+    r = g;
+  });
+  f.sim.run();
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.size, 16 * util::kKiB);  // the block, not the object
+  EXPECT_NE(r.served_by, cluster::kInvalidNode);
+  EXPECT_EQ(f.store.metrics().counter("block_read_requests"), 1);
+}
+
+TEST(ObjectStore, ReadBlockMissingObjectNotFound) {
+  StoreFixture f;
+  GetResult r;
+  r.found = true;
+  f.store.read_block(0, ObjectKey{"data", "ghost"}, 4 * util::kKiB,
+                     [&](const GetResult& g) { r = g; });
+  f.sim.run();
+  EXPECT_FALSE(r.found);
+}
+
+TEST(ObjectStore, ReadBlockClampsToObjectSize) {
+  StoreFixture f;
+  const ObjectKey key{"data", "tiny"};
+  f.store.preload(key, 512);
+  GetResult r;
+  f.store.read_block(0, key, 16 * util::kKiB, [&](const GetResult& g) {
+    r = g;
+  });
+  f.sim.run();
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.size, 512);
+}
+
+// -- Delayed-repair hysteresis ------------------------------------------
+
+ObjectStoreConfig hysteresis_config(util::TimeNs wait) {
+  ObjectStoreConfig config;
+  config.repair_hysteresis = wait;
+  return config;
+}
+
+TEST(ObjectStore, SuspectClearedInWindowCostsNoRepair) {
+  StoreFixture f(2, 3, hysteresis_config(util::seconds(5)));
+  f.store.preload({"data", "obj"}, 8 * util::kMiB);
+  const cluster::NodeId victim =
+      f.cluster.nodes_with_label("role=storage").front();
+
+  f.sim.at(util::seconds(1), [&] { f.store.suspect_node(victim); });
+  f.sim.at(util::seconds(3), [&] {
+    EXPECT_TRUE(f.store.node_suspect(victim));
+    f.store.clear_suspect(victim);
+  });
+  f.sim.run();
+
+  EXPECT_FALSE(f.store.node_suspect(victim));
+  EXPECT_EQ(f.store.suspects_cleared(), 1);
+  EXPECT_EQ(f.store.metrics().counter("repairs_started"), 0);
+  EXPECT_TRUE(f.store.server_alive(victim));
+  // The fragments were at risk for the 2 suspect-seconds even though no
+  // repair was ever queued.
+  EXPECT_GT(f.store.at_risk_fragment_seconds(), 0.0);
+}
+
+TEST(ObjectStore, SuspectExpiryEscalatesToFailure) {
+  StoreFixture f(2, 3, hysteresis_config(util::seconds(5)));
+  f.store.preload({"data", "obj"}, 8 * util::kMiB);
+  const cluster::NodeId victim =
+      f.cluster.nodes_with_label("role=storage").front();
+
+  f.sim.at(util::seconds(1), [&] { f.store.suspect_node(victim); });
+  f.sim.run();
+
+  EXPECT_FALSE(f.store.node_suspect(victim));  // escalated out
+  EXPECT_EQ(f.store.metrics().counter("suspects_escalated"), 1);
+  EXPECT_FALSE(f.store.server_alive(victim));
+  // The escalation re-replicated the victim's replicas elsewhere.
+  EXPECT_GT(f.store.metrics().counter("repairs_started"), 0);
+}
+
+TEST(ObjectStore, ZeroHysteresisEscalatesImmediately) {
+  StoreFixture f;  // repair_hysteresis = 0
+  f.store.preload({"data", "obj"}, 8 * util::kMiB);
+  const cluster::NodeId victim =
+      f.cluster.nodes_with_label("role=storage").front();
+  f.store.suspect_node(victim);
+  EXPECT_FALSE(f.store.node_suspect(victim));
+  EXPECT_FALSE(f.store.server_alive(victim));
+}
+
+TEST(ObjectStore, RecoveryClearsPendingSuspicion) {
+  StoreFixture f(2, 3, hysteresis_config(util::seconds(5)));
+  f.store.preload({"data", "obj"}, 8 * util::kMiB);
+  const cluster::NodeId victim =
+      f.cluster.nodes_with_label("role=storage").front();
+  f.sim.at(util::seconds(1), [&] { f.store.suspect_node(victim); });
+  f.sim.at(util::seconds(2), [&] { f.store.handle_node_recovery(victim); });
+  f.sim.run();
+  EXPECT_FALSE(f.store.node_suspect(victim));
+  EXPECT_TRUE(f.store.server_alive(victim));
+  EXPECT_EQ(f.store.metrics().counter("suspects_escalated"), 0);
+}
+
 }  // namespace
 }  // namespace evolve::storage
